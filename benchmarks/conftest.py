@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Trained models are cached on disk (``.model_cache/``) by the model zoo, so
+the suite trains each model variant exactly once no matter how many bench
+files need it.  Set ``REPRO_BENCH_SCALE`` to scale trial counts (1.0 =
+quick defaults; the paper's statistics correspond to roughly 30-40).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(scope="session")
+def trained_models():
+    from repro.experiments.modelzoo import get_or_train_pipeline
+
+    return get_or_train_pipeline()
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments.figures import ExperimentScale
+
+    return ExperimentScale.from_env()

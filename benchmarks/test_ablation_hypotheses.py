@@ -1,0 +1,55 @@
+"""Ablation — multi-hypothesis iteration (this reproduction's key design
+choice).
+
+Classification given a wrong direction estimate is self-reinforcing (see
+repro.pipeline.ml_pipeline), so this implementation runs the Fig. 6
+iteration from several seed basins and keeps the best-scoring result.
+This bench quantifies what that buys: 95% containment with 1 vs 3
+hypotheses at 1 MeV/cm² (where the baseline's tail failures live).
+"""
+
+import numpy as np
+
+from repro.detector.response import DetectorResponse
+from repro.experiments.containment import containment
+from repro.experiments.trials import TrialConfig, run_trials
+from repro.geometry.tiles import adapt_geometry
+from repro.pipeline.ml_pipeline import MLPipeline, MLPipelineConfig
+
+N_TRIALS = 25
+
+
+def test_ablation_hypotheses(benchmark, trained_models):
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+
+    def sweep():
+        out = {}
+        for n_hyp in (1, 3):
+            pipeline = MLPipeline(
+                background_net=trained_models.background_net,
+                deta_net=trained_models.deta_net,
+                config=MLPipelineConfig(num_hypotheses=n_hyp),
+            )
+            out[n_hyp] = run_trials(
+                geometry,
+                response,
+                seed=4242,
+                n_trials=N_TRIALS,
+                config=TrialConfig(condition="ml"),
+                ml_pipeline=pipeline,
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nAblation — iteration hypotheses (1 MeV/cm^2, polar 0)")
+    for n_hyp, errs in results.items():
+        print(
+            f"  hypotheses={n_hyp}: 68%={containment(errs, 0.68):6.2f} deg  "
+            f"95%={containment(errs, 0.95):6.2f} deg  "
+            f"failures>10deg={int((errs > 10).sum())}/{N_TRIALS}"
+        )
+
+    # Multi-hypothesis never loses in the tail (same seeds).
+    assert containment(results[3], 0.95) <= containment(results[1], 0.95) + 1.0

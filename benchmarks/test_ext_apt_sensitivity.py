@@ -1,0 +1,77 @@
+"""Extension — the full APT instrument on dim bursts (paper Section VI).
+
+The paper's conclusion predicts that APT — ~25x the aperture and ~5x the
+scintillator depth of the balloon demonstrator, flying above the
+atmospheric background at L2 — "could allow localization of even dim
+(< 0.1 MeV/cm^2) GRBs to within a degree or less."  This bench runs that
+study: same pipeline, APT geometry + quieter space background, fluence
+0.1 MeV/cm^2, versus the ADAPT demonstrator on the same bursts.
+"""
+
+import numpy as np
+
+from repro.detector.response import DetectorResponse, ResponseConfig
+from repro.experiments.containment import containment
+from repro.geometry.tiles import adapt_geometry, apt_geometry
+from repro.localization.pipeline import localize_baseline
+from repro.sources.background import BackgroundModel
+from repro.sources.exposure import simulate_exposure
+from repro.sources.grb import GRBSource
+
+#: APT flight-model readout: better light collection and smaller response
+#: tails than the balloon demonstrator (a design assumption of the APT
+#: concept, documented in DESIGN.md).
+APT_RESPONSE = ResponseConfig(
+    pe_per_mev=2000.0, tail_probability=0.05, nonuniformity_amplitude=0.03
+)
+#: At L2 there is no atmospheric MeV background; only the (much weaker)
+#: cosmic diffuse flux from the sky hemisphere remains.
+APT_BACKGROUND = BackgroundModel(flux_per_cm2_s=1.0, cos_polar_min=0.0)
+
+FLUENCE = 0.1
+N_TRIALS = 16
+
+
+def _run(geometry, response, background, seed0):
+    errs = []
+    for i in range(N_TRIALS):
+        rng = np.random.default_rng(seed0 + i)
+        grb = GRBSource(
+            fluence_mev_cm2=FLUENCE,
+            polar_angle_deg=20.0,
+            azimuth_deg=float(rng.uniform(0, 360)),
+        )
+        exp = simulate_exposure(geometry, rng, grb, background)
+        ev = response.digitize(exp.transport, exp.batch, rng, min_hits=2)
+        out = localize_baseline(ev, rng)
+        errs.append(out.error_degrees(grb.source_direction))
+    return np.array(errs)
+
+
+def test_ext_apt_sensitivity(benchmark):
+    apt = apt_geometry()
+    adapt = adapt_geometry()
+
+    def study():
+        return {
+            "apt": _run(apt, DetectorResponse(apt, APT_RESPONSE),
+                        APT_BACKGROUND, 1000),
+            "adapt": _run(adapt, DetectorResponse(adapt),
+                          BackgroundModel(), 2000),
+        }
+
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
+    print(f"\nExtension — {FLUENCE} MeV/cm^2 burst (paper Section VI)")
+    for name, errs in results.items():
+        print(
+            f"  {name:6s}: median={np.median(errs):6.2f} deg  "
+            f"68%={containment(errs, 0.68):6.2f} deg  "
+            f"95%={containment(errs, 0.95):6.2f} deg"
+        )
+
+    # Shape: APT localizes dim bursts at few-degree scale (approaching the
+    # paper's "degree or less" with the ML pipeline on top); the
+    # demonstrator cannot — its median error is an order of magnitude
+    # worse.
+    assert np.median(results["apt"]) < 6.0
+    assert np.median(results["adapt"]) > 5.0 * np.median(results["apt"])

@@ -1,0 +1,76 @@
+"""Extension — broader quantization strategies (paper Section VI).
+
+The paper's quantization study is per-tensor INT8 QAT; its future work
+names "a broader range of quantization strategies."  This bench compares
+four on the real background-classification task: QAT INT8 (the paper's),
+PTQ INT8 per-tensor, PTQ INT8 per-channel, and PTQ with INT4 weights —
+reporting ROC AUC, agreement with FP32 decisions, and weight storage.
+"""
+
+import numpy as np
+
+from repro.models.background import BackgroundTrainConfig, train_background_net
+from repro.models.quantized import quantize_background_net
+from repro.nn.metrics import roc_auc
+from repro.quantization.fuse import fuse_linear_bn_relu
+from repro.quantization.strategies import (
+    post_training_quantize,
+    weight_storage_bytes,
+)
+from repro.sources.grb import LABEL_BACKGROUND
+
+
+def test_ext_quant_strategies(benchmark, trained_models):
+    data = trained_models.data
+    labels = (data.labels == LABEL_BACKGROUND).astype(float)
+    rng = np.random.default_rng(9)
+
+    swapped = train_background_net(
+        data.features, labels, data.polar_true, rng,
+        config=BackgroundTrainConfig(max_epochs=25, patience=8, swapped=True),
+    )
+    x_scaled = swapped.scaler.transform(data.features)
+    fused = fuse_linear_bn_relu(swapped.model)
+    fp_prob = swapped.predict_proba(data.features)
+    fp_calls = fp_prob >= 0.5
+
+    def build_all():
+        qat = quantize_background_net(
+            swapped, data.features, labels, data.polar_true,
+            np.random.default_rng(10), qat_epochs=3,
+        )
+        return {
+            "QAT int8 (paper)": (qat.model, qat.predict_proba(data.features)),
+            "PTQ int8/tensor": _ptq(per_channel=False, bits=8),
+            "PTQ int8/channel": _ptq(per_channel=True, bits=8),
+            "PTQ int4 weights": _ptq(per_channel=True, bits=4),
+        }
+
+    def _ptq(per_channel, bits):
+        engine = post_training_quantize(
+            fused, x_scaled, per_channel=per_channel, weight_bits=bits
+        )
+        logit = np.clip(engine.predict_logit(x_scaled), -60, 60)
+        return engine, 1.0 / (1.0 + np.exp(-logit))
+
+    results = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    auc_fp = roc_auc(fp_prob, labels)
+    print("\nExtension — quantization strategies on the background net")
+    print(f"  {'strategy':18s} {'AUC':>6s} {'agree':>7s} {'weights':>9s}")
+    print(f"  {'FP32 reference':18s} {auc_fp:6.3f} {'100.0%':>7s} "
+          f"{4 * results['QAT int8 (paper)'][0].weight_bytes:8d}B")
+    aucs = {}
+    for name, (engine, prob) in results.items():
+        auc = roc_auc(prob, labels)
+        agree = ((prob >= 0.5) == fp_calls).mean()
+        bits = 4 if "int4" in name else 8
+        storage = weight_storage_bytes(engine, bits)
+        print(f"  {name:18s} {auc:6.3f} {agree:6.1%} {storage:8.0f}B")
+        aucs[name] = auc
+
+    # Every 8-bit strategy stays within a few AUC points of FP32.
+    for name in ("QAT int8 (paper)", "PTQ int8/tensor", "PTQ int8/channel"):
+        assert aucs[name] > auc_fp - 0.03
+    # INT4 weights degrade more but remain useful.
+    assert aucs["PTQ int4 weights"] > auc_fp - 0.10

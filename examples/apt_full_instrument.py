@@ -1,0 +1,81 @@
+"""Future-work scenario: the full APT instrument (paper Section VI).
+
+Runs the same pipeline on the full APT geometry — ~25x the aperture,
+~5x the scintillator depth, flying above the atmosphere at L2 — and
+compares dim-burst localization against the balloon demonstrator,
+including the sky-map credible-region area a follow-up telescope would
+receive in the alert.
+
+Run:  python examples/apt_full_instrument.py         (~2 minutes)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.detector.response import DetectorResponse, ResponseConfig
+from repro.geometry.tiles import adapt_geometry, apt_geometry
+from repro.localization.pipeline import localize_baseline, prepare_rings
+from repro.localization.skymap import SkyGrid, compute_skymap
+from repro.sources.background import BackgroundModel
+from repro.sources.exposure import simulate_exposure
+from repro.sources.grb import GRBSource
+
+FLUENCE = 0.1  # MeV/cm^2 — "even dim (< 0.1 MeV/cm^2) GRBs"
+N_TRIALS = 10
+
+
+def run(name, geometry, response, background, seed0):
+    errs, areas, ring_counts = [], [], []
+    grid = SkyGrid.build(resolution_deg=1.0)
+    for i in range(N_TRIALS):
+        rng = np.random.default_rng(seed0 + i)
+        grb = GRBSource(
+            fluence_mev_cm2=FLUENCE,
+            polar_angle_deg=20.0,
+            azimuth_deg=float(rng.uniform(0, 360)),
+        )
+        exposure = simulate_exposure(geometry, rng, grb, background)
+        events = response.digitize(
+            exposure.transport, exposure.batch, rng, min_hits=2
+        )
+        rings = prepare_rings(events)
+        ring_counts.append(rings.num_rings)
+        outcome = localize_baseline(events, rng)
+        errs.append(outcome.error_degrees(grb.source_direction))
+        if rings.num_rings:
+            areas.append(compute_skymap(rings, grid).credible_region_area_deg2(0.68))
+    print(f"  {name:6s}: rings/burst={np.mean(ring_counts):6.0f}   "
+          f"median err={np.median(errs):6.2f} deg   "
+          f"68% credible area={np.median(areas):8.1f} deg^2")
+    return np.median(errs)
+
+
+def main() -> None:
+    print(f"Localizing a {FLUENCE} MeV/cm^2 burst "
+          f"({N_TRIALS} trials per instrument):\n")
+    adapt = adapt_geometry()
+    apt = apt_geometry()
+    apt_response = DetectorResponse(
+        apt,
+        ResponseConfig(
+            pe_per_mev=2000.0, tail_probability=0.05,
+            nonuniformity_amplitude=0.03,
+        ),
+    )
+    err_adapt = run("ADAPT", adapt, DetectorResponse(adapt),
+                    BackgroundModel(), 100)
+    err_apt = run("APT", apt, apt_response,
+                  BackgroundModel(flux_per_cm2_s=1.0, cos_polar_min=0.0), 200)
+
+    print(f"\nAPT improves dim-burst localization by "
+          f"{err_adapt / max(err_apt, 1e-6):.0f}x, approaching the paper's"
+          f"\nSection-VI prediction of degree-scale accuracy below"
+          f" 0.1 MeV/cm^2.")
+
+
+if __name__ == "__main__":
+    main()

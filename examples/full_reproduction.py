@@ -1,0 +1,145 @@
+"""One-command mini-reproduction of every paper artifact.
+
+Runs a reduced-statistics version of each figure and table (Figs. 4,
+7-11; Tables I-III), prints the same rows the paper reports, and writes
+machine-readable JSON records to ``reproduction_results/``.  For
+publication-grade statistics use the benchmark suite with
+``REPRO_BENCH_SCALE``.
+
+Run:  python examples/full_reproduction.py           (~15-25 minutes)
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.figures import (
+    ExperimentScale,
+    figure4,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    print_figure4,
+    print_figure7,
+    print_figure8,
+    print_figure9,
+    print_figure10,
+    print_figure11,
+    print_table3,
+    print_timing_table,
+    table3,
+)
+from repro.experiments.modelzoo import get_or_train_pipeline
+from repro.experiments.report import ExperimentRecord
+from repro.platforms.platforms import ATOM, RPI3B_PLUS
+
+OUT_DIR = Path("reproduction_results")
+
+
+def _containment_payload(results) -> dict:
+    return {
+        str(key): {
+            name: {
+                "mean68": point.mean68,
+                "std68": point.std68,
+                "mean95": point.mean95,
+                "std95": point.std95,
+            }
+            for name, point in conditions.items()
+        }
+        for key, conditions in results.items()
+    }
+
+
+def main() -> None:
+    scale = ExperimentScale(n_trials=15, n_meta=2,
+                            polar_angles=(0.0, 40.0, 80.0))
+    t_start = time.time()
+
+    print("Training / loading models (cached across runs) ...")
+    models = get_or_train_pipeline()
+    records: list[ExperimentRecord] = []
+
+    print("\n=== Figure 4 ===")
+    r4 = figure4(scale)
+    print_figure4(r4)
+    records.append(ExperimentRecord(
+        "fig4", {"n_trials": scale.n_trials},
+        {k: vars(v) for k, v in r4.items()},
+    ))
+
+    print("\n=== Figure 8 ===")
+    r8 = figure8(scale, models)
+    print_figure8(r8)
+    records.append(ExperimentRecord(
+        "fig8", {"angles": list(scale.polar_angles)}, _containment_payload(r8)
+    ))
+
+    print("\n=== Figure 9 ===")
+    r9 = figure9(scale, models)
+    print_figure9(r9)
+    records.append(ExperimentRecord(
+        "fig9", {"fluences": list(scale.fluences)}, _containment_payload(r9)
+    ))
+
+    print("\n=== Figure 10 ===")
+    r10 = figure10(scale, models)
+    print_figure10(r10)
+    records.append(ExperimentRecord("fig10", {}, _containment_payload(r10)))
+
+    print("\n=== Figure 7 ===")
+    r7 = figure7(scale)
+    print_figure7(r7)
+    records.append(ExperimentRecord("fig7", {}, _containment_payload(r7)))
+
+    print("\n=== Figure 11 ===")
+    r11 = figure11(scale)
+    print_figure11(r11)
+    records.append(ExperimentRecord("fig11", {}, _containment_payload(r11)))
+
+    print("\n=== Tables I & II ===")
+    print_timing_table(RPI3B_PLUS)
+    print_timing_table(ATOM)
+    for name, platform in [("table1", RPI3B_PLUS), ("table2", ATOM)]:
+        times = platform.predict()
+        records.append(ExperimentRecord(
+            name,
+            {"platform": platform.name},
+            {
+                "mean_ms": times.mean_ms,
+                "total_ms": times.total_mean(),
+            },
+        ))
+
+    print("\n=== Table III ===")
+    reports = table3()
+    print_table3(reports)
+    records.append(ExperimentRecord(
+        "table3",
+        {},
+        {
+            dtype: {
+                "ii_cycles": r.ii_cycles,
+                "latency_cycles": r.latency_cycles,
+                "bram": r.bram,
+                "dsp": r.dsp,
+                "ff": r.ff,
+                "lut": r.lut,
+                "ms_597": r.batch_latency_ms(597),
+            }
+            for dtype, r in reports.items()
+        },
+    ))
+
+    for rec in records:
+        rec.save(OUT_DIR / f"{rec.experiment}.json")
+    print(f"\nDone in {(time.time() - t_start) / 60:.1f} min; "
+          f"{len(records)} records written to {OUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Instrument study: ghost hits from the orthogonal-fiber readout.
+
+ADAPT resolves hit positions by overlaying independent x- and y-fiber
+projections (paper Fig. 1).  When two interactions land in the same
+layer, the projections admit two pairings — the wrong one puts hits at
+the two *ghost* crossings.  Energy matching breaks most ties, but equal-
+energy deposits remain ambiguous.  This study measures the ghost rate as
+a function of the energy asymmetry between two same-layer deposits —
+another mechanism (alongside mis-ordering and response tails) behind
+rings whose true error exceeds the propagated estimate.
+
+Run:  python examples/ghost_hit_study.py             (~30 seconds)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.detector.fiber_readout import FiberReadoutConfig, readout_layer
+
+N_TRIALS = 300
+
+
+def ghost_rate(energy_ratio: float, rng: np.random.Generator) -> float:
+    """Fraction of 2-hit layers with at least one mis-paired hit."""
+    config = FiberReadoutConfig(fiber_noise_pe=0.004)
+    ghosts = 0
+    for _ in range(N_TRIALS):
+        positions = rng.uniform(-15.0, 15.0, size=(2, 2))
+        # Keep the two deposits separated in both projections, so the
+        # ambiguity is purely a pairing problem.
+        positions[1] = positions[0] + np.sign(
+            rng.standard_normal(2)
+        ) * rng.uniform(5.0, 12.0, 2)
+        e0 = 0.4
+        energies = np.array([e0, e0 * energy_ratio])
+        result = readout_layer(positions, energies, config, rng)
+        # Apply the downstream trigger cut: noise-cluster pairings below
+        # 50 keV never reach reconstruction.
+        significant = result.energies > 0.05
+        if result.is_ghost[significant].any():
+            ghosts += 1
+    return ghosts / N_TRIALS
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    print("Two same-layer deposits; ghost (mis-pairing) rate vs energy "
+          "asymmetry:\n")
+    print(f"{'E2/E1':>8s} {'ghost rate':>11s}")
+    for ratio in (1.0, 1.2, 1.5, 2.0, 3.0, 5.0):
+        rate = ghost_rate(ratio, rng)
+        print(f"{ratio:8.1f} {rate:11.1%}")
+    print("\nEqual-energy deposits are ambiguous for energy matching;"
+          "\nasymmetric ones pair correctly.  Ghosted events feed the"
+          "\nheavy-tail eta-error population the dEta network flags.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Mission forecast: what fraction of short GRBs can ADAPT localize?
+
+Samples bursts from a short-GRB population model (durations, spectra,
+fluences, and sky positions drawn from Fermi-GBM-catalog-like
+distributions — the paper's refs. [27]-[31]), observes each with the
+full simulation chain, and reports the fraction localized to within the
+paper's 6-degree follow-up target, as a function of fluence.
+
+Run:  python examples/population_forecast.py         (~4 minutes)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.detector import DetectorResponse
+from repro.geometry import adapt_geometry
+from repro.localization import localize_baseline
+from repro.sources import BackgroundModel, PopulationModel, simulate_exposure
+
+N_BURSTS = 40
+TARGET_DEG = 6.0
+
+
+def main() -> None:
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    population = PopulationModel()
+    rng = np.random.default_rng(2026)
+
+    print(f"Observing {N_BURSTS} population-sampled short GRBs ...\n")
+    rows = []
+    for i in range(N_BURSTS):
+        burst = population.sample_burst(rng)
+        background = BackgroundModel(duration_s=max(burst.light_curve.duration_s, 0.1))
+        exposure = simulate_exposure(geometry, rng, burst, background)
+        events = response.digitize(
+            exposure.transport, exposure.batch, rng, min_hits=2
+        )
+        outcome = localize_baseline(events, rng)
+        err = outcome.error_degrees(burst.source_direction)
+        rows.append((burst.fluence_mev_cm2, burst.polar_angle_deg, err))
+    rows = np.array(rows)
+
+    header_target = f"localized <{TARGET_DEG:.0f} deg"
+    print(f"{'fluence bin':>16s} {'bursts':>7s} {header_target:>18s} "
+          f"{'median err':>11s}")
+    edges = [0.2, 0.5, 1.0, 2.0, 20.0]
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        sel = (rows[:, 0] >= lo) & (rows[:, 0] < hi)
+        if not sel.any():
+            continue
+        frac = (rows[sel, 2] <= TARGET_DEG).mean()
+        print(f"{lo:7.1f} - {hi:5.1f}  {int(sel.sum()):7d} {frac:17.0%} "
+              f"{np.median(rows[sel, 2]):10.1f}d")
+
+    overall = (rows[:, 2] <= TARGET_DEG).mean()
+    print(f"\nOverall: {overall:.0%} of the sampled population localized "
+          f"within {TARGET_DEG:.0f} deg.")
+    print("The paper's conclusion — reliable localization for bursts of"
+          "\n'one to a few MeV/cm^2' — shows up as the jump between the"
+          "\nsub-MeV and super-MeV fluence bins.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: simulate one GRB observation and localize it.
+
+Simulates a 1-second exposure of the ADAPT detector to a 1 MeV/cm^2
+gamma-ray burst plus atmospheric background, digitizes the interactions
+through the detector-response model, reconstructs Compton rings, and runs
+the baseline localization pipeline — then shows what the paper's two
+oracle conditions (background removal, true d-eta) would buy.
+
+Run:  python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.detector import DetectorResponse
+from repro.geometry import adapt_geometry
+from repro.localization import localize_baseline
+from repro.sources import BackgroundModel, GRBSource, simulate_exposure
+from repro.sources.grb import LABEL_GRB
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+
+    grb = GRBSource(fluence_mev_cm2=1.0, polar_angle_deg=25.0, azimuth_deg=130.0)
+    print(f"Simulating a {grb.fluence_mev_cm2} MeV/cm^2 GRB at polar angle "
+          f"{grb.polar_angle_deg} deg plus atmospheric background ...")
+
+    exposure = simulate_exposure(geometry, rng, grb, BackgroundModel())
+    print(f"  primary photons : {exposure.batch.num_photons}")
+    print(f"  detector hits   : {exposure.transport.num_hits}")
+
+    events = response.digitize(exposure.transport, exposure.batch, rng, min_hits=2)
+    print(f"  multi-hit events: {events.num_events}")
+
+    outcome = localize_baseline(events, rng)
+    n_grb = int((outcome.rings.labels == LABEL_GRB).sum())
+    n_bkg = outcome.rings.num_rings - n_grb
+    print(f"  rings entering localization: {outcome.rings.num_rings} "
+          f"({n_grb} GRB, {n_bkg} background)")
+
+    err = outcome.error_degrees(grb.source_direction)
+    print(f"\nBaseline localization error: {err:.2f} deg "
+          f"({outcome.iterations} refinement iterations)")
+
+    for name, kwargs in [
+        ("background-removal oracle", dict(drop_background=True)),
+        ("true-dEta oracle", dict(true_deta=True)),
+    ]:
+        oracle = localize_baseline(events, np.random.default_rng(42), **kwargs)
+        print(f"{name:28s}: {oracle.error_degrees(grb.source_direction):.2f} deg")
+
+    print("\nThe gap between the baseline and the oracles is exactly what the"
+          "\npaper's two neural networks recover — see"
+          " examples/train_and_localize.py.")
+
+
+if __name__ == "__main__":
+    main()

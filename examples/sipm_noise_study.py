@@ -1,0 +1,72 @@
+"""Instrument study: where do the heavy energy-error tails come from?
+
+The paper's dEta network exists because propagated uncertainties miss a
+heavy-tailed error population.  The default response model injects that
+tail with an ad-hoc probability; this study swaps in the *mechanistic*
+SiPM model (optical-crosstalk branching cascade + afterpulsing +
+saturation) and shows the same pathology emerging from device physics:
+the fraction of hits with |error| > 3 sigma_nominal far exceeds the
+Gaussian expectation, and grows with the crosstalk probability.
+
+Run:  python examples/sipm_noise_study.py            (~1 minute)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.detector.response import DetectorResponse, ResponseConfig
+from repro.detector.sipm import SiPMModel
+from repro.geometry import adapt_geometry
+from repro.localization.pipeline import prepare_rings
+from repro.sources import GRBSource, simulate_exposure
+
+
+def tail_stats(geometry, config, seed=0):
+    response = DetectorResponse(geometry, config)
+    rng = np.random.default_rng(seed)
+    exposure = simulate_exposure(geometry, rng, GRBSource(fluence_mev_cm2=3.0))
+    events = response.digitize(exposure.transport, exposure.batch, rng,
+                               min_hits=2)
+    err = np.abs(events.energies - events.true_energies)
+    beyond3 = (err > 3 * events.sigma_energy).mean()
+    rings = prepare_rings(events)
+    eta_err = rings.true_eta_errors()
+    under = (eta_err > 2 * rings.deta).mean()
+    return beyond3, under, events.num_hits
+
+
+def main() -> None:
+    geometry = adapt_geometry()
+    print(f"{'response model':>34s} {'hits>3sig':>10s} "
+          f"{'rings etaerr>2deta':>19s}")
+
+    configs = [
+        ("Poisson only (no tails)",
+         ResponseConfig(tail_probability=0.0)),
+        ("ad-hoc tail (paper-default sim)",
+         ResponseConfig()),
+        ("SiPM, crosstalk 10%",
+         ResponseConfig(tail_probability=0.0,
+                        sipm=SiPMModel(p_crosstalk=0.10))),
+        ("SiPM, crosstalk 25%",
+         ResponseConfig(tail_probability=0.0,
+                        sipm=SiPMModel(p_crosstalk=0.25))),
+        ("SiPM, crosstalk 40%",
+         ResponseConfig(tail_probability=0.0,
+                        sipm=SiPMModel(p_crosstalk=0.40))),
+    ]
+    for name, cfg in configs:
+        beyond3, under, _ = tail_stats(geometry, cfg)
+        print(f"{name:>34s} {beyond3:10.1%} {under:19.1%}")
+
+    print("\nGaussian expectation for the >3-sigma column is 0.3%."
+          "\nCrosstalk alone regenerates the heavy-tail population the"
+          "\ndEta network is trained to flag — no ad-hoc knob needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Full workflow: train the paper's two networks, then localize with them.
+
+Reproduces the paper's core loop end to end:
+
+1. run a (scaled-down) training campaign over polar angles 0-80 degrees,
+   collecting Compton rings with truth labels and true d-eta errors;
+2. train the background-rejection classifier and the dEta regressor;
+3. run the iterative Fig. 6 ML pipeline on fresh simulated bursts and
+   compare against the baseline pipeline.
+
+Run:  python examples/train_and_localize.py          (~3 minutes)
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.detector import DetectorResponse
+from repro.experiments.modelzoo import train_models
+from repro.experiments.trials import TrialConfig, run_trials
+from repro.experiments.containment import containment
+from repro.geometry import adapt_geometry
+from repro.nn import r2_score, roc_auc
+from repro.sources.grb import LABEL_BACKGROUND
+
+
+def main() -> None:
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+
+    print("1. Training campaign + network training (paper Section III) ...")
+    t0 = time.time()
+    models = train_models(geometry, response, seed=2024, exposures_per_angle=12)
+    data = models.data
+    print(f"   collected {data.num_rings} rings "
+          f"({(data.labels == LABEL_BACKGROUND).mean():.0%} background), "
+          f"trained both networks in {time.time() - t0:.0f} s")
+
+    labels = (data.labels == LABEL_BACKGROUND).astype(float)
+    auc = roc_auc(models.background_net.predict_proba(data.features), labels)
+    grb = data.grb_only()
+    target = np.log(np.maximum(grb.true_eta_errors, 1e-4))
+    r2_net = r2_score(models.deta_net.predict_log_deta(grb.features), target)
+    r2_prop = r2_score(np.log(grb.prop_deta), target)
+    print(f"   background net ROC AUC          : {auc:.3f}")
+    print(f"   dEta net R^2 on ln(true error)  : {r2_net:.3f}")
+    print(f"   propagation-of-error R^2        : {r2_prop:.3f}  <- the paper's"
+          " broken estimate")
+
+    print("\n2. Localization trials at 1 MeV/cm^2, polar 0 (paper Fig. 8) ...")
+    n_trials = 25
+    base = run_trials(
+        geometry, response, seed=7, n_trials=n_trials,
+        config=TrialConfig(condition="baseline"),
+    )
+    ml = run_trials(
+        geometry, response, seed=7, n_trials=n_trials,
+        config=TrialConfig(condition="ml"), ml_pipeline=models.pipeline,
+    )
+    print(f"   baseline : 68% = {containment(base, 0.68):6.2f} deg   "
+          f"95% = {containment(base, 0.95):6.2f} deg")
+    print(f"   with NNs : 68% = {containment(ml, 0.68):6.2f} deg   "
+          f"95% = {containment(ml, 0.95):6.2f} deg")
+    print("\nThe networks should leave the 68% containment similar while"
+          "\ncollapsing the 95% tail — the paper's headline result.")
+
+
+if __name__ == "__main__":
+    main()

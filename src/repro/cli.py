@@ -1,0 +1,134 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing any Python:
+
+* ``python -m repro.cli simulate`` — one burst, baseline localization.
+* ``python -m repro.cli train`` — run the training campaign, train both
+  networks, and save the pipeline to disk.
+* ``python -m repro.cli localize`` — load a trained pipeline and run
+  ML-pipeline trials at a chosen experimental point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.detector.response import DetectorResponse
+    from repro.geometry.tiles import adapt_geometry
+    from repro.localization.pipeline import localize_baseline
+    from repro.sources.background import BackgroundModel
+    from repro.sources.exposure import simulate_exposure
+    from repro.sources.grb import GRBSource
+
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    rng = np.random.default_rng(args.seed)
+    grb = GRBSource(
+        fluence_mev_cm2=args.fluence,
+        polar_angle_deg=args.polar,
+        azimuth_deg=args.azimuth,
+    )
+    exposure = simulate_exposure(geometry, rng, grb, BackgroundModel())
+    events = response.digitize(
+        exposure.transport, exposure.batch, rng, min_hits=2
+    )
+    outcome = localize_baseline(events, rng)
+    print(f"photons={exposure.batch.num_photons} events={events.num_events} "
+          f"rings={outcome.rings.num_rings}")
+    print(f"localization error: "
+          f"{outcome.error_degrees(grb.source_direction):.2f} deg")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.experiments.modelzoo import train_models
+    from repro.io.datasets import save_pipeline
+
+    models = train_models(
+        seed=args.seed, exposures_per_angle=args.exposures_per_angle
+    )
+    save_pipeline(models.pipeline, args.output)
+    print(f"trained on {models.data.num_rings} rings; "
+          f"pipeline saved to {args.output}")
+    return 0
+
+
+def _cmd_localize(args: argparse.Namespace) -> int:
+    from repro.detector.response import DetectorResponse
+    from repro.experiments.containment import containment
+    from repro.experiments.trials import TrialConfig, run_trials
+    from repro.geometry.tiles import adapt_geometry
+    from repro.io.datasets import load_pipeline
+
+    pipeline = load_pipeline(args.pipeline)
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    errors = run_trials(
+        geometry,
+        response,
+        seed=args.seed,
+        n_trials=args.trials,
+        config=TrialConfig(
+            fluence_mev_cm2=args.fluence,
+            polar_angle_deg=args.polar,
+            condition="ml",
+        ),
+        ml_pipeline=pipeline,
+    )
+    print(f"{args.trials} trials at {args.fluence} MeV/cm^2, "
+          f"polar {args.polar} deg:")
+    print(f"  68% containment: {containment(errors, 0.68):.2f} deg")
+    print(f"  95% containment: {containment(errors, 0.95):.2f} deg")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ADAPT GRB-localization reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="simulate and localize one burst")
+    p.add_argument("--fluence", type=float, default=1.0,
+                   help="burst fluence, MeV/cm^2")
+    p.add_argument("--polar", type=float, default=0.0,
+                   help="source polar angle, degrees")
+    p.add_argument("--azimuth", type=float, default=0.0,
+                   help="source azimuth, degrees")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("train", help="train the two networks")
+    p.add_argument("--output", default="pipeline.pkl",
+                   help="output pipeline file")
+    p.add_argument("--exposures-per-angle", type=int, default=20)
+    p.add_argument("--seed", type=int, default=2024)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("localize", help="run ML-pipeline trials")
+    p.add_argument("--pipeline", default="pipeline.pkl",
+                   help="trained pipeline file")
+    p.add_argument("--fluence", type=float, default=1.0)
+    p.add_argument("--polar", type=float, default=0.0)
+    p.add_argument("--trials", type=int, default=20)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_localize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Physical constants and material properties used throughout the simulation.
+
+All energies are in MeV, lengths in cm, times in seconds unless stated
+otherwise.  The material parameterizations are deliberately simple (power-law
+fits to the dominant photon interaction channels) but carry the correct
+energy dependence in the 0.03--30 MeV band where ADAPT operates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --- fundamental constants -------------------------------------------------
+
+#: Electron rest-mass energy, MeV.
+ELECTRON_MASS_MEV: float = 0.51099895
+
+#: Classical electron radius, cm.
+CLASSICAL_ELECTRON_RADIUS_CM: float = 2.8179403262e-13
+
+#: Avogadro's number, 1/mol.
+AVOGADRO: float = 6.02214076e23
+
+#: Speed of light, cm/s.
+SPEED_OF_LIGHT_CM_S: float = 2.99792458e10
+
+# --- unit helpers ----------------------------------------------------------
+
+KEV_PER_MEV: float = 1000.0
+
+
+def kev(value_mev: float) -> float:
+    """Convert an energy in MeV to keV."""
+    return value_mev * KEV_PER_MEV
+
+
+def mev(value_kev: float) -> float:
+    """Convert an energy in keV to MeV."""
+    return value_kev / KEV_PER_MEV
+
+
+# --- materials ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Material:
+    """Photon-interaction properties of a detector material.
+
+    The photoelectric cross section is parameterized as
+    ``sigma_pe ~ pe_coeff * E^-pe_index`` (cm^2/g) and the Compton cross
+    section uses the Klein--Nishina formula per electron scaled by the
+    electron density.  This captures the correct crossover between the
+    photoelectric-dominated regime (< ~0.3 MeV for CsI) and the
+    Compton-dominated MeV band.
+
+    Attributes:
+        name: Human-readable material name.
+        density_g_cm3: Bulk density in g/cm^3.
+        z_eff: Effective atomic number (drives photoelectric absorption).
+        a_eff: Effective atomic mass in g/mol.
+        electrons_per_gram: Electron density, electrons/g.
+        pe_coeff: Photoelectric mass-attenuation coefficient at 1 MeV
+            (cm^2/g); extrapolated with ``pe_index``.
+        pe_index: Photoelectric energy power-law index (~3 in this band).
+    """
+
+    name: str
+    density_g_cm3: float
+    z_eff: float
+    a_eff: float
+    electrons_per_gram: float
+    pe_coeff: float
+    pe_index: float
+
+    @property
+    def electron_density_cm3(self) -> float:
+        """Electrons per cm^3."""
+        return self.electrons_per_gram * self.density_g_cm3
+
+
+#: CsI(Na) scintillator, ADAPT's imaging-calorimeter tile material.
+CSI = Material(
+    name="CsI(Na)",
+    density_g_cm3=4.51,
+    z_eff=54.0,
+    a_eff=129.9,
+    electrons_per_gram=2.51e23,
+    pe_coeff=3.04e-3,
+    pe_index=3.0,
+)
+
+#: Plastic scintillator (for comparison / anticoincidence studies).
+PLASTIC = Material(
+    name="EJ-200 plastic",
+    density_g_cm3=1.023,
+    z_eff=5.7,
+    a_eff=11.2,
+    electrons_per_gram=3.37e23,
+    pe_coeff=2.0e-6,
+    pe_index=3.1,
+)
+
+# --- detector defaults (from the ADAPT instrument papers) -------------------
+
+#: Number of scintillating tile layers in the ADAPT demonstrator.
+ADAPT_NUM_LAYERS: int = 4
+
+#: Lateral tile size, cm (one tile spans the full layer in the demonstrator).
+ADAPT_TILE_SIZE_CM: float = 40.0
+
+#: Tile thickness, cm.
+ADAPT_TILE_THICKNESS_CM: float = 1.5
+
+#: Vertical gap between consecutive tile layers, cm.
+ADAPT_LAYER_GAP_CM: float = 10.0
+
+#: WLS fiber pitch: spatial quantization of hit positions in x and y, cm.
+ADAPT_FIBER_PITCH_CM: float = 0.3
+
+# --- APT (the full orbital instrument, paper Section VI) --------------------
+
+#: Number of tracker/calorimeter tile layers in the full APT concept.
+APT_NUM_LAYERS: int = 20
+
+#: Lateral tile size of the APT stack, cm (~1 m^2 aperture).
+APT_TILE_SIZE_CM: float = 100.0
+
+#: APT tile thickness, cm.
+APT_TILE_THICKNESS_CM: float = 1.5
+
+#: Vertical gap between APT layers, cm (more compact than the balloon
+#: demonstrator).
+APT_LAYER_GAP_CM: float = 2.5
+
+#: Minimum simulated photon energy, MeV (paper Section IV, footnote 2).
+MIN_PHOTON_ENERGY_MEV: float = 0.030
+
+#: Band-spectrum high-energy index used by the paper (footnote 2).
+BAND_BETA: float = -2.35

@@ -1,0 +1,42 @@
+"""Detector response: from true interactions to digitized events.
+
+Models the measurement chain of paper Fig. 1 — WLS-fiber position
+quantization, SiPM photostatistics, electronics noise, trigger thresholds —
+plus the *unmodeled* noise terms (light-collection nonuniformity, response
+tails) that make propagation-of-error ``d eta`` estimates systematically
+wrong, which is the paper's central motivation for the dEta network.
+"""
+
+from repro.detector.response import (
+    DetectorResponse,
+    EventSet,
+    ResponseConfig,
+)
+from repro.detector.perturb import perturb_events
+from repro.detector.deadtime import DeadtimeModel
+from repro.detector.sipm import SiPMModel
+from repro.detector.fiber_readout import (
+    FiberReadoutConfig,
+    LayerReadoutResult,
+    readout_layer,
+)
+from repro.detector.coincidence import (
+    CoincidenceConfig,
+    PileupResult,
+    build_events_with_pileup,
+)
+
+__all__ = [
+    "DetectorResponse",
+    "ResponseConfig",
+    "EventSet",
+    "perturb_events",
+    "CoincidenceConfig",
+    "PileupResult",
+    "build_events_with_pileup",
+    "DeadtimeModel",
+    "SiPMModel",
+    "FiberReadoutConfig",
+    "LayerReadoutResult",
+    "readout_layer",
+]

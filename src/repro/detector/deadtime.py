@@ -1,0 +1,86 @@
+"""Readout deadtime models.
+
+After each trigger the readout is busy for a fixed time `tau`; photons
+arriving during that window are lost (non-paralyzable) or additionally
+extend the busy window (paralyzable).  Together with
+:mod:`repro.platforms.rate` this quantifies the paper's Section-VI
+concern that APT's "much larger detector demands event processing at a
+higher rate": the live fraction sets how much of a burst's fluence is
+actually recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeadtimeModel:
+    """Deadtime parameters.
+
+    Attributes:
+        tau_s: Busy time per accepted trigger, seconds.
+        paralyzable: Whether arrivals during the busy window extend it.
+    """
+
+    tau_s: float = 10e-6
+    paralyzable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tau_s <= 0:
+            raise ValueError("tau must be positive")
+
+    def live_fraction(self, rate_hz: float | np.ndarray) -> np.ndarray:
+        """Fraction of triggers recorded at a given true rate.
+
+        Non-paralyzable: ``1 / (1 + r tau)``; paralyzable: ``exp(-r tau)``.
+        """
+        rate = np.asarray(rate_hz, dtype=np.float64)
+        if np.any(rate < 0):
+            raise ValueError("rate must be non-negative")
+        if self.paralyzable:
+            return np.exp(-rate * self.tau_s)
+        return 1.0 / (1.0 + rate * self.tau_s)
+
+    def recorded_rate(self, rate_hz: float | np.ndarray) -> np.ndarray:
+        """Observed trigger rate at a given true rate, Hz."""
+        rate = np.asarray(rate_hz, dtype=np.float64)
+        return rate * self.live_fraction(rate)
+
+    def saturation_rate(self) -> float:
+        """True rate maximizing the recorded rate.
+
+        Non-paralyzable readouts saturate asymptotically at ``1/tau``
+        (returned); paralyzable ones peak at exactly ``1/tau`` and then
+        *lose* throughput.
+        """
+        return 1.0 / self.tau_s
+
+    def apply(
+        self, times_s: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Mark which of a sorted-or-not arrival-time series is recorded.
+
+        Args:
+            times_s: ``(n,)`` trigger arrival times (any order).
+            rng: Unused; kept for API symmetry with stochastic models.
+
+        Returns:
+            ``(n,)`` boolean mask of recorded triggers (aligned with the
+            input order).
+        """
+        times_s = np.asarray(times_s, dtype=np.float64)
+        order = np.argsort(times_s, kind="stable")
+        recorded_sorted = np.zeros(times_s.size, dtype=bool)
+        busy_until = -np.inf
+        for i, t in enumerate(times_s[order]):
+            if t >= busy_until:
+                recorded_sorted[i] = True
+                busy_until = t + self.tau_s
+            elif self.paralyzable:
+                busy_until = t + self.tau_s
+        mask = np.zeros(times_s.size, dtype=bool)
+        mask[order] = recorded_sorted
+        return mask

@@ -1,0 +1,245 @@
+"""Fiber-level readout simulation with ghost-hit ambiguity.
+
+The default response model quantizes hit positions directly.  The real
+readout (paper Fig. 1) is less kind: each tile is read by *independent*
+x- and y-fiber arrays, so a layer observes two 1-D projections of its
+energy deposits.  With one hit per layer the projections pair uniquely;
+with two or more simultaneous hits in one layer, x and y clusters can be
+combined in multiple ways — producing **ghost hits** at the wrong
+crossings.  Energy matching between the x and y projections breaks most
+ties (each projection measures the same deposit), but imperfect
+resolution leaves a residual mis-pairing population: yet another
+mechanism behind rings whose true error exceeds the propagated estimate.
+
+This module simulates that chain for one layer at a time:
+
+1. project deposits onto fired x and y fibers (with light-sharing onto
+   neighbors),
+2. cluster adjacent fired fibers per axis,
+3. pair x/y clusters by energy compatibility (greedy best-match),
+4. emit reconstructed hits at the paired crossings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.fibers import FiberGrid
+
+
+@dataclass(frozen=True)
+class FiberReadoutConfig:
+    """Readout parameters.
+
+    Attributes:
+        grid: Fiber geometry shared by both axes.
+        light_sharing: Fraction of a deposit's light collected by each
+            nearest-neighbor fiber (the rest goes to the nearest fiber).
+        fiber_noise_pe: Gaussian noise per fiber, in energy units (MeV
+            equivalent).
+        fiber_threshold: Fibers below this measured signal do not fire.
+        energy_match_sigma: Relative energy tolerance when pairing x and
+            y clusters.
+    """
+
+    grid: FiberGrid = field(default_factory=FiberGrid)
+    light_sharing: float = 0.2
+    fiber_noise_pe: float = 0.003
+    fiber_threshold: float = 0.01
+    energy_match_sigma: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.light_sharing < 0.5):
+            raise ValueError("light_sharing must be in [0, 0.5)")
+        if self.energy_match_sigma <= 0:
+            raise ValueError("energy_match_sigma must be positive")
+
+
+@dataclass
+class AxisCluster:
+    """A contiguous group of fired fibers along one axis.
+
+    Attributes:
+        position_cm: Energy-weighted cluster centroid.
+        energy: Summed fiber signal.
+    """
+
+    position_cm: float
+    energy: float
+
+
+@dataclass
+class LayerReadoutResult:
+    """Reconstructed hits of one layer.
+
+    Attributes:
+        positions_xy: ``(m, 2)`` paired (x, y) hit positions, cm.
+        energies: ``(m,)`` energy assigned to each hit (mean of the two
+            projections).
+        is_ghost: ``(m,)`` truth flag — True where the x and y clusters
+            came from *different* true deposits (a mis-pairing).
+        n_x_clusters: Clusters found on the x axis.
+        n_y_clusters: Clusters found on the y axis.
+    """
+
+    positions_xy: np.ndarray
+    energies: np.ndarray
+    is_ghost: np.ndarray
+    n_x_clusters: int
+    n_y_clusters: int
+
+
+def project_to_fibers(
+    coords: np.ndarray,
+    energies: np.ndarray,
+    config: FiberReadoutConfig,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deposit energy onto a 1-D fiber array.
+
+    Each deposit lights its nearest fiber with fraction
+    ``1 - 2*light_sharing`` and each neighbor with ``light_sharing``;
+    per-fiber Gaussian noise is added and sub-threshold fibers zeroed.
+
+    Args:
+        coords: ``(k,)`` lateral deposit coordinates, cm.
+        energies: ``(k,)`` deposit energies, MeV.
+        config: Readout parameters.
+        rng: Random generator.
+
+    Returns:
+        ``(signals, owners)``: per-fiber signal array of length
+        ``grid.num_fibers``, and for each fiber the index of the deposit
+        contributing most of its light (-1 for noise-only fibers).
+    """
+    grid = config.grid
+    n = grid.num_fibers
+    signals = np.zeros(n)
+    best_contrib = np.zeros(n)
+    owners = np.full(n, -1, dtype=np.int64)
+    idx = grid.fiber_index(np.asarray(coords, dtype=np.float64))
+    for j, (fiber, e) in enumerate(zip(idx, np.asarray(energies))):
+        shares = [
+            (fiber, e * (1.0 - 2.0 * config.light_sharing)),
+            (fiber - 1, e * config.light_sharing),
+            (fiber + 1, e * config.light_sharing),
+        ]
+        for f, amount in shares:
+            if 0 <= f < n:
+                signals[f] += amount
+                if amount > best_contrib[f]:
+                    best_contrib[f] = amount
+                    owners[f] = j
+    signals = signals + rng.normal(0.0, config.fiber_noise_pe, n)
+    fired = signals >= config.fiber_threshold
+    signals = np.where(fired, signals, 0.0)
+    owners = np.where(fired, owners, -1)
+    return signals, owners
+
+
+def cluster_fibers(
+    signals: np.ndarray,
+    owners: np.ndarray,
+    config: FiberReadoutConfig,
+) -> tuple[list[AxisCluster], list[int]]:
+    """Group adjacent fired fibers into clusters.
+
+    Args:
+        signals: Per-fiber signals from :func:`project_to_fibers`.
+        owners: Dominant true-deposit index per fiber.
+        config: Readout parameters.
+
+    Returns:
+        ``(clusters, cluster_owners)`` — the clusters and, per cluster,
+        the dominant true deposit feeding it (-1 for pure noise).
+    """
+    grid = config.grid
+    fired = np.nonzero(signals > 0)[0]
+    clusters: list[AxisCluster] = []
+    cluster_owners: list[int] = []
+    if fired.size == 0:
+        return clusters, cluster_owners
+    breaks = np.nonzero(np.diff(fired) > 1)[0]
+    groups = np.split(fired, breaks + 1)
+    for group in groups:
+        e = signals[group]
+        centers = grid.fiber_center(group)
+        total = float(e.sum())
+        clusters.append(
+            AxisCluster(
+                position_cm=float((centers * e).sum() / total),
+                energy=total,
+            )
+        )
+        # Dominant owner by contributed signal.
+        group_owners = owners[group]
+        candidates, counts = np.unique(
+            group_owners[group_owners >= 0], return_counts=True
+        )
+        cluster_owners.append(
+            int(candidates[np.argmax(counts)]) if candidates.size else -1
+        )
+    return clusters, cluster_owners
+
+
+def readout_layer(
+    positions: np.ndarray,
+    energies: np.ndarray,
+    config: FiberReadoutConfig,
+    rng: np.random.Generator,
+) -> LayerReadoutResult:
+    """Full x/y readout of one layer's deposits.
+
+    Args:
+        positions: ``(k, 2)`` true lateral (x, y) deposit positions, cm.
+        energies: ``(k,)`` deposit energies, MeV.
+        config: Readout parameters.
+        rng: Random generator.
+
+    Returns:
+        A :class:`LayerReadoutResult` with paired hits and ghost truth.
+    """
+    positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+    energies = np.atleast_1d(np.asarray(energies, dtype=np.float64))
+    x_sig, x_own = project_to_fibers(positions[:, 0], energies, config, rng)
+    y_sig, y_own = project_to_fibers(positions[:, 1], energies, config, rng)
+    x_clusters, x_owner = cluster_fibers(x_sig, x_own, config)
+    y_clusters, y_owner = cluster_fibers(y_sig, y_own, config)
+
+    # Greedy energy matching: best-compatible pairs first.
+    pairs: list[tuple[int, int]] = []
+    used_x: set[int] = set()
+    used_y: set[int] = set()
+    scored = []
+    for i, cx in enumerate(x_clusters):
+        for j, cy in enumerate(y_clusters):
+            mean_e = 0.5 * (cx.energy + cy.energy)
+            if mean_e <= 0:
+                continue
+            score = abs(cx.energy - cy.energy) / (
+                config.energy_match_sigma * mean_e
+            )
+            scored.append((score, i, j))
+    for score, i, j in sorted(scored):
+        if i in used_x or j in used_y:
+            continue
+        pairs.append((i, j))
+        used_x.add(i)
+        used_y.add(j)
+
+    out_pos, out_e, ghosts = [], [], []
+    for i, j in pairs:
+        out_pos.append([x_clusters[i].position_cm, y_clusters[j].position_cm])
+        out_e.append(0.5 * (x_clusters[i].energy + y_clusters[j].energy))
+        ghosts.append(
+            x_owner[i] != y_owner[j] or x_owner[i] == -1 or y_owner[j] == -1
+        )
+    return LayerReadoutResult(
+        positions_xy=np.asarray(out_pos).reshape(-1, 2),
+        energies=np.asarray(out_e),
+        is_ghost=np.asarray(ghosts, dtype=bool),
+        n_x_clusters=len(x_clusters),
+        n_y_clusters=len(y_clusters),
+    )

@@ -1,0 +1,392 @@
+"""Digitization: true interactions -> measured hits, grouped into events.
+
+The response model has two kinds of noise:
+
+* **Modeled** noise, which the reconstruction's propagation-of-error *knows
+  about*: fiber-pitch position quantization, SiPM photostatistics
+  (Poisson in photoelectrons), and Gaussian electronics noise.  These set
+  the nominal per-hit sigmas reported alongside each measurement.
+* **Unmodeled** noise, which the error model *cannot see*: a deterministic
+  light-collection nonuniformity across each tile, and a heavy-tail
+  response component (afterpulsing/optical-crosstalk-like).  These are the
+  reason "many rings have much larger actual errors in eta than our
+  estimates predict" (paper Section II) and are what the dEta network
+  learns to flag.
+
+Events are stored CSR-style (flat hit arrays + per-event offsets), the
+structure-of-arrays layout the hpc-parallel guides recommend for
+vectorized downstream processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.fibers import FiberGrid
+from repro.geometry.tiles import DetectorGeometry
+from repro.physics.transport import TransportResult
+from repro.sources.grb import PhotonBatch
+
+
+@dataclass(frozen=True)
+class ResponseConfig:
+    """Tunable parameters of the measurement chain.
+
+    Attributes:
+        pe_per_mev: SiPM photoelectrons collected per MeV deposited; sets
+            the Poisson energy resolution (sigma_E/E ~ 1/sqrt(pe_per_mev*E)).
+        electronics_noise_mev: Gaussian electronics noise sigma per hit, MeV.
+        trigger_threshold_mev: Hits measured below this are lost.
+        merge_radius_cm: Same-event hits in the same layer closer than this
+            are merged into one (the readout cannot separate them).
+        nonuniformity_amplitude: Relative amplitude of the deterministic
+            light-collection gain variation across each tile (unmodeled).
+        nonuniformity_period_cm: Spatial period of the gain variation.
+        tail_probability: Per-hit probability of a heavy-tail energy error
+            (unmodeled).
+        tail_scale: Relative sigma of the heavy-tail component.
+        depth_sigma_cm: Gaussian smearing of the reconstructed depth (z)
+            within a tile, in addition to tile-center assignment.
+        sipm: Optional mechanistic SiPM model
+            (:class:`repro.detector.sipm.SiPMModel`).  When set, the
+            photostatistics *and* the heavy tail come from the SiPM's
+            crosstalk/afterpulsing cascade instead of the Poisson +
+            ``tail_probability`` parameterization (which is then ignored).
+    """
+
+    pe_per_mev: float = 1200.0
+    electronics_noise_mev: float = 0.005
+    trigger_threshold_mev: float = 0.025
+    merge_radius_cm: float = 0.9
+    nonuniformity_amplitude: float = 0.06
+    nonuniformity_period_cm: float = 11.0
+    tail_probability: float = 0.10
+    tail_scale: float = 0.18
+    depth_sigma_cm: float = 0.35
+    sipm: "object | None" = None
+
+
+@dataclass
+class EventSet:
+    """Digitized events in CSR layout.
+
+    ``event_offsets[i]:event_offsets[i+1]`` slices the flat hit arrays for
+    event ``i``.  Hits within an event are ordered by true interaction
+    order (reconstruction re-orders them itself; the truth ordering is kept
+    for training labels and diagnostics).
+
+    Attributes:
+        event_offsets: ``(n_events + 1,)`` hit-slice boundaries.
+        positions: ``(k, 3)`` measured hit positions, cm.
+        energies: ``(k,)`` measured deposited energies, MeV.
+        sigma_energy: ``(k,)`` nominal (modeled-only) energy sigmas, MeV.
+        sigma_position: ``(k, 3)`` nominal position sigmas, cm.
+        true_positions: ``(k, 3)`` true interaction positions, cm.
+        true_energies: ``(k,)`` true deposited energies, MeV.
+        true_order: ``(k,)`` true interaction order within the event.
+        photon_index: ``(n_events,)`` index into the originating batch.
+        labels: ``(n_events,)`` truth label (LABEL_GRB / LABEL_BACKGROUND).
+        photon_energy: ``(n_events,)`` true primary photon energy, MeV.
+        source_direction: True GRB direction (unit 3-vector) or None.
+    """
+
+    event_offsets: np.ndarray
+    positions: np.ndarray
+    energies: np.ndarray
+    sigma_energy: np.ndarray
+    sigma_position: np.ndarray
+    true_positions: np.ndarray
+    true_energies: np.ndarray
+    true_order: np.ndarray
+    photon_index: np.ndarray
+    labels: np.ndarray
+    photon_energy: np.ndarray
+    source_direction: np.ndarray | None = None
+
+    @property
+    def num_events(self) -> int:
+        return int(self.event_offsets.shape[0] - 1)
+
+    @property
+    def num_hits(self) -> int:
+        return int(self.positions.shape[0])
+
+    def hits_per_event(self) -> np.ndarray:
+        """``(n_events,)`` hit multiplicity of each event."""
+        return np.diff(self.event_offsets)
+
+    def event_slice(self, i: int) -> slice:
+        """Slice of the flat hit arrays belonging to event ``i``."""
+        return slice(int(self.event_offsets[i]), int(self.event_offsets[i + 1]))
+
+    def select(self, mask: np.ndarray) -> "EventSet":
+        """Return a new EventSet keeping only events where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.num_events:
+            raise ValueError("mask length must equal num_events")
+        counts = self.hits_per_event()
+        hit_mask = np.repeat(mask, counts)
+        new_counts = counts[mask]
+        offsets = np.concatenate([[0], np.cumsum(new_counts)])
+        return EventSet(
+            event_offsets=offsets,
+            positions=self.positions[hit_mask],
+            energies=self.energies[hit_mask],
+            sigma_energy=self.sigma_energy[hit_mask],
+            sigma_position=self.sigma_position[hit_mask],
+            true_positions=self.true_positions[hit_mask],
+            true_energies=self.true_energies[hit_mask],
+            true_order=self.true_order[hit_mask],
+            photon_index=self.photon_index[mask],
+            labels=self.labels[mask],
+            photon_energy=self.photon_energy[mask],
+            source_direction=self.source_direction,
+        )
+
+
+@dataclass
+class DetectorResponse:
+    """Applies the measurement chain to transport output.
+
+    Attributes:
+        geometry: Detector geometry (for layer/z assignment).
+        config: Response parameters.
+        fiber_grid: Lateral position quantization grid.
+    """
+
+    geometry: DetectorGeometry
+    config: ResponseConfig = field(default_factory=ResponseConfig)
+    fiber_grid: FiberGrid = field(default_factory=FiberGrid)
+
+    # -- individual effects (public so tests can probe each in isolation) ----
+
+    def gain_map(self, positions: np.ndarray) -> np.ndarray:
+        """Deterministic light-collection gain at the given positions.
+
+        A smooth sinusoidal variation across the tile in x and y; the error
+        model assumes gain = 1 everywhere, so this is *unmodeled*.
+        """
+        cfg = self.config
+        x, y = positions[:, 0], positions[:, 1]
+        w = 2.0 * np.pi / cfg.nonuniformity_period_cm
+        return 1.0 + cfg.nonuniformity_amplitude * np.sin(w * x) * np.sin(w * y)
+
+    def measure_energy(
+        self, true_energy: np.ndarray, positions: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Smear deposited energies through the full response chain.
+
+        Returns:
+            Tuple ``(measured, nominal_sigma)``; ``nominal_sigma`` reflects
+            only the modeled noise (photostatistics + electronics).
+        """
+        cfg = self.config
+        gain = self.gain_map(positions)
+        expected_pe = np.maximum(true_energy * gain, 0.0) * cfg.pe_per_mev
+        if cfg.sipm is not None:
+            # Mechanistic path: the SiPM cascade supplies both the
+            # photostatistics and the heavy tail.  detect() works in
+            # primary-avalanche units, so feed it the photon count that
+            # yields cfg.pe_per_mev primaries per MeV after its PDE.
+            # The mean crosstalk/afterpulse gain is calibrated out (as a
+            # real energy calibration would); the cascade's variance and
+            # tails remain.
+            charges = cfg.sipm.detect(expected_pe / cfg.sipm.pde, rng)
+            cascade_gain = cfg.sipm.mean_avalanches(1.0 / cfg.sipm.pde)
+            measured = (
+                cfg.sipm.linearity_correction(charges)
+                / cascade_gain
+                / cfg.pe_per_mev
+            )
+            measured = measured + rng.normal(
+                0.0, cfg.electronics_noise_mev, measured.shape
+            )
+        else:
+            n_pe = rng.poisson(expected_pe)
+            measured = n_pe / cfg.pe_per_mev
+            measured = measured + rng.normal(
+                0.0, cfg.electronics_noise_mev, measured.shape
+            )
+            # Heavy-tail (unmodeled) component.
+            tail = rng.uniform(size=measured.shape) < cfg.tail_probability
+            measured = np.where(
+                tail,
+                measured
+                + rng.normal(0.0, cfg.tail_scale, measured.shape) * true_energy,
+                measured,
+            )
+        measured = np.maximum(measured, 0.0)
+        nominal_sigma = np.sqrt(
+            np.maximum(measured, 0.0) / cfg.pe_per_mev + cfg.electronics_noise_mev**2
+        )
+        return measured, nominal_sigma
+
+    def measure_position(
+        self, true_positions: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Quantize lateral coordinates; smear and tile-assign depth.
+
+        Returns:
+            Tuple ``(measured, nominal_sigma)`` with shapes ``(k, 3)``.
+        """
+        cfg = self.config
+        measured = true_positions.copy()
+        measured[:, 0] = self.fiber_grid.quantize(true_positions[:, 0])
+        measured[:, 1] = self.fiber_grid.quantize(true_positions[:, 1])
+        # Depth: tile center + Gaussian smear of the within-tile estimate,
+        # clipped to the owning tile.
+        layer_idx = self.geometry.layer_index(true_positions)
+        z = true_positions[:, 2].copy()
+        for j, layer in enumerate(self.geometry.layers):
+            sel = layer_idx == j
+            if not np.any(sel):
+                continue
+            smeared = z[sel] + rng.normal(0.0, cfg.depth_sigma_cm, sel.sum())
+            z[sel] = np.clip(smeared, layer.z_bottom, layer.z_top)
+        measured[:, 2] = z
+        sigma = np.empty_like(measured)
+        sigma[:, 0] = self.fiber_grid.position_sigma_cm
+        sigma[:, 1] = self.fiber_grid.position_sigma_cm
+        sigma[:, 2] = cfg.depth_sigma_cm
+        return measured, sigma
+
+    # -- full digitization ----------------------------------------------------
+
+    def digitize(
+        self,
+        transport: TransportResult,
+        batch: PhotonBatch,
+        rng: np.random.Generator,
+        min_hits: int = 1,
+        max_hits: int = 8,
+    ) -> EventSet:
+        """Run the full measurement chain over a transport result.
+
+        Steps: sort hits by (photon, order); merge same-layer hits closer
+        than ``merge_radius_cm``; apply position and energy measurement;
+        drop hits below the trigger threshold; group surviving hits into
+        events and keep events with ``min_hits`` to ``max_hits`` hits
+        (higher multiplicities — essentially only pile-up — are flagged
+        unreconstructable and discarded, as the flight event filter
+        would).
+
+        Args:
+            transport: Raw interaction record.
+            batch: The photon batch that produced it (for truth labels).
+            rng: Random generator.
+            min_hits: Minimum measured hits for an event to be retained.
+            max_hits: Maximum measured hits for an event to be retained.
+
+        Returns:
+            An :class:`EventSet`.
+        """
+        if transport.num_hits == 0:
+            return _empty_event_set(batch.source_direction)
+
+        order_key = np.lexsort((transport.order, transport.photon_index))
+        ph = transport.photon_index[order_key]
+        order = transport.order[order_key]
+        pos = transport.positions[order_key]
+        edep = transport.energies[order_key]
+
+        ph, order, pos, edep = self._merge_close_hits(ph, order, pos, edep)
+
+        measured_pos, sigma_pos = self.measure_position(pos, rng)
+        measured_e, sigma_e = self.measure_energy(edep, pos, rng)
+
+        keep = measured_e >= self.config.trigger_threshold_mev
+        ph, order = ph[keep], order[keep]
+        pos, edep = pos[keep], edep[keep]
+        measured_pos, sigma_pos = measured_pos[keep], sigma_pos[keep]
+        measured_e, sigma_e = measured_e[keep], sigma_e[keep]
+
+        if ph.shape[0] == 0:
+            return _empty_event_set(batch.source_direction)
+
+        # Group hits into events (hits are already sorted by photon).
+        unique_ph, start_idx, counts = np.unique(
+            ph, return_index=True, return_counts=True
+        )
+        enough = (counts >= min_hits) & (counts <= max_hits)
+        unique_ph = unique_ph[enough]
+        start_idx = start_idx[enough]
+        counts = counts[enough]
+
+        hit_sel = np.concatenate(
+            [np.arange(s, s + c) for s, c in zip(start_idx, counts)]
+        ) if counts.size else np.empty(0, dtype=np.int64)
+
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return EventSet(
+            event_offsets=offsets.astype(np.int64),
+            positions=measured_pos[hit_sel],
+            energies=measured_e[hit_sel],
+            sigma_energy=sigma_e[hit_sel],
+            sigma_position=sigma_pos[hit_sel],
+            true_positions=pos[hit_sel],
+            true_energies=edep[hit_sel],
+            true_order=order[hit_sel],
+            photon_index=unique_ph,
+            labels=batch.labels[unique_ph],
+            photon_energy=batch.energies[unique_ph],
+            source_direction=batch.source_direction,
+        )
+
+    def _merge_close_hits(
+        self,
+        ph: np.ndarray,
+        order: np.ndarray,
+        pos: np.ndarray,
+        edep: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Merge consecutive same-photon, same-layer hits that are too close
+        for the readout to separate.
+
+        Inputs must be sorted by (photon, order).  Merging is greedy over
+        consecutive pairs, which matches the physical situation (a scatter
+        followed immediately by absorption in the same tile).
+        """
+        if ph.shape[0] == 0:
+            return ph, order, pos, edep
+        layer = self.geometry.layer_index(pos)
+        same_photon = ph[1:] == ph[:-1]
+        same_layer = (layer[1:] == layer[:-1]) & (layer[1:] >= 0)
+        close = (
+            np.linalg.norm(pos[1:] - pos[:-1], axis=1) < self.config.merge_radius_cm
+        )
+        merge_with_prev = same_photon & same_layer & close
+        # Group id increments where we do NOT merge.
+        group = np.concatenate([[0], np.cumsum(~merge_with_prev)])
+        n_groups = group[-1] + 1
+        e_sum = np.zeros(n_groups)
+        np.add.at(e_sum, group, edep)
+        w_pos = np.zeros((n_groups, 3))
+        np.add.at(w_pos, group, pos * edep[:, None])
+        with np.errstate(invalid="ignore"):
+            w_pos /= e_sum[:, None]
+        first_of_group = np.concatenate([[True], ~merge_with_prev])
+        return (
+            ph[first_of_group],
+            order[first_of_group],
+            w_pos,
+            e_sum,
+        )
+
+
+def _empty_event_set(source_direction: np.ndarray | None) -> EventSet:
+    return EventSet(
+        event_offsets=np.zeros(1, dtype=np.int64),
+        positions=np.empty((0, 3)),
+        energies=np.empty(0),
+        sigma_energy=np.empty(0),
+        sigma_position=np.empty((0, 3)),
+        true_positions=np.empty((0, 3)),
+        true_energies=np.empty(0),
+        true_order=np.empty(0, dtype=np.int64),
+        photon_index=np.empty(0, dtype=np.int64),
+        labels=np.empty(0, dtype=np.int64),
+        photon_energy=np.empty(0),
+        source_direction=source_direction,
+    )

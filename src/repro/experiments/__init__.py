@@ -1,0 +1,27 @@
+"""Experiment harness: training campaigns, trials, containment statistics,
+and per-figure/table reproduction drivers."""
+
+from repro.experiments.containment import containment, containment_with_errorbars
+from repro.experiments.datasets import TrainingData, generate_training_rings
+from repro.experiments.report import ExperimentRecord
+from repro.experiments.sweeps import SweepPoint, sweep
+from repro.experiments.trials import (
+    TrialConfig,
+    run_meta_trials,
+    run_trials,
+    trial_error,
+)
+
+__all__ = [
+    "containment",
+    "containment_with_errorbars",
+    "TrainingData",
+    "generate_training_rings",
+    "TrialConfig",
+    "run_trials",
+    "run_meta_trials",
+    "trial_error",
+    "ExperimentRecord",
+    "sweep",
+    "SweepPoint",
+]

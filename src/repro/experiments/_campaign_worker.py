@@ -1,0 +1,27 @@
+"""Module-level worker functions for multiprocessing campaigns.
+
+Workers must be importable (picklable by reference) for
+``multiprocessing``; lambdas/closures inside the campaign functions would
+fail under the spawn start method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def collect_worker(args: tuple) -> "object":
+    """Unpack one training-campaign task and run it."""
+    from repro.experiments.datasets import collect_exposure_rings
+
+    geometry, response, seed_seq, polar, fluence, background, jitter = args
+    rng = np.random.default_rng(seed_seq)
+    return collect_exposure_rings(
+        geometry,
+        response,
+        rng,
+        polar_deg=polar,
+        fluence_mev_cm2=fluence,
+        background=background,
+        polar_jitter_deg=jitter,
+    )

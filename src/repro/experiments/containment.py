@@ -1,0 +1,56 @@
+"""Containment statistics.
+
+The paper reports *68% and 95% containment*: the largest localization
+error observed in at most 68% / 95% of the trials, with error bars over
+meta-trials (independent repetitions of the whole trial set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def containment(errors: np.ndarray, level: float) -> float:
+    """Containment radius: the error not exceeded by ``level`` of trials.
+
+    Uses the order statistic at ``ceil(level * n)`` ("the largest error
+    observed in at most level*n trials"), matching the paper's phrasing
+    rather than an interpolated percentile.
+
+    Args:
+        errors: ``(n,)`` per-trial localization errors (degrees).
+        level: Containment fraction in (0, 1], e.g. 0.68 or 0.95.
+
+    Returns:
+        The containment radius in the same units as ``errors``.
+
+    Raises:
+        ValueError: On empty input or a level outside (0, 1].
+    """
+    errors = np.asarray(errors, dtype=np.float64).ravel()
+    if errors.size == 0:
+        raise ValueError("containment of empty error set")
+    if not (0.0 < level <= 1.0):
+        raise ValueError("level must be in (0, 1]")
+    k = int(np.ceil(level * errors.size))
+    k = min(max(k, 1), errors.size)
+    return float(np.sort(errors)[k - 1])
+
+
+def containment_with_errorbars(
+    error_sets: list[np.ndarray], level: float
+) -> tuple[float, float]:
+    """Mean and standard deviation of containment over meta-trials.
+
+    Args:
+        error_sets: One error array per meta-trial.
+        level: Containment fraction.
+
+    Returns:
+        ``(mean, std)`` of the per-meta-trial containment radii; ``std``
+        is 0 for a single meta-trial.
+    """
+    if not error_sets:
+        raise ValueError("no meta-trials provided")
+    values = np.array([containment(e, level) for e in error_sets])
+    return float(values.mean()), float(values.std())

@@ -1,0 +1,247 @@
+"""Training-data generation campaigns.
+
+The paper trains on rings from 270M simulated photons spread over nine
+polar angles (0..80 degrees in ten-degree steps) plus background, keeping
+the ~1M rings that pass reconstruction quality filters (~60/40
+GRB/background).  This module reproduces that protocol at configurable
+(scaled-down) statistics: simulate exposures per angle, reconstruct,
+filter, and collect per-ring features, truth labels, and true ``eta``
+errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detector.response import DetectorResponse
+from repro.experiments import _campaign_worker  # noqa: F401  (re-export hook)
+from repro.geometry.tiles import DetectorGeometry
+from repro.localization.pipeline import BaselineConfig, prepare_rings
+from repro.models.features import extract_features
+from repro.sources.background import BackgroundModel
+from repro.sources.exposure import simulate_exposure
+from repro.sources.grb import GRBSource, LABEL_GRB
+
+
+@dataclass
+class TrainingData:
+    """Collected training rings.
+
+    Attributes:
+        features: ``(n, 13)`` model inputs (final column = polar angle,
+            jittered truth).
+        labels: ``(n,)`` 1 = background, 0 = GRB.
+        true_eta_errors: ``(n,)`` |true eta error| (meaningful for GRB
+            rings; background rings carry the residual w.r.t. their
+            exposure's GRB direction and are excluded from dEta training).
+        polar_true: ``(n,)`` true source polar angle of the ring's
+            exposure, degrees.
+        prop_deta: ``(n,)`` the propagation-of-error ``d eta`` (for
+            diagnostics and ablations).
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    true_eta_errors: np.ndarray
+    polar_true: np.ndarray
+    prop_deta: np.ndarray
+
+    @property
+    def num_rings(self) -> int:
+        return int(self.labels.shape[0])
+
+    def grb_only(self) -> "TrainingData":
+        """Subset of GRB-origin rings (the dEta training population)."""
+        sel = self.labels == LABEL_GRB
+        return TrainingData(
+            features=self.features[sel],
+            labels=self.labels[sel],
+            true_eta_errors=self.true_eta_errors[sel],
+            polar_true=self.polar_true[sel],
+            prop_deta=self.prop_deta[sel],
+        )
+
+    @staticmethod
+    def concatenate(parts: list["TrainingData"]) -> "TrainingData":
+        if not parts:
+            raise ValueError("no parts to concatenate")
+        return TrainingData(
+            features=np.concatenate([p.features for p in parts], axis=0),
+            labels=np.concatenate([p.labels for p in parts]),
+            true_eta_errors=np.concatenate([p.true_eta_errors for p in parts]),
+            polar_true=np.concatenate([p.polar_true for p in parts]),
+            prop_deta=np.concatenate([p.prop_deta for p in parts]),
+        )
+
+
+def collect_exposure_rings(
+    geometry: DetectorGeometry,
+    response: DetectorResponse,
+    rng: np.random.Generator,
+    polar_deg: float,
+    fluence_mev_cm2: float = 1.0,
+    background: BackgroundModel | None = None,
+    polar_jitter_deg: float = 5.0,
+    config: BaselineConfig | None = None,
+) -> TrainingData:
+    """Simulate one exposure and extract its training rings.
+
+    The polar-angle feature is the *true* angle plus uniform jitter of
+    ``+- polar_jitter_deg`` — during flight the networks see the
+    pipeline's estimate, which the paper observes only needs to be correct
+    to within about ten degrees, so training with jittered truth makes the
+    models robust to estimate error.
+
+    Args:
+        geometry: Detector geometry.
+        response: Detector response model.
+        rng: Random generator.
+        polar_deg: True GRB polar angle for this exposure.
+        fluence_mev_cm2: GRB fluence.
+        background: Background model (default model if None).
+        polar_jitter_deg: Polar-feature jitter amplitude.
+        config: Filter configuration.
+
+    Returns:
+        A :class:`TrainingData` fragment.
+    """
+    azimuth_deg = float(rng.uniform(0.0, 360.0))
+    grb = GRBSource(
+        fluence_mev_cm2=fluence_mev_cm2,
+        polar_angle_deg=polar_deg,
+        azimuth_deg=azimuth_deg,
+    )
+    bkg = background or BackgroundModel()
+    exposure = simulate_exposure(geometry, rng, grb, bkg)
+    events = response.digitize(exposure.transport, exposure.batch, rng, min_hits=2)
+    rings = prepare_rings(events, config)
+    m = rings.num_rings
+    if m == 0:
+        return TrainingData(
+            features=np.empty((0, 13)),
+            labels=np.empty(0, dtype=np.int64),
+            true_eta_errors=np.empty(0),
+            polar_true=np.empty(0),
+            prop_deta=np.empty(0),
+        )
+    jitter = rng.uniform(-polar_jitter_deg, polar_jitter_deg, size=m)
+    polar_feature = np.clip(polar_deg + jitter, 0.0, 90.0)
+    # During flight the networks see the pipeline's *estimated* direction;
+    # jittering the true azimuth the same way trains in that tolerance.
+    azimuth_feature = azimuth_deg + float(
+        rng.uniform(-polar_jitter_deg, polar_jitter_deg)
+    )
+    features = extract_features(
+        rings,
+        events,
+        polar_guess_deg=polar_feature,
+        azimuth_deg=azimuth_feature,
+    )
+    return TrainingData(
+        features=features,
+        labels=rings.labels.copy(),
+        true_eta_errors=rings.true_eta_errors(),
+        polar_true=np.full(m, polar_deg),
+        prop_deta=rings.deta.copy(),
+    )
+
+
+def generate_training_rings(
+    geometry: DetectorGeometry,
+    response: DetectorResponse,
+    seed: int,
+    polar_angles_deg: np.ndarray | None = None,
+    exposures_per_angle: int = 10,
+    fluence_mev_cm2: float = 1.0,
+    background: BackgroundModel | None = None,
+    polar_jitter_deg: float = 5.0,
+    n_workers: int = 1,
+    background_fraction: float | None = 0.4,
+) -> TrainingData:
+    """Run the full training campaign over all polar angles.
+
+    Args:
+        geometry: Detector geometry.
+        response: Detector response model.
+        seed: Master seed; per-exposure generators are spawned from it so
+            results are reproducible regardless of ``n_workers``.
+        polar_angles_deg: Source angles (paper: 0..80 step 10).
+        exposures_per_angle: Independent exposures per angle.
+        fluence_mev_cm2: GRB fluence for training exposures.
+        background: Background model.
+        polar_jitter_deg: Polar-feature jitter.
+        n_workers: Process count; >1 fans exposures out over a pool.
+        background_fraction: Target background share of the final dataset
+            (paper: ~40%), achieved by subsampling background rings; None
+            keeps the raw composition.
+
+    Returns:
+        The concatenated :class:`TrainingData`.
+    """
+    if polar_angles_deg is None:
+        polar_angles_deg = np.arange(0.0, 81.0, 10.0)
+    tasks = [
+        (float(polar), i)
+        for polar in polar_angles_deg
+        for i in range(exposures_per_angle)
+    ]
+    seeds = np.random.SeedSequence(seed).spawn(len(tasks))
+
+    if n_workers <= 1:
+        parts = [
+            collect_exposure_rings(
+                geometry,
+                response,
+                np.random.default_rng(ss),
+                polar_deg=polar,
+                fluence_mev_cm2=fluence_mev_cm2,
+                background=background,
+                polar_jitter_deg=polar_jitter_deg,
+            )
+            for (polar, _), ss in zip(tasks, seeds)
+        ]
+    else:
+        from repro.parallel.pool import parallel_map
+
+        args = [
+            (geometry, response, ss, polar, fluence_mev_cm2, background,
+             polar_jitter_deg)
+            for (polar, _), ss in zip(tasks, seeds)
+        ]
+        parts = parallel_map(_campaign_worker.collect_worker, args, n_workers)
+    data = TrainingData.concatenate(parts)
+    if background_fraction is not None:
+        data = _rebalance(data, background_fraction, np.random.default_rng(seed))
+    return data
+
+
+def _rebalance(
+    data: TrainingData, background_fraction: float, rng: np.random.Generator
+) -> TrainingData:
+    """Subsample background rings to hit the target class composition.
+
+    If the raw data is already at or below the target background share,
+    it is returned unchanged (GRB rings are never discarded).
+    """
+    if not (0.0 < background_fraction < 1.0):
+        raise ValueError("background_fraction must be in (0, 1)")
+    is_bkg = data.labels == 1
+    n_bkg = int(is_bkg.sum())
+    n_grb = data.num_rings - n_bkg
+    target_bkg = int(round(n_grb * background_fraction / (1.0 - background_fraction)))
+    if n_bkg <= target_bkg or n_grb == 0:
+        return data
+    bkg_idx = np.nonzero(is_bkg)[0]
+    keep_bkg = rng.choice(bkg_idx, size=target_bkg, replace=False)
+    keep = np.zeros(data.num_rings, dtype=bool)
+    keep[~is_bkg] = True
+    keep[keep_bkg] = True
+    return TrainingData(
+        features=data.features[keep],
+        labels=data.labels[keep],
+        true_eta_errors=data.true_eta_errors[keep],
+        polar_true=data.polar_true[keep],
+        prop_deta=data.prop_deta[keep],
+    )

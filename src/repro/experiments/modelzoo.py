@@ -1,0 +1,146 @@
+"""Trained-model cache shared by benchmarks and examples.
+
+Training the two networks takes a minute or two at the default scaled-down
+statistics; every figure bench needs them.  ``get_or_train_pipeline``
+trains once per (seed, scale, variant) and caches the result on disk so
+the full benchmark suite trains models a single time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.detector.response import DetectorResponse
+from repro.experiments.datasets import TrainingData, generate_training_rings
+from repro.geometry.tiles import DetectorGeometry, adapt_geometry
+from repro.models.background import (
+    BackgroundNet,
+    BackgroundTrainConfig,
+    train_background_net,
+)
+from repro.models.deta import DEtaNet, train_deta_net
+from repro.models.features import NUM_BASE_FEATURES
+from repro.pipeline.ml_pipeline import MLPipeline
+from repro.sources.grb import LABEL_BACKGROUND
+
+#: Default on-disk cache location (repo-local, git-ignorable).
+DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".model_cache"
+
+
+@dataclass
+class TrainedModels:
+    """Everything the experiment drivers need.
+
+    Attributes:
+        pipeline: The ML localization pipeline (polar-aware models).
+        background_net: The background classifier (same object as in
+            ``pipeline``).
+        deta_net: The dEta regressor (same object as in ``pipeline``).
+        data: The training data used (for model-quality diagnostics).
+    """
+
+    pipeline: MLPipeline
+    background_net: BackgroundNet
+    deta_net: DEtaNet
+    data: TrainingData
+
+
+def train_models(
+    geometry: DetectorGeometry | None = None,
+    response: DetectorResponse | None = None,
+    seed: int = 2024,
+    exposures_per_angle: int = 20,
+    include_polar: bool = True,
+    swapped: bool = False,
+    data: TrainingData | None = None,
+) -> TrainedModels:
+    """Run the training campaign and fit both networks.
+
+    Args:
+        geometry: Detector geometry (ADAPT default if None).
+        response: Detector response (default config if None).
+        seed: Master seed for data generation and training.
+        exposures_per_angle: Campaign size knob (paper-scale would be
+            thousands; 20 gives ~40k rings and trains in ~1 minute).
+        include_polar: Train with the polar-angle feature (False gives the
+            Fig. 7 "No Polar" ablation models).
+        swapped: Use the fusion-friendly layer order (QAT variant).
+        data: Pre-generated training data (skips the campaign).
+
+    Returns:
+        A :class:`TrainedModels` bundle.
+    """
+    geometry = geometry or adapt_geometry()
+    response = response or DetectorResponse(geometry)
+    if data is None:
+        data = generate_training_rings(
+            geometry, response, seed=seed, exposures_per_angle=exposures_per_angle
+        )
+    features = data.features if include_polar else data.features[:, :NUM_BASE_FEATURES]
+    labels = (data.labels == LABEL_BACKGROUND).astype(np.float64)
+
+    rng = np.random.default_rng(seed + 1)
+    background_net = train_background_net(
+        features,
+        labels,
+        data.polar_true,
+        rng,
+        config=BackgroundTrainConfig(swapped=swapped),
+        include_polar=include_polar,
+    )
+    grb = data.grb_only()
+    grb_features = (
+        grb.features if include_polar else grb.features[:, :NUM_BASE_FEATURES]
+    )
+    deta_net = train_deta_net(
+        grb_features,
+        grb.true_eta_errors,
+        rng,
+        include_polar=include_polar,
+    )
+    pipeline = MLPipeline(background_net=background_net, deta_net=deta_net)
+    return TrainedModels(
+        pipeline=pipeline,
+        background_net=background_net,
+        deta_net=deta_net,
+        data=data,
+    )
+
+
+def get_or_train_pipeline(
+    seed: int = 2024,
+    exposures_per_angle: int = 20,
+    include_polar: bool = True,
+    swapped: bool = False,
+    cache_dir: str | Path | None = None,
+) -> TrainedModels:
+    """Load the cached trained bundle, training (and caching) on a miss.
+
+    The cache key includes every argument that changes the result.
+    """
+    import pickle
+
+    cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    key = (
+        f"models_s{seed}_e{exposures_per_angle}"
+        f"_p{int(include_polar)}_w{int(swapped)}.pkl"
+    )
+    path = cache_dir / key
+    if path.exists():
+        with open(path, "rb") as f:
+            cached = pickle.load(f)
+        if isinstance(cached, TrainedModels):
+            return cached
+    models = train_models(
+        seed=seed,
+        exposures_per_angle=exposures_per_angle,
+        include_polar=include_polar,
+        swapped=swapped,
+    )
+    with open(path, "wb") as f:
+        pickle.dump(models, f)
+    return models

@@ -1,0 +1,88 @@
+"""Structured experiment records.
+
+Benches and campaigns can persist their results as JSON records so runs
+are comparable across machines and code versions — the lightweight,
+dependency-free equivalent of an experiment tracker.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+
+def _jsonable(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's identity, parameters, and results.
+
+    Attributes:
+        experiment: Identifier, e.g. ``"fig8"`` or ``"ext_pileup"``.
+        parameters: The knobs that produced the results (trial counts,
+            fluences, seeds, ...).
+        results: Arbitrary (JSON-able) result payload.
+        environment: Interpreter/platform stamp (filled automatically).
+    """
+
+    experiment: str
+    parameters: dict = field(default_factory=dict)
+    results: dict = field(default_factory=dict)
+    environment: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise ValueError("experiment id must be non-empty")
+        if not self.environment:
+            self.environment = {
+                "python": _platform.python_version(),
+                "machine": _platform.machine(),
+                "numpy": np.__version__,
+            }
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(_jsonable(asdict(self)), indent=2, sort_keys=True)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the record to ``path`` (parent directories created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "ExperimentRecord":
+        """Load a record saved by :meth:`save`.
+
+        Raises:
+            ValueError: If required fields are missing.
+        """
+        data = json.loads(Path(path).read_text())
+        if "experiment" not in data:
+            raise ValueError("not an experiment record: missing 'experiment'")
+        return ExperimentRecord(
+            experiment=data["experiment"],
+            parameters=data.get("parameters", {}),
+            results=data.get("results", {}),
+            environment=data.get("environment", {}),
+        )
+
+
+def merge_records(records: list[ExperimentRecord]) -> dict:
+    """Index records by experiment id (later records win ties)."""
+    return {r.experiment: r for r in records}

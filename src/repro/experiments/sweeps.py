@@ -1,0 +1,93 @@
+"""Grid sweeps over trial configurations.
+
+A thin harness for running the trial machinery over a Cartesian grid of
+:class:`~repro.experiments.trials.TrialConfig` fields and collecting
+containment statistics per point — the pattern every figure driver
+repeats, exposed for ad-hoc studies (e.g. fluence x polar-angle maps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+
+import numpy as np
+
+from repro.detector.response import DetectorResponse
+from repro.experiments.containment import containment
+from repro.experiments.trials import TrialConfig, run_trials
+from repro.geometry.tiles import DetectorGeometry
+from repro.pipeline.ml_pipeline import MLPipeline
+
+
+@dataclass
+class SweepPoint:
+    """One grid point's settings and results.
+
+    Attributes:
+        overrides: The TrialConfig field values of this point.
+        errors: Per-trial localization errors, degrees.
+    """
+
+    overrides: dict
+    errors: np.ndarray
+
+    def containment(self, level: float) -> float:
+        """Containment radius of this point's errors at ``level``."""
+        return containment(self.errors, level)
+
+
+def sweep(
+    geometry: DetectorGeometry,
+    response: DetectorResponse,
+    base_config: TrialConfig,
+    grid: dict[str, list],
+    seed: int,
+    n_trials: int,
+    ml_pipeline: MLPipeline | None = None,
+    n_workers: int = 1,
+) -> list[SweepPoint]:
+    """Run trials over the Cartesian product of ``grid`` values.
+
+    Args:
+        geometry: Detector geometry.
+        response: Detector response.
+        base_config: Config providing every non-swept field.
+        grid: Mapping of TrialConfig field name -> list of values.
+        seed: Master seed (each point gets an independent spawn).
+        n_trials: Trials per point.
+        ml_pipeline: Required if any point uses the "ml" condition.
+        n_workers: Trial fan-out per point.
+
+    Returns:
+        One :class:`SweepPoint` per grid combination, in ``product``
+        order.
+
+    Raises:
+        ValueError: For an empty grid or unknown field names.
+    """
+    if not grid:
+        raise ValueError("grid must be non-empty")
+    valid_fields = set(TrialConfig.__dataclass_fields__)
+    unknown = set(grid) - valid_fields
+    if unknown:
+        raise ValueError(f"unknown TrialConfig fields: {sorted(unknown)}")
+
+    names = sorted(grid)
+    combos = list(product(*(grid[name] for name in names)))
+    seeds = np.random.SeedSequence(seed).spawn(len(combos))
+    points: list[SweepPoint] = []
+    for combo, point_seed in zip(combos, seeds):
+        overrides = dict(zip(names, combo))
+        config = replace(base_config, **overrides)
+        errors = run_trials(
+            geometry,
+            response,
+            int(point_seed.generate_state(1)[0]),
+            n_trials,
+            config,
+            ml_pipeline,
+            n_workers,
+        )
+        points.append(SweepPoint(overrides=overrides, errors=errors))
+    return points

@@ -1,0 +1,19 @@
+"""Analytical FPGA/HLS cost model for the background-network kernel."""
+
+from repro.fpga.hls_model import (
+    DTYPE_SPECS,
+    HLSDtypeSpec,
+    KernelReport,
+    LayerReport,
+    batch_latency_cycles,
+    synthesize_kernel,
+)
+
+__all__ = [
+    "synthesize_kernel",
+    "KernelReport",
+    "LayerReport",
+    "HLSDtypeSpec",
+    "DTYPE_SPECS",
+    "batch_latency_cycles",
+]

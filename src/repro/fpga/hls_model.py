@@ -1,0 +1,265 @@
+"""Analytical dataflow model of the paper's Vitis HLS MLP kernel.
+
+The paper implements the (layer-swapped, fused) background network as a
+deeply pipelined HLS dataflow kernel: one stage per fused FC layer,
+multiple inputs in flight across stages, sigmoid elided (threshold on the
+logit).  Timing follows the standard pipelined-kernel law the paper cites:
+for ``n`` inputs, total latency is ``n * II + (L - II)`` with ``II`` the
+initiation interval and ``L`` the single-input latency.
+
+**Model.**  Each stage streams its ``in_l`` inputs to a bank of parallel
+output-neuron units:
+
+* Layers are unrolled fully over outputs when small, capped at the
+  dtype's ``max_unroll`` for the big middle layers (resource limits);
+  serialized output groups multiply the streaming time.
+* ``stage II = ceil(out_l / unroll_l) * (in_l + beat_overhead)``;
+* ``kernel II = max stage II``; single-input stage latency is the larger
+  of the stage II (serialized groups hold the item) and the stream+drain
+  time; kernel L is their sum.
+
+**Calibration.**  ``beat_overhead``, ``max_unroll``, pipeline depth, and
+the per-weight resource densities are calibrated against the paper's
+Vitis HLS 2021.1 synthesis (Table III) for the 13-256-128-64-1 kernel at
+a 10 ns clock; with them the model reproduces the paper's INT8 and FP32
+II exactly, the batch latency for 597 rings to < 1%, and the resource
+counts to within ~10%, and extrapolates to other layer widths and batch
+sizes for design-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Paper network: 13 features -> 256 -> 128 -> 64 -> 1.
+PAPER_WIDTHS: tuple[int, ...] = (13, 256, 128, 64, 1)
+#: Conservative clock period used by the paper's co-simulation, ns.
+PAPER_CLOCK_NS: float = 10.0
+#: Rings processed by the first background-net iteration (paper Sec. V).
+PAPER_NUM_RINGS: int = 597
+
+#: Usable bytes per BRAM36 block.
+_BRAM_BYTES: int = 4608
+
+
+@dataclass(frozen=True)
+class HLSDtypeSpec:
+    """Per-datatype cost constants (calibrated to Table III).
+
+    Attributes:
+        name: ``"int8"`` or ``"fp32"``.
+        bytes_per_weight: Weight storage width.
+        max_unroll: Parallel output-neuron units available to one stage.
+        beat_overhead: Extra cycles per streamed output group (control,
+            accumulation drain, AXI beats).
+        pipeline_depth: Arithmetic pipeline depth of one MAC chain.
+        dsp_per_weight: DSP slices per network weight (density folded
+            over the unroll structure).
+        ff_per_weight: Flip-flops per weight.
+        lut_per_weight: LUTs per weight.
+        weights_in_bram: Whether weights live in BRAM (FP32) or LUTRAM
+            (INT8 — Vitis maps small int8 arrays to LUTs, which is why
+            the paper's INT8 kernel uses 15 BRAM but more LUT-heavy
+            storage).
+        bram_replication: Weight-array replication for read bandwidth
+            (only meaningful when ``weights_in_bram``).
+        fixed_bram: Stream FIFOs and I/O buffers.
+    """
+
+    name: str
+    bytes_per_weight: int
+    max_unroll: int
+    beat_overhead: int
+    pipeline_depth: int
+    dsp_per_weight: float
+    ff_per_weight: float
+    lut_per_weight: float
+    weights_in_bram: bool
+    bram_replication: int
+    fixed_bram: int
+
+
+DTYPE_SPECS: dict[str, HLSDtypeSpec] = {
+    "int8": HLSDtypeSpec(
+        name="int8",
+        bytes_per_weight=1,
+        max_unroll=64,
+        beat_overhead=90,
+        pipeline_depth=8,
+        dsp_per_weight=0.0970,
+        ff_per_weight=8.265,
+        lut_per_weight=17.50,
+        weights_in_bram=False,
+        bram_replication=1,
+        fixed_bram=15,
+    ),
+    "fp32": HLSDtypeSpec(
+        name="fp32",
+        bytes_per_weight=4,
+        max_unroll=32,
+        beat_overhead=46,
+        pipeline_depth=12,
+        dsp_per_weight=0.1684,
+        ff_per_weight=14.68,
+        lut_per_weight=18.42,
+        weights_in_bram=True,
+        bram_replication=4,
+        fixed_bram=2,
+    ),
+}
+
+#: Layers with at most this many MACs are fully unrolled over outputs.
+_FULL_UNROLL_MACS: int = 16384
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """Per-stage synthesis estimates.
+
+    Attributes:
+        in_width: Input features of the stage.
+        out_width: Output neurons.
+        unroll: Parallel output units.
+        ii_cycles: Stage initiation interval.
+        latency_cycles: Single-input latency through the stage.
+    """
+
+    in_width: int
+    out_width: int
+    unroll: int
+    ii_cycles: int
+    latency_cycles: int
+
+    @property
+    def macs(self) -> int:
+        return self.in_width * self.out_width
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """Whole-kernel synthesis estimates (one row pair of Table III).
+
+    Attributes:
+        dtype: Datatype name.
+        clock_ns: Clock period.
+        layers: Per-stage reports.
+        latency_cycles: Single-input latency ``L``.
+        ii_cycles: Kernel initiation interval ``II``.
+        bram: BRAM36 blocks.
+        dsp: DSP slices.
+        ff: Flip-flops.
+        lut: Lookup tables.
+    """
+
+    dtype: str
+    clock_ns: float
+    layers: tuple[LayerReport, ...]
+    latency_cycles: int
+    ii_cycles: int
+    bram: int
+    dsp: int
+    ff: int
+    lut: int
+
+    @property
+    def num_weights(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    def batch_latency_cycles(self, n_inputs: int) -> int:
+        """Pipelined batch latency: ``n * II + (L - II)``."""
+        return batch_latency_cycles(n_inputs, self.ii_cycles, self.latency_cycles)
+
+    def batch_latency_ms(self, n_inputs: int) -> float:
+        """Batch latency in milliseconds at the configured clock."""
+        return self.batch_latency_cycles(n_inputs) * self.clock_ns * 1e-6
+
+    def throughput_per_second(self) -> float:
+        """Steady-state inferences per second (1 / (II * clock))."""
+        return 1.0 / (self.ii_cycles * self.clock_ns * 1e-9)
+
+
+def batch_latency_cycles(n_inputs: int, ii: int, latency: int) -> int:
+    """``n * II + (L - II)`` (paper Section V, ref. [37]).
+
+    Raises:
+        ValueError: For non-positive inputs or ``latency < ii``.
+    """
+    if n_inputs < 1:
+        raise ValueError("n_inputs must be >= 1")
+    if ii < 1 or latency < ii:
+        raise ValueError("require latency >= ii >= 1")
+    return n_inputs * ii + (latency - ii)
+
+
+def synthesize_kernel(
+    widths: tuple[int, ...] = PAPER_WIDTHS,
+    dtype: str = "int8",
+    clock_ns: float = PAPER_CLOCK_NS,
+) -> KernelReport:
+    """Estimate II, latency, and resources of the MLP dataflow kernel.
+
+    Args:
+        widths: Layer widths, input first (paper: 13-256-128-64-1).
+        dtype: ``"int8"`` or ``"fp32"``.
+        clock_ns: Clock period in nanoseconds.
+
+    Returns:
+        A :class:`KernelReport`.
+
+    Raises:
+        ValueError: On unknown dtype or fewer than two widths.
+    """
+    if dtype not in DTYPE_SPECS:
+        raise ValueError(f"unknown dtype {dtype!r}; options: {list(DTYPE_SPECS)}")
+    if len(widths) < 2:
+        raise ValueError("need at least input and output widths")
+    if any(w < 1 for w in widths):
+        raise ValueError("layer widths must be positive")
+    if clock_ns <= 0:
+        raise ValueError("clock period must be positive")
+    spec = DTYPE_SPECS[dtype]
+
+    layers: list[LayerReport] = []
+    for in_w, out_w in zip(widths[:-1], widths[1:]):
+        macs = in_w * out_w
+        if macs <= _FULL_UNROLL_MACS:
+            unroll = out_w
+        else:
+            unroll = min(out_w, spec.max_unroll)
+        groups = int(np.ceil(out_w / unroll))
+        ii = groups * (in_w + spec.beat_overhead)
+        stream = in_w + spec.beat_overhead + spec.pipeline_depth
+        latency = max(ii, stream)
+        layers.append(
+            LayerReport(
+                in_width=in_w,
+                out_width=out_w,
+                unroll=unroll,
+                ii_cycles=ii,
+                latency_cycles=latency,
+            )
+        )
+
+    kernel_ii = max(layer.ii_cycles for layer in layers)
+    kernel_latency = sum(layer.latency_cycles for layer in layers)
+    n_weights = sum(layer.macs for layer in layers)
+
+    if spec.weights_in_bram:
+        weight_bytes = n_weights * spec.bytes_per_weight * spec.bram_replication
+        bram = int(np.ceil(weight_bytes / _BRAM_BYTES)) + spec.fixed_bram
+    else:
+        bram = spec.fixed_bram
+
+    return KernelReport(
+        dtype=dtype,
+        clock_ns=clock_ns,
+        layers=tuple(layers),
+        latency_cycles=kernel_latency,
+        ii_cycles=kernel_ii,
+        bram=bram,
+        dsp=int(round(n_weights * spec.dsp_per_weight)),
+        ff=int(round(n_weights * spec.ff_per_weight)),
+        lut=int(round(n_weights * spec.lut_per_weight)),
+    )

@@ -1,0 +1,19 @@
+"""Detector geometry: the ADAPT stack of scintillating tile layers.
+
+The demonstrator's gamma-ray detector is modeled as ``num_layers``
+horizontal slabs of scintillator (CsI tiles), each read out by orthogonal
+wavelength-shifting (WLS) fiber arrays that quantize hit positions to the
+fiber pitch in x and y (paper Fig. 1).
+"""
+
+from repro.geometry.tiles import DetectorGeometry, Layer, adapt_geometry, apt_geometry
+from repro.geometry.fibers import FiberGrid, quantize_positions
+
+__all__ = [
+    "DetectorGeometry",
+    "Layer",
+    "adapt_geometry",
+    "apt_geometry",
+    "FiberGrid",
+    "quantize_positions",
+]

@@ -1,0 +1,88 @@
+"""WLS fiber readout grids.
+
+Each tile is lined with perpendicular arrays of wavelength-shifting fibers on
+its top and bottom faces (paper Fig. 1).  The overlay of the two 1-D arrays
+yields a 2-D position measurement quantized to the fiber pitch; the layer
+index supplies z.  This module models that quantization and the associated
+position uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+
+
+@dataclass(frozen=True)
+class FiberGrid:
+    """A square grid of orthogonal WLS fibers over one tile face.
+
+    Attributes:
+        pitch_cm: Fiber center-to-center spacing (cm); the lateral position
+            quantum.
+        half_size_cm: Half the lateral tile extent covered by fibers (cm).
+    """
+
+    pitch_cm: float = constants.ADAPT_FIBER_PITCH_CM
+    half_size_cm: float = constants.ADAPT_TILE_SIZE_CM / 2.0
+
+    def __post_init__(self) -> None:
+        if self.pitch_cm <= 0:
+            raise ValueError("fiber pitch must be positive")
+        if self.half_size_cm <= 0:
+            raise ValueError("half_size must be positive")
+
+    @property
+    def num_fibers(self) -> int:
+        """Number of fibers spanning the tile in one direction."""
+        return int(np.floor(2.0 * self.half_size_cm / self.pitch_cm))
+
+    def fiber_index(self, coord: np.ndarray) -> np.ndarray:
+        """Map a lateral coordinate to the index of the nearest fiber.
+
+        Indices run 0..num_fibers-1; coordinates are clipped to the tile.
+        """
+        coord = np.asarray(coord, dtype=np.float64)
+        clipped = np.clip(coord, -self.half_size_cm, self.half_size_cm)
+        idx = np.floor((clipped + self.half_size_cm) / self.pitch_cm).astype(np.int64)
+        return np.clip(idx, 0, self.num_fibers - 1)
+
+    def fiber_center(self, index: np.ndarray) -> np.ndarray:
+        """Lateral coordinate (cm) of a fiber center by index."""
+        index = np.asarray(index)
+        return -self.half_size_cm + (index + 0.5) * self.pitch_cm
+
+    def quantize(self, coord: np.ndarray) -> np.ndarray:
+        """Snap lateral coordinates to the nearest fiber center."""
+        return self.fiber_center(self.fiber_index(coord))
+
+    @property
+    def position_sigma_cm(self) -> float:
+        """RMS position error of uniform quantization: pitch / sqrt(12)."""
+        return self.pitch_cm / np.sqrt(12.0)
+
+
+def quantize_positions(
+    positions: np.ndarray,
+    grid: FiberGrid,
+) -> np.ndarray:
+    """Quantize the x and y components of hit positions to fiber centers.
+
+    The z component is unchanged (it is set separately from the layer index
+    and depth estimate by the detector response model).
+
+    Args:
+        positions: ``(n, 3)`` true interaction positions in cm.
+        grid: Fiber grid shared by all layers.
+
+    Returns:
+        New ``(n, 3)`` array with quantized x, y.
+    """
+    positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+    out = positions.copy()
+    out[:, 0] = grid.quantize(positions[:, 0])
+    out[:, 1] = grid.quantize(positions[:, 1])
+    return out

@@ -1,0 +1,260 @@
+"""Slab-stack geometry for the ADAPT scintillating-tile detector.
+
+The detector is a stack of horizontal scintillator slabs (``Layer``)
+separated by gaps.  Photon transport (``repro.physics.transport``) needs
+fast, vectorized answers to two questions:
+
+1. Given a point and a direction, which slab boundary is crossed next and at
+   what path length? (``DetectorGeometry.next_boundary``)
+2. Is a point inside active scintillator? (``DetectorGeometry.layer_index``)
+
+The stack is axis-aligned: layers are normal to z, with the top layer first.
+Coordinates are in cm; the detector is centered on the z axis with its top
+face at ``z = 0`` and extends downward (negative z), matching the convention
+that a normally-incident GRB photon travels in direction ``(0, 0, -1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+from repro.constants import Material
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One scintillator slab.
+
+    Attributes:
+        z_top: z coordinate of the upper face (cm).
+        z_bottom: z coordinate of the lower face (cm); ``z_bottom < z_top``.
+        half_size: Half of the lateral extent in x and y (cm).
+        material: Scintillator material of the slab.
+    """
+
+    z_top: float
+    z_bottom: float
+    half_size: float
+    material: Material
+
+    @property
+    def thickness(self) -> float:
+        """Slab thickness in cm."""
+        return self.z_top - self.z_bottom
+
+    def contains_z(self, z: np.ndarray) -> np.ndarray:
+        """Vectorized test whether a z coordinate lies inside the slab."""
+        return (z <= self.z_top) & (z >= self.z_bottom)
+
+
+@dataclass(frozen=True)
+class DetectorGeometry:
+    """The full stack of layers plus derived lookup arrays.
+
+    Use :func:`adapt_geometry` to build the default ADAPT configuration.
+    """
+
+    layers: tuple[Layer, ...]
+    #: Sorted array of every slab face z coordinate, descending.
+    _z_faces: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        faces = []
+        for layer in self.layers:
+            faces.append(layer.z_top)
+            faces.append(layer.z_bottom)
+        object.__setattr__(
+            self, "_z_faces", np.asarray(sorted(faces, reverse=True), dtype=np.float64)
+        )
+
+    # -- basic extents -------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def half_size(self) -> float:
+        """Lateral half-extent of the widest layer (cm)."""
+        return max(layer.half_size for layer in self.layers)
+
+    @property
+    def z_top(self) -> float:
+        """Top face of the uppermost layer (cm)."""
+        return self.layers[0].z_top
+
+    @property
+    def z_bottom(self) -> float:
+        """Bottom face of the lowest layer (cm)."""
+        return self.layers[-1].z_bottom
+
+    @property
+    def height(self) -> float:
+        """Total stack height including gaps (cm)."""
+        return self.z_top - self.z_bottom
+
+    # -- queries ---------------------------------------------------------------
+
+    def layer_index(self, points: np.ndarray) -> np.ndarray:
+        """Map points to layer indices.
+
+        Args:
+            points: ``(n, 3)`` array of positions in cm.
+
+        Returns:
+            ``(n,)`` int array; the index of the layer containing each point,
+            or ``-1`` for points in a gap or outside the detector.
+        """
+        points = np.atleast_2d(points)
+        idx = np.full(points.shape[0], -1, dtype=np.int64)
+        x, y, z = points[:, 0], points[:, 1], points[:, 2]
+        for i, layer in enumerate(self.layers):
+            inside = (
+                layer.contains_z(z)
+                & (np.abs(x) <= layer.half_size)
+                & (np.abs(y) <= layer.half_size)
+            )
+            idx[inside] = i
+        return idx
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized test whether points lie inside active scintillator."""
+        return self.layer_index(points) >= 0
+
+    def path_length_in_layers(
+        self, origin: np.ndarray, direction: np.ndarray, n_steps: int = 512
+    ) -> float:
+        """Total scintillator path length along a ray (numerical, for tests).
+
+        Integrates layer membership along the ray from ``origin`` until it
+        exits the bounding box.  Used as a slow reference implementation to
+        validate the analytic transport stepping.
+        """
+        origin = np.asarray(origin, dtype=np.float64)
+        direction = np.asarray(direction, dtype=np.float64)
+        direction = direction / np.linalg.norm(direction)
+        # Length of the ray segment within the detector bounding box.
+        span = self.height + 2.0 * self.half_size
+        ts = np.linspace(0.0, 2.0 * span, n_steps)
+        pts = origin[None, :] + ts[:, None] * direction[None, :]
+        inside = self.contains(pts)
+        dt = ts[1] - ts[0]
+        return float(inside.sum() * dt)
+
+    def segment_intersections(
+        self, origins: np.ndarray, directions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Entry/exit path lengths of rays through each layer slab.
+
+        For every ray and every layer, computes the parametric interval
+        ``[t_in, t_out]`` (cm) over which the ray is inside that slab,
+        intersected with the lateral extent.  Intervals are empty
+        (``t_in >= t_out``) when the ray misses the slab.
+
+        Args:
+            origins: ``(n, 3)`` ray origins.
+            directions: ``(n, 3)`` unit ray directions.
+
+        Returns:
+            Tuple ``(t_in, t_out)``, each ``(n, num_layers)``.
+        """
+        origins = np.atleast_2d(origins).astype(np.float64)
+        directions = np.atleast_2d(directions).astype(np.float64)
+        n = origins.shape[0]
+        nl = self.num_layers
+        t_in = np.full((n, nl), np.inf)
+        t_out = np.full((n, nl), -np.inf)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for j, layer in enumerate(self.layers):
+                lo = np.zeros(n)
+                hi = np.full(n, np.inf)
+                # z slab
+                dz = directions[:, 2]
+                oz = origins[:, 2]
+                t1 = (layer.z_top - oz) / dz
+                t2 = (layer.z_bottom - oz) / dz
+                tz_lo = np.minimum(t1, t2)
+                tz_hi = np.maximum(t1, t2)
+                parallel = np.abs(dz) < 1e-300
+                inside_z = layer.contains_z(oz)
+                tz_lo = np.where(parallel, np.where(inside_z, 0.0, np.inf), tz_lo)
+                tz_hi = np.where(parallel, np.where(inside_z, np.inf, -np.inf), tz_hi)
+                lo = np.maximum(lo, tz_lo)
+                hi = np.minimum(hi, tz_hi)
+                # lateral slabs
+                for axis in (0, 1):
+                    d = directions[:, axis]
+                    o = origins[:, axis]
+                    t1 = (layer.half_size - o) / d
+                    t2 = (-layer.half_size - o) / d
+                    ta = np.minimum(t1, t2)
+                    tb = np.maximum(t1, t2)
+                    parallel = np.abs(d) < 1e-300
+                    inside_a = np.abs(o) <= layer.half_size
+                    ta = np.where(parallel, np.where(inside_a, 0.0, np.inf), ta)
+                    tb = np.where(parallel, np.where(inside_a, np.inf, -np.inf), tb)
+                    lo = np.maximum(lo, ta)
+                    hi = np.minimum(hi, tb)
+                t_in[:, j] = lo
+                t_out[:, j] = hi
+        return t_in, t_out
+
+
+def adapt_geometry(
+    num_layers: int = constants.ADAPT_NUM_LAYERS,
+    tile_size_cm: float = constants.ADAPT_TILE_SIZE_CM,
+    tile_thickness_cm: float = constants.ADAPT_TILE_THICKNESS_CM,
+    layer_gap_cm: float = constants.ADAPT_LAYER_GAP_CM,
+    material: Material = constants.CSI,
+) -> DetectorGeometry:
+    """Build the default ADAPT demonstrator geometry.
+
+    Four CsI tile layers, 40 cm square, 1.5 cm thick, separated by 10 cm
+    gaps, stacked downward from z = 0.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    if tile_thickness_cm <= 0 or tile_size_cm <= 0 or layer_gap_cm < 0:
+        raise ValueError("tile dimensions must be positive and gap non-negative")
+    layers = []
+    z = 0.0
+    for _ in range(num_layers):
+        layers.append(
+            Layer(
+                z_top=z,
+                z_bottom=z - tile_thickness_cm,
+                half_size=tile_size_cm / 2.0,
+                material=material,
+            )
+        )
+        z -= tile_thickness_cm + layer_gap_cm
+    return DetectorGeometry(layers=tuple(layers))
+
+
+def apt_geometry(
+    num_layers: int = constants.APT_NUM_LAYERS,
+    tile_size_cm: float = constants.APT_TILE_SIZE_CM,
+    tile_thickness_cm: float = constants.APT_TILE_THICKNESS_CM,
+    layer_gap_cm: float = constants.APT_LAYER_GAP_CM,
+    material: Material = constants.CSI,
+) -> DetectorGeometry:
+    """Build the full APT orbital-instrument geometry (paper Section VI).
+
+    Twenty 1 m^2 CsI layers in a compact stack: ~25x the geometric area
+    and ~5x the scintillator depth of the balloon demonstrator, which is
+    what lets APT localize even dim (< 0.1 MeV/cm^2) bursts to within a
+    degree.  At the Sun-Earth L2 orbit there is no atmospheric MeV
+    background; pair this geometry with a strongly reduced
+    :class:`~repro.sources.background.BackgroundModel` flux.
+    """
+    return adapt_geometry(
+        num_layers=num_layers,
+        tile_size_cm=tile_size_cm,
+        tile_thickness_cm=tile_thickness_cm,
+        layer_gap_cm=layer_gap_cm,
+        material=material,
+    )

@@ -1,0 +1,15 @@
+"""Dataset and model persistence."""
+
+from repro.io.datasets import (
+    load_training_data,
+    save_training_data,
+    load_pipeline,
+    save_pipeline,
+)
+
+__all__ = [
+    "save_training_data",
+    "load_training_data",
+    "save_pipeline",
+    "load_pipeline",
+]

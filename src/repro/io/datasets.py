@@ -1,0 +1,58 @@
+"""Persistence for training data and trained pipelines.
+
+Training data is stored as compressed ``.npz`` (portable, inspectable);
+trained pipelines (networks + scalers + thresholds) use pickle, which is
+appropriate for same-trust-domain caching of experiment artifacts.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.datasets import TrainingData
+from repro.pipeline.ml_pipeline import MLPipeline
+
+
+def save_training_data(data: TrainingData, path: str | Path) -> None:
+    """Write a :class:`TrainingData` to a compressed npz file."""
+    np.savez_compressed(
+        Path(path),
+        features=data.features,
+        labels=data.labels,
+        true_eta_errors=data.true_eta_errors,
+        polar_true=data.polar_true,
+        prop_deta=data.prop_deta,
+    )
+
+
+def load_training_data(path: str | Path) -> TrainingData:
+    """Load a :class:`TrainingData` saved by :func:`save_training_data`."""
+    with np.load(Path(path)) as f:
+        return TrainingData(
+            features=f["features"],
+            labels=f["labels"],
+            true_eta_errors=f["true_eta_errors"],
+            polar_true=f["polar_true"],
+            prop_deta=f["prop_deta"],
+        )
+
+
+def save_pipeline(pipeline: MLPipeline, path: str | Path) -> None:
+    """Pickle a trained :class:`MLPipeline`."""
+    with open(Path(path), "wb") as f:
+        pickle.dump(pipeline, f)
+
+
+def load_pipeline(path: str | Path) -> MLPipeline:
+    """Load a pipeline saved by :func:`save_pipeline`.
+
+    Only load files you created yourself — pickle executes code on load.
+    """
+    with open(Path(path), "rb") as f:
+        obj = pickle.load(f)
+    if not isinstance(obj, MLPipeline):
+        raise TypeError(f"expected MLPipeline, found {type(obj).__name__}")
+    return obj

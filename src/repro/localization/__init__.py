@@ -1,0 +1,42 @@
+"""GRB source localization from Compton rings.
+
+Implements the paper's two-stage localization: a sampled *approximation*
+that seeds a coarse source direction from candidate points on a few rings'
+cones, followed by robust *iterative refinement* that solves the
+almost-linear least-squares problem over the rings it currently trusts.
+"""
+
+from repro.localization.likelihood import (
+    capped_chi_square,
+    joint_log_likelihood,
+    ring_chi_square,
+)
+from repro.localization.approximation import approximate_source
+from repro.localization.refinement import RefinementConfig, refine_source
+from repro.localization.pipeline import (
+    BaselineConfig,
+    LocalizationOutcome,
+    localize_baseline,
+    localize_rings,
+)
+from repro.localization.skymap import SkyGrid, SkyMap, compute_skymap, render_ascii
+from repro.localization.uncertainty import error_ellipse_deg, predicted_error_deg
+
+__all__ = [
+    "ring_chi_square",
+    "capped_chi_square",
+    "joint_log_likelihood",
+    "approximate_source",
+    "refine_source",
+    "RefinementConfig",
+    "localize_baseline",
+    "localize_rings",
+    "BaselineConfig",
+    "LocalizationOutcome",
+    "SkyGrid",
+    "SkyMap",
+    "compute_skymap",
+    "render_ascii",
+    "predicted_error_deg",
+    "error_ellipse_deg",
+]

@@ -1,0 +1,214 @@
+"""Likelihood sky maps and credible-region areas.
+
+Follow-up telescopes care about the *area* of the localization region,
+not only the point estimate: a 1-degree-radius region fits in one
+narrow-field pointing, a 10-degree region does not.  This module
+evaluates the ring joint likelihood on an (approximately) equal-area grid
+over the visible hemisphere and integrates credible regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.localization.likelihood import ring_chi_square
+from repro.reconstruction.rings import RingSet
+
+
+@dataclass
+class SkyGrid:
+    """Approximately equal-area grid over the upper hemisphere.
+
+    Rings of constant polar angle are sampled with an azimuthal count
+    proportional to ``sin(theta)``, giving near-uniform pixel areas.
+
+    Attributes:
+        directions: ``(n, 3)`` unit pixel centers.
+        pixel_area_sr: ``(n,)`` solid angle per pixel, steradians.
+    """
+
+    directions: np.ndarray
+    pixel_area_sr: np.ndarray
+
+    @property
+    def num_pixels(self) -> int:
+        return int(self.directions.shape[0])
+
+    @staticmethod
+    def build(resolution_deg: float = 2.0, max_polar_deg: float = 95.0) -> "SkyGrid":
+        """Construct a grid with roughly ``resolution_deg`` pixel spacing.
+
+        Args:
+            resolution_deg: Angular spacing between polar rings (and the
+                target azimuthal spacing).
+            max_polar_deg: Grid extent from zenith (slightly past the
+                horizon by default, matching the localization search
+                region).
+
+        Returns:
+            A :class:`SkyGrid`.
+
+        Raises:
+            ValueError: For non-positive resolution or extent.
+        """
+        if resolution_deg <= 0 or max_polar_deg <= 0:
+            raise ValueError("resolution and extent must be positive")
+        step = np.deg2rad(resolution_deg)
+        n_bands = max(1, int(np.ceil(max_polar_deg / resolution_deg)))
+        polar_edges = np.linspace(0.0, np.deg2rad(max_polar_deg), n_bands + 1)
+        dirs: list[np.ndarray] = []
+        areas: list[float] = []
+        for lo, hi in zip(polar_edges[:-1], polar_edges[1:]):
+            mid = 0.5 * (lo + hi)
+            band_area = 2.0 * np.pi * (np.cos(lo) - np.cos(hi))
+            n_az = max(1, int(np.ceil(2.0 * np.pi * np.sin(mid) / step)))
+            az = (np.arange(n_az) + 0.5) * (2.0 * np.pi / n_az)
+            sin_m, cos_m = np.sin(mid), np.cos(mid)
+            ring = np.stack(
+                [sin_m * np.cos(az), sin_m * np.sin(az), np.full(n_az, cos_m)],
+                axis=1,
+            )
+            dirs.append(ring)
+            areas.extend([band_area / n_az] * n_az)
+        return SkyGrid(
+            directions=np.concatenate(dirs, axis=0),
+            pixel_area_sr=np.asarray(areas),
+        )
+
+
+@dataclass
+class SkyMap:
+    """Posterior probability over a sky grid.
+
+    Attributes:
+        grid: The pixelization.
+        log_likelihood: ``(n,)`` joint ring log-likelihood per pixel (up
+            to a constant).
+        probability: ``(n,)`` normalized posterior mass per pixel
+            (flat prior over the grid).
+    """
+
+    grid: SkyGrid
+    log_likelihood: np.ndarray
+    probability: np.ndarray
+
+    def best_direction(self) -> np.ndarray:
+        """Pixel center with the highest posterior."""
+        return self.grid.directions[int(np.argmax(self.probability))]
+
+    def credible_region_area_deg2(self, level: float = 0.68) -> float:
+        """Area of the smallest region containing ``level`` posterior mass.
+
+        Args:
+            level: Credible level in (0, 1].
+
+        Returns:
+            Region area in square degrees.
+        """
+        if not (0.0 < level <= 1.0):
+            raise ValueError("level must be in (0, 1]")
+        order = np.argsort(self.probability)[::-1]
+        cum = np.cumsum(self.probability[order])
+        k = int(np.searchsorted(cum, level)) + 1
+        area_sr = float(self.pixel_areas_sorted(order)[:k].sum())
+        return area_sr * (180.0 / np.pi) ** 2
+
+    def pixel_areas_sorted(self, order: np.ndarray) -> np.ndarray:
+        """Pixel areas reordered by ``order`` (posterior-descending)."""
+        return self.grid.pixel_area_sr[order]
+
+    def probability_within(self, direction: np.ndarray, radius_deg: float) -> float:
+        """Posterior mass within ``radius_deg`` of a direction."""
+        direction = np.asarray(direction, dtype=np.float64)
+        cos_r = np.cos(np.deg2rad(radius_deg))
+        sel = self.grid.directions @ direction >= cos_r
+        return float(self.probability[sel].sum())
+
+
+def render_ascii(
+    sky: SkyMap,
+    width: int = 60,
+    height: int = 24,
+    max_polar_deg: float = 90.0,
+    marker: np.ndarray | None = None,
+) -> str:
+    """Render a sky map as ASCII art (orthographic view from the zenith).
+
+    Each character cell shows the posterior density of the nearest pixels
+    on a ``.:-=+*#@`` ramp; an optional ``marker`` direction (e.g. the
+    true source) is drawn as ``X``.
+
+    Args:
+        sky: The sky map.
+        width: Character columns.
+        height: Character rows.
+        max_polar_deg: Radial extent of the view.
+        marker: Optional unit vector to mark.
+
+    Returns:
+        A newline-joined string.
+    """
+    ramp = " .:-=+*#@"
+    sin_max = np.sin(np.deg2rad(min(max_polar_deg, 90.0)))
+    xs = np.linspace(-sin_max, sin_max, width)
+    ys = np.linspace(-sin_max, sin_max, height)
+    dens = sky.probability / sky.grid.pixel_area_sr
+    # Rank-based shading: each pixel's glyph reflects its density rank, so
+    # the likelihood landscape stays visible no matter how many orders of
+    # magnitude separate the localization peak from the floor.
+    order = np.argsort(np.argsort(dens))
+    dens = order / max(order.max(), 1)
+    gx, gy = sky.grid.directions[:, 0], sky.grid.directions[:, 1]
+    rows = []
+    for y in ys[::-1]:
+        row = []
+        for x in xs:
+            if x * x + y * y > sin_max * sin_max:
+                row.append(" ")
+                continue
+            d2 = (gx - x) ** 2 + (gy - y) ** 2
+            value = dens[int(np.argmin(d2))]
+            row.append(ramp[int(round(value * (len(ramp) - 1)))])
+        rows.append(row)
+    if marker is not None:
+        mx, my = float(marker[0]), float(marker[1])
+        if mx * mx + my * my <= sin_max * sin_max:
+            col = int(round((mx + sin_max) / (2 * sin_max) * (width - 1)))
+            row = int(round((sin_max - my) / (2 * sin_max) * (height - 1)))
+            rows[row][col] = "X"
+    return "\n".join("".join(r) for r in rows)
+
+
+def compute_skymap(
+    rings: RingSet,
+    grid: SkyGrid | None = None,
+    cap: float | None = 25.0,
+) -> SkyMap:
+    """Evaluate the ring joint likelihood over a sky grid.
+
+    Args:
+        rings: Rings entering localization.
+        grid: Pixelization (2-degree default grid if omitted).
+        cap: Optional robust cap on each ring's chi-square contribution
+            (None for the pure Gaussian model).
+
+    Returns:
+        A :class:`SkyMap`.
+
+    Raises:
+        ValueError: If the ring set is empty.
+    """
+    if rings.num_rings == 0:
+        raise ValueError("cannot map an empty ring set")
+    grid = grid or SkyGrid.build()
+    chi2 = ring_chi_square(rings, grid.directions)
+    if cap is not None:
+        chi2 = np.minimum(chi2, cap)
+    log_like = -0.5 * chi2.sum(axis=0)
+    log_post = log_like + np.log(grid.pixel_area_sr)
+    log_post -= log_post.max()
+    prob = np.exp(log_post)
+    prob /= prob.sum()
+    return SkyMap(grid=grid, log_likelihood=log_like, probability=prob)

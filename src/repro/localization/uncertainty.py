@@ -1,0 +1,118 @@
+"""Predicted localization uncertainty from the ring Fisher information.
+
+The paper's anytime scheme halts "if our models suggest that further
+iteration is not needed to achieve a given level of accuracy in the
+source direction."  That requires predicting the current estimate's
+accuracy *without* knowing the truth.  Under the Gaussian ring model the
+predicted covariance of the direction estimate is the inverse Fisher
+information of the weighted least-squares problem, projected onto the
+tangent plane of the unit sphere at the estimate:
+
+``I = sum_j (c_j c_j^T) / deta_j^2``  over the rings in the fit,
+
+with the tangent-plane 2x2 block inverted to give the error ellipse; the
+circular-equivalent 1-sigma radius is reported in degrees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reconstruction.rings import RingSet
+
+
+def _tangent_basis(direction: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    helper = np.array([1.0, 0.0, 0.0])
+    if abs(direction[0]) > 0.9:
+        helper = np.array([0.0, 1.0, 0.0])
+    u = np.cross(helper, direction)
+    u /= np.linalg.norm(u)
+    v = np.cross(direction, u)
+    return u, v
+
+
+def predicted_error_deg(
+    rings: RingSet,
+    direction: np.ndarray,
+    used: np.ndarray | None = None,
+) -> float:
+    """Predicted 1-sigma angular error of a direction estimate, degrees.
+
+    Args:
+        rings: Rings available to the fit.
+        direction: ``(3,)`` unit direction estimate.
+        used: Optional mask of rings actually in the fit (all if None).
+
+    Returns:
+        The circular-equivalent 1-sigma radius
+        ``sqrt(sigma_major * sigma_minor)`` in degrees; ``inf`` when the
+        information matrix is singular (no constraining rings).
+    """
+    direction = np.asarray(direction, dtype=np.float64)
+    direction = direction / np.linalg.norm(direction)
+    if used is None:
+        used = np.ones(rings.num_rings, dtype=bool)
+    axis = rings.axis[used]
+    deta = rings.deta[used]
+    if axis.shape[0] == 0:
+        return float("inf")
+
+    u, v = _tangent_basis(direction)
+    # Project ring axes onto the tangent plane: the residual c.s changes
+    # by (c.u) du + (c.v) dv under a tangent displacement.
+    cu = axis @ u
+    cv = axis @ v
+    w = 1.0 / deta**2
+    i_uu = float(np.sum(w * cu * cu))
+    i_uv = float(np.sum(w * cu * cv))
+    i_vv = float(np.sum(w * cv * cv))
+    det = i_uu * i_vv - i_uv**2
+    if det <= 0.0 or not np.isfinite(det):
+        return float("inf")
+    # Covariance eigenvalues via trace/determinant of the 2x2 inverse.
+    cov_det = 1.0 / det
+    cov_trace = (i_uu + i_vv) / det
+    # sigma_major^2 * sigma_minor^2 = det(Cov); circularized radius:
+    radius_rad = cov_det**0.25  # sqrt(sqrt(det Cov)) = sqrt(sig_a*sig_b)
+    # Guard absurd values (nearly unconstrained fits).
+    if not np.isfinite(radius_rad) or cov_trace <= 0:
+        return float("inf")
+    return float(np.degrees(radius_rad))
+
+
+def error_ellipse_deg(
+    rings: RingSet,
+    direction: np.ndarray,
+    used: np.ndarray | None = None,
+) -> tuple[float, float]:
+    """1-sigma error-ellipse semi-axes (major, minor) in degrees.
+
+    Returns ``(inf, inf)`` for unconstrained fits.
+    """
+    direction = np.asarray(direction, dtype=np.float64)
+    direction = direction / np.linalg.norm(direction)
+    if used is None:
+        used = np.ones(rings.num_rings, dtype=bool)
+    axis = rings.axis[used]
+    deta = rings.deta[used]
+    if axis.shape[0] == 0:
+        return float("inf"), float("inf")
+    u, v = _tangent_basis(direction)
+    cu = axis @ u
+    cv = axis @ v
+    w = 1.0 / deta**2
+    info = np.array(
+        [
+            [np.sum(w * cu * cu), np.sum(w * cu * cv)],
+            [np.sum(w * cu * cv), np.sum(w * cv * cv)],
+        ]
+    )
+    try:
+        cov = np.linalg.inv(info)
+    except np.linalg.LinAlgError:
+        return float("inf"), float("inf")
+    eigvals = np.linalg.eigvalsh(cov)
+    if np.any(eigvals <= 0) or not np.all(np.isfinite(eigvals)):
+        return float("inf"), float("inf")
+    minor, major = np.sqrt(eigvals)
+    return float(np.degrees(major)), float(np.degrees(minor))

@@ -1,0 +1,52 @@
+"""The paper's two neural-network models and their feature pipeline.
+
+* :mod:`repro.models.features` — the 12 event features (+ polar-angle
+  guess) extracted per Compton ring (paper Section III).
+* :mod:`repro.models.background` — the background-rejection classifier.
+* :mod:`repro.models.deta` — the ``ln(d eta)`` regressor.
+* :mod:`repro.models.thresholds` — per-polar-bin output thresholds.
+* :mod:`repro.models.hyperparam` — random-search tuning harness (the
+  offline substitute for the paper's WandB sweeps).
+"""
+
+from repro.models.features import (
+    NUM_BASE_FEATURES,
+    NUM_FEATURES,
+    extract_features,
+    polar_angle_of,
+)
+from repro.models.background import (
+    BackgroundNet,
+    build_background_net,
+    train_background_net,
+)
+from repro.models.deta import DEtaNet, build_deta_net, train_deta_net
+from repro.models.thresholds import PolarBinnedThresholds
+from repro.models.hyperparam import HyperParams, random_search
+from repro.models.calibration import (
+    TemperatureScaler,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.models.quantized import Int8BackgroundNet, quantize_background_net
+
+__all__ = [
+    "NUM_BASE_FEATURES",
+    "NUM_FEATURES",
+    "extract_features",
+    "polar_angle_of",
+    "BackgroundNet",
+    "build_background_net",
+    "train_background_net",
+    "DEtaNet",
+    "build_deta_net",
+    "train_deta_net",
+    "PolarBinnedThresholds",
+    "HyperParams",
+    "random_search",
+    "TemperatureScaler",
+    "expected_calibration_error",
+    "reliability_curve",
+    "Int8BackgroundNet",
+    "quantize_background_net",
+]

@@ -1,0 +1,229 @@
+"""The background-rejection network (paper Section III, Fig. 5).
+
+A feed-forward classifier over the 13 ring features that outputs the
+probability a Compton ring originated from a background particle.  The
+architecture follows the paper: a stack of blocks, each
+``BatchNorm1d -> Linear -> ReLU``, with a final linear output whose logit
+is thresholded (sigmoid elided at deployment, Section V).  The selected
+hyperparameters mirror the paper's tuned model: four FC layers, first
+hidden width 256 with subsequent widths gradually decreasing, batch size
+4096, learning rate 5.204e-4.
+
+For quantization-aware training the paper retrains with the BatchNorm and
+Linear order *swapped* inside each block (``Linear -> BatchNorm -> ReLU``)
+so the three can be fused; ``build_background_net(swapped=True)``
+reproduces that variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.data import StandardScaler, train_val_test_split
+from repro.nn.layers import BatchNorm1d, Linear, Module, ReLU, Sequential
+from repro.nn.losses import BCEWithLogitsLoss
+from repro.nn.optim import SGD
+from repro.nn.train import Trainer, TrainingHistory
+from repro.models.features import NUM_FEATURES
+from repro.models.thresholds import PolarBinnedThresholds
+
+#: Paper's tuned hyperparameters for the background network.
+PAPER_BATCH_SIZE: int = 4096
+PAPER_LEARNING_RATE: float = 5.204e-4
+#: Four FC layers: 256 -> 128 -> 64 -> 1 ("maximum width of 256 in its
+#: first FC layer, with subsequent layers gradually decreasing").
+PAPER_HIDDEN_WIDTHS: tuple[int, ...] = (256, 128, 64)
+
+
+def build_background_net(
+    num_features: int = NUM_FEATURES,
+    hidden_widths: tuple[int, ...] = PAPER_HIDDEN_WIDTHS,
+    rng: np.random.Generator | None = None,
+    swapped: bool = False,
+) -> Sequential:
+    """Construct the classifier network (logit output, no sigmoid).
+
+    Args:
+        num_features: Input width (13, or 12 for the no-polar ablation).
+        hidden_widths: Hidden FC widths; one block per width plus the
+            output layer (so ``len + 1`` FC layers total — the paper's
+            "four FC layers" is three hidden plus the output).
+        rng: Weight-init generator.
+        swapped: Use ``Linear -> BatchNorm -> ReLU`` block order (the
+            QAT/fusion-friendly variant of paper Section V).
+
+    Returns:
+        A :class:`Sequential` producing ``(batch, 1)`` logits.
+    """
+    rng = rng or np.random.default_rng(0)
+    modules: list[Module] = []
+    width_in = num_features
+    for width in hidden_widths:
+        if swapped:
+            modules += [Linear(width_in, width, rng), BatchNorm1d(width), ReLU()]
+        else:
+            modules += [BatchNorm1d(width_in), Linear(width_in, width, rng), ReLU()]
+        width_in = width
+    modules.append(Linear(width_in, 1, rng))
+    return Sequential(*modules)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+@dataclass
+class BackgroundNet:
+    """Trained background classifier bundle.
+
+    Wraps the network with its feature scaler and the per-polar-bin
+    threshold table, exposing the operations the localization pipeline
+    needs.
+
+    Attributes:
+        model: The trained network (eval mode).
+        scaler: Feature standardizer fitted on training data.
+        thresholds: Per-polar-bin decision thresholds.
+        include_polar: Whether the model consumes the polar-angle feature.
+        history: Training history (diagnostics).
+    """
+
+    model: Sequential
+    scaler: StandardScaler
+    thresholds: PolarBinnedThresholds
+    include_polar: bool = True
+    history: TrainingHistory | None = None
+
+    def predict_logit(self, features: np.ndarray) -> np.ndarray:
+        """Raw logits for a feature matrix. Shape ``(m,)``."""
+        x = self.scaler.transform(features)
+        self.model.eval()
+        return self.model.forward(x)[:, 0]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Background probability per ring. Shape ``(m,)``."""
+        return _sigmoid(self.predict_logit(features))
+
+    def is_background(
+        self, features: np.ndarray, polar_deg: np.ndarray | float
+    ) -> np.ndarray:
+        """Thresholded background calls using the per-bin thresholds.
+
+        Args:
+            features: ``(m, f)`` ring features.
+            polar_deg: Polar angle(s) used to select thresholds.
+
+        Returns:
+            ``(m,)`` boolean mask (True = classified background).
+        """
+        prob = self.predict_proba(features)
+        polar = np.asarray(polar_deg, dtype=np.float64)
+        if polar.ndim == 0:
+            polar = np.full(prob.shape[0], float(polar))
+        return self.thresholds.classify(prob, polar)
+
+
+@dataclass(frozen=True)
+class BackgroundTrainConfig:
+    """Training configuration.
+
+    The paper's tuned batch size / learning rate (4096 / 5.204e-4,
+    exposed as ``PAPER_BATCH_SIZE`` / ``PAPER_LEARNING_RATE``) presume its
+    ~640k-ring training set; at this repository's scaled-down statistics
+    they yield only a handful of optimizer steps per epoch, so the
+    defaults here follow the standard batch-size/learning-rate scaling to
+    a smaller batch.  Architecture and protocol are unchanged.
+    """
+
+    hidden_widths: tuple[int, ...] = PAPER_HIDDEN_WIDTHS
+    batch_size: int = 512
+    learning_rate: float = 5e-3
+    momentum: float = 0.9
+    max_epochs: int = 120
+    patience: int = 15
+    fn_weight: float = 1.5
+    swapped: bool = False
+
+
+def train_background_net(
+    features: np.ndarray,
+    labels: np.ndarray,
+    polar_deg: np.ndarray,
+    rng: np.random.Generator,
+    config: BackgroundTrainConfig | None = None,
+    include_polar: bool = True,
+) -> BackgroundNet:
+    """Train the background classifier end to end.
+
+    Applies the paper's split protocol (80/20 train/test with the training
+    pool further split 80/20 train/val), standardizes features, trains
+    with SGD + BCE + early stopping, then fits the per-polar-bin
+    thresholds on the training portion.
+
+    Args:
+        features: ``(n, f)`` ring features (13 or 12 columns).
+        labels: ``(n,)`` truth labels (1 = background).
+        polar_deg: ``(n,)`` polar angles for threshold binning.
+        rng: Random generator (split, init, batching).
+        config: Training configuration.
+        include_polar: Recorded on the bundle for feature-extraction
+            consistency downstream.
+
+    Returns:
+        A trained :class:`BackgroundNet`.
+    """
+    cfg = config or BackgroundTrainConfig()
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    polar_deg = np.asarray(polar_deg, dtype=np.float64).ravel()
+    n = features.shape[0]
+    if labels.shape[0] != n or polar_deg.shape[0] != n:
+        raise ValueError("features, labels, polar_deg must align")
+
+    train_idx, val_idx, _test_idx = train_val_test_split(n, rng)
+    scaler = StandardScaler().fit(features[train_idx])
+    x_train = scaler.transform(features[train_idx])
+    x_val = scaler.transform(features[val_idx])
+    y_train = labels[train_idx][:, None]
+    y_val = labels[val_idx][:, None]
+
+    model = build_background_net(
+        num_features=features.shape[1],
+        hidden_widths=cfg.hidden_widths,
+        rng=rng,
+        swapped=cfg.swapped,
+    )
+    trainer = Trainer(
+        model=model,
+        loss=BCEWithLogitsLoss(),
+        optimizer=SGD(
+            model.parameters(), lr=cfg.learning_rate, momentum=cfg.momentum
+        ),
+        batch_size=min(cfg.batch_size, max(1, x_train.shape[0])),
+        max_epochs=cfg.max_epochs,
+        patience=cfg.patience,
+    )
+    history = trainer.fit(x_train, y_train, x_val, y_val, rng)
+
+    bundle = BackgroundNet(
+        model=model,
+        scaler=scaler,
+        thresholds=PolarBinnedThresholds(),
+        include_polar=include_polar,
+        history=history,
+    )
+    prob_train = bundle.predict_proba(features[train_idx])
+    bundle.thresholds.fit(
+        prob_train,
+        labels[train_idx],
+        polar_deg[train_idx],
+        fn_weight=cfg.fn_weight,
+    )
+    return bundle

@@ -1,0 +1,141 @@
+"""Classifier probability calibration.
+
+The per-polar-bin threshold table consumes the background network's
+probabilities; thresholds transfer between datasets (and between FP32 and
+INT8 variants) only when those probabilities are *calibrated* — a ring
+scored 0.7 should be background ~70% of the time.  This module provides
+the standard diagnostics (reliability curve, expected calibration error)
+and temperature scaling, the single-parameter logit correction that fixes
+most neural-network miscalibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def reliability_curve(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    n_bins: int = 10,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Observed frequency vs predicted probability per confidence bin.
+
+    Args:
+        probabilities: ``(n,)`` predicted probabilities.
+        labels: ``(n,)`` binary truth.
+        n_bins: Equal-width probability bins over [0, 1].
+
+    Returns:
+        ``(bin_centers, observed_fraction, counts)``; bins with no
+        samples report NaN observed fraction.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel() > 0.5
+    if probabilities.shape != labels.shape:
+        raise ValueError("shape mismatch")
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    idx = np.clip(np.digitize(probabilities, edges) - 1, 0, n_bins - 1)
+    counts = np.bincount(idx, minlength=n_bins).astype(np.float64)
+    hits = np.bincount(idx, weights=labels.astype(np.float64), minlength=n_bins)
+    with np.errstate(invalid="ignore"):
+        observed = hits / counts
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, observed, counts.astype(np.int64)
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    n_bins: int = 10,
+) -> float:
+    """ECE: count-weighted mean |observed - predicted| over bins."""
+    probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel() > 0.5
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    idx = np.clip(np.digitize(probabilities, edges) - 1, 0, n_bins - 1)
+    counts = np.bincount(idx, minlength=n_bins).astype(np.float64)
+    hits = np.bincount(idx, weights=labels.astype(np.float64), minlength=n_bins)
+    mean_p = np.bincount(idx, weights=probabilities, minlength=n_bins)
+    nonzero = counts > 0
+    gap = np.abs(hits[nonzero] / counts[nonzero] - mean_p[nonzero] / counts[nonzero])
+    return float(np.sum(gap * counts[nonzero]) / counts.sum())
+
+
+@dataclass
+class TemperatureScaler:
+    """Single-parameter logit calibration: ``p' = sigmoid(logit / T)``.
+
+    ``T > 1`` softens over-confident networks; ``T < 1`` sharpens
+    under-confident ones.  Fit by minimizing the negative log-likelihood
+    on held-out data via golden-section search (the objective is
+    unimodal in ``log T``).
+
+    Attributes:
+        temperature: The fitted ``T`` (1.0 before fitting).
+    """
+
+    temperature: float = 1.0
+
+    @staticmethod
+    def _nll(logits: np.ndarray, labels: np.ndarray, t: float) -> float:
+        z = logits / t
+        # Stable log-sigmoid formulations.
+        return float(
+            np.mean(np.maximum(z, 0.0) - z * labels + np.log1p(np.exp(-np.abs(z))))
+        )
+
+    def fit(
+        self,
+        logits: np.ndarray,
+        labels: np.ndarray,
+        t_range: tuple[float, float] = (0.05, 20.0),
+        tol: float = 1e-4,
+    ) -> "TemperatureScaler":
+        """Fit ``T`` on validation logits/labels.
+
+        Args:
+            logits: ``(n,)`` raw network logits.
+            labels: ``(n,)`` binary truth.
+            t_range: Search bracket for ``T``.
+            tol: Convergence tolerance in ``log T``.
+
+        Returns:
+            self (fitted).
+        """
+        logits = np.asarray(logits, dtype=np.float64).ravel()
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        if logits.shape != labels.shape:
+            raise ValueError("shape mismatch")
+        lo, hi = np.log(t_range[0]), np.log(t_range[1])
+        golden = (np.sqrt(5.0) - 1.0) / 2.0
+        a, b = lo, hi
+        c = b - golden * (b - a)
+        d = a + golden * (b - a)
+        fc = self._nll(logits, labels, float(np.exp(c)))
+        fd = self._nll(logits, labels, float(np.exp(d)))
+        while abs(b - a) > tol:
+            if fc < fd:
+                b, d, fd = d, c, fc
+                c = b - golden * (b - a)
+                fc = self._nll(logits, labels, float(np.exp(c)))
+            else:
+                a, c, fc = c, d, fd
+                d = a + golden * (b - a)
+                fd = self._nll(logits, labels, float(np.exp(d)))
+        self.temperature = float(np.exp(0.5 * (a + b)))
+        return self
+
+    def transform(self, logits: np.ndarray) -> np.ndarray:
+        """Calibrated probabilities from raw logits."""
+        z = np.asarray(logits, dtype=np.float64) / self.temperature
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out

@@ -1,0 +1,164 @@
+"""The dEta regression network (paper Section III, Fig. 5).
+
+Predicts the *natural log* of a ring's true ``eta`` uncertainty from the
+same 13 features as the background network; the log keeps the target's
+several-orders-of-magnitude range tractable for an L2 loss.  The tuned
+architecture mirrors the paper: four FC layers with a maximum width of 16
+in the middle and narrower ends, batch size 256, learning rate 4.375e-3.
+
+Background rings are removed from the training set (the paper does the
+same — a background ring has no meaningful ``eta`` error w.r.t. the GRB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.data import StandardScaler, train_val_test_split
+from repro.nn.layers import BatchNorm1d, Linear, Module, ReLU, Sequential
+from repro.nn.losses import MSELoss
+from repro.nn.optim import SGD
+from repro.nn.train import Trainer, TrainingHistory
+from repro.models.features import NUM_FEATURES
+
+#: Paper's tuned hyperparameters for the dEta network.
+PAPER_BATCH_SIZE: int = 256
+PAPER_LEARNING_RATE: float = 4.375e-3
+#: Four FC layers: 8 -> 16 -> 8 -> 1 ("maximum width of 16 in the middle
+#: and shorter widths at the beginning and end").
+PAPER_HIDDEN_WIDTHS: tuple[int, ...] = (8, 16, 8)
+
+#: Predicted ln(d eta) is clipped into this range before exponentiation —
+#: wider than any physical ring width, purely a numerical guard.
+LOG_DETA_MIN: float = -9.0
+LOG_DETA_MAX: float = 1.0
+
+
+def build_deta_net(
+    num_features: int = NUM_FEATURES,
+    hidden_widths: tuple[int, ...] = PAPER_HIDDEN_WIDTHS,
+    rng: np.random.Generator | None = None,
+    swapped: bool = False,
+) -> Sequential:
+    """Construct the regressor network (linear output = predicted ln d eta).
+
+    Args:
+        num_features: Input width.
+        hidden_widths: Hidden FC widths (one BN->FC->ReLU block each).
+        rng: Weight-init generator.
+        swapped: Use the fusion-friendly ``Linear -> BatchNorm -> ReLU``
+            block order.
+
+    Returns:
+        A :class:`Sequential` producing ``(batch, 1)`` outputs.
+    """
+    rng = rng or np.random.default_rng(0)
+    modules: list[Module] = []
+    width_in = num_features
+    for width in hidden_widths:
+        if swapped:
+            modules += [Linear(width_in, width, rng), BatchNorm1d(width), ReLU()]
+        else:
+            modules += [BatchNorm1d(width_in), Linear(width_in, width, rng), ReLU()]
+        width_in = width
+    modules.append(Linear(width_in, 1, rng))
+    return Sequential(*modules)
+
+
+@dataclass
+class DEtaNet:
+    """Trained dEta regressor bundle.
+
+    Attributes:
+        model: The trained network (eval mode).
+        scaler: Feature standardizer.
+        history: Training history.
+    """
+
+    model: Sequential
+    scaler: StandardScaler
+    include_polar: bool = True
+    history: TrainingHistory | None = None
+
+    def predict_log_deta(self, features: np.ndarray) -> np.ndarray:
+        """Predicted ``ln(d eta)`` per ring. Shape ``(m,)``."""
+        x = self.scaler.transform(features)
+        self.model.eval()
+        out = self.model.forward(x)[:, 0]
+        return np.clip(out, LOG_DETA_MIN, LOG_DETA_MAX)
+
+    def predict_deta(self, features: np.ndarray) -> np.ndarray:
+        """Predicted ``d eta`` per ring. Shape ``(m,)``."""
+        return np.exp(self.predict_log_deta(features))
+
+
+@dataclass(frozen=True)
+class DEtaTrainConfig:
+    """Training configuration (defaults = the paper's tuned values)."""
+
+    hidden_widths: tuple[int, ...] = PAPER_HIDDEN_WIDTHS
+    batch_size: int = PAPER_BATCH_SIZE
+    learning_rate: float = PAPER_LEARNING_RATE
+    momentum: float = 0.9
+    max_epochs: int = 120
+    patience: int = 10
+    swapped: bool = False
+
+
+def train_deta_net(
+    features: np.ndarray,
+    true_eta_errors: np.ndarray,
+    rng: np.random.Generator,
+    config: DEtaTrainConfig | None = None,
+    include_polar: bool = True,
+) -> DEtaNet:
+    """Train the dEta regressor on GRB rings.
+
+    Args:
+        features: ``(n, f)`` ring features (GRB rings only).
+        true_eta_errors: ``(n,)`` true absolute ``eta`` errors (the
+            regression target is their natural log, floored to avoid
+            ``log(0)``).
+        rng: Random generator.
+        config: Training configuration.
+        include_polar: Recorded for downstream feature consistency.
+
+    Returns:
+        A trained :class:`DEtaNet`.
+    """
+    cfg = config or DEtaTrainConfig()
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.log(np.maximum(np.asarray(true_eta_errors, dtype=np.float64), 1e-4))
+    n = features.shape[0]
+    if targets.shape[0] != n:
+        raise ValueError("features and targets must align")
+
+    train_idx, val_idx, _ = train_val_test_split(n, rng)
+    scaler = StandardScaler().fit(features[train_idx])
+    x_train = scaler.transform(features[train_idx])
+    x_val = scaler.transform(features[val_idx])
+    y_train = targets[train_idx][:, None]
+    y_val = targets[val_idx][:, None]
+
+    model = build_deta_net(
+        num_features=features.shape[1],
+        hidden_widths=cfg.hidden_widths,
+        rng=rng,
+        swapped=cfg.swapped,
+    )
+    trainer = Trainer(
+        model=model,
+        loss=MSELoss(),
+        optimizer=SGD(
+            model.parameters(), lr=cfg.learning_rate, momentum=cfg.momentum
+        ),
+        batch_size=min(cfg.batch_size, max(1, x_train.shape[0])),
+        max_epochs=cfg.max_epochs,
+        patience=cfg.patience,
+    )
+    history = trainer.fit(x_train, y_train, x_val, y_val, rng)
+    return DEtaNet(
+        model=model, scaler=scaler, include_polar=include_polar, history=history
+    )

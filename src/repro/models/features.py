@@ -1,0 +1,126 @@
+"""Per-ring input features for the neural networks (paper Section III).
+
+Twelve features of the detection event behind each Compton ring:
+
+0. total deposited energy of the event;
+1-4. first hit: x, y, z, deposited energy;
+5-8. second hit: x, y, z, deposited energy;
+9-11. measurement uncertainties of the three energies (total, first,
+   second) — ADAPT's energy uncertainty dwarfs its position uncertainty,
+   so only energy sigmas enter.
+
+Feature 12 (optional) is the guess at the source's *polar angle* in
+degrees: the true angle (optionally jittered) during training, the
+pipeline's current estimate at inference.
+
+**Azimuth canonicalization.**  The networks receive only the source's
+polar angle, yet the geometric consistency between a ring and a candidate
+source depends on the full direction.  A polar angle alone suffices only
+if the hit coordinates are expressed in a frame whose x axis points along
+the source's azimuth — so ``extract_features`` accepts the (estimated or
+true) azimuth and rotates the lateral hit coordinates into that canonical
+frame.  The detector is azimuthally symmetric, so this loses nothing and
+lets one network serve every azimuth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detector.response import EventSet
+from repro.reconstruction.rings import RingSet
+
+#: Number of event-derived features (without the polar-angle input).
+NUM_BASE_FEATURES: int = 12
+#: Number of features including the polar-angle input.
+NUM_FEATURES: int = 13
+
+
+def polar_angle_of(direction: np.ndarray) -> float:
+    """Polar angle (degrees from detector zenith, +z) of a unit vector."""
+    direction = np.asarray(direction, dtype=np.float64)
+    return float(np.degrees(np.arccos(np.clip(direction[2], -1.0, 1.0))))
+
+
+def azimuth_angle_of(direction: np.ndarray) -> float:
+    """Azimuth (degrees, x toward y) of a unit vector; 0 for the zenith."""
+    direction = np.asarray(direction, dtype=np.float64)
+    return float(np.degrees(np.arctan2(direction[1], direction[0])))
+
+
+def _rotate_xy(positions: np.ndarray, azimuth_deg: float) -> np.ndarray:
+    """Rotate lateral coordinates by ``-azimuth`` about z (canonical frame)."""
+    phi = np.deg2rad(azimuth_deg)
+    c, s = np.cos(phi), np.sin(phi)
+    out = positions.copy()
+    out[:, 0] = c * positions[:, 0] + s * positions[:, 1]
+    out[:, 1] = -s * positions[:, 0] + c * positions[:, 1]
+    return out
+
+
+def extract_features(
+    rings: RingSet,
+    events: EventSet,
+    polar_guess_deg: float | np.ndarray | None = None,
+    include_polar: bool = True,
+    azimuth_deg: float = 0.0,
+) -> np.ndarray:
+    """Build the model input matrix for a ring set.
+
+    Args:
+        rings: ``m`` rings.
+        events: The EventSet the rings reference.
+        polar_guess_deg: Polar-angle input, scalar (broadcast) or ``(m,)``.
+            Required when ``include_polar`` is True.
+        include_polar: Emit 13 features (with angle) or 12 (the paper's
+            Fig. 7 "No Polar" ablation).
+        azimuth_deg: Source-azimuth guess; hit coordinates are rotated into
+            the azimuth-canonical frame before feature extraction.
+
+    Returns:
+        ``(m, 13)`` or ``(m, 12)`` float array.
+
+    Raises:
+        ValueError: If the polar input is required but missing, or has a
+            wrong shape.
+    """
+    m = rings.num_rings
+    seg = np.repeat(np.arange(events.num_events), events.hits_per_event())
+    etot = np.zeros(events.num_events)
+    np.add.at(etot, seg, events.energies)
+    var_tot = np.zeros(events.num_events)
+    np.add.at(var_tot, seg, events.sigma_energy**2)
+
+    first = rings.first_hit
+    second = rings.second_hit
+    ev = rings.event_index
+
+    positions = (
+        _rotate_xy(events.positions, azimuth_deg)
+        if azimuth_deg != 0.0
+        else events.positions
+    )
+    cols = [
+        etot[ev],
+        positions[first, 0],
+        positions[first, 1],
+        positions[first, 2],
+        events.energies[first],
+        positions[second, 0],
+        positions[second, 1],
+        positions[second, 2],
+        events.energies[second],
+        np.sqrt(var_tot[ev]),
+        events.sigma_energy[first],
+        events.sigma_energy[second],
+    ]
+    if include_polar:
+        if polar_guess_deg is None:
+            raise ValueError("polar_guess_deg required when include_polar=True")
+        polar = np.asarray(polar_guess_deg, dtype=np.float64)
+        if polar.ndim == 0:
+            polar = np.full(m, float(polar))
+        if polar.shape != (m,):
+            raise ValueError(f"polar_guess_deg must be scalar or ({m},)")
+        cols.append(polar)
+    return np.stack(cols, axis=1)

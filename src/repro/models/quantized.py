@@ -1,0 +1,134 @@
+"""INT8 background classifier: drop-in replacement for the FP32 bundle.
+
+Reproduces the paper's Section V flow: the background network is
+*retrained* with the swapped (fusion-friendly) block order, fused, fine-
+tuned with fake quantization (QAT), and converted to a true-integer INT8
+model.  The resulting :class:`Int8BackgroundNet` exposes the same
+interface as :class:`~repro.models.background.BackgroundNet`, so the ML
+pipeline (and the Fig. 11 experiment) can swap it in directly — still "in
+conjunction with the FP32 version of the dEta model", as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.background import BackgroundNet, _sigmoid
+from repro.models.thresholds import PolarBinnedThresholds
+from repro.nn.data import StandardScaler, train_val_test_split
+from repro.nn.losses import BCEWithLogitsLoss
+from repro.nn.optim import SGD
+from repro.nn.train import Trainer
+from repro.quantization.fuse import fuse_linear_bn_relu
+from repro.quantization.int8 import QuantizedMLP
+from repro.quantization.qat import convert_to_int8, prepare_qat
+
+
+@dataclass
+class Int8BackgroundNet:
+    """Quantized background classifier bundle.
+
+    Attributes:
+        model: The integer inference engine.
+        scaler: Feature standardizer (shared with the FP32 parent).
+        thresholds: Per-polar-bin thresholds (refit on INT8 outputs).
+        include_polar: Whether the polar feature is consumed.
+    """
+
+    model: QuantizedMLP
+    scaler: StandardScaler
+    thresholds: PolarBinnedThresholds
+    include_polar: bool = True
+
+    def predict_logit(self, features: np.ndarray) -> np.ndarray:
+        """Raw logits (integer path inside). Shape ``(m,)``."""
+        x = self.scaler.transform(features)
+        return self.model.predict_logit(x)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Background probabilities. Shape ``(m,)``.
+
+        On the FPGA the sigmoid is elided and the threshold applied to the
+        logit; applying the (bijective) sigmoid here keeps the threshold
+        table in probability units for interface parity.
+        """
+        return _sigmoid(np.clip(self.predict_logit(features), -60.0, 60.0))
+
+    def is_background(
+        self, features: np.ndarray, polar_deg: np.ndarray | float
+    ) -> np.ndarray:
+        """Thresholded background calls (same semantics as the FP32 net)."""
+        prob = self.predict_proba(features)
+        polar = np.asarray(polar_deg, dtype=np.float64)
+        if polar.ndim == 0:
+            polar = np.full(prob.shape[0], float(polar))
+        return self.thresholds.classify(prob, polar)
+
+
+def quantize_background_net(
+    swapped_net: BackgroundNet,
+    features: np.ndarray,
+    labels: np.ndarray,
+    polar_deg: np.ndarray,
+    rng: np.random.Generator,
+    qat_epochs: int = 10,
+    qat_lr: float = 1e-4,
+    fn_weight: float = 1.5,
+) -> Int8BackgroundNet:
+    """Fuse, QAT-fine-tune, and convert a swapped-order background net.
+
+    Args:
+        swapped_net: A bundle trained with ``swapped=True`` blocks (the
+            non-swapped order cannot be fused; a ValueError results).
+        features: Calibration/fine-tuning features (raw, unscaled).
+        labels: Binary labels (1 = background).
+        polar_deg: Polar angles for threshold refitting.
+        rng: Random generator.
+        qat_epochs: Fine-tuning epochs with fake quantization.
+        qat_lr: Fine-tuning learning rate (small — QAT only nudges).
+        fn_weight: False-negative weight for threshold refitting.
+
+    Returns:
+        An :class:`Int8BackgroundNet`.
+    """
+    model = swapped_net.model
+    model.eval()
+    fused = fuse_linear_bn_relu(model)
+    qat = prepare_qat(fused)
+
+    x = swapped_net.scaler.transform(np.asarray(features, dtype=np.float64))
+    y = np.asarray(labels, dtype=np.float64).ravel()[:, None]
+    train_idx, val_idx, _ = train_val_test_split(x.shape[0], rng)
+    trainer = Trainer(
+        model=qat,
+        loss=BCEWithLogitsLoss(),
+        optimizer=SGD(qat.parameters(), lr=qat_lr, momentum=0.9),
+        batch_size=512,
+        max_epochs=qat_epochs,
+        patience=max(2, qat_epochs // 2),
+    )
+    trainer.fit(x[train_idx], y[train_idx], x[val_idx], y[val_idx], rng)
+    qat.eval()
+    # One calibration pass in training mode refreshes observer ranges with
+    # the final weights, then freeze.
+    qat.train()
+    qat.forward(x[train_idx][: min(8192, train_idx.size)])
+    qat.eval()
+    int8_model = convert_to_int8(qat)
+
+    bundle = Int8BackgroundNet(
+        model=int8_model,
+        scaler=swapped_net.scaler,
+        thresholds=PolarBinnedThresholds(),
+        include_polar=swapped_net.include_polar,
+    )
+    prob = bundle.predict_proba(np.asarray(features)[train_idx])
+    bundle.thresholds.fit(
+        prob,
+        y[train_idx, 0],
+        np.asarray(polar_deg, dtype=np.float64)[train_idx],
+        fn_weight=fn_weight,
+    )
+    return bundle

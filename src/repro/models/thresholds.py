@@ -1,0 +1,102 @@
+"""Per-polar-angle-bin output thresholds for the background classifier.
+
+The paper divides the polar-angle range into ten-degree bins and, for each
+bin, chooses the output threshold that minimizes training loss; inference
+selects the threshold dynamically from the input polar angle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class PolarBinnedThresholds:
+    """Threshold table over ten-degree polar-angle bins.
+
+    Attributes:
+        bin_edges: ``(n_bins + 1,)`` bin boundaries in degrees.
+        thresholds: ``(n_bins,)`` probability thresholds; a ring is called
+            *background* when its predicted background probability is >=
+            the threshold of its polar bin.
+    """
+
+    bin_edges: np.ndarray = field(
+        default_factory=lambda: np.arange(0.0, 100.0, 10.0)
+    )
+    thresholds: np.ndarray | None = None
+
+    @property
+    def num_bins(self) -> int:
+        return int(self.bin_edges.shape[0] - 1)
+
+    def bin_of(self, polar_deg: np.ndarray) -> np.ndarray:
+        """Bin index of each polar angle (clipped into range)."""
+        polar = np.asarray(polar_deg, dtype=np.float64)
+        idx = np.digitize(polar, self.bin_edges) - 1
+        return np.clip(idx, 0, self.num_bins - 1)
+
+    def fit(
+        self,
+        probabilities: np.ndarray,
+        labels: np.ndarray,
+        polar_deg: np.ndarray,
+        grid: np.ndarray | None = None,
+        fn_weight: float = 1.0,
+    ) -> "PolarBinnedThresholds":
+        """Choose per-bin thresholds minimizing weighted classification loss.
+
+        The loss in each bin is ``fp + fn_weight * fn`` over a threshold
+        grid — ``fn`` (a GRB ring wrongly discarded) may be weighted more
+        heavily than ``fp`` (a background ring kept), since refinement can
+        still down-weight survivors but can never recover a dropped ring.
+        Bins with no training rings inherit the global best threshold.
+
+        Args:
+            probabilities: ``(n,)`` predicted background probabilities.
+            labels: ``(n,)`` truth (1 = background).
+            polar_deg: ``(n,)`` training polar angles.
+            grid: Candidate thresholds (default 0.05..0.95 step 0.025).
+            fn_weight: Relative cost of a false negative.
+
+        Returns:
+            self (fitted).
+        """
+        probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+        labels = np.asarray(labels).ravel() > 0.5
+        polar = np.asarray(polar_deg, dtype=np.float64).ravel()
+        if grid is None:
+            grid = np.arange(0.05, 0.951, 0.025)
+
+        def best_threshold(p: np.ndarray, y: np.ndarray) -> float:
+            # Vectorized loss over the grid: (n, g) comparisons.
+            calls = p[:, None] >= grid[None, :]
+            fp = np.sum(calls & ~y[:, None], axis=0)
+            fn = np.sum(~calls & y[:, None], axis=0)
+            loss = fp + fn_weight * fn
+            return float(grid[int(np.argmin(loss))])
+
+        global_best = best_threshold(probabilities, labels)
+        thresholds = np.full(self.num_bins, global_best)
+        bins = self.bin_of(polar)
+        for b in range(self.num_bins):
+            sel = bins == b
+            if sel.sum() >= 20 and labels[sel].any() and (~labels[sel]).any():
+                thresholds[b] = best_threshold(probabilities[sel], labels[sel])
+        self.thresholds = thresholds
+        return self
+
+    def threshold_for(self, polar_deg: np.ndarray) -> np.ndarray:
+        """Thresholds applicable to the given polar angles."""
+        if self.thresholds is None:
+            raise RuntimeError("thresholds are not fitted")
+        return self.thresholds[self.bin_of(polar_deg)]
+
+    def classify(
+        self, probabilities: np.ndarray, polar_deg: np.ndarray
+    ) -> np.ndarray:
+        """Boolean background calls using the per-bin thresholds."""
+        probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+        return probabilities >= self.threshold_for(polar_deg)

@@ -1,0 +1,72 @@
+"""A from-scratch NumPy neural-network framework.
+
+Implements exactly what the paper's models need — Linear, BatchNorm1d,
+ReLU, Sigmoid blocks with manual backprop, SGD, binary cross-entropy and
+L2 losses, mini-batch training with early stopping — replacing PyTorch in
+this dependency-free reproduction.  Forward and backward passes are
+vectorized over the batch; no per-sample Python loops.
+"""
+
+from repro.nn.layers import (
+    BatchNorm1d,
+    Dropout,
+    Identity,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+from repro.nn.losses import BCEWithLogitsLoss, HuberLoss, L1Loss, Loss, MSELoss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedulers import (
+    CosineAnnealingLR,
+    LRScheduler,
+    StepLR,
+    clip_gradients,
+)
+from repro.nn.data import StandardScaler, batch_iterator, train_val_test_split
+from repro.nn.train import Trainer, TrainingHistory
+from repro.nn.metrics import (
+    binary_accuracy,
+    confusion_counts,
+    r2_score,
+    roc_auc,
+)
+from repro.nn.serialize import load_model_params, save_model_params
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "BatchNorm1d",
+    "ReLU",
+    "Sigmoid",
+    "Dropout",
+    "Identity",
+    "Sequential",
+    "Loss",
+    "BCEWithLogitsLoss",
+    "MSELoss",
+    "L1Loss",
+    "HuberLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "clip_gradients",
+    "StandardScaler",
+    "batch_iterator",
+    "train_val_test_split",
+    "Trainer",
+    "TrainingHistory",
+    "binary_accuracy",
+    "roc_auc",
+    "confusion_counts",
+    "r2_score",
+    "save_model_params",
+    "load_model_params",
+]

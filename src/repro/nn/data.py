@@ -1,0 +1,115 @@
+"""Data utilities: splits, batching, feature standardization.
+
+The paper uses an 80/20 train/test split with the training set further
+split 80/20 into train/validation; :func:`train_val_test_split` reproduces
+that protocol.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def train_val_test_split(
+    n: int,
+    rng: np.random.Generator,
+    test_fraction: float = 0.2,
+    val_fraction: float = 0.2,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled index split following the paper's 80/20 + 80/20 protocol.
+
+    Args:
+        n: Number of samples.
+        rng: Random generator.
+        test_fraction: Fraction held out for testing.
+        val_fraction: Fraction *of the remaining training pool* held out
+            for validation.
+
+    Returns:
+        ``(train_idx, val_idx, test_idx)`` index arrays (disjoint, covering
+        ``range(n)``).
+    """
+    if n < 3:
+        raise ValueError("need at least 3 samples to split")
+    if not (0.0 < test_fraction < 1.0) or not (0.0 < val_fraction < 1.0):
+        raise ValueError("fractions must be in (0, 1)")
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test = perm[:n_test]
+    pool = perm[n_test:]
+    n_val = max(1, int(round(pool.size * val_fraction)))
+    val = pool[:n_val]
+    train = pool[n_val:]
+    if train.size == 0:
+        raise ValueError("split left no training samples")
+    return train, val, test
+
+
+def batch_iterator(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield mini-batches; the final partial batch is included.
+
+    Args:
+        x: ``(n, d)`` inputs.
+        y: ``(n, ...)`` targets.
+        batch_size: Batch size.
+        rng: Generator for shuffling.
+        shuffle: Randomize order each pass.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    n = x.shape[0]
+    order = rng.permutation(n) if shuffle else np.arange(n)
+    for start in range(0, n, batch_size):
+        sel = order[start : start + batch_size]
+        yield x[sel], y[sel]
+
+
+@dataclass
+class StandardScaler:
+    """Feature standardization to zero mean / unit variance.
+
+    Zero-variance features are passed through unscaled (scale 1), so
+    constant inputs (e.g. a fixed polar-angle column in a single-angle
+    dataset) do not produce NaNs.
+
+    Attributes:
+        mean_: Per-feature means (set by :meth:`fit`).
+        scale_: Per-feature standard deviations.
+    """
+
+    mean_: np.ndarray | None = field(default=None)
+    scale_: np.ndarray | None = field(default=None)
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Estimate per-feature mean and scale from ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardize ``x`` with the fitted statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and return its standardized form."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform` (standardized -> original units)."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return np.asarray(x, dtype=np.float64) * self.scale_ + self.mean_

@@ -1,0 +1,304 @@
+"""Neural-network layers with manual backpropagation.
+
+Every layer implements ``forward`` (caching what backward needs) and
+``backward`` (returning the gradient w.r.t. its input and accumulating
+parameter gradients).  Shapes are ``(batch, features)`` throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator.
+
+    Attributes:
+        value: The parameter array (mutated in place by optimizers).
+        grad: Accumulated gradient, same shape.
+        name: Diagnostic label.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator to zero."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name or 'unnamed'}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class: a differentiable computation node."""
+
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for ``x``, caching backward state."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients; return the input gradient."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters (depth-first for containers)."""
+        return []
+
+    def train(self) -> "Module":
+        """Switch to training mode (affects BatchNorm/Dropout)."""
+        self.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode."""
+        self.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Reset every parameter's gradient accumulator."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W + b``.
+
+    Weights use He initialization (appropriate for the ReLU blocks of the
+    paper's architecture).
+
+    Args:
+        in_features: Input width.
+        out_features: Output width.
+        rng: Generator for weight init (a fixed default keeps module
+            construction deterministic when omitted).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("layer widths must be positive")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(in_features, out_features)), "weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), "bias")
+        self._x: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.value.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.value.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the feature axis.
+
+    Training mode normalizes with batch statistics and updates running
+    estimates; eval mode uses the running estimates — matching PyTorch's
+    semantics, which the paper's models rely on.
+
+    Args:
+        num_features: Feature width.
+        momentum: Running-statistics update rate.
+        eps: Variance floor.
+    """
+
+    def __init__(
+        self, num_features: int, momentum: float = 0.1, eps: float = 1e-5
+    ) -> None:
+        self.gamma = Parameter(np.ones(num_features), "gamma")
+        self.beta = Parameter(np.zeros(num_features), "beta")
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    @property
+    def num_features(self) -> int:
+        return self.gamma.value.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            n = x.shape[0]
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            # PyTorch uses the unbiased variance for the running estimate.
+            unbiased = var * (n / max(n - 1, 1))
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * unbiased
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        self.gamma.grad += (grad_out * x_hat).sum(axis=0)
+        self.beta.grad += grad_out.sum(axis=0)
+        if not self.training:
+            return grad_out * self.gamma.value * inv_std
+        n = grad_out.shape[0]
+        g = grad_out * self.gamma.value
+        # Standard batch-norm backward through batch statistics.
+        return (
+            inv_std
+            / n
+            * (n * g - g.sum(axis=0) - x_hat * (g * x_hat).sum(axis=0))
+        )
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid (numerically stable in both tails)."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = np.empty_like(x)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        y[~pos] = ex / (1.0 + ex)
+        self._y = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class Dropout(Module):
+    """Inverted dropout (identity in eval mode)."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        if not (0.0 <= p < 1.0):
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        self._mask = (self.rng.uniform(size=x.shape) >= self.p) / (1.0 - self.p)
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Identity(Module):
+    """No-op module (useful as a fused-layer placeholder)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for m in self.modules:
+            x = m.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for m in reversed(self.modules):
+            grad_out = m.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for m in self.modules:
+            out.extend(m.parameters())
+        return out
+
+    def train(self) -> "Sequential":
+        self.training = True
+        for m in self.modules:
+            m.train()
+        return self
+
+    def eval(self) -> "Sequential":
+        self.training = False
+        for m in self.modules:
+            m.eval()
+        return self
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, i: int) -> Module:
+        return self.modules[i]

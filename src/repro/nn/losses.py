@@ -1,0 +1,123 @@
+"""Loss functions: value + gradient w.r.t. predictions.
+
+The paper trains the background network with binary cross-entropy and the
+dEta network with an L2 (mean-squared-error) loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Base class: ``__call__`` returns (scalar loss, gradient)."""
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Mean squared error, averaged over all elements."""
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: {prediction.shape} vs {target.shape}"
+            )
+        diff = prediction - target
+        n = diff.size
+        return float(np.mean(diff**2)), (2.0 / n) * diff
+
+
+class L1Loss(Loss):
+    """Mean absolute error (subgradient 0 at exact zeros)."""
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: {prediction.shape} vs {target.shape}"
+            )
+        diff = prediction - target
+        n = diff.size
+        return float(np.mean(np.abs(diff))), np.sign(diff) / n
+
+
+class HuberLoss(Loss):
+    """Huber loss: quadratic near zero, linear beyond ``delta``.
+
+    More outlier-tolerant than L2 for the dEta regression, whose targets
+    have heavy tails.
+
+    Args:
+        delta: Quadratic-to-linear transition point.
+    """
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: {prediction.shape} vs {target.shape}"
+            )
+        diff = prediction - target
+        n = diff.size
+        abs_d = np.abs(diff)
+        quad = abs_d <= self.delta
+        loss_terms = np.where(
+            quad, 0.5 * diff**2, self.delta * (abs_d - 0.5 * self.delta)
+        )
+        grad = np.where(quad, diff, self.delta * np.sign(diff)) / n
+        return float(np.mean(loss_terms)), grad
+
+
+class BCEWithLogitsLoss(Loss):
+    """Binary cross-entropy on raw logits (numerically stable).
+
+    ``loss = mean( max(z,0) - z*y + log(1 + exp(-|z|)) )`` with gradient
+    ``(sigmoid(z) - y)/n``.  Optional per-class weighting compensates for
+    label imbalance (the retained rings split ~60/40 GRB/background).
+
+    Args:
+        pos_weight: Multiplier applied to positive-class terms.
+    """
+
+    def __init__(self, pos_weight: float = 1.0) -> None:
+        if pos_weight <= 0:
+            raise ValueError("pos_weight must be positive")
+        self.pos_weight = pos_weight
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        z = np.asarray(prediction, dtype=np.float64)
+        y = np.asarray(target, dtype=np.float64)
+        if z.shape != y.shape:
+            raise ValueError(f"shape mismatch: {z.shape} vs {y.shape}")
+        n = z.size
+        w = 1.0 + (self.pos_weight - 1.0) * y
+        loss_terms = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+        # Stable sigmoid.
+        sig = np.empty_like(z)
+        pos = z >= 0
+        sig[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        sig[~pos] = ez / (1.0 + ez)
+        grad = w * (sig - y) / n
+        return float(np.mean(w * loss_terms)), grad

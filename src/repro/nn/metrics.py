@@ -1,0 +1,73 @@
+"""Evaluation metrics for the classifier and regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def binary_accuracy(
+    probabilities: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> float:
+    """Fraction of correct thresholded predictions."""
+    probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel()
+    if probabilities.shape != labels.shape:
+        raise ValueError("shape mismatch")
+    if probabilities.size == 0:
+        raise ValueError("empty inputs")
+    return float(((probabilities >= threshold) == (labels > 0.5)).mean())
+
+
+def confusion_counts(
+    probabilities: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> dict[str, int]:
+    """True/false positive/negative counts at a threshold."""
+    probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel() > 0.5
+    pred = probabilities >= threshold
+    return {
+        "tp": int(np.sum(pred & labels)),
+        "fp": int(np.sum(pred & ~labels)),
+        "tn": int(np.sum(~pred & ~labels)),
+        "fn": int(np.sum(~pred & labels)),
+    }
+
+
+def roc_auc(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) identity.
+
+    Handles ties by midranking.  Requires both classes present.
+    """
+    p = np.asarray(probabilities, dtype=np.float64).ravel()
+    y = np.asarray(labels).ravel() > 0.5
+    n_pos = int(y.sum())
+    n_neg = int(y.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc requires both classes")
+    order = np.argsort(p, kind="mergesort")
+    ranks = np.empty(p.size, dtype=np.float64)
+    sorted_p = p[order]
+    # Midranks for ties.
+    i = 0
+    while i < p.size:
+        j = i
+        while j + 1 < p.size and sorted_p[j + 1] == sorted_p[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = ranks[y].sum()
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def r2_score(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Coefficient of determination."""
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    if predictions.shape != targets.shape:
+        raise ValueError("shape mismatch")
+    ss_res = np.sum((targets - predictions) ** 2)
+    ss_tot = np.sum((targets - targets.mean()) ** 2)
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return float(1.0 - ss_res / ss_tot)

@@ -1,0 +1,112 @@
+"""Optimizers operating in place on :class:`~repro.nn.layers.Parameter` lists.
+
+The paper trains with SGD; Adam is provided for the hyperparameter-search
+harness and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base optimizer."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not params:
+            raise ValueError("no parameters to optimize")
+        self.params = params
+        self.lr = lr
+
+    def step(self) -> None:
+        """Apply one update to every parameter from its current gradient."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset every managed parameter's gradient accumulator."""
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    Args:
+        params: Parameters to update.
+        lr: Learning rate.
+        momentum: Classical momentum coefficient (0 disables).
+        weight_decay: L2 penalty coefficient applied to the gradient.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.value
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.value -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba 2015).
+
+    Args:
+        params: Parameters to update.
+        lr: Learning rate.
+        betas: Exponential decay rates for the moment estimates.
+        eps: Denominator floor.
+        weight_decay: L2 penalty coefficient.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1c = 1.0 - self.beta1**self._t
+        b2c = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            p.value -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)

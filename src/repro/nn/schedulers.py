@@ -1,0 +1,101 @@
+"""Learning-rate schedulers.
+
+Operate directly on ``optimizer.lr``; call :meth:`step` once per epoch
+(the :class:`~repro.nn.train.Trainer` does this when given a scheduler).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: mutates the optimizer's learning rate per epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update ``optimizer.lr``."""
+        self.epoch += 1
+        self.optimizer.lr = self.lr_at(self.epoch)
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate the schedule prescribes at a given epoch."""
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs.
+
+    Args:
+        optimizer: Target optimizer.
+        step_size: Epochs between decays.
+        gamma: Multiplicative decay factor.
+    """
+
+    def __init__(
+        self, optimizer: Optimizer, step_size: int, gamma: float = 0.1
+    ) -> None:
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not (0.0 < gamma <= 1.0):
+            raise ValueError("gamma must be in (0, 1]")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs.
+
+    Args:
+        optimizer: Target optimizer.
+        t_max: Epochs over which to anneal (held at ``eta_min`` after).
+        eta_min: Final learning rate.
+    """
+
+    def __init__(
+        self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0
+    ) -> None:
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        if eta_min < 0:
+            raise ValueError("eta_min must be non-negative")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def lr_at(self, epoch: int) -> float:
+        t = min(epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + np.cos(np.pi * t / self.t_max)
+        )
+
+
+def clip_gradients(parameters, max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Args:
+        parameters: Iterable of :class:`~repro.nn.layers.Parameter`.
+        max_norm: Norm ceiling.
+
+    Returns:
+        The pre-clipping global norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    params = list(parameters)
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

@@ -1,0 +1,72 @@
+"""Model parameter (de)serialization via npz archives.
+
+Saves every :class:`~repro.nn.layers.Parameter` plus BatchNorm running
+statistics, keyed by position, so an identically constructed architecture
+can be restored exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm1d, Module, Sequential
+
+
+def _walk_batchnorms(model: Module) -> list[BatchNorm1d]:
+    out: list[BatchNorm1d] = []
+    if isinstance(model, BatchNorm1d):
+        out.append(model)
+    if isinstance(model, Sequential):
+        for m in model:
+            out.extend(_walk_batchnorms(m))
+    return out
+
+
+def save_model_params(model: Module, path: str | Path) -> None:
+    """Save parameters and BatchNorm running stats to an ``.npz`` file."""
+    arrays: dict[str, np.ndarray] = {}
+    for i, p in enumerate(model.parameters()):
+        arrays[f"param_{i}"] = p.value
+    for i, bn in enumerate(_walk_batchnorms(model)):
+        arrays[f"bn_{i}_mean"] = bn.running_mean
+        arrays[f"bn_{i}_var"] = bn.running_var
+    np.savez(Path(path), **arrays)
+
+
+def load_model_params(model: Module, path: str | Path) -> Module:
+    """Load parameters saved by :func:`save_model_params` into ``model``.
+
+    The model must have the same architecture (parameter count and
+    shapes) as the one that was saved.
+
+    Raises:
+        ValueError: On any count or shape mismatch.
+    """
+    with np.load(Path(path)) as data:
+        params = model.parameters()
+        n_saved = sum(1 for k in data.files if k.startswith("param_"))
+        if n_saved != len(params):
+            raise ValueError(
+                f"parameter count mismatch: file has {n_saved}, model has "
+                f"{len(params)}"
+            )
+        for i, p in enumerate(params):
+            saved = data[f"param_{i}"]
+            if saved.shape != p.value.shape:
+                raise ValueError(
+                    f"shape mismatch at param {i}: {saved.shape} vs "
+                    f"{p.value.shape}"
+                )
+            p.value[...] = saved
+        bns = _walk_batchnorms(model)
+        n_bn = sum(1 for k in data.files if k.endswith("_mean"))
+        if n_bn != len(bns):
+            raise ValueError(
+                f"batchnorm count mismatch: file has {n_bn}, model has {len(bns)}"
+            )
+        for i, bn in enumerate(bns):
+            bn.running_mean[...] = data[f"bn_{i}_mean"]
+            bn.running_var[...] = data[f"bn_{i}_var"]
+    return model

@@ -1,0 +1,137 @@
+"""Training loop with early stopping.
+
+Mirrors the paper's protocol: mini-batch SGD for up to ``max_epochs``
+(120 in the paper) with early stopping when validation loss stops
+improving; the best-validation parameters are restored at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.data import batch_iterator
+from repro.nn.layers import Module
+from repro.nn.losses import Loss
+from repro.nn.optim import Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run.
+
+    Attributes:
+        train_loss: Mean training loss per epoch.
+        val_loss: Validation loss per epoch.
+        best_epoch: Epoch index (0-based) of the best validation loss.
+        stopped_early: Whether patience expired before ``max_epochs``.
+    """
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+    stopped_early: bool = False
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.train_loss)
+
+
+@dataclass
+class Trainer:
+    """Mini-batch trainer with validation-based early stopping.
+
+    Attributes:
+        model: The network to train.
+        loss: Loss function.
+        optimizer: Parameter updater (built over ``model.parameters()``).
+        batch_size: Mini-batch size.
+        max_epochs: Epoch cap (paper: 120).
+        patience: Early-stopping patience in epochs without improvement.
+        min_delta: Minimum validation-loss improvement that resets patience.
+    """
+
+    model: Module
+    loss: Loss
+    optimizer: Optimizer
+    batch_size: int = 256
+    max_epochs: int = 120
+    patience: int = 10
+    min_delta: float = 1e-5
+    #: Optional per-epoch learning-rate scheduler (stepped after each epoch).
+    scheduler: "object | None" = None
+    #: Optional global gradient-norm ceiling (None disables clipping).
+    grad_clip_norm: float | None = None
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Loss on a dataset in eval mode (no parameter updates)."""
+        was_training = self.model.training
+        self.model.eval()
+        value, _ = self.loss(self.model.forward(x), y)
+        if was_training:
+            self.model.train()
+        return value
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray,
+        y_val: np.ndarray,
+        rng: np.random.Generator,
+    ) -> TrainingHistory:
+        """Train until early stopping or the epoch cap.
+
+        Args:
+            x_train: ``(n, d)`` training inputs.
+            y_train: Training targets (shape must match model output).
+            x_val: Validation inputs.
+            y_val: Validation targets.
+            rng: Generator for batch shuffling.
+
+        Returns:
+            The :class:`TrainingHistory`; the model is left holding the
+            parameters of the best validation epoch.
+        """
+        history = TrainingHistory()
+        best_val = np.inf
+        best_params: list[np.ndarray] | None = None
+        stale = 0
+
+        self.model.train()
+        for epoch in range(self.max_epochs):
+            epoch_losses = []
+            for xb, yb in batch_iterator(x_train, y_train, self.batch_size, rng):
+                self.optimizer.zero_grad()
+                pred = self.model.forward(xb)
+                value, grad = self.loss(pred, yb)
+                self.model.backward(grad)
+                if self.grad_clip_norm is not None:
+                    from repro.nn.schedulers import clip_gradients
+
+                    clip_gradients(self.model.parameters(), self.grad_clip_norm)
+                self.optimizer.step()
+                epoch_losses.append(value)
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            if self.scheduler is not None:
+                self.scheduler.step()
+
+            val = self.evaluate(x_val, y_val)
+            history.val_loss.append(val)
+            if val < best_val - self.min_delta:
+                best_val = val
+                history.best_epoch = epoch
+                best_params = [p.value.copy() for p in self.model.parameters()]
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    history.stopped_early = True
+                    break
+
+        if best_params is not None:
+            for p, saved in zip(self.model.parameters(), best_params):
+                p.value[...] = saved
+        self.model.eval()
+        return history

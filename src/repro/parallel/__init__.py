@@ -1,0 +1,11 @@
+"""Parallel execution utilities.
+
+Deterministic seed spawning plus a chunked process-pool map, per the
+hpc-parallel guidance: fan out independent trials/exposures across
+processes while keeping every stream reproducible from a single master
+seed.
+"""
+
+from repro.parallel.pool import chunk_indices, parallel_map, spawn_rngs
+
+__all__ = ["parallel_map", "spawn_rngs", "chunk_indices"]

@@ -1,0 +1,59 @@
+"""Process-pool helpers with reproducible random streams.
+
+``spawn_rngs`` derives independent, reproducible generators from one
+master seed via :class:`numpy.random.SeedSequence` — the canonical pattern
+for parallel Monte Carlo.  ``parallel_map`` runs an importable worker over
+argument tuples with an optional process pool, falling back to serial
+execution for one worker (or very small workloads) so callers need no
+branching.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """``n`` independent generators derived from one master seed."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return [np.random.default_rng(ss) for ss in np.random.SeedSequence(seed).spawn(n)]
+
+
+def chunk_indices(n_items: int, n_chunks: int) -> list[np.ndarray]:
+    """Split ``range(n_items)`` into up to ``n_chunks`` contiguous chunks.
+
+    Chunks are balanced to within one item; empty chunks are omitted.
+    """
+    if n_items < 0 or n_chunks < 1:
+        raise ValueError("n_items must be >= 0 and n_chunks >= 1")
+    chunks = np.array_split(np.arange(n_items), min(n_chunks, max(n_items, 1)))
+    return [c for c in chunks if c.size > 0]
+
+
+def parallel_map(
+    worker: Callable,
+    args: Sequence,
+    n_workers: int,
+    min_parallel: int = 4,
+) -> list:
+    """Map ``worker`` over ``args``, optionally across processes.
+
+    Args:
+        worker: Importable (module-level) callable taking one argument.
+        args: Argument list.
+        n_workers: Process count; <=1 (or a tiny workload) runs serially.
+        min_parallel: Workloads smaller than this run serially — pool
+            startup would dominate.
+
+    Returns:
+        Results in input order.
+    """
+    if n_workers <= 1 or len(args) < min_parallel:
+        return [worker(a) for a in args]
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(processes=n_workers) as pool:
+        return pool.map(worker, args)

@@ -1,0 +1,48 @@
+"""Photon-interaction physics and Monte-Carlo transport.
+
+This package is the repository's substitute for the Geant4 simulations the
+paper relies on: Klein--Nishina Compton scattering, photoelectric
+absorption, and (crude) pair production, transported through the layered
+ADAPT geometry.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.physics.compton import (
+    cos_theta_from_energies,
+    klein_nishina_differential,
+    rotate_directions,
+    sample_klein_nishina,
+    scattered_energy,
+)
+from repro.physics.crosssections import (
+    compton_mu,
+    interaction_probabilities,
+    klein_nishina_total,
+    pair_mu,
+    photoelectric_mu,
+    total_mu,
+)
+from repro.physics.spectra import (
+    BandSpectrum,
+    PowerLawSpectrum,
+    Spectrum,
+)
+from repro.physics.transport import TransportResult, transport_photons
+
+__all__ = [
+    "klein_nishina_differential",
+    "sample_klein_nishina",
+    "scattered_energy",
+    "cos_theta_from_energies",
+    "rotate_directions",
+    "klein_nishina_total",
+    "compton_mu",
+    "photoelectric_mu",
+    "pair_mu",
+    "total_mu",
+    "interaction_probabilities",
+    "Spectrum",
+    "BandSpectrum",
+    "PowerLawSpectrum",
+    "TransportResult",
+    "transport_photons",
+]

@@ -1,0 +1,267 @@
+"""Vectorized Monte-Carlo photon transport through the layered detector.
+
+This is the heart of the Geant4 substitute: batches of photons are stepped
+through the slab stack simultaneously; at each step every live photon
+samples an exponential optical depth, walks the geometric layer
+intersections to convert it into an interaction point (or escapes), chooses
+an interaction channel from the cross-section ratios, and either deposits
+energy and dies (photoelectric / pair, treated as local absorption) or
+Compton-scatters into a new direction and energy.
+
+Per the hpc-parallel guides, the inner loop is over *interaction
+generations* (a handful), never over photons; all per-photon work is NumPy
+array arithmetic on structure-of-arrays state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import Material, CSI
+from repro.geometry.tiles import DetectorGeometry
+from repro.physics.compton import (
+    rotate_directions,
+    sample_klein_nishina,
+    scattered_energy,
+)
+from repro.physics.crosssections import interaction_probabilities, total_mu
+
+#: Scattered photons below this energy are absorbed on the spot (their
+#: residual range is sub-millimeter in CsI), MeV.
+ABSORB_CUTOFF_MEV: float = 0.015
+
+#: Fate codes recorded per photon.
+FATE_NO_INTERACTION = 0  #: passed through without touching scintillator
+FATE_ESCAPED = 1  #: interacted >=1 time, then left the detector
+FATE_ABSORBED = 2  #: full energy chain terminated inside the detector
+FATE_MAX_GENERATIONS = 3  #: still alive when the generation cap was reached
+
+
+@dataclass
+class TransportResult:
+    """Structure-of-arrays record of all interactions ("hits") of a batch.
+
+    Hits are stored flat and tagged with the photon index they belong to;
+    within one photon, ``order`` counts interactions from 0 (the first
+    scatter).  Per-photon summary arrays have length ``num_photons``.
+
+    Attributes:
+        photon_index: ``(k,)`` index of the owning photon for each hit.
+        order: ``(k,)`` interaction order within the photon, from 0.
+        positions: ``(k, 3)`` true interaction positions, cm.
+        energies: ``(k,)`` true deposited energies, MeV.
+        num_interactions: ``(n,)`` hits per photon.
+        fate: ``(n,)`` FATE_* code per photon.
+        escaped_energy: ``(n,)`` energy carried away by escaping photons, MeV.
+    """
+
+    photon_index: np.ndarray
+    order: np.ndarray
+    positions: np.ndarray
+    energies: np.ndarray
+    num_interactions: np.ndarray
+    fate: np.ndarray
+    escaped_energy: np.ndarray
+
+    @property
+    def num_hits(self) -> int:
+        return int(self.photon_index.shape[0])
+
+    @property
+    def num_photons(self) -> int:
+        return int(self.num_interactions.shape[0])
+
+    def hits_of(self, photon: int) -> np.ndarray:
+        """Indices of this photon's hits, sorted by interaction order."""
+        idx = np.nonzero(self.photon_index == photon)[0]
+        return idx[np.argsort(self.order[idx], kind="stable")]
+
+
+def _material_path_to_geometric(
+    t_in: np.ndarray,
+    t_out: np.ndarray,
+    required_path: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert a required material path length into a geometric distance.
+
+    Walks each ray's (possibly unordered) slab-intersection intervals in
+    order of increasing entry distance, accumulating material path until
+    ``required_path`` is consumed.
+
+    Args:
+        t_in: ``(m, L)`` slab entry distances (may be negative/inf).
+        t_out: ``(m, L)`` slab exit distances.
+        required_path: ``(m,)`` material path to consume, cm.
+
+    Returns:
+        Tuple ``(t_star, escaped)`` — the geometric distance of the
+        interaction point (undefined where ``escaped``), and a boolean mask
+        of rays whose total remaining material path is insufficient.
+    """
+    # Clip intervals to the forward half-line.  A tiny epsilon keeps a photon
+    # sitting exactly on the face it just interacted at from re-counting
+    # zero-length path.
+    eps = 1e-12
+    start = np.maximum(t_in, eps)
+    end = np.maximum(t_out, eps)
+    lengths = np.maximum(end - start, 0.0)
+
+    order = np.argsort(start, axis=1)
+    start_sorted = np.take_along_axis(start, order, axis=1)
+    len_sorted = np.take_along_axis(lengths, order, axis=1)
+    cum = np.cumsum(len_sorted, axis=1)
+
+    total = cum[:, -1]
+    escaped = required_path >= total
+
+    # Index of the slab interval in which the required path is consumed.
+    idx = np.sum(cum < required_path[:, None], axis=1)
+    idx_safe = np.minimum(idx, cum.shape[1] - 1)
+    rows = np.arange(cum.shape[0])
+    prev = np.where(idx_safe > 0, cum[rows, idx_safe - 1], 0.0)
+    t_star = start_sorted[rows, idx_safe] + (required_path - prev)
+    return t_star, escaped
+
+
+def transport_photons(
+    geometry: DetectorGeometry,
+    origins: np.ndarray,
+    directions: np.ndarray,
+    energies: np.ndarray,
+    rng: np.random.Generator,
+    material: Material = CSI,
+    max_generations: int = 12,
+    absorb_cutoff_mev: float = ABSORB_CUTOFF_MEV,
+) -> TransportResult:
+    """Transport a batch of photons through the detector.
+
+    Args:
+        geometry: Slab-stack detector geometry.
+        origins: ``(n, 3)`` photon start positions, cm (typically on or
+            above the top face, or on a lateral entry plane).
+        directions: ``(n, 3)`` unit travel directions.
+        energies: ``(n,)`` photon energies, MeV.
+        rng: NumPy random generator (use spawned children for parallelism).
+        material: Scintillator material (all layers share it).
+        max_generations: Cap on interactions per photon.
+        absorb_cutoff_mev: Scattered photons below this energy are locally
+            absorbed.
+
+    Returns:
+        A :class:`TransportResult` with every interaction and per-photon fate.
+    """
+    origins = np.atleast_2d(np.asarray(origins, dtype=np.float64)).copy()
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64)).copy()
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    if np.any(norms == 0):
+        raise ValueError("zero-length direction vector")
+    directions /= norms
+    energies = np.atleast_1d(np.asarray(energies, dtype=np.float64)).copy()
+    n = origins.shape[0]
+    if directions.shape[0] != n or energies.shape[0] != n:
+        raise ValueError("origins, directions, energies must have equal length")
+    if np.any(energies <= 0):
+        raise ValueError("photon energies must be positive")
+
+    alive = np.ones(n, dtype=bool)
+    num_interactions = np.zeros(n, dtype=np.int64)
+    fate = np.full(n, FATE_NO_INTERACTION, dtype=np.int64)
+    escaped_energy = np.zeros(n, dtype=np.float64)
+
+    hit_photon: list[np.ndarray] = []
+    hit_order: list[np.ndarray] = []
+    hit_pos: list[np.ndarray] = []
+    hit_edep: list[np.ndarray] = []
+
+    for _generation in range(max_generations):
+        live_idx = np.nonzero(alive)[0]
+        if live_idx.size == 0:
+            break
+        pos = origins[live_idx]
+        dirs = directions[live_idx]
+        e = energies[live_idx]
+
+        t_in, t_out = geometry.segment_intersections(pos, dirs)
+        mu = total_mu(e, material)
+        required = rng.exponential(1.0, size=live_idx.size) / mu
+        t_star, escaped = _material_path_to_geometric(t_in, t_out, required)
+
+        esc_idx = live_idx[escaped]
+        if esc_idx.size:
+            alive[esc_idx] = False
+            escaped_energy[esc_idx] = energies[esc_idx]
+            fate[esc_idx] = np.where(
+                num_interactions[esc_idx] > 0, FATE_ESCAPED, FATE_NO_INTERACTION
+            )
+
+        act = ~escaped
+        act_idx = live_idx[act]
+        if act_idx.size == 0:
+            continue
+        new_pos = pos[act] + t_star[act, None] * dirs[act]
+        origins[act_idx] = new_pos
+        e_act = e[act]
+
+        p_c, p_pe, _p_pp = interaction_probabilities(e_act, material)
+        u = rng.uniform(0.0, 1.0, size=act_idx.size)
+        is_compton = u < p_c
+        # Photoelectric and pair both terminate with full local deposition.
+
+        edep = np.empty(act_idx.size, dtype=np.float64)
+        edep[~is_compton] = e_act[~is_compton]
+
+        if np.any(is_compton):
+            ci = np.nonzero(is_compton)[0]
+            cos_t = sample_klein_nishina(e_act[ci], rng)
+            e_sc = scattered_energy(e_act[ci], cos_t)
+            dep = e_act[ci] - e_sc
+            low = e_sc < absorb_cutoff_mev
+            # Locally absorb sub-cutoff scattered photons: deposit everything.
+            dep = np.where(low, e_act[ci], dep)
+            edep[ci] = dep
+            phi = rng.uniform(0.0, 2.0 * np.pi, size=ci.size)
+            new_dirs = rotate_directions(dirs[act][ci], cos_t, phi)
+            surv = ~low
+            surv_global = act_idx[ci[surv]]
+            directions[surv_global] = new_dirs[surv]
+            energies[surv_global] = e_sc[surv]
+            dead_global = act_idx[ci[low]]
+            alive[dead_global] = False
+            fate[dead_global] = FATE_ABSORBED
+        term_global = act_idx[~is_compton]
+        alive[term_global] = False
+        fate[term_global] = FATE_ABSORBED
+
+        hit_photon.append(act_idx)
+        hit_order.append(num_interactions[act_idx].copy())
+        hit_pos.append(new_pos)
+        hit_edep.append(edep)
+        num_interactions[act_idx] += 1
+
+    still = np.nonzero(alive)[0]
+    if still.size:
+        fate[still] = FATE_MAX_GENERATIONS
+        escaped_energy[still] = energies[still]
+
+    if hit_photon:
+        photon_index = np.concatenate(hit_photon)
+        order = np.concatenate(hit_order)
+        positions = np.concatenate(hit_pos, axis=0)
+        edeps = np.concatenate(hit_edep)
+    else:
+        photon_index = np.empty(0, dtype=np.int64)
+        order = np.empty(0, dtype=np.int64)
+        positions = np.empty((0, 3), dtype=np.float64)
+        edeps = np.empty(0, dtype=np.float64)
+
+    return TransportResult(
+        photon_index=photon_index,
+        order=order,
+        positions=positions,
+        energies=edeps,
+        num_interactions=num_interactions,
+        fate=fate,
+        escaped_energy=escaped_energy,
+    )

@@ -1,0 +1,9 @@
+"""The ML-enhanced localization pipeline (paper Fig. 6)."""
+
+from repro.pipeline.ml_pipeline import (
+    MLPipeline,
+    MLPipelineConfig,
+    MLPipelineOutcome,
+)
+
+__all__ = ["MLPipeline", "MLPipelineConfig", "MLPipelineOutcome"]

@@ -1,0 +1,32 @@
+"""Embedded-platform timing models and host stage timers."""
+
+from repro.platforms.platforms import (
+    ATOM,
+    RPI3B_PLUS,
+    PlatformModel,
+    StageTimes,
+)
+from repro.platforms.timing import StageTimer, time_pipeline_stages
+from repro.platforms.scheduler import ExecutionPlan, plan_cost_ms, plan_under_budget
+from repro.platforms.rate import (
+    RateCapacity,
+    max_sustainable_rate,
+    rate_capacity,
+    utilization,
+)
+
+__all__ = [
+    "PlatformModel",
+    "StageTimes",
+    "RPI3B_PLUS",
+    "ATOM",
+    "StageTimer",
+    "time_pipeline_stages",
+    "ExecutionPlan",
+    "plan_cost_ms",
+    "plan_under_budget",
+    "RateCapacity",
+    "rate_capacity",
+    "utilization",
+    "max_sustainable_rate",
+]

@@ -1,0 +1,115 @@
+"""Event-rate capacity analysis (paper Section VI).
+
+APT's "much larger detector demands event processing at a higher rate" —
+this module quantifies what each platform can sustain.  Reconstruction
+runs continuously on the event stream; localization bursts run when a
+trigger fires.  The sustainable event rate is set by the per-event
+reconstruction cost; the localization duty cycle then determines how much
+headroom remains for triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.platforms import (
+    PAPER_NOMINAL_EVENTS,
+    PlatformModel,
+)
+
+
+@dataclass(frozen=True)
+class RateCapacity:
+    """A platform's streaming capacity.
+
+    Attributes:
+        max_event_rate_hz: Events/s at which reconstruction alone
+            saturates the platform.
+        localization_ms: Full-pipeline latency (5 iterations + dEta) for
+            one trigger at the nominal ring yield.
+        triggers_per_second: Back-to-back localization throughput with no
+            reconstruction load.
+        utilization_at: Function-like mapping computed by
+            :func:`rate_capacity` for requested rates.
+    """
+
+    max_event_rate_hz: float
+    localization_ms: float
+    triggers_per_second: float
+
+
+def rate_capacity(platform: PlatformModel) -> RateCapacity:
+    """Derive streaming capacity from a platform's calibrated costs.
+
+    Args:
+        platform: Calibrated platform model.
+
+    Returns:
+        A :class:`RateCapacity`.
+    """
+    times = platform.predict()
+    recon_ms_per_event = times.mean_ms["Reconstruction"] / PAPER_NOMINAL_EVENTS
+    max_event_rate = 1000.0 / recon_ms_per_event
+    localization_ms = times.total_mean()
+    return RateCapacity(
+        max_event_rate_hz=max_event_rate,
+        localization_ms=localization_ms,
+        triggers_per_second=1000.0 / localization_ms,
+    )
+
+
+def utilization(
+    platform: PlatformModel,
+    event_rate_hz: float,
+    triggers_per_hour: float = 0.0,
+) -> float:
+    """Fraction of the platform consumed by a given workload.
+
+    Args:
+        platform: Calibrated platform model.
+        event_rate_hz: Continuous digitized-event rate.
+        triggers_per_hour: Localization bursts per hour (each pays the
+            full 5-iteration pipeline at the nominal ring yield).
+
+    Returns:
+        CPU utilization in [0, inf); > 1 means the platform cannot keep
+        up.
+
+    Raises:
+        ValueError: For negative rates.
+    """
+    if event_rate_hz < 0 or triggers_per_hour < 0:
+        raise ValueError("rates must be non-negative")
+    cap = rate_capacity(platform)
+    recon_load = event_rate_hz / cap.max_event_rate_hz
+    trigger_load = (triggers_per_hour / 3600.0) * (cap.localization_ms / 1000.0)
+    return recon_load + trigger_load
+
+
+def max_sustainable_rate(
+    platform: PlatformModel,
+    triggers_per_hour: float = 10.0,
+    headroom: float = 0.2,
+) -> float:
+    """Largest event rate keeping utilization below ``1 - headroom``.
+
+    Args:
+        platform: Calibrated platform model.
+        triggers_per_hour: Expected localization bursts.
+        headroom: Reserved capacity fraction.
+
+    Returns:
+        Sustainable continuous event rate, Hz.
+
+    Raises:
+        ValueError: If the trigger load alone exceeds the budget.
+    """
+    if not (0.0 <= headroom < 1.0):
+        raise ValueError("headroom must be in [0, 1)")
+    cap = rate_capacity(platform)
+    budget = (1.0 - headroom) - (triggers_per_hour / 3600.0) * (
+        cap.localization_ms / 1000.0
+    )
+    if budget <= 0:
+        raise ValueError("trigger load alone exceeds the capacity budget")
+    return budget * cap.max_event_rate_hz

@@ -1,0 +1,141 @@
+"""Host-side stage timing of the actual Python pipeline.
+
+Measures wall-clock milliseconds of each pipeline stage on the machine
+running this reproduction.  Absolute values are incomparable to the
+paper's C++/OpenMP implementation on embedded hardware; the point is (a)
+the workload counts that feed :class:`~repro.platforms.platforms
+.PlatformModel` and (b) the relative stage composition of *our*
+implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detector.response import DetectorResponse
+from repro.geometry.tiles import DetectorGeometry
+from repro.localization.pipeline import localize_rings, prepare_rings
+from repro.models.features import (
+    azimuth_angle_of,
+    extract_features,
+    polar_angle_of,
+)
+from repro.pipeline.ml_pipeline import MLPipeline
+from repro.reconstruction.ordering import order_hits
+from repro.sources.background import BackgroundModel
+from repro.sources.exposure import simulate_exposure
+from repro.sources.grb import GRBSource
+
+
+@dataclass
+class StageTimer:
+    """Accumulates named wall-clock intervals (milliseconds)."""
+
+    times_ms: dict[str, list[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager timing one interval under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = (time.perf_counter() - start) * 1e3
+            self.times_ms.setdefault(name, []).append(elapsed)
+
+    def mean_ms(self, name: str) -> float:
+        """Mean recorded milliseconds of stage ``name``."""
+        values = self.times_ms.get(name)
+        if not values:
+            raise KeyError(f"no samples for stage {name!r}")
+        return float(np.mean(values))
+
+    def range_ms(self, name: str) -> tuple[float, float]:
+        """(min, max) recorded milliseconds of stage ``name``."""
+        values = self.times_ms.get(name)
+        if not values:
+            raise KeyError(f"no samples for stage {name!r}")
+        return float(np.min(values)), float(np.max(values))
+
+
+@dataclass
+class PipelineTimingResult:
+    """One timed pipeline execution.
+
+    Attributes:
+        timer: Stage timings.
+        num_events: Digitized events fed to reconstruction.
+        num_rings: Rings that entered localization.
+    """
+
+    timer: StageTimer
+    num_events: int
+    num_rings: int
+
+
+def time_pipeline_stages(
+    geometry: DetectorGeometry,
+    response: DetectorResponse,
+    ml_pipeline: MLPipeline,
+    rng: np.random.Generator,
+    fluence_mev_cm2: float = 1.0,
+    repeats: int = 5,
+) -> PipelineTimingResult:
+    """Time every stage of the ML pipeline on fresh simulated bursts.
+
+    Stages mirror the paper's Table I/II rows: reconstruction (ordering +
+    ring building + filters), localization setup (feature extraction),
+    the two network inferences, and one approximation+refinement pass.
+
+    Args:
+        geometry: Detector geometry.
+        response: Detector response.
+        ml_pipeline: Trained pipeline (provides the two networks).
+        rng: Random generator.
+        fluence_mev_cm2: Burst brightness (paper: 1 MeV/cm^2, normal
+            incidence).
+        repeats: Independent timed bursts.
+
+    Returns:
+        A :class:`PipelineTimingResult` with per-stage samples and the
+        final burst's workload counts.
+    """
+    timer = StageTimer()
+    num_events = 0
+    num_rings = 0
+    for _ in range(repeats):
+        grb = GRBSource(fluence_mev_cm2=fluence_mev_cm2, polar_angle_deg=0.0)
+        exposure = simulate_exposure(geometry, rng, grb, BackgroundModel())
+        events = response.digitize(
+            exposure.transport, exposure.batch, rng, min_hits=2
+        )
+        num_events = events.num_events
+
+        with timer.stage("Reconstruction"):
+            order_hits(events)
+            rings = prepare_rings(events)
+        num_rings = rings.num_rings
+
+        s_hat = np.array([0.0, 0.0, 1.0])
+        with timer.stage("Localization Setup"):
+            feats = extract_features(
+                rings,
+                events,
+                polar_guess_deg=polar_angle_of(s_hat),
+                azimuth_deg=azimuth_angle_of(s_hat),
+            )
+        with timer.stage("DEta NN Inference"):
+            ml_pipeline.deta_net.predict_deta(feats)
+        with timer.stage("Bkg NN Inference"):
+            ml_pipeline.background_net.is_background(
+                feats, polar_angle_of(s_hat)
+            )
+        with timer.stage("Approx + Refine"):
+            localize_rings(rings, rng)
+    return PipelineTimingResult(
+        timer=timer, num_events=num_events, num_rings=num_rings
+    )

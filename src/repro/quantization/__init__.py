@@ -1,0 +1,40 @@
+"""INT8 quantization: observers, fake-quantization, fusion, QAT, and a
+true-integer inference engine (paper Section V).
+
+Mirrors PyTorch's Eager-Mode quantization-aware training: the model is
+retrained with the block order swapped to ``Linear -> BatchNorm -> ReLU``
+so the three fuse into a single linear stage, fake-quantization modules
+simulate INT8 rounding during training (straight-through gradients), and
+the converted model runs genuine int8 arithmetic with int32 accumulators.
+"""
+
+from repro.quantization.observers import MinMaxObserver, MovingAverageObserver
+from repro.quantization.fake_quant import (
+    FakeQuantize,
+    dequantize,
+    quantize,
+    quantize_symmetric_params,
+    quantize_affine_params,
+)
+from repro.quantization.fuse import fuse_linear_bn_relu
+from repro.quantization.qat import QATLinear, convert_to_int8, prepare_qat
+from repro.quantization.int8 import QuantizedLinear, QuantizedMLP
+from repro.quantization.strategies import post_training_quantize, weight_storage_bytes
+
+__all__ = [
+    "MinMaxObserver",
+    "MovingAverageObserver",
+    "quantize",
+    "dequantize",
+    "quantize_symmetric_params",
+    "quantize_affine_params",
+    "FakeQuantize",
+    "fuse_linear_bn_relu",
+    "prepare_qat",
+    "QATLinear",
+    "convert_to_int8",
+    "QuantizedLinear",
+    "QuantizedMLP",
+    "post_training_quantize",
+    "weight_storage_bytes",
+]

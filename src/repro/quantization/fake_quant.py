@@ -1,0 +1,107 @@
+"""Affine quantization primitives and the fake-quantization module.
+
+Quantization maps a float ``x`` to an integer ``q = round(x / scale) +
+zero_point`` clamped to the integer range; dequantization inverts it.
+*Fake* quantization applies quantize-then-dequantize in float, so training
+sees the rounding error while gradients flow via the straight-through
+estimator (pass-through inside the clamp range, zero outside).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.quantization.observers import MovingAverageObserver
+
+#: Signed int8 range (weights).
+INT8_MIN, INT8_MAX = -128, 127
+#: Unsigned 8-bit range (activations, PyTorch x86 quint8 convention).
+UINT8_MIN, UINT8_MAX = 0, 255
+
+
+def quantize_symmetric_params(
+    min_val: float, max_val: float, qmin: int = INT8_MIN, qmax: int = INT8_MAX
+) -> tuple[float, int]:
+    """Symmetric (zero_point = 0) scale for a range — used for weights."""
+    bound = max(abs(min_val), abs(max_val), 1e-12)
+    scale = bound / max(qmax, -qmin)
+    return scale, 0
+
+
+def quantize_affine_params(
+    min_val: float, max_val: float, qmin: int = UINT8_MIN, qmax: int = UINT8_MAX
+) -> tuple[float, int]:
+    """Affine scale/zero-point covering [min_val, max_val] — activations.
+
+    The range is widened to include zero so that zero is exactly
+    representable (required for correct padding/ReLU semantics).
+    """
+    lo = min(min_val, 0.0)
+    hi = max(max_val, 0.0)
+    scale = max((hi - lo) / (qmax - qmin), 1e-12)
+    zero_point = int(round(qmin - lo / scale))
+    return scale, int(np.clip(zero_point, qmin, qmax))
+
+
+def quantize(
+    x: np.ndarray, scale: float, zero_point: int, qmin: int, qmax: int
+) -> np.ndarray:
+    """Float -> integer grid (returns int32 for headroom in callers)."""
+    q = np.round(x / scale) + zero_point
+    return np.clip(q, qmin, qmax).astype(np.int32)
+
+
+def dequantize(q: np.ndarray, scale: float, zero_point: int) -> np.ndarray:
+    """Integer grid -> float."""
+    return (q.astype(np.float64) - zero_point) * scale
+
+
+class FakeQuantize(Module):
+    """Quantize-dequantize pass-through with straight-through gradients.
+
+    In training mode the module observes the tensor range (moving
+    average), computes affine INT8 parameters, and emits the rounded
+    tensor; gradients pass through where the input fell inside the clamp
+    range and are zeroed outside.  In eval mode the last-computed
+    parameters are used without further observation.
+
+    Args:
+        symmetric: Use symmetric signed-int8 parameters (weights) rather
+            than affine unsigned (activations).
+        momentum: Observer EMA momentum.
+    """
+
+    def __init__(self, symmetric: bool = False, momentum: float = 0.01) -> None:
+        self.symmetric = symmetric
+        self.observer = MovingAverageObserver(momentum)
+        self.scale: float = 1.0
+        self.zero_point: int = 0
+        self._mask: np.ndarray | None = None
+
+    @property
+    def qrange(self) -> tuple[int, int]:
+        return (INT8_MIN, INT8_MAX) if self.symmetric else (UINT8_MIN, UINT8_MAX)
+
+    def compute_qparams(self) -> tuple[float, int]:
+        """(scale, zero_point) for the currently observed range."""
+        lo, hi = self.observer.range()
+        if self.symmetric:
+            return quantize_symmetric_params(lo, hi)
+        return quantize_affine_params(lo, hi)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            self.observer.observe(x)
+            self.scale, self.zero_point = self.compute_qparams()
+        qmin, qmax = self.qrange
+        lo = (qmin - self.zero_point) * self.scale
+        hi = (qmax - self.zero_point) * self.scale
+        self._mask = (x >= lo) & (x <= hi)
+        q = quantize(x, self.scale, self.zero_point, qmin, qmax)
+        return dequantize(q, self.scale, self.zero_point)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask

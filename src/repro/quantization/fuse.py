@@ -1,0 +1,74 @@
+"""Layer fusion: fold BatchNorm into the preceding Linear.
+
+The paper retrains the background model with each block's Linear and
+BatchNorm order swapped (``Linear -> BatchNorm -> ReLU``) precisely so the
+three can be fused into one linear stage for quantization and FPGA
+synthesis.  With BN statistics (mu, var) and affine (gamma, beta) frozen:
+
+``y = gamma * (xW + b - mu) / sqrt(var + eps) + beta = x W' + b'``
+
+where ``W' = W * g``, ``b' = (b - mu) * g + beta``, ``g = gamma /
+sqrt(var + eps)`` (broadcast over output features).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm1d, Identity, Linear, Module, Sequential
+
+
+def _fold(linear: Linear, bn: BatchNorm1d) -> Linear:
+    g = bn.gamma.value / np.sqrt(bn.running_var + bn.eps)
+    fused = Linear(linear.in_features, linear.out_features)
+    fused.weight.value[...] = linear.weight.value * g[None, :]
+    fused.bias.value[...] = (linear.bias.value - bn.running_mean) * g + bn.beta.value
+    return fused
+
+
+def fuse_linear_bn_relu(model: Sequential) -> Sequential:
+    """Fuse every ``Linear -> BatchNorm1d`` pair (ReLU kept as is).
+
+    The model must be in eval mode (fusion bakes in the running
+    statistics).  Layers that do not match the pattern are passed through
+    unchanged.
+
+    Args:
+        model: A swapped-order network (``Linear -> BN -> ReLU`` blocks).
+
+    Returns:
+        A new :class:`Sequential` with fused Linear layers.
+
+    Raises:
+        ValueError: If the model is in training mode, or a BatchNorm is
+            not immediately preceded by a Linear of matching width.
+    """
+    if model.training:
+        raise ValueError("fuse a model in eval mode (running stats are baked in)")
+    fused_modules: list[Module] = []
+    i = 0
+    mods = list(model)
+    while i < len(mods):
+        m = mods[i]
+        if (
+            isinstance(m, Linear)
+            and i + 1 < len(mods)
+            and isinstance(mods[i + 1], BatchNorm1d)
+        ):
+            bn = mods[i + 1]
+            if bn.num_features != m.out_features:
+                raise ValueError(
+                    "BatchNorm width does not match preceding Linear output"
+                )
+            fused_modules.append(_fold(m, bn))
+            i += 2
+        elif isinstance(m, BatchNorm1d):
+            raise ValueError("found BatchNorm1d not preceded by a Linear")
+        elif isinstance(m, Identity):
+            i += 1
+        else:
+            fused_modules.append(m)
+            i += 1
+    fused = Sequential(*fused_modules)
+    fused.eval()
+    return fused

@@ -1,0 +1,163 @@
+"""True-integer INT8 inference engine.
+
+Each layer stores int8 weights and an int32 bias; inference quantizes the
+input once, then every layer computes
+
+``acc = (x_q - zx) @ W_q + b_q``              (int32 accumulators)
+``y_q = clamp(round(acc * M) + zy)``          (requantization)
+
+with ``M = s_x s_w / s_y`` the floating requantization multiplier (real
+deployments use a fixed-point M; float M is numerically identical at these
+sizes).  ReLU in the quantized domain is ``max(y_q, zy)``.  The final
+layer's output is dequantized to a float logit — the sigmoid is elided and
+the decision threshold applied to the logit, exactly as the paper does on
+the FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quantization.fake_quant import (
+    INT8_MAX,
+    INT8_MIN,
+    UINT8_MAX,
+    UINT8_MIN,
+    quantize,
+)
+
+
+@dataclass
+class QuantizedLinear:
+    """One integer linear stage.
+
+    Attributes:
+        weight_q: ``(in, out)`` int8 weights.
+        bias_q: ``(out,)`` int32 bias in accumulator units
+            (``bias / (s_x s_w)``).
+        in_zero_point: Zero point of the incoming activation.
+        requant_multiplier: ``s_x s_w / s_y``.
+        out_zero_point: Zero point of the outgoing activation.
+        relu: Apply quantized ReLU after requantization.
+        out_float_scale: Scale to dequantize this layer's output (used for
+            the final logit).
+    """
+
+    weight_q: np.ndarray
+    bias_q: np.ndarray
+    in_zero_point: int
+    #: Scalar (per-tensor) or ``(out,)`` vector (per-channel) multiplier.
+    requant_multiplier: float | np.ndarray
+    out_zero_point: int
+    relu: bool
+    out_float_scale: float
+
+    @staticmethod
+    def from_float(
+        weight: np.ndarray,
+        bias: np.ndarray,
+        weight_scale: float | np.ndarray,
+        in_scale: float,
+        in_zero_point: int,
+        out_scale: float,
+        out_zero_point: int,
+        relu: bool,
+        weight_qmin: int = INT8_MIN,
+        weight_qmax: int = INT8_MAX,
+    ) -> "QuantizedLinear":
+        """Quantize a float layer given its observed scales.
+
+        ``weight_scale`` may be a scalar (per-tensor) or an ``(out,)``
+        vector (per-channel symmetric quantization); the requantization
+        multiplier inherits the same shape.  ``weight_qmin/qmax`` allow
+        narrower weight grids (e.g. INT4) while keeping the activation
+        path 8-bit.
+        """
+        weight_scale = np.asarray(weight_scale, dtype=np.float64)
+        if weight_scale.ndim == 0:
+            w_q = quantize(
+                weight, float(weight_scale), 0, weight_qmin, weight_qmax
+            )
+        else:
+            if weight_scale.shape != (weight.shape[1],):
+                raise ValueError("per-channel scale must have one entry per "
+                                 "output feature")
+            q = np.round(weight / weight_scale[None, :])
+            w_q = np.clip(q, weight_qmin, weight_qmax).astype(np.int32)
+        acc_scale = in_scale * weight_scale  # scalar or (out,)
+        b_q = np.round(bias / acc_scale).astype(np.int64)
+        multiplier = acc_scale / out_scale
+        return QuantizedLinear(
+            weight_q=w_q.astype(np.int8),
+            bias_q=b_q,
+            in_zero_point=in_zero_point,
+            requant_multiplier=(
+                float(multiplier) if np.ndim(multiplier) == 0 else multiplier
+            ),
+            out_zero_point=out_zero_point,
+            relu=relu,
+            out_float_scale=out_scale,
+        )
+
+    def forward_int(self, x_q: np.ndarray) -> np.ndarray:
+        """Integer forward: uint8-domain activations in, uint8 out.
+
+        Args:
+            x_q: ``(batch, in)`` int32-held quantized activations.
+
+        Returns:
+            ``(batch, out)`` int32-held quantized activations.
+        """
+        acc = (x_q - self.in_zero_point).astype(np.int64) @ self.weight_q.astype(
+            np.int64
+        )
+        acc += self.bias_q
+        y = np.round(acc * self.requant_multiplier) + self.out_zero_point
+        y = np.clip(y, UINT8_MIN, UINT8_MAX).astype(np.int32)
+        if self.relu:
+            y = np.maximum(y, self.out_zero_point)
+        return y
+
+    def dequantize_output(self, y_q: np.ndarray) -> np.ndarray:
+        """Quantized activations -> float."""
+        return (y_q.astype(np.float64) - self.out_zero_point) * self.out_float_scale
+
+
+@dataclass
+class QuantizedMLP:
+    """A stack of :class:`QuantizedLinear` stages with one input quantizer.
+
+    Attributes:
+        input_scale: Input activation scale.
+        input_zero_point: Input activation zero point.
+        layers: The integer stages, in order.
+    """
+
+    input_scale: float
+    input_zero_point: int
+    layers: list[QuantizedLinear]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Float features in, float logits out (integer path inside)."""
+        x_q = quantize(
+            np.asarray(x, dtype=np.float64),
+            self.input_scale,
+            self.input_zero_point,
+            UINT8_MIN,
+            UINT8_MAX,
+        )
+        for layer in self.layers:
+            x_q = layer.forward_int(x_q)
+        return self.layers[-1].dequantize_output(x_q)
+
+    def predict_logit(self, x: np.ndarray) -> np.ndarray:
+        """Alias returning ``(batch,)`` logits for a 1-output head."""
+        out = self.forward(x)
+        return out[:, 0]
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total int8 weight storage, bytes."""
+        return int(sum(layer.weight_q.size for layer in self.layers))

@@ -1,0 +1,75 @@
+"""Range observers for quantization parameter estimation.
+
+Observers track the dynamic range of tensors flowing through a point in
+the network; the observed range determines the INT8 scale and zero point,
+exactly as in PyTorch's quantization workflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxObserver:
+    """Tracks the global min/max ever observed."""
+
+    def __init__(self) -> None:
+        self.min_val: float = np.inf
+        self.max_val: float = -np.inf
+
+    def observe(self, x: np.ndarray) -> None:
+        """Update the range with a batch of values."""
+        if x.size == 0:
+            return
+        self.min_val = min(self.min_val, float(np.min(x)))
+        self.max_val = max(self.max_val, float(np.max(x)))
+
+    @property
+    def initialized(self) -> bool:
+        return self.min_val <= self.max_val
+
+    def range(self) -> tuple[float, float]:
+        """The observed (min, max); (0, 1) before any observation."""
+        if not self.initialized:
+            return 0.0, 1.0
+        return self.min_val, self.max_val
+
+
+class MovingAverageObserver:
+    """Exponential-moving-average min/max (PyTorch's QAT default).
+
+    Smoother than the global extremum under batch noise, which matters
+    during QAT when early untrained activations have wild ranges.
+
+    Args:
+        momentum: EMA update weight of the newest batch.
+    """
+
+    def __init__(self, momentum: float = 0.01) -> None:
+        if not (0.0 < momentum <= 1.0):
+            raise ValueError("momentum must be in (0, 1]")
+        self.momentum = momentum
+        self.min_val: float | None = None
+        self.max_val: float | None = None
+
+    def observe(self, x: np.ndarray) -> None:
+        """Fold a batch of values into the running range estimate."""
+        if x.size == 0:
+            return
+        lo, hi = float(np.min(x)), float(np.max(x))
+        if self.min_val is None:
+            self.min_val, self.max_val = lo, hi
+        else:
+            m = self.momentum
+            self.min_val = (1.0 - m) * self.min_val + m * lo
+            self.max_val = (1.0 - m) * self.max_val + m * hi
+
+    @property
+    def initialized(self) -> bool:
+        return self.min_val is not None
+
+    def range(self) -> tuple[float, float]:
+        """The current (min, max) estimate; (0, 1) before observation."""
+        if self.min_val is None or self.max_val is None:
+            return 0.0, 1.0
+        return self.min_val, self.max_val

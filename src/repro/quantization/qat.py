@@ -1,0 +1,145 @@
+"""Quantization-aware training (QAT) and conversion to INT8.
+
+``prepare_qat`` rewrites a fused network (``Linear``/``ReLU`` stack) into
+QAT form: each Linear becomes a :class:`QATLinear` whose weights are
+fake-quantized symmetrically every forward pass and whose activations pass
+through an affine fake-quantizer — matching PyTorch's Eager-Mode flow the
+paper uses.  After fine-tuning, ``convert_to_int8`` freezes the observed
+ranges into a :class:`~repro.quantization.int8.QuantizedMLP` running true
+integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module, ReLU, Sequential
+from repro.quantization.fake_quant import FakeQuantize
+from repro.quantization.int8 import QuantizedLinear, QuantizedMLP
+
+
+class QATLinear(Module):
+    """A Linear layer with fake-quantized weights and output.
+
+    The weight fake-quantizer is symmetric int8 (per-tensor), the output
+    activation fake-quantizer affine uint8; both train with
+    straight-through gradients.
+
+    Args:
+        linear: The (fused) float layer to wrap; its parameters are shared
+            and continue to be trained.
+    """
+
+    def __init__(self, linear: Linear) -> None:
+        self.linear = linear
+        self.weight_fq = FakeQuantize(symmetric=True)
+        self.act_fq = FakeQuantize(symmetric=False)
+        self._x: np.ndarray | None = None
+        self._wq: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.weight_fq.training = self.training
+        self.act_fq.training = self.training
+        w = self.linear.weight.value
+        wq = self.weight_fq.forward(w)
+        self._x = x
+        self._wq = wq
+        y = x @ wq + self.linear.bias.value
+        return self.act_fq.forward(y)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None or self._wq is None:
+            raise RuntimeError("backward called before forward")
+        grad_y = self.act_fq.backward(grad_out)
+        grad_w = self._x.T @ grad_y
+        self.linear.weight.grad += self.weight_fq.backward(grad_w)
+        self.linear.bias.grad += grad_y.sum(axis=0)
+        return grad_y @ self._wq.T
+
+    def parameters(self):
+        return self.linear.parameters()
+
+    def train(self) -> "QATLinear":
+        self.training = True
+        self.weight_fq.training = True
+        self.act_fq.training = True
+        return self
+
+    def eval(self) -> "QATLinear":
+        self.training = False
+        self.weight_fq.training = False
+        self.act_fq.training = False
+        return self
+
+
+def prepare_qat(fused: Sequential) -> Sequential:
+    """Rewrite a fused Linear/ReLU network for QAT.
+
+    An input fake-quantizer is prepended (the integer engine quantizes its
+    input once), every Linear becomes a :class:`QATLinear`, and ReLUs are
+    kept (their output range is re-observed by the next layer's input
+    effectively through the preceding activation quantizer).
+
+    Raises:
+        ValueError: If the model contains anything but Linear/ReLU.
+    """
+    modules: list[Module] = [FakeQuantize(symmetric=False)]
+    for m in fused:
+        if isinstance(m, Linear):
+            modules.append(QATLinear(m))
+        elif isinstance(m, ReLU):
+            modules.append(m)
+        else:
+            raise ValueError(
+                f"prepare_qat expects a fused Linear/ReLU stack, found "
+                f"{type(m).__name__}"
+            )
+    return Sequential(*modules)
+
+
+def convert_to_int8(qat_model: Sequential) -> QuantizedMLP:
+    """Freeze a QAT model into a true-integer INT8 engine.
+
+    Args:
+        qat_model: The fine-tuned network from :func:`prepare_qat`.
+
+    Returns:
+        A :class:`QuantizedMLP` with int8 weights and integer arithmetic.
+
+    Raises:
+        ValueError: If the model was not produced by :func:`prepare_qat`.
+    """
+    mods = list(qat_model)
+    if not mods or not isinstance(mods[0], FakeQuantize):
+        raise ValueError("expected a prepare_qat model (input FakeQuantize first)")
+    input_fq: FakeQuantize = mods[0]
+    layers: list[QuantizedLinear] = []
+    in_scale, in_zp = input_fq.scale, input_fq.zero_point
+    i = 1
+    while i < len(mods):
+        m = mods[i]
+        if isinstance(m, QATLinear):
+            relu = i + 1 < len(mods) and isinstance(mods[i + 1], ReLU)
+            w_scale, _ = m.weight_fq.compute_qparams()
+            out_scale, out_zp = m.act_fq.scale, m.act_fq.zero_point
+            layers.append(
+                QuantizedLinear.from_float(
+                    weight=m.linear.weight.value,
+                    bias=m.linear.bias.value,
+                    weight_scale=w_scale,
+                    in_scale=in_scale,
+                    in_zero_point=in_zp,
+                    out_scale=out_scale,
+                    out_zero_point=out_zp,
+                    relu=relu,
+                )
+            )
+            in_scale, in_zp = out_scale, out_zp
+            i += 2 if relu else 1
+        else:
+            raise ValueError(f"unexpected module {type(m).__name__} in QAT model")
+    return QuantizedMLP(
+        input_scale=input_fq.scale,
+        input_zero_point=input_fq.zero_point,
+        layers=layers,
+    )

@@ -1,0 +1,31 @@
+"""Event reconstruction: digitized events -> Compton rings.
+
+Implements the pre-localization stages of the paper's pipeline: ordering
+the hits of each event (Boggs--Jean style kinematic consistency), building
+the Compton ring ``(c, eta, d eta)`` from the first two hits and the total
+energy, estimating ``d eta`` by propagation of error from the nominal
+detector uncertainties, and applying reconstruction-quality filters.
+"""
+
+from repro.reconstruction.ordering import OrderingResult, order_hits
+from repro.reconstruction.rings import RingSet, build_rings
+from repro.reconstruction.error_propagation import propagate_deta
+from repro.reconstruction.filters import FilterConfig, quality_filter
+from repro.reconstruction.escape import (
+    EscapeEstimate,
+    estimate_escape_energy,
+    eta_with_escape_correction,
+)
+
+__all__ = [
+    "order_hits",
+    "OrderingResult",
+    "RingSet",
+    "build_rings",
+    "propagate_deta",
+    "quality_filter",
+    "FilterConfig",
+    "EscapeEstimate",
+    "estimate_escape_energy",
+    "eta_with_escape_correction",
+]

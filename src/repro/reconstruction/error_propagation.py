@@ -1,0 +1,90 @@
+"""Propagation-of-error estimate of the ring-width ``d eta``.
+
+Following prior work (Boggs & Jean 2000, paper ref. [22]), the uncertainty
+of the scattering-angle cosine is propagated from the detector's *nominal*
+per-hit uncertainties:
+
+* **Energy term.**  With ``eta = 1 - m_e(1/E' - 1/E)``, ``E = sum_i E_i``
+  and ``E' = E - E_1``:
+
+  - ``d eta / d E_1 = -m_e / E^2``
+  - ``d eta / d E_i = m_e / E'^2 - m_e / E^2`` for ``i != 1``
+
+* **Spatial term.**  Position errors tilt the ring axis ``c`` by roughly
+  ``delta ~ sigma_perp / L`` (``L`` the first-to-second hit distance);
+  a tilt of the axis shifts ``c . s`` by up to ``sin(theta) * delta``, so
+  ``d eta_spatial = sin(theta) * sqrt(sigma_perp1^2 + sigma_perp2^2) / L``.
+
+This estimate is *deliberately incomplete* — identically to the paper, it
+knows nothing about hit mis-ordering or the unmodeled detector noise, so a
+subpopulation of rings has true ``eta`` errors far larger than ``d eta``.
+Quantifying (and fixing) that failure is the dEta network's job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import ELECTRON_MASS_MEV
+
+_ME = ELECTRON_MASS_MEV
+
+#: Lower bound applied to propagated d eta to avoid zero-width rings.
+DETA_FLOOR: float = 1e-4
+
+
+def propagate_deta(
+    total_energy: np.ndarray,
+    first_energy: np.ndarray,
+    sigma_total_sq: np.ndarray,
+    sigma_first: np.ndarray,
+    axis: np.ndarray,
+    eta: np.ndarray,
+    pos_first: np.ndarray,
+    pos_second: np.ndarray,
+    sigma_pos_first: np.ndarray,
+    sigma_pos_second: np.ndarray,
+) -> np.ndarray:
+    """Propagate nominal measurement errors into a ``d eta`` per ring.
+
+    Args:
+        total_energy: ``(m,)`` measured total event energies ``E``, MeV.
+        first_energy: ``(m,)`` measured first-hit deposits ``E_1``, MeV.
+        sigma_total_sq: ``(m,)`` summed variance of *all* the event's hit
+            energies (the variance of ``E``), MeV^2.
+        sigma_first: ``(m,)`` nominal sigma of ``E_1``, MeV.
+        axis: ``(m, 3)`` unit ring axes ``c``.
+        eta: ``(m,)`` scattering-angle cosines.
+        pos_first: ``(m, 3)`` measured first-hit positions, cm.
+        pos_second: ``(m, 3)`` measured second-hit positions, cm.
+        sigma_pos_first: ``(m, 3)`` nominal position sigmas of hit 1, cm.
+        sigma_pos_second: ``(m, 3)`` nominal position sigmas of hit 2, cm.
+
+    Returns:
+        ``(m,)`` propagated ``d eta`` (floored at :data:`DETA_FLOOR`).
+    """
+    total_energy = np.asarray(total_energy, dtype=np.float64)
+    first_energy = np.asarray(first_energy, dtype=np.float64)
+    scattered = total_energy - first_energy
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # dE_1 appears only through E (it cancels in E' = E - E_1 since E'
+        # is the sum of the other hits): d eta/d E_1 = -m_e/E^2.
+        # The other hits appear in both E and E'.
+        d_d1 = -_ME / total_energy**2
+        d_other = _ME / scattered**2 - _ME / total_energy**2
+        sigma_other_sq = np.maximum(sigma_total_sq - sigma_first**2, 0.0)
+        var_energy = d_d1**2 * sigma_first**2 + d_other**2 * sigma_other_sq
+
+        # Spatial term.
+        lever = pos_first - pos_second
+        dist = np.linalg.norm(lever, axis=1)
+        sin_theta = np.sqrt(np.clip(1.0 - np.clip(eta, -1.0, 1.0) ** 2, 0.0, 1.0))
+        # Variance perpendicular to the axis for each hit.
+        perp1 = np.sum(sigma_pos_first**2 * (1.0 - axis**2), axis=1)
+        perp2 = np.sum(sigma_pos_second**2 * (1.0 - axis**2), axis=1)
+        var_spatial = sin_theta**2 * (perp1 + perp2) / dist**2
+
+    deta = np.sqrt(np.maximum(var_energy + var_spatial, 0.0))
+    deta = np.where(np.isfinite(deta), deta, 1.0)
+    return np.maximum(deta, DETA_FLOOR)

@@ -1,0 +1,25 @@
+"""Photon sources: GRBs and atmospheric background.
+
+Generates batches of primary photons (origins, directions, energies,
+arrival times, truth labels) ready for :func:`repro.physics.transport_photons`.
+"""
+
+from repro.sources.lightcurve import FREDLightCurve, LightCurve, UniformLightCurve
+from repro.sources.grb import GRBSource, LABEL_BACKGROUND, LABEL_GRB, PhotonBatch
+from repro.sources.background import BackgroundModel
+from repro.sources.exposure import Exposure, simulate_exposure
+from repro.sources.catalog import PopulationModel
+
+__all__ = [
+    "PhotonBatch",
+    "GRBSource",
+    "BackgroundModel",
+    "LightCurve",
+    "UniformLightCurve",
+    "FREDLightCurve",
+    "Exposure",
+    "simulate_exposure",
+    "PopulationModel",
+    "LABEL_GRB",
+    "LABEL_BACKGROUND",
+]

@@ -1,0 +1,68 @@
+"""GRB light-curve models for photon arrival-time sampling.
+
+Short GRBs last 10 ms -- 2 s (paper Section IV); all experiments use a
+1-second window.  Arrival times matter for time-windowed exposure assembly
+and future pile-up studies, not for localization accuracy itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class LightCurve:
+    """Base class: samples photon arrival times within ``[0, duration]``."""
+
+    duration_s: float
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` arrival times within ``[0, duration_s]``."""
+        raise NotImplementedError
+
+
+@dataclass
+class UniformLightCurve(LightCurve):
+    """Constant emission over the burst duration."""
+
+    duration_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(0.0, self.duration_s, size=n)
+
+
+@dataclass
+class FREDLightCurve(LightCurve):
+    """Fast-rise exponential-decay profile, the canonical GRB pulse shape.
+
+    Intensity ``I(t) ~ (t/t_rise) exp(-t/t_decay)`` for ``t in [0, duration]``,
+    sampled by inverse CDF on a fine grid.
+
+    Attributes:
+        duration_s: Burst window length (samples are clipped inside it).
+        t_rise_s: Rise timescale.
+        t_decay_s: Decay timescale.
+    """
+
+    duration_s: float = 1.0
+    t_rise_s: float = 0.05
+    t_decay_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if min(self.duration_s, self.t_rise_s, self.t_decay_s) <= 0:
+            raise ValueError("all timescales must be positive")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        t = np.linspace(0.0, self.duration_s, 2048)
+        intensity = (t / self.t_rise_s) * np.exp(-t / self.t_decay_s)
+        cdf = np.concatenate(
+            [[0.0], np.cumsum(0.5 * (intensity[1:] + intensity[:-1]) * np.diff(t))]
+        )
+        cdf /= cdf[-1]
+        u = rng.uniform(0.0, 1.0, size=n)
+        return np.interp(u, cdf, t)

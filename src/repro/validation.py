@@ -1,0 +1,175 @@
+"""Physics self-validation suite.
+
+Users who modify materials, geometry, or spectra need a fast way to check
+the Monte Carlo still agrees with analytic expectations.  Each check here
+compares a simulated quantity against its closed-form prediction and
+returns a :class:`CheckResult`; :func:`run_all` bundles the standard
+battery.  The same comparisons run (with assertions) in the test suite;
+this module exposes them as a library so validation can run on *modified*
+configurations, not just the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import CSI, Material
+from repro.geometry.tiles import DetectorGeometry, adapt_geometry
+from repro.physics.compton import klein_nishina_differential, sample_klein_nishina
+from repro.physics.crosssections import total_mu
+from repro.physics.transport import transport_photons
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one validation check.
+
+    Attributes:
+        name: Check identifier.
+        measured: Simulated value.
+        expected: Analytic prediction.
+        tolerance: Allowed relative deviation.
+        passed: Whether ``|measured - expected| <= tolerance * |expected|``.
+    """
+
+    name: str
+    measured: float
+    expected: float
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        return abs(self.measured - self.expected) <= self.tolerance * abs(
+            self.expected
+        )
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.name}: measured={self.measured:.4g} "
+            f"expected={self.expected:.4g} (tol {self.tolerance:.0%})"
+        )
+
+
+def check_attenuation(
+    geometry: DetectorGeometry | None = None,
+    material: Material = CSI,
+    energy_mev: float = 0.5,
+    n_photons: int = 40_000,
+    seed: int = 0,
+    tolerance: float = 0.05,
+) -> CheckResult:
+    """Interaction probability of a normal beam vs Beer--Lambert.
+
+    The fraction of photons interacting anywhere in the stack must match
+    ``1 - exp(-mu * total_thickness)``.
+    """
+    geometry = geometry or adapt_geometry()
+    rng = np.random.default_rng(seed)
+    half = geometry.half_size * 0.5
+    origins = np.stack(
+        [
+            rng.uniform(-half, half, n_photons),
+            rng.uniform(-half, half, n_photons),
+            np.full(n_photons, 1.0),
+        ],
+        axis=1,
+    )
+    directions = np.tile([0.0, 0.0, -1.0], (n_photons, 1))
+    result = transport_photons(
+        geometry, origins, directions, np.full(n_photons, energy_mev), rng,
+        material=material,
+    )
+    measured = float((result.num_interactions > 0).mean())
+    depth = sum(layer.thickness for layer in geometry.layers)
+    expected = float(1.0 - np.exp(-total_mu(energy_mev, material) * depth))
+    return CheckResult(
+        name=f"attenuation@{energy_mev}MeV",
+        measured=measured,
+        expected=expected,
+        tolerance=tolerance,
+    )
+
+
+def check_energy_conservation(
+    geometry: DetectorGeometry | None = None,
+    n_photons: int = 20_000,
+    seed: int = 1,
+) -> CheckResult:
+    """Deposited + escaped energy must equal the injected energy exactly."""
+    geometry = geometry or adapt_geometry()
+    rng = np.random.default_rng(seed)
+    energies = rng.uniform(0.05, 5.0, n_photons)
+    origins = np.tile([0.0, 0.0, 1.0], (n_photons, 1))
+    directions = np.tile([0.0, 0.0, -1.0], (n_photons, 1))
+    result = transport_photons(geometry, origins, directions, energies, rng)
+    sums = np.zeros(n_photons)
+    np.add.at(sums, result.photon_index, result.energies)
+    residual = float(np.abs(sums + result.escaped_energy - energies).max())
+    return CheckResult(
+        name="energy-conservation",
+        measured=residual,
+        expected=0.0,
+        tolerance=0.0,
+    )
+
+
+def check_klein_nishina(
+    energy_mev: float = 2.0,
+    n_samples: int = 100_000,
+    seed: int = 2,
+    tolerance: float = 0.05,
+) -> CheckResult:
+    """Sampled scattering-cosine mean vs the analytic distribution mean."""
+    rng = np.random.default_rng(seed)
+    samples = sample_klein_nishina(np.full(n_samples, energy_mev), rng)
+    grid = np.linspace(-1.0, 1.0, 20001)
+    pdf = klein_nishina_differential(np.full_like(grid, energy_mev), grid)
+    norm = np.trapezoid(pdf, grid)
+    expected = float(np.trapezoid(grid * pdf, grid) / norm)
+    return CheckResult(
+        name=f"klein-nishina-mean@{energy_mev}MeV",
+        measured=float(samples.mean()),
+        expected=expected,
+        tolerance=tolerance,
+    )
+
+
+def run_all(
+    geometry: DetectorGeometry | None = None,
+    material: Material = CSI,
+) -> list[CheckResult]:
+    """Run the standard validation battery.
+
+    Energy conservation is exact (machine precision); a residual above
+    1e-9 reports as failed via a special-case comparison.
+
+    Args:
+        geometry: Geometry under test (ADAPT default if omitted).
+        material: Scintillator under test.
+
+    Returns:
+        One :class:`CheckResult` per check.
+    """
+    results = [
+        check_attenuation(geometry, material, energy_mev=0.2),
+        check_attenuation(geometry, material, energy_mev=1.0),
+        check_energy_conservation(geometry),
+        check_klein_nishina(energy_mev=0.5),
+        check_klein_nishina(energy_mev=5.0),
+    ]
+    return results
+
+
+def passed(results: list[CheckResult]) -> bool:
+    """True when every check passed (the conservation check passes when
+    its residual is below 1e-9 MeV)."""
+    ok = True
+    for r in results:
+        if r.name == "energy-conservation":
+            ok &= r.measured < 1e-9
+        else:
+            ok &= r.passed
+    return ok

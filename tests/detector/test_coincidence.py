@@ -1,0 +1,165 @@
+"""Tests for the coincidence-window event builder (pile-up)."""
+
+import numpy as np
+import pytest
+
+from repro.detector.coincidence import (
+    CoincidenceConfig,
+    build_events_with_pileup,
+)
+from repro.physics.transport import TransportResult
+from repro.sources.grb import PhotonBatch
+
+
+def make_transport_and_batch(times, hits_per_photon):
+    """Synthetic transport: each photon gets the given number of hits."""
+    n = len(times)
+    photon_index = np.repeat(np.arange(n), hits_per_photon)
+    order = np.concatenate([np.arange(c) for c in hits_per_photon])
+    k = photon_index.size
+    rng = np.random.default_rng(0)
+    transport = TransportResult(
+        photon_index=photon_index,
+        order=order,
+        positions=rng.normal(size=(k, 3)),
+        energies=rng.uniform(0.05, 0.5, k),
+        num_interactions=np.asarray(hits_per_photon),
+        fate=np.full(n, 2),
+        escaped_energy=np.zeros(n),
+    )
+    batch = PhotonBatch(
+        origins=np.zeros((n, 3)),
+        directions=np.tile([0.0, 0.0, -1.0], (n, 1)),
+        energies=np.full(n, 1.0),
+        times=np.asarray(times, dtype=np.float64),
+        labels=np.arange(n, dtype=np.int64) % 2,
+        source_direction=np.array([0.0, 0.0, 1.0]),
+    )
+    return transport, batch
+
+
+class TestCoincidenceConfig:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            CoincidenceConfig(window_s=0.0)
+
+
+class TestBuildEvents:
+    def test_well_separated_photons_unchanged(self):
+        transport, batch = make_transport_and_batch(
+            [0.0, 0.1, 0.2], [2, 2, 2]
+        )
+        result = build_events_with_pileup(
+            transport, batch, CoincidenceConfig(window_s=1e-6)
+        )
+        assert result.pileup_fraction == 0.0
+        assert result.batch.num_photons == 3
+        assert result.transport.num_hits == 6
+
+    def test_coincident_photons_merged(self):
+        transport, batch = make_transport_and_batch(
+            [0.100000, 0.1000005, 0.5], [2, 2, 2]
+        )
+        result = build_events_with_pileup(
+            transport, batch, CoincidenceConfig(window_s=1e-6)
+        )
+        # Photons 0 and 1 merge; photon 2 stands alone.
+        assert result.batch.num_photons == 2
+        counts = np.bincount(result.transport.photon_index)
+        assert sorted(counts.tolist()) == [2, 4]
+        assert result.pileup_fraction == pytest.approx(0.5)
+
+    def test_merged_event_inherits_trigger_truth(self):
+        transport, batch = make_transport_and_batch(
+            [0.2000001, 0.2, 0.9], [1, 1, 1]
+        )
+        result = build_events_with_pileup(
+            transport, batch, CoincidenceConfig(window_s=1e-6)
+        )
+        # The earlier photon (index 1, t=0.2) triggers the merged event.
+        assert result.batch.times[0] == pytest.approx(0.2)
+        assert result.batch.labels[0] == batch.labels[1]
+
+    def test_order_renumbered_within_group(self):
+        transport, batch = make_transport_and_batch(
+            [0.0, 0.0000001], [2, 3]
+        )
+        result = build_events_with_pileup(
+            transport, batch, CoincidenceConfig(window_s=1e-6)
+        )
+        assert result.batch.num_photons == 1
+        hits = result.transport.hits_of(0)
+        assert np.array_equal(result.transport.order[hits], np.arange(5))
+
+    def test_rolling_window_chains(self):
+        """A chain of photons each within the window of the previous one
+        merges into a single event (standard rolling event builder)."""
+        transport, batch = make_transport_and_batch(
+            [0.0, 0.9e-6, 1.8e-6, 2.7e-6], [1, 1, 1, 1]
+        )
+        result = build_events_with_pileup(
+            transport, batch, CoincidenceConfig(window_s=1e-6)
+        )
+        assert result.batch.num_photons == 1
+        assert result.pileup_fraction == 1.0
+
+    def test_group_of_photon_mapping(self):
+        transport, batch = make_transport_and_batch(
+            [0.0, 0.5, 0.5000001], [1, 1, 1]
+        )
+        result = build_events_with_pileup(
+            transport, batch, CoincidenceConfig(window_s=1e-6)
+        )
+        g = result.group_of_photon
+        assert g[1] == g[2]
+        assert g[0] != g[1]
+
+    def test_empty_transport(self):
+        transport, batch = make_transport_and_batch([0.0], [1])
+        empty = TransportResult(
+            photon_index=np.empty(0, dtype=np.int64),
+            order=np.empty(0, dtype=np.int64),
+            positions=np.empty((0, 3)),
+            energies=np.empty(0),
+            num_interactions=np.zeros(1, dtype=np.int64),
+            fate=np.zeros(1, dtype=np.int64),
+            escaped_energy=np.zeros(1),
+        )
+        result = build_events_with_pileup(empty, batch)
+        assert result.pileup_fraction == 0.0
+        assert np.all(result.group_of_photon == -1)
+
+    def test_pileup_rate_increases_with_window(self, geometry, response):
+        """On a real exposure, wider windows mean more pile-up."""
+        from repro.sources.background import BackgroundModel
+        from repro.sources.exposure import simulate_exposure
+        from repro.sources.grb import GRBSource
+
+        rng = np.random.default_rng(3)
+        exp = simulate_exposure(
+            geometry, rng, GRBSource(fluence_mev_cm2=2.0), BackgroundModel()
+        )
+        narrow = build_events_with_pileup(
+            exp.transport, exp.batch, CoincidenceConfig(window_s=1e-7)
+        )
+        wide = build_events_with_pileup(
+            exp.transport, exp.batch, CoincidenceConfig(window_s=1e-3)
+        )
+        assert wide.pileup_fraction > narrow.pileup_fraction
+
+    def test_digitization_accepts_rebuilt_events(self, geometry, response):
+        from repro.sources.background import BackgroundModel
+        from repro.sources.exposure import simulate_exposure
+        from repro.sources.grb import GRBSource
+
+        rng = np.random.default_rng(4)
+        exp = simulate_exposure(
+            geometry, rng, GRBSource(fluence_mev_cm2=1.0), BackgroundModel()
+        )
+        rebuilt = build_events_with_pileup(
+            exp.transport, exp.batch, CoincidenceConfig(window_s=1e-5)
+        )
+        events = response.digitize(
+            rebuilt.transport, rebuilt.batch, rng, min_hits=2
+        )
+        assert events.num_events > 0

@@ -1,0 +1,86 @@
+"""Tests for readout deadtime models."""
+
+import numpy as np
+import pytest
+
+from repro.detector.deadtime import DeadtimeModel
+
+
+class TestLiveFraction:
+    def test_zero_rate_fully_live(self):
+        model = DeadtimeModel(tau_s=1e-5)
+        assert model.live_fraction(0.0) == pytest.approx(1.0)
+
+    def test_nonparalyzable_formula(self):
+        model = DeadtimeModel(tau_s=1e-5, paralyzable=False)
+        assert model.live_fraction(1e5) == pytest.approx(0.5)
+
+    def test_paralyzable_formula(self):
+        model = DeadtimeModel(tau_s=1e-5, paralyzable=True)
+        assert model.live_fraction(1e5) == pytest.approx(np.exp(-1.0))
+
+    def test_monotone_decreasing(self):
+        model = DeadtimeModel(tau_s=1e-5)
+        rates = np.geomspace(1.0, 1e7, 30)
+        live = model.live_fraction(rates)
+        assert np.all(np.diff(live) < 0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DeadtimeModel().live_fraction(-1.0)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            DeadtimeModel(tau_s=0.0)
+
+
+class TestRecordedRate:
+    def test_nonparalyzable_saturates(self):
+        model = DeadtimeModel(tau_s=1e-5, paralyzable=False)
+        assert model.recorded_rate(1e8) == pytest.approx(
+            model.saturation_rate(), rel=0.05
+        )
+
+    def test_paralyzable_rolls_over(self):
+        """Paralyzable throughput peaks at 1/tau and then declines."""
+        model = DeadtimeModel(tau_s=1e-5, paralyzable=True)
+        peak = model.recorded_rate(1e5)
+        beyond = model.recorded_rate(5e5)
+        assert beyond < peak
+
+
+class TestApply:
+    def test_widely_spaced_all_recorded(self):
+        model = DeadtimeModel(tau_s=1e-6)
+        times = np.arange(10) * 1e-3
+        assert model.apply(times).all()
+
+    def test_burst_loses_followers(self):
+        model = DeadtimeModel(tau_s=1e-3, paralyzable=False)
+        times = np.array([0.0, 1e-4, 2e-4, 2e-3])
+        mask = model.apply(times)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_paralyzable_extends_busy(self):
+        model = DeadtimeModel(tau_s=1e-3, paralyzable=True)
+        # Second arrival extends the busy window past the third.
+        times = np.array([0.0, 0.9e-3, 1.5e-3])
+        mask = model.apply(times)
+        assert mask.tolist() == [True, False, False]
+        # Non-paralyzable would have recorded the third.
+        np_model = DeadtimeModel(tau_s=1e-3, paralyzable=False)
+        assert np_model.apply(times).tolist() == [True, False, True]
+
+    def test_unsorted_input_handled(self):
+        model = DeadtimeModel(tau_s=1e-3)
+        times = np.array([2e-3, 0.0, 1e-4])
+        mask = model.apply(times)
+        assert mask.tolist() == [True, True, False]
+
+    def test_empirical_live_fraction_matches_formula(self):
+        model = DeadtimeModel(tau_s=1e-5, paralyzable=False)
+        rng = np.random.default_rng(0)
+        rate = 2e5
+        times = np.cumsum(rng.exponential(1.0 / rate, 200_000))
+        recorded = model.apply(times).mean()
+        assert recorded == pytest.approx(model.live_fraction(rate), rel=0.02)

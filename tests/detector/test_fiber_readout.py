@@ -1,0 +1,143 @@
+"""Tests for the fiber-level readout and ghost-hit model."""
+
+import numpy as np
+import pytest
+
+from repro.detector.fiber_readout import (
+    FiberReadoutConfig,
+    cluster_fibers,
+    project_to_fibers,
+    readout_layer,
+)
+from repro.geometry.fibers import FiberGrid
+
+
+def quiet_config(**kw):
+    defaults = dict(fiber_noise_pe=0.0, fiber_threshold=0.005)
+    defaults.update(kw)
+    return FiberReadoutConfig(**defaults)
+
+
+class TestConfig:
+    def test_invalid_sharing(self):
+        with pytest.raises(ValueError):
+            FiberReadoutConfig(light_sharing=0.5)
+
+    def test_invalid_match_sigma(self):
+        with pytest.raises(ValueError):
+            FiberReadoutConfig(energy_match_sigma=0.0)
+
+
+class TestProjection:
+    def test_energy_conserved_without_noise(self):
+        cfg = quiet_config(fiber_threshold=0.0)
+        rng = np.random.default_rng(0)
+        signals, _ = project_to_fibers(
+            np.array([0.0, 5.0]), np.array([0.3, 0.5]), cfg, rng
+        )
+        assert signals.sum() == pytest.approx(0.8, rel=1e-9)
+
+    def test_light_sharing_spreads_to_neighbors(self):
+        cfg = quiet_config(fiber_threshold=0.0, light_sharing=0.2)
+        rng = np.random.default_rng(1)
+        signals, _ = project_to_fibers(np.array([0.0]), np.array([1.0]), cfg, rng)
+        fired = np.nonzero(signals > 1e-6)[0]
+        assert fired.size == 3
+        assert signals[fired[1]] == pytest.approx(0.6)
+
+    def test_owner_tracking(self):
+        cfg = quiet_config(fiber_threshold=0.0)
+        rng = np.random.default_rng(2)
+        signals, owners = project_to_fibers(
+            np.array([-10.0, 10.0]), np.array([0.5, 0.5]), cfg, rng
+        )
+        grid = cfg.grid
+        assert owners[grid.fiber_index(np.array([-10.0]))[0]] == 0
+        assert owners[grid.fiber_index(np.array([10.0]))[0]] == 1
+
+
+class TestClustering:
+    def test_separated_deposits_two_clusters(self):
+        cfg = quiet_config()
+        rng = np.random.default_rng(3)
+        signals, owners = project_to_fibers(
+            np.array([-10.0, 10.0]), np.array([0.4, 0.6]), cfg, rng
+        )
+        clusters, cluster_owners = cluster_fibers(signals, owners, cfg)
+        assert len(clusters) == 2
+        assert sorted(cluster_owners) == [0, 1]
+        positions = sorted(c.position_cm for c in clusters)
+        assert positions[0] == pytest.approx(-10.0, abs=cfg.grid.pitch_cm)
+        assert positions[1] == pytest.approx(10.0, abs=cfg.grid.pitch_cm)
+
+    def test_adjacent_deposits_merge(self):
+        cfg = quiet_config()
+        rng = np.random.default_rng(4)
+        signals, owners = project_to_fibers(
+            np.array([0.0, 0.2]), np.array([0.4, 0.4]), cfg, rng
+        )
+        clusters, _ = cluster_fibers(signals, owners, cfg)
+        assert len(clusters) == 1
+
+    def test_empty(self):
+        cfg = quiet_config()
+        clusters, owners = cluster_fibers(
+            np.zeros(cfg.grid.num_fibers), np.full(cfg.grid.num_fibers, -1),
+            cfg,
+        )
+        assert clusters == [] and owners == []
+
+
+class TestReadoutLayer:
+    def test_single_hit_reconstructed(self):
+        cfg = quiet_config()
+        rng = np.random.default_rng(5)
+        result = readout_layer(
+            np.array([[3.0, -7.0]]), np.array([0.5]), cfg, rng
+        )
+        assert result.positions_xy.shape == (1, 2)
+        assert not result.is_ghost[0]
+        assert result.positions_xy[0, 0] == pytest.approx(3.0, abs=0.3)
+        assert result.positions_xy[0, 1] == pytest.approx(-7.0, abs=0.3)
+        assert result.energies[0] == pytest.approx(0.5, rel=0.05)
+
+    def test_two_distinct_energies_paired_correctly(self):
+        """Energy matching resolves the 2-hit ambiguity when deposits
+        differ clearly."""
+        cfg = quiet_config()
+        rng = np.random.default_rng(6)
+        result = readout_layer(
+            np.array([[-10.0, -10.0], [10.0, 10.0]]),
+            np.array([0.2, 0.8]),
+            cfg,
+            rng,
+        )
+        assert result.positions_xy.shape == (2, 2)
+        assert not result.is_ghost.any()
+        # Hits land near the true crossings, not the ghost crossings.
+        for true in ([-10.0, -10.0], [10.0, 10.0]):
+            d = np.linalg.norm(result.positions_xy - true, axis=1).min()
+            assert d < 0.5
+
+    def test_equal_energies_can_ghost(self):
+        """With equal deposits, pairing is ambiguous; across many trials
+        a nonzero ghost fraction appears (and is truthfully flagged)."""
+        cfg = FiberReadoutConfig(fiber_noise_pe=0.004)
+        ghost_any = 0
+        for seed in range(40):
+            rng = np.random.default_rng(100 + seed)
+            result = readout_layer(
+                np.array([[-8.0, -8.0], [8.0, 8.0]]),
+                np.array([0.4, 0.4]),
+                cfg,
+                rng,
+            )
+            if result.is_ghost.any():
+                ghost_any += 1
+        assert 0 < ghost_any < 40
+
+    def test_noise_only_layer(self):
+        cfg = FiberReadoutConfig(fiber_noise_pe=0.0)
+        rng = np.random.default_rng(7)
+        result = readout_layer(np.empty((0, 2)), np.empty(0), cfg, rng)
+        assert result.positions_xy.shape == (0, 2)

@@ -1,0 +1,47 @@
+"""Tests for the Fig. 10 input perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.detector.perturb import perturb_events
+
+
+class TestPerturbEvents:
+    def test_zero_epsilon_is_identity(self, events):
+        out = perturb_events(events, 0.0, np.random.default_rng(0))
+        assert out is events
+
+    def test_negative_epsilon_raises(self, events):
+        with pytest.raises(ValueError):
+            perturb_events(events, -1.0, np.random.default_rng(0))
+
+    def test_noise_scale(self, events):
+        """Empirical relative deviation matches eps%."""
+        eps = 10.0
+        rng = np.random.default_rng(1)
+        out = perturb_events(events, eps, rng)
+        nonzero = np.abs(events.positions) > 1.0
+        rel = (out.positions - events.positions)[nonzero] / np.abs(
+            events.positions
+        )[nonzero]
+        assert rel.std() == pytest.approx(eps / 100.0, rel=0.1)
+
+    def test_energies_non_negative(self, events):
+        out = perturb_events(events, 50.0, np.random.default_rng(2))
+        assert np.all(out.energies >= 0.0)
+
+    def test_sigmas_unchanged(self, events):
+        """The pipeline must NOT know about the perturbation."""
+        out = perturb_events(events, 10.0, np.random.default_rng(3))
+        assert np.array_equal(out.sigma_energy, events.sigma_energy)
+        assert np.array_equal(out.sigma_position, events.sigma_position)
+
+    def test_truth_unchanged(self, events):
+        out = perturb_events(events, 10.0, np.random.default_rng(4))
+        assert np.array_equal(out.true_positions, events.true_positions)
+        assert np.array_equal(out.true_energies, events.true_energies)
+
+    def test_structure_unchanged(self, events):
+        out = perturb_events(events, 5.0, np.random.default_rng(5))
+        assert np.array_equal(out.event_offsets, events.event_offsets)
+        assert np.array_equal(out.labels, events.labels)

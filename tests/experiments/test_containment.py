@@ -1,0 +1,71 @@
+"""Tests for containment statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.containment import containment, containment_with_errorbars
+
+
+class TestContainment:
+    def test_order_statistic_semantics(self):
+        errors = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0])
+        # 68% of 10 -> ceil(6.8) = 7th smallest.
+        assert containment(errors, 0.68) == 7.0
+        assert containment(errors, 0.95) == 10.0
+
+    def test_full_containment_is_max(self):
+        errors = np.array([3.0, 1.0, 2.0])
+        assert containment(errors, 1.0) == 3.0
+
+    def test_single_trial(self):
+        assert containment(np.array([5.0]), 0.68) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            containment(np.array([]), 0.68)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            containment(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            containment(np.array([1.0]), 1.5)
+
+    def test_unsorted_input(self):
+        errors = np.array([9.0, 1.0, 5.0, 3.0, 7.0])
+        assert containment(errors, 0.6) == 5.0
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=180), min_size=1, max_size=100),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=100)
+    def test_properties(self, errors, level):
+        errors = np.array(errors)
+        c = containment(errors, level)
+        assert errors.min() <= c <= errors.max()
+        # At least level fraction of trials are within the radius.
+        assert (errors <= c).mean() >= level - 1e-12
+
+    @given(st.lists(st.floats(min_value=0, max_value=180), min_size=2, max_size=50))
+    @settings(max_examples=50)
+    def test_monotone_in_level(self, errors):
+        errors = np.array(errors)
+        assert containment(errors, 0.5) <= containment(errors, 0.9)
+
+
+class TestErrorBars:
+    def test_mean_and_std(self):
+        sets = [np.array([1.0, 2.0, 3.0]), np.array([2.0, 3.0, 4.0])]
+        mean, std = containment_with_errorbars(sets, 1.0)
+        assert mean == pytest.approx(3.5)
+        assert std == pytest.approx(0.5)
+
+    def test_single_meta_trial_zero_std(self):
+        mean, std = containment_with_errorbars([np.array([1.0, 5.0])], 0.95)
+        assert std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            containment_with_errorbars([], 0.68)

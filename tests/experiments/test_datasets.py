@@ -1,0 +1,80 @@
+"""Tests for training-data generation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import (
+    TrainingData,
+    collect_exposure_rings,
+    generate_training_rings,
+)
+from repro.sources.grb import LABEL_BACKGROUND, LABEL_GRB
+
+
+class TestCollectExposureRings:
+    def test_arrays_aligned(self, geometry, response):
+        data = collect_exposure_rings(
+            geometry, response, np.random.default_rng(0), polar_deg=20.0
+        )
+        n = data.num_rings
+        assert data.features.shape == (n, 13)
+        assert data.labels.shape == (n,)
+        assert data.true_eta_errors.shape == (n,)
+        assert data.prop_deta.shape == (n,)
+
+    def test_polar_feature_jittered_around_truth(self, geometry, response):
+        data = collect_exposure_rings(
+            geometry,
+            response,
+            np.random.default_rng(1),
+            polar_deg=40.0,
+            polar_jitter_deg=5.0,
+        )
+        assert np.all(np.abs(data.features[:, 12] - 40.0) <= 5.0)
+        assert np.all(data.polar_true == 40.0)
+
+    def test_both_labels_present(self, geometry, response):
+        data = collect_exposure_rings(
+            geometry, response, np.random.default_rng(2), polar_deg=0.0
+        )
+        assert (data.labels == LABEL_GRB).any()
+        assert (data.labels == LABEL_BACKGROUND).any()
+
+
+class TestGenerateTrainingRings:
+    def test_rebalanced_to_target(self, training_data):
+        frac = (training_data.labels == LABEL_BACKGROUND).mean()
+        assert frac == pytest.approx(0.4, abs=0.02)
+
+    def test_covers_requested_angles(self, training_data):
+        assert set(np.unique(training_data.polar_true)) == {0.0, 40.0, 80.0}
+
+    def test_grb_only_subset(self, training_data):
+        grb = training_data.grb_only()
+        assert np.all(grb.labels == LABEL_GRB)
+        assert grb.num_rings == int((training_data.labels == LABEL_GRB).sum())
+
+    def test_reproducible(self, geometry, response):
+        kw = dict(
+            polar_angles_deg=np.array([0.0]),
+            exposures_per_angle=2,
+        )
+        a = generate_training_rings(geometry, response, seed=5, **kw)
+        b = generate_training_rings(geometry, response, seed=5, **kw)
+        assert np.array_equal(a.features, b.features)
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingData.concatenate([])
+
+    def test_no_rebalance_keeps_raw(self, geometry, response):
+        data = generate_training_rings(
+            geometry,
+            response,
+            seed=6,
+            polar_angles_deg=np.array([0.0]),
+            exposures_per_angle=2,
+            background_fraction=None,
+        )
+        frac = (data.labels == LABEL_BACKGROUND).mean()
+        assert frac > 0.5  # raw composition is background-heavy

@@ -1,0 +1,154 @@
+"""Tests for the figure/table reproduction drivers (fast paths only —
+the trial-heavy drivers are exercised by the benchmark suite)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    ContainmentPoint,
+    ExperimentScale,
+    bench_scale,
+    table1,
+    table2,
+    table3,
+    timing_table,
+)
+from repro.platforms.platforms import ATOM, RPI3B_PLUS
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale() == 2.5
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "lots")
+        assert bench_scale() == 1.0
+
+    def test_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        assert bench_scale() == 0.05
+
+    def test_from_env_scales_trials(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "3.0")
+        scale = ExperimentScale.from_env()
+        assert scale.n_trials == 90
+        assert scale.n_meta == 3
+
+
+class TestContainmentPoint:
+    def test_from_error_sets(self):
+        sets = [np.linspace(1.0, 10.0, 20), np.linspace(2.0, 12.0, 20)]
+        point = ContainmentPoint.from_error_sets(sets)
+        assert point.mean95 > point.mean68
+        assert point.std95 >= 0.0
+
+    def test_row_format(self):
+        point = ContainmentPoint(1.0, 0.1, 5.0, 0.5)
+        row = point.row()
+        assert "68%" in row and "95%" in row
+
+
+class TestTimingTables:
+    def test_table1_totals(self):
+        rows = table1()
+        assert rows[-1][0] == "Total (Max 5 iter)"
+        assert rows[-1][1] == pytest.approx(834.0, abs=0.5)
+
+    def test_table2_totals(self):
+        rows = table2()
+        assert rows[-1][1] == pytest.approx(220.7, abs=0.5)
+
+    def test_stage_row_count(self):
+        rows = timing_table(RPI3B_PLUS)
+        assert len(rows) == 6  # 5 stages + total
+
+    def test_atom_strictly_faster(self):
+        rpi = {r[0]: r[1] for r in timing_table(RPI3B_PLUS)}
+        atom = {r[0]: r[1] for r in timing_table(ATOM)}
+        for stage in rpi:
+            assert atom[stage] < rpi[stage]
+
+
+class TestTable3:
+    def test_both_dtypes_present(self):
+        reports = table3()
+        assert set(reports) == {"int8", "fp32"}
+
+    def test_int8_cheaper(self):
+        reports = table3()
+        assert reports["int8"].dsp < reports["fp32"].dsp
+        assert reports["int8"].bram < reports["fp32"].bram
+        assert reports["int8"].ii_cycles < reports["fp32"].ii_cycles
+
+
+class TestPrintHelpers:
+    """Smoke tests: every print_* helper renders without error and
+    includes the paper's series labels."""
+
+    def _point(self):
+        return ContainmentPoint(1.0, 0.1, 5.0, 0.5)
+
+    def test_print_figure4(self, capsys):
+        from repro.experiments.figures import print_figure4
+
+        print_figure4({
+            "baseline": self._point(),
+            "no_background": self._point(),
+            "true_deta": self._point(),
+        })
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "oracle" in out
+
+    def test_print_figure8(self, capsys):
+        from repro.experiments.figures import print_figure8
+
+        print_figure8({0.0: {"baseline": self._point(), "ml": self._point()}})
+        out = capsys.readouterr().out
+        assert "without NN" in out and "with NN" in out
+
+    def test_print_figure9(self, capsys):
+        from repro.experiments.figures import print_figure9
+
+        print_figure9({1.0: {"baseline": self._point(), "ml": self._point()}})
+        assert "fluence" in capsys.readouterr().out
+
+    def test_print_figure7(self, capsys):
+        from repro.experiments.figures import print_figure7
+
+        print_figure7({40.0: {"polar": self._point(),
+                              "no_polar": self._point()}})
+        out = capsys.readouterr().out
+        assert "Polar" in out and "No Polar" in out
+
+    def test_print_figure10(self, capsys):
+        from repro.experiments.figures import print_figure10
+
+        print_figure10({5.0: {"baseline": self._point(), "ml": self._point()}})
+        assert "epsilon" in capsys.readouterr().out
+
+    def test_print_figure11(self, capsys):
+        from repro.experiments.figures import print_figure11
+
+        print_figure11({0.0: {"fp32": self._point(), "int8": self._point()}})
+        out = capsys.readouterr().out
+        assert "FP32" in out and "INT8" in out
+
+    def test_print_table3(self, capsys):
+        from repro.experiments.figures import print_table3
+
+        print_table3()
+        out = capsys.readouterr().out
+        assert "Initiation Interval" in out
+        assert "597" in out
+
+    def test_print_timing_table(self, capsys):
+        from repro.experiments.figures import print_timing_table
+
+        print_timing_table(RPI3B_PLUS)
+        out = capsys.readouterr().out
+        assert "RPi 3B+" in out and "Total" in out

@@ -1,0 +1,65 @@
+"""Tests for the trained-model disk cache (training itself is exercised
+by the pipeline fixtures; here we verify the cache semantics cheaply by
+monkeypatching the trainer)."""
+
+import numpy as np
+import pytest
+
+import repro.experiments.modelzoo as modelzoo
+from repro.experiments.modelzoo import TrainedModels, get_or_train_pipeline
+
+
+class _FakeBundle(TrainedModels):
+    pass
+
+
+def _fake_models(call_log):
+    def fake_train_models(seed=2024, exposures_per_angle=20,
+                          include_polar=True, swapped=False, **kw):
+        call_log.append((seed, exposures_per_angle, include_polar, swapped))
+        return TrainedModels(
+            pipeline=None,  # type: ignore[arg-type]
+            background_net=None,  # type: ignore[arg-type]
+            deta_net=None,  # type: ignore[arg-type]
+            data=None,  # type: ignore[arg-type]
+        )
+
+    return fake_train_models
+
+
+class TestModelCache:
+    def test_trains_once_then_caches(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(modelzoo, "train_models", _fake_models(calls))
+        a = get_or_train_pipeline(seed=1, cache_dir=tmp_path)
+        b = get_or_train_pipeline(seed=1, cache_dir=tmp_path)
+        assert len(calls) == 1
+        assert isinstance(a, TrainedModels)
+        assert isinstance(b, TrainedModels)
+
+    def test_cache_key_varies_with_args(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(modelzoo, "train_models", _fake_models(calls))
+        get_or_train_pipeline(seed=1, cache_dir=tmp_path)
+        get_or_train_pipeline(seed=2, cache_dir=tmp_path)
+        get_or_train_pipeline(seed=1, include_polar=False, cache_dir=tmp_path)
+        get_or_train_pipeline(seed=1, swapped=True, cache_dir=tmp_path)
+        assert len(calls) == 4
+
+    def test_cache_files_created(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(modelzoo, "train_models", _fake_models([]))
+        get_or_train_pipeline(seed=9, cache_dir=tmp_path)
+        assert list(tmp_path.glob("models_*.pkl"))
+
+    def test_corrupt_cache_retrains(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(modelzoo, "train_models", _fake_models(calls))
+        get_or_train_pipeline(seed=3, cache_dir=tmp_path)
+        # Overwrite the cache with a non-TrainedModels pickle.
+        import pickle
+
+        path = next(tmp_path.glob("models_*.pkl"))
+        with open(path, "wb") as f:
+            pickle.dump({"oops": 1}, f)
+        get_or_train_pipeline(seed=3, cache_dir=tmp_path)
+        assert len(calls) == 2

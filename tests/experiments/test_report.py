@@ -1,0 +1,62 @@
+"""Tests for experiment records."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ExperimentRecord, merge_records
+
+
+class TestExperimentRecord:
+    def test_environment_autofilled(self):
+        rec = ExperimentRecord(experiment="fig8")
+        assert "python" in rec.environment
+        assert "numpy" in rec.environment
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRecord(experiment="")
+
+    def test_numpy_values_serializable(self):
+        rec = ExperimentRecord(
+            experiment="x",
+            results={
+                "errors": np.array([1.0, 2.0]),
+                "mean": np.float64(1.5),
+                "count": np.int64(2),
+                "nested": {"values": (np.float32(1.0),)},
+            },
+        )
+        text = rec.to_json()
+        assert '"mean": 1.5' in text
+
+    def test_save_load_round_trip(self, tmp_path):
+        rec = ExperimentRecord(
+            experiment="fig9",
+            parameters={"fluences": [0.5, 1.0]},
+            results={"containment68": {"0.5": 69.1, "1.0": 1.6}},
+        )
+        path = rec.save(tmp_path / "sub" / "fig9.json")
+        loaded = ExperimentRecord.load(path)
+        assert loaded.experiment == "fig9"
+        assert loaded.parameters["fluences"] == [0.5, 1.0]
+        assert loaded.results["containment68"]["1.0"] == 1.6
+
+    def test_load_rejects_non_record(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            ExperimentRecord.load(p)
+
+
+class TestMergeRecords:
+    def test_index_by_id(self):
+        a = ExperimentRecord(experiment="a")
+        b = ExperimentRecord(experiment="b")
+        merged = merge_records([a, b])
+        assert set(merged) == {"a", "b"}
+
+    def test_later_wins(self):
+        first = ExperimentRecord(experiment="a", results={"v": 1})
+        second = ExperimentRecord(experiment="a", results={"v": 2})
+        merged = merge_records([first, second])
+        assert merged["a"].results["v"] == 2

@@ -1,0 +1,52 @@
+"""Tests for the grid-sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweeps import sweep
+from repro.experiments.trials import TrialConfig
+
+
+class TestSweep:
+    def test_grid_order_and_overrides(self, geometry, response):
+        points = sweep(
+            geometry,
+            response,
+            TrialConfig(),
+            grid={"fluence_mev_cm2": [1.0, 2.0], "polar_angle_deg": [0.0, 30.0]},
+            seed=1,
+            n_trials=2,
+        )
+        assert len(points) == 4
+        combos = [tuple(sorted(p.overrides.items())) for p in points]
+        assert len(set(combos)) == 4
+        for p in points:
+            assert p.errors.shape == (2,)
+
+    def test_unknown_field_rejected(self, geometry, response):
+        with pytest.raises(ValueError):
+            sweep(
+                geometry, response, TrialConfig(),
+                grid={"brightness": [1.0]}, seed=0, n_trials=1,
+            )
+
+    def test_empty_grid_rejected(self, geometry, response):
+        with pytest.raises(ValueError):
+            sweep(geometry, response, TrialConfig(), grid={}, seed=0,
+                  n_trials=1)
+
+    def test_containment_accessor(self, geometry, response):
+        points = sweep(
+            geometry, response, TrialConfig(),
+            grid={"fluence_mev_cm2": [2.0]}, seed=2, n_trials=3,
+        )
+        c = points[0].containment(0.68)
+        assert 0.0 <= c <= 180.0
+
+    def test_reproducible(self, geometry, response):
+        kwargs = dict(
+            grid={"fluence_mev_cm2": [1.0]}, seed=3, n_trials=2,
+        )
+        a = sweep(geometry, response, TrialConfig(), **kwargs)
+        b = sweep(geometry, response, TrialConfig(), **kwargs)
+        assert np.array_equal(a[0].errors, b[0].errors)

@@ -1,0 +1,71 @@
+"""Property-based tests of the HLS cost model's structural invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.hls_model import batch_latency_cycles, synthesize_kernel
+
+widths_strategy = st.lists(
+    st.integers(min_value=1, max_value=512), min_size=2, max_size=6
+)
+
+
+@given(widths_strategy, st.sampled_from(["int8", "fp32"]))
+@settings(max_examples=40, deadline=None)
+def test_kernel_invariants(widths, dtype):
+    report = synthesize_kernel(widths=tuple(widths), dtype=dtype)
+    # II is the bottleneck stage; latency covers at least the bottleneck.
+    assert report.ii_cycles == max(l.ii_cycles for l in report.layers)
+    assert report.latency_cycles >= report.ii_cycles
+    assert report.latency_cycles == sum(l.latency_cycles for l in report.layers)
+    # Resources are non-negative (tiny kernels can round DSP to 0) and
+    # weights counted exactly.
+    assert report.dsp >= 0 and report.ff >= 0 and report.lut >= 0
+    if report.num_weights >= 64:
+        assert report.dsp > 0 and report.ff > 0 and report.lut > 0
+    assert report.bram >= 1
+    assert report.num_weights == sum(
+        a * b for a, b in zip(widths[:-1], widths[1:])
+    )
+
+
+#: Compute-dominated MLP kernels: every layer exceeds the full-unroll
+#: threshold (192*192 MACs > 16384), so both datatypes serialize output
+#: groups and INT8's doubled unroll wins.  For small layers the
+#: calibrated INT8 overhead of 90 cycles/beat exceeds FP32's 46 and the
+#: speed ordering genuinely flips — a model property, not a bug.
+realistic_widths = st.lists(
+    st.integers(min_value=192, max_value=512), min_size=2, max_size=6
+)
+
+
+@given(realistic_widths)
+@settings(max_examples=30, deadline=None)
+def test_int8_never_slower_or_bigger(widths):
+    r8 = synthesize_kernel(widths=tuple(widths), dtype="int8")
+    r32 = synthesize_kernel(widths=tuple(widths), dtype="fp32")
+    assert r8.ii_cycles <= r32.ii_cycles
+    assert r8.dsp <= r32.dsp
+    assert r8.ff <= r32.ff
+    # BRAM only wins for realistically sized kernels: the INT8 design
+    # holds a fixed 15 blocks of stream buffers, which dominates when the
+    # FP32 weight store is tiny.
+    if r32.num_weights * 4 > 15 * 4608:
+        assert r8.bram <= r32.bram
+
+
+@given(
+    st.integers(min_value=1, max_value=10_000),
+    st.integers(min_value=1, max_value=2_000),
+    st.integers(min_value=0, max_value=2_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_batch_latency_law(n, ii, extra):
+    latency = ii + extra
+    total = batch_latency_cycles(n, ii, latency)
+    # Monotone in n, exact at n = 1.
+    assert total == n * ii + (latency - ii)
+    assert batch_latency_cycles(1, ii, latency) == latency
+    if n > 1:
+        assert total > batch_latency_cycles(n - 1, ii, latency)

@@ -1,0 +1,79 @@
+"""Tests for WLS fiber position quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.fibers import FiberGrid, quantize_positions
+
+
+class TestFiberGrid:
+    def test_num_fibers(self):
+        grid = FiberGrid(pitch_cm=0.5, half_size_cm=10.0)
+        assert grid.num_fibers == 40
+
+    def test_invalid_pitch(self):
+        with pytest.raises(ValueError):
+            FiberGrid(pitch_cm=0.0)
+
+    def test_invalid_half_size(self):
+        with pytest.raises(ValueError):
+            FiberGrid(pitch_cm=0.3, half_size_cm=-1.0)
+
+    def test_fiber_center_round_trip(self):
+        grid = FiberGrid(pitch_cm=0.3, half_size_cm=20.0)
+        for idx in [0, 1, 50, grid.num_fibers - 1]:
+            center = grid.fiber_center(np.array([idx]))
+            assert grid.fiber_index(center)[0] == idx
+
+    def test_quantize_at_center_is_identity(self):
+        grid = FiberGrid(pitch_cm=0.3, half_size_cm=20.0)
+        centers = grid.fiber_center(np.arange(grid.num_fibers))
+        assert np.allclose(grid.quantize(centers), centers)
+
+    def test_out_of_range_clipped(self):
+        grid = FiberGrid(pitch_cm=0.3, half_size_cm=20.0)
+        assert grid.fiber_index(np.array([100.0]))[0] == grid.num_fibers - 1
+        assert grid.fiber_index(np.array([-100.0]))[0] == 0
+
+    def test_position_sigma(self):
+        grid = FiberGrid(pitch_cm=0.3)
+        assert grid.position_sigma_cm == pytest.approx(0.3 / np.sqrt(12))
+
+    @given(st.floats(min_value=-19.9, max_value=19.9))
+    @settings(max_examples=50)
+    def test_quantization_error_bounded(self, coord):
+        grid = FiberGrid(pitch_cm=0.3, half_size_cm=20.0)
+        q = grid.quantize(np.array([coord]))[0]
+        assert abs(q - coord) <= 0.3 / 2 + 1e-9
+
+    @given(st.floats(min_value=-19.9, max_value=19.9))
+    @settings(max_examples=50)
+    def test_quantize_idempotent(self, coord):
+        grid = FiberGrid(pitch_cm=0.3, half_size_cm=20.0)
+        once = grid.quantize(np.array([coord]))
+        twice = grid.quantize(once)
+        assert np.allclose(once, twice)
+
+
+class TestQuantizePositions:
+    def test_z_unchanged(self):
+        grid = FiberGrid()
+        pos = np.array([[1.234, -5.678, -0.77]])
+        out = quantize_positions(pos, grid)
+        assert out[0, 2] == pos[0, 2]
+
+    def test_xy_quantized(self):
+        grid = FiberGrid()
+        pos = np.array([[1.234, -5.678, -0.77]])
+        out = quantize_positions(pos, grid)
+        assert out[0, 0] == grid.quantize(np.array([1.234]))[0]
+        assert out[0, 1] == grid.quantize(np.array([-5.678]))[0]
+
+    def test_input_not_mutated(self):
+        grid = FiberGrid()
+        pos = np.array([[1.234, -5.678, -0.77]])
+        original = pos.copy()
+        quantize_positions(pos, grid)
+        assert np.array_equal(pos, original)

@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.detector.perturb import perturb_events
+from repro.localization.pipeline import localize_baseline
+from repro.sources.background import BackgroundModel
+from repro.sources.exposure import simulate_exposure
+from repro.sources.grb import GRBSource
+
+
+class TestFullChain:
+    def test_clean_burst_localizes_accurately(self, geometry, response):
+        """No background: a 1 MeV/cm^2 burst localizes to a few degrees."""
+        rng = np.random.default_rng(0)
+        grb = GRBSource(fluence_mev_cm2=1.0, polar_angle_deg=30.0, azimuth_deg=200.0)
+        exp = simulate_exposure(geometry, rng, grb)
+        ev = response.digitize(exp.transport, exp.batch, rng, min_hits=2)
+        out = localize_baseline(ev, rng)
+        assert out.error_degrees(grb.source_direction) < 5.0
+
+    def test_bright_burst_beats_dim_burst(self, geometry, response):
+        errs = {}
+        for fluence in (4.0, 1.0):
+            trial_errs = []
+            for seed in range(4):
+                rng = np.random.default_rng(100 + seed)
+                grb = GRBSource(fluence_mev_cm2=fluence)
+                exp = simulate_exposure(geometry, rng, grb, BackgroundModel())
+                ev = response.digitize(exp.transport, exp.batch, rng, min_hits=2)
+                out = localize_baseline(ev, rng)
+                trial_errs.append(out.error_degrees(grb.source_direction))
+            errs[fluence] = np.median(trial_errs)
+        assert errs[4.0] <= errs[1.0] + 1.0
+
+    def test_ml_pipeline_end_to_end(self, geometry, response, tiny_models):
+        """Simulate, digitize, run the full Fig. 6 pipeline, check output."""
+        rng = np.random.default_rng(7)
+        grb = GRBSource(fluence_mev_cm2=2.0, polar_angle_deg=10.0, azimuth_deg=45.0)
+        exp = simulate_exposure(geometry, rng, grb, BackgroundModel())
+        ev = response.digitize(exp.transport, exp.batch, rng, min_hits=2)
+        out = tiny_models.localize(ev, rng)
+        assert out.error_degrees(grb.source_direction) < 15.0
+
+    def test_perturbation_degrades_gracefully(self, geometry, response):
+        rng = np.random.default_rng(9)
+        grb = GRBSource(fluence_mev_cm2=2.0)
+        exp = simulate_exposure(geometry, rng, grb)
+        ev = response.digitize(exp.transport, exp.batch, rng, min_hits=2)
+        clean = localize_baseline(ev, np.random.default_rng(1))
+        noisy_ev = perturb_events(ev, 10.0, rng)
+        noisy = localize_baseline(noisy_ev, np.random.default_rng(1))
+        s = grb.source_direction
+        # Perturbed data still localizes (not a 180-degree failure).
+        assert noisy.error_degrees(s) < 60.0
+        assert clean.error_degrees(s) <= noisy.error_degrees(s) + 5.0
+
+    def test_off_axis_burst(self, geometry, response):
+        rng = np.random.default_rng(11)
+        grb = GRBSource(fluence_mev_cm2=2.0, polar_angle_deg=70.0, azimuth_deg=10.0)
+        exp = simulate_exposure(geometry, rng, grb)
+        ev = response.digitize(exp.transport, exp.batch, rng, min_hits=2)
+        out = localize_baseline(ev, rng)
+        assert out.error_degrees(grb.source_direction) < 10.0
+
+
+class TestQuantizedEndToEnd:
+    def test_int8_pipeline_localizes(self, geometry, response, training_data):
+        """Swapped training -> QAT -> INT8 -> full pipeline on a burst."""
+        from repro.models.background import (
+            BackgroundTrainConfig,
+            train_background_net,
+        )
+        from repro.models.deta import DEtaTrainConfig, train_deta_net
+        from repro.models.quantized import quantize_background_net
+        from repro.pipeline.ml_pipeline import MLPipeline
+        from repro.sources.grb import LABEL_BACKGROUND
+
+        rng = np.random.default_rng(21)
+        data = training_data
+        labels = (data.labels == LABEL_BACKGROUND).astype(float)
+        swapped = train_background_net(
+            data.features, labels, data.polar_true, rng,
+            config=BackgroundTrainConfig(
+                hidden_widths=(32, 16), max_epochs=15, patience=6, swapped=True
+            ),
+        )
+        int8_net = quantize_background_net(
+            swapped, data.features, labels, data.polar_true, rng, qat_epochs=2
+        )
+        grb_rings = data.grb_only()
+        dnet = train_deta_net(
+            grb_rings.features, grb_rings.true_eta_errors, rng,
+            config=DEtaTrainConfig(hidden_widths=(8, 8), max_epochs=15, patience=6),
+        )
+        pipeline = MLPipeline(background_net=int8_net, deta_net=dnet)
+
+        grb = GRBSource(fluence_mev_cm2=2.0, polar_angle_deg=20.0)
+        exp = simulate_exposure(geometry, rng, grb, BackgroundModel())
+        ev = response.digitize(exp.transport, exp.batch, rng, min_hits=2)
+        out = pipeline.localize(ev, rng)
+        assert out.direction is not None
+        assert out.error_degrees(grb.source_direction) < 20.0

@@ -1,0 +1,52 @@
+"""Tests for persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.io.datasets import (
+    load_pipeline,
+    load_training_data,
+    save_pipeline,
+    save_training_data,
+)
+
+
+class TestTrainingDataIO:
+    def test_round_trip(self, training_data, tmp_path):
+        path = tmp_path / "data.npz"
+        save_training_data(training_data, path)
+        loaded = load_training_data(path)
+        assert np.array_equal(loaded.features, training_data.features)
+        assert np.array_equal(loaded.labels, training_data.labels)
+        assert np.array_equal(
+            loaded.true_eta_errors, training_data.true_eta_errors
+        )
+        assert np.array_equal(loaded.polar_true, training_data.polar_true)
+        assert np.array_equal(loaded.prop_deta, training_data.prop_deta)
+
+
+class TestPipelineIO:
+    def test_round_trip(self, tiny_models, rings, events, tmp_path):
+        path = tmp_path / "pipeline.pkl"
+        save_pipeline(tiny_models, path)
+        loaded = load_pipeline(path)
+        from repro.models.features import extract_features
+
+        feats = extract_features(rings, events, polar_guess_deg=20.0)
+        assert np.allclose(
+            loaded.background_net.predict_proba(feats),
+            tiny_models.background_net.predict_proba(feats),
+        )
+        assert np.allclose(
+            loaded.deta_net.predict_deta(feats),
+            tiny_models.deta_net.predict_deta(feats),
+        )
+
+    def test_wrong_type_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as f:
+            pickle.dump({"not": "a pipeline"}, f)
+        with pytest.raises(TypeError):
+            load_pipeline(path)

@@ -1,0 +1,77 @@
+"""Tests for the approximation stage."""
+
+import numpy as np
+import pytest
+
+from repro.localization.approximation import approximate_source, cone_points
+from tests.localization.test_likelihood import make_rings
+
+
+def synthetic_rings(s_true, n=60, noise=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    axes = rng.normal(size=(n, 3))
+    axes /= np.linalg.norm(axes, axis=1, keepdims=True)
+    etas = axes @ s_true + rng.normal(0, noise, n)
+    keep = np.abs(etas) < 0.98
+    return make_rings(axes[keep], etas[keep], np.full(keep.sum(), max(noise, 1e-3)))
+
+
+class TestConePoints:
+    def test_points_on_cone(self):
+        axis = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+        eta = np.array([0.3, -0.6])
+        pts = cone_points(axis, eta, 16)
+        assert pts.shape == (32, 3)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+        dots0 = pts[:16] @ axis[0]
+        dots1 = pts[16:] @ axis[1]
+        assert np.allclose(dots0, 0.3, atol=1e-12)
+        assert np.allclose(dots1, -0.6, atol=1e-12)
+
+    def test_degenerate_eta_clipped(self):
+        pts = cone_points(np.array([[0.0, 0.0, 1.0]]), np.array([1.5]), 8)
+        assert np.allclose(pts, [0, 0, 1])
+
+
+class TestApproximateSource:
+    def test_recovers_synthetic_source(self):
+        s_true = np.array([0.2, -0.3, 0.9])
+        s_true /= np.linalg.norm(s_true)
+        rings = synthetic_rings(s_true)
+        s0 = approximate_source(rings, np.random.default_rng(1), sample_size=20)
+        err = np.degrees(np.arccos(np.clip(s0 @ s_true, -1, 1)))
+        assert err < 10.0
+
+    def test_empty_rings_returns_none(self):
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]))
+        empty = rings.select(np.zeros(rings.num_rings, dtype=bool))
+        assert approximate_source(empty, np.random.default_rng(2)) is None
+
+    def test_horizon_filter(self):
+        """A below-horizon source is unreachable by construction."""
+        s_below = np.array([0.0, 0.0, -1.0])
+        rings = synthetic_rings(s_below, seed=3)
+        s0 = approximate_source(rings, np.random.default_rng(3))
+        if s0 is not None:
+            assert s0[2] >= -0.05 - 1e-9
+
+    def test_top_k_returns_separated_seeds(self):
+        s_true = np.array([0.0, 0.0, 1.0])
+        rings = synthetic_rings(s_true, n=100, seed=4)
+        seeds = approximate_source(
+            rings, np.random.default_rng(4), top_k=3, min_separation_deg=10.0
+        )
+        assert seeds.ndim == 2 and seeds.shape[1] == 3
+        for i in range(seeds.shape[0]):
+            for j in range(i + 1, seeds.shape[0]):
+                angle = np.degrees(
+                    np.arccos(np.clip(seeds[i] @ seeds[j], -1, 1))
+                )
+                assert angle > 10.0 - 1e-6
+
+    def test_deterministic_given_rng(self):
+        s_true = np.array([0.0, 0.0, 1.0])
+        rings = synthetic_rings(s_true, seed=5)
+        a = approximate_source(rings, np.random.default_rng(6))
+        b = approximate_source(rings, np.random.default_rng(6))
+        assert np.array_equal(a, b)

@@ -1,0 +1,93 @@
+"""Tests for robust iterative refinement."""
+
+import numpy as np
+import pytest
+
+from repro.localization.refinement import RefinementConfig, refine_source
+from tests.localization.test_approximation import synthetic_rings
+from tests.localization.test_likelihood import make_rings
+
+
+class TestRefineSource:
+    def test_exact_recovery_clean_rings(self):
+        s_true = np.array([0.1, 0.2, 0.97])
+        s_true /= np.linalg.norm(s_true)
+        rings = synthetic_rings(s_true, n=100, noise=0.005, seed=0)
+        start = s_true + np.array([0.05, -0.03, 0.0])
+        res = refine_source(rings, start)
+        err = np.degrees(np.arccos(np.clip(res.direction @ s_true, -1, 1)))
+        assert err < 0.5
+        assert res.converged
+
+    def test_robust_to_outlier_rings(self):
+        s_true = np.array([0.0, 0.0, 1.0])
+        rng = np.random.default_rng(1)
+        good = synthetic_rings(s_true, n=80, noise=0.01, seed=1)
+        # Outliers: random rings unrelated to the source.
+        axes = rng.normal(size=(40, 3))
+        axes /= np.linalg.norm(axes, axis=1, keepdims=True)
+        bad = make_rings(axes, rng.uniform(-0.9, 0.9, 40), np.full(40, 0.01))
+        import dataclasses
+
+        merged = make_rings(
+            np.concatenate([good.axis, bad.axis]),
+            np.concatenate([good.eta, bad.eta]),
+            np.concatenate([good.deta, bad.deta]),
+        )
+        res = refine_source(merged, s_true + 0.02)
+        err = np.degrees(np.arccos(np.clip(res.direction @ s_true, -1, 1)))
+        assert err < 1.0
+        # The gate should have excluded most outliers.
+        assert res.used[: good.num_rings].mean() > 0.8
+        assert res.used[good.num_rings :].mean() < 0.3
+
+    def test_min_rings_fallback(self):
+        """When the gate would keep too few rings, the best min_rings are
+        used instead of an empty set."""
+        s_true = np.array([0.0, 0.0, 1.0])
+        rings = synthetic_rings(s_true, n=6, noise=0.01, seed=2)
+        # Start very far: all residuals exceed the gate initially.
+        start = np.array([1.0, 0.0, 0.0])
+        cfg = RefinementConfig(min_rings=5)
+        res = refine_source(rings, start, cfg)
+        assert res.used.sum() >= min(5, rings.num_rings)
+
+    def test_empty_rings(self):
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]))
+        empty = rings.select(np.zeros(rings.num_rings, dtype=bool))
+        start = np.array([0.0, 0.0, 1.0])
+        res = refine_source(empty, start)
+        assert np.allclose(res.direction, start)
+        assert not res.converged
+
+    def test_result_unit_norm(self):
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]), seed=3)
+        res = refine_source(rings, np.array([0.1, 0.1, 0.9]))
+        assert np.linalg.norm(res.direction) == pytest.approx(1.0)
+
+    def test_iteration_cap(self):
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]), seed=4)
+        cfg = RefinementConfig(max_iterations=2, tol_deg=1e-12)
+        res = refine_source(rings, np.array([1.0, 0.0, 0.0]), cfg)
+        assert res.iterations <= 2
+
+    def test_weighting_prefers_narrow_rings(self):
+        """Two inconsistent ring families; the narrower family wins."""
+        s_a = np.array([0.0, 0.0, 1.0])
+        s_b = np.array([np.sin(np.deg2rad(25)), 0.0, np.cos(np.deg2rad(25))])
+        narrow = synthetic_rings(s_a, n=40, noise=0.01, seed=10)
+        wide_src = synthetic_rings(s_b, n=40, noise=0.01, seed=11)
+        wide = make_rings(
+            wide_src.axis, wide_src.eta, np.full(wide_src.num_rings, 0.4)
+        )
+        merged = make_rings(
+            np.concatenate([narrow.axis, wide.axis]),
+            np.concatenate([narrow.eta, wide.eta]),
+            np.concatenate([narrow.deta, wide.deta]),
+        )
+        # Start midway between the two hypotheses.
+        mid = s_a + s_b
+        res = refine_source(merged, mid / np.linalg.norm(mid))
+        err_a = np.degrees(np.arccos(np.clip(res.direction @ s_a, -1, 1)))
+        err_b = np.degrees(np.arccos(np.clip(res.direction @ s_b, -1, 1)))
+        assert err_a < err_b

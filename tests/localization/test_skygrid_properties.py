@@ -1,0 +1,37 @@
+"""Property-based tests for the sky grid and containment machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.localization.skymap import SkyGrid
+
+
+@given(
+    st.floats(min_value=1.0, max_value=10.0),
+    st.floats(min_value=20.0, max_value=95.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_skygrid_area_and_norms(resolution, max_polar):
+    grid = SkyGrid.build(resolution_deg=resolution, max_polar_deg=max_polar)
+    # Pixels are unit vectors inside the polar cap.
+    assert np.allclose(np.linalg.norm(grid.directions, axis=1), 1.0)
+    polar = np.degrees(np.arccos(np.clip(grid.directions[:, 2], -1, 1)))
+    assert polar.max() <= max_polar + 1e-6
+    # Areas tile the cap exactly.
+    cap = 2.0 * np.pi * (1.0 - np.cos(np.deg2rad(max_polar)))
+    assert np.isclose(grid.pixel_area_sr.sum(), cap, rtol=1e-9)
+    assert np.all(grid.pixel_area_sr > 0)
+
+
+@given(st.floats(min_value=1.0, max_value=8.0))
+@settings(max_examples=10, deadline=None)
+def test_skygrid_azimuthal_coverage(resolution):
+    """Every polar band covers all azimuths roughly uniformly."""
+    grid = SkyGrid.build(resolution_deg=resolution, max_polar_deg=90.0)
+    az = np.degrees(np.arctan2(grid.directions[:, 1], grid.directions[:, 0]))
+    # Mean azimuthal direction vector should nearly cancel.
+    mean_vec = np.array(
+        [np.cos(np.deg2rad(az)).mean(), np.sin(np.deg2rad(az)).mean()]
+    )
+    assert np.linalg.norm(mean_vec) < 0.15

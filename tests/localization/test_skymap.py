@@ -1,0 +1,125 @@
+"""Tests for sky maps and credible regions."""
+
+import numpy as np
+import pytest
+
+from repro.localization.skymap import SkyGrid, compute_skymap
+from tests.localization.test_approximation import synthetic_rings
+
+
+class TestSkyGrid:
+    def test_pixels_unit_norm(self):
+        grid = SkyGrid.build(resolution_deg=5.0)
+        assert np.allclose(np.linalg.norm(grid.directions, axis=1), 1.0)
+
+    def test_total_area_matches_cap(self):
+        max_polar = 95.0
+        grid = SkyGrid.build(resolution_deg=3.0, max_polar_deg=max_polar)
+        expected = 2.0 * np.pi * (1.0 - np.cos(np.deg2rad(max_polar)))
+        assert grid.pixel_area_sr.sum() == pytest.approx(expected, rel=1e-6)
+
+    def test_pixel_areas_roughly_uniform(self):
+        grid = SkyGrid.build(resolution_deg=2.0)
+        areas = grid.pixel_area_sr
+        assert areas.max() / np.median(areas) < 3.0
+
+    def test_finer_resolution_more_pixels(self):
+        coarse = SkyGrid.build(resolution_deg=5.0)
+        fine = SkyGrid.build(resolution_deg=2.0)
+        assert fine.num_pixels > coarse.num_pixels
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            SkyGrid.build(resolution_deg=0.0)
+
+
+class TestComputeSkymap:
+    def test_peak_near_true_source(self):
+        s_true = np.array([0.3, 0.1, 0.95])
+        s_true /= np.linalg.norm(s_true)
+        rings = synthetic_rings(s_true, n=80, noise=0.01, seed=0)
+        sky = compute_skymap(rings, SkyGrid.build(resolution_deg=1.0))
+        best = sky.best_direction()
+        err = np.degrees(np.arccos(np.clip(best @ s_true, -1, 1)))
+        assert err < 2.0
+
+    def test_probability_normalized(self):
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]), seed=1)
+        sky = compute_skymap(rings)
+        assert sky.probability.sum() == pytest.approx(1.0)
+        assert np.all(sky.probability >= 0)
+
+    def test_credible_region_monotone_in_level(self):
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]), seed=2)
+        sky = compute_skymap(rings)
+        a68 = sky.credible_region_area_deg2(0.68)
+        a95 = sky.credible_region_area_deg2(0.95)
+        assert 0 < a68 <= a95
+
+    def test_sharper_rings_shrink_region(self):
+        s = np.array([0.0, 0.0, 1.0])
+        sharp = synthetic_rings(s, n=80, noise=0.005, seed=3)
+        fuzzy = synthetic_rings(s, n=80, noise=0.05, seed=3)
+        grid = SkyGrid.build(resolution_deg=1.0)
+        a_sharp = compute_skymap(sharp, grid).credible_region_area_deg2(0.9)
+        a_fuzzy = compute_skymap(fuzzy, grid).credible_region_area_deg2(0.9)
+        assert a_sharp < a_fuzzy
+
+    def test_probability_within_radius(self):
+        s_true = np.array([0.0, 0.0, 1.0])
+        rings = synthetic_rings(s_true, n=100, noise=0.01, seed=4)
+        sky = compute_skymap(rings, SkyGrid.build(resolution_deg=1.0))
+        assert sky.probability_within(s_true, 10.0) > 0.9
+
+    def test_empty_rings_rejected(self):
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]), seed=5)
+        empty = rings.select(np.zeros(rings.num_rings, dtype=bool))
+        with pytest.raises(ValueError):
+            compute_skymap(empty)
+
+    def test_invalid_level(self):
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]), seed=6)
+        sky = compute_skymap(rings)
+        with pytest.raises(ValueError):
+            sky.credible_region_area_deg2(0.0)
+
+    def test_on_simulated_rings(self, rings, exposure):
+        """A real exposure's sky map peaks near the true burst."""
+        sky = compute_skymap(rings, SkyGrid.build(resolution_deg=2.0))
+        best = sky.best_direction()
+        err = np.degrees(
+            np.arccos(np.clip(best @ exposure.source_direction, -1, 1))
+        )
+        assert err < 15.0
+
+
+class TestRenderAscii:
+    def test_dimensions(self):
+        from repro.localization.skymap import render_ascii
+
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]), seed=7)
+        sky = compute_skymap(rings, SkyGrid.build(resolution_deg=4.0))
+        art = render_ascii(sky, width=40, height=16)
+        lines = art.split("\n")
+        assert len(lines) == 16
+        assert all(len(l) == 40 for l in lines)
+
+    def test_marker_drawn(self):
+        from repro.localization.skymap import render_ascii
+
+        s = np.array([0.3, 0.2, 0.93])
+        s /= np.linalg.norm(s)
+        rings = synthetic_rings(s, seed=8)
+        sky = compute_skymap(rings, SkyGrid.build(resolution_deg=4.0))
+        art = render_ascii(sky, marker=s)
+        assert "X" in art
+
+    def test_peak_darker_than_background(self):
+        from repro.localization.skymap import render_ascii
+
+        rings = synthetic_rings(np.array([0.0, 0.0, 1.0]), n=150,
+                                noise=0.01, seed=9)
+        sky = compute_skymap(rings, SkyGrid.build(resolution_deg=2.0))
+        art = render_ascii(sky, width=41, height=17)
+        # The densest glyphs appear somewhere (the localization peak).
+        assert any(c in art for c in "#@*")

@@ -1,0 +1,99 @@
+"""Tests for Fisher-information localization-error prediction."""
+
+import numpy as np
+import pytest
+
+from repro.localization.refinement import refine_source
+from repro.localization.uncertainty import error_ellipse_deg, predicted_error_deg
+from tests.localization.test_approximation import synthetic_rings
+from tests.localization.test_likelihood import make_rings
+
+
+class TestPredictedError:
+    def test_scales_with_ring_width(self):
+        s = np.array([0.0, 0.0, 1.0])
+        sharp = synthetic_rings(s, n=60, noise=0.005, seed=0)
+        fuzzy = make_rings(sharp.axis, sharp.eta, np.full(sharp.num_rings, 0.1))
+        assert predicted_error_deg(sharp, s) < predicted_error_deg(fuzzy, s)
+
+    def test_scales_with_ring_count(self):
+        s = np.array([0.0, 0.0, 1.0])
+        many = synthetic_rings(s, n=200, noise=0.01, seed=1)
+        few = many.select(np.arange(many.num_rings) < 20)
+        assert predicted_error_deg(many, s) < predicted_error_deg(few, s)
+
+    def test_sqrt_n_scaling(self):
+        """Quadrupling the ring count halves the predicted error."""
+        s = np.array([0.0, 0.0, 1.0])
+        big = synthetic_rings(s, n=400, noise=0.01, seed=2)
+        small = big.select(np.arange(big.num_rings) < big.num_rings // 4)
+        ratio = predicted_error_deg(small, s) / predicted_error_deg(big, s)
+        assert ratio == pytest.approx(2.0, rel=0.25)
+
+    def test_empty_rings_infinite(self):
+        s = np.array([0.0, 0.0, 1.0])
+        rings = synthetic_rings(s, seed=3)
+        empty = rings.select(np.zeros(rings.num_rings, dtype=bool))
+        assert predicted_error_deg(empty, s) == float("inf")
+
+    def test_degenerate_geometry_infinite(self):
+        """All rings sharing one axis constrain only one tangent direction."""
+        axes = np.tile([0.0, 0.0, 1.0], (30, 1))
+        rings = make_rings(axes, np.full(30, 0.5), np.full(30, 0.01))
+        s = np.array([np.sqrt(0.75), 0.0, 0.5])
+        assert predicted_error_deg(rings, s) == float("inf")
+
+    def test_calibrated_against_actual_errors(self):
+        """The prediction tracks the actual estimator scatter within ~3x."""
+        s_true = np.array([0.1, -0.2, 0.97])
+        s_true /= np.linalg.norm(s_true)
+        actual, predicted = [], []
+        for seed in range(25):
+            rings = synthetic_rings(s_true, n=80, noise=0.02, seed=100 + seed)
+            res = refine_source(rings, s_true + 0.01)
+            err = np.degrees(
+                np.arccos(np.clip(res.direction @ s_true, -1, 1))
+            )
+            actual.append(err)
+            predicted.append(
+                predicted_error_deg(rings, res.direction, used=res.used)
+            )
+        # Median actual error should be within a factor ~3 of the median
+        # predicted 1-sigma radius (not exact: robust gating truncates).
+        ratio = np.median(actual) / np.median(predicted)
+        assert 1 / 3 < ratio < 3
+
+
+class TestErrorEllipse:
+    def test_major_at_least_minor(self):
+        s = np.array([0.0, 0.0, 1.0])
+        rings = synthetic_rings(s, n=60, noise=0.01, seed=4)
+        major, minor = error_ellipse_deg(rings, s)
+        assert major >= minor > 0
+
+    def test_anisotropic_geometry_elongates(self):
+        """Rings whose axes cluster in one plane constrain one direction
+        better than the other."""
+        rng = np.random.default_rng(5)
+        s = np.array([0.0, 0.0, 1.0])
+        # Axes mostly in the x-z plane.
+        axes = np.stack(
+            [
+                rng.normal(0, 1.0, 100),
+                rng.normal(0, 0.05, 100),
+                rng.normal(0, 1.0, 100),
+            ],
+            axis=1,
+        )
+        axes /= np.linalg.norm(axes, axis=1, keepdims=True)
+        etas = axes @ s
+        rings = make_rings(axes, etas, np.full(100, 0.02))
+        major, minor = error_ellipse_deg(rings, s)
+        assert major > 2.0 * minor
+
+    def test_consistent_with_circular_radius(self):
+        s = np.array([0.0, 0.0, 1.0])
+        rings = synthetic_rings(s, n=60, noise=0.01, seed=6)
+        major, minor = error_ellipse_deg(rings, s)
+        circ = predicted_error_deg(rings, s)
+        assert circ == pytest.approx(np.sqrt(major * minor), rel=1e-6)

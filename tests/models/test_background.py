@@ -1,0 +1,99 @@
+"""Tests for the background classifier."""
+
+import numpy as np
+import pytest
+
+from repro.models.background import (
+    BackgroundTrainConfig,
+    build_background_net,
+    train_background_net,
+)
+from repro.nn.layers import BatchNorm1d, Linear, ReLU
+
+
+def synthetic_classification(n=3000, d=13, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    logit = x @ w
+    y = (logit + rng.normal(0, 0.5, n) > 0).astype(float)
+    polar = rng.uniform(0, 90, n)
+    return x, y, polar
+
+
+class TestBuildBackgroundNet:
+    def test_paper_architecture(self):
+        net = build_background_net()
+        linears = [m for m in net if isinstance(m, Linear)]
+        # "Four FC layers" with max width 256 decreasing.
+        assert len(linears) == 4
+        assert linears[0].out_features == 256
+        widths = [l.out_features for l in linears]
+        assert widths == sorted(widths, reverse=True)
+        assert linears[-1].out_features == 1
+
+    def test_standard_block_order(self):
+        net = build_background_net()
+        assert isinstance(net[0], BatchNorm1d)
+        assert isinstance(net[1], Linear)
+        assert isinstance(net[2], ReLU)
+
+    def test_swapped_block_order(self):
+        net = build_background_net(swapped=True)
+        assert isinstance(net[0], Linear)
+        assert isinstance(net[1], BatchNorm1d)
+        assert isinstance(net[2], ReLU)
+
+    def test_custom_widths(self):
+        net = build_background_net(num_features=5, hidden_widths=(10, 4))
+        linears = [m for m in net if isinstance(m, Linear)]
+        assert linears[0].in_features == 5
+        assert [l.out_features for l in linears] == [10, 4, 1]
+
+
+class TestTrainBackgroundNet:
+    def test_learns_separable_data(self):
+        x, y, polar = synthetic_classification()
+        cfg = BackgroundTrainConfig(
+            hidden_widths=(32, 16), max_epochs=30, patience=10
+        )
+        net = train_background_net(x, y, polar, np.random.default_rng(1), cfg)
+        from repro.nn.metrics import roc_auc
+
+        assert roc_auc(net.predict_proba(x), y) > 0.9
+
+    def test_predict_shapes(self):
+        x, y, polar = synthetic_classification(n=500)
+        cfg = BackgroundTrainConfig(hidden_widths=(8,), max_epochs=3, patience=3)
+        net = train_background_net(x, y, polar, np.random.default_rng(2), cfg)
+        assert net.predict_proba(x).shape == (500,)
+        assert net.predict_logit(x).shape == (500,)
+        assert net.is_background(x, 20.0).shape == (500,)
+
+    def test_probabilities_in_range(self):
+        x, y, polar = synthetic_classification(n=500)
+        cfg = BackgroundTrainConfig(hidden_widths=(8,), max_epochs=3, patience=3)
+        net = train_background_net(x, y, polar, np.random.default_rng(3), cfg)
+        p = net.predict_proba(x)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_thresholds_fitted(self):
+        x, y, polar = synthetic_classification(n=500)
+        cfg = BackgroundTrainConfig(hidden_widths=(8,), max_epochs=3, patience=3)
+        net = train_background_net(x, y, polar, np.random.default_rng(4), cfg)
+        assert net.thresholds.thresholds is not None
+
+    def test_misaligned_inputs_rejected(self):
+        x, y, polar = synthetic_classification(n=100)
+        with pytest.raises(ValueError):
+            train_background_net(x, y[:-1], polar, np.random.default_rng(5))
+
+    def test_per_bin_thresholds_used(self):
+        x, y, polar = synthetic_classification(n=600)
+        cfg = BackgroundTrainConfig(hidden_widths=(8,), max_epochs=3, patience=3)
+        net = train_background_net(x, y, polar, np.random.default_rng(6), cfg)
+        net.thresholds.thresholds = np.linspace(0.1, 0.9, 9)
+        calls_low = net.is_background(x, 5.0)
+        calls_high = net.is_background(x, 85.0)
+        # Different thresholds -> different call counts (overwhelmingly).
+        assert calls_low.sum() >= calls_high.sum()

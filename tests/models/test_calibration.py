@@ -1,0 +1,97 @@
+"""Tests for probability calibration."""
+
+import numpy as np
+import pytest
+
+from repro.models.calibration import (
+    TemperatureScaler,
+    expected_calibration_error,
+    reliability_curve,
+)
+
+
+def miscalibrated_data(n=20000, true_t=3.0, seed=0):
+    """Logits whose calibrated temperature is ``true_t``."""
+    rng = np.random.default_rng(seed)
+    calibrated_logit = rng.normal(0.0, 2.0, n)
+    p_true = 1.0 / (1.0 + np.exp(-calibrated_logit))
+    labels = (rng.uniform(size=n) < p_true).astype(float)
+    overconfident_logit = calibrated_logit * true_t
+    return overconfident_logit, labels
+
+
+class TestReliabilityCurve:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(1)
+        p = rng.uniform(size=50000)
+        y = rng.uniform(size=50000) < p
+        centers, observed, counts = reliability_curve(p, y, n_bins=10)
+        valid = counts > 100
+        assert np.abs(observed[valid] - centers[valid]).max() < 0.05
+
+    def test_empty_bins_nan(self):
+        p = np.array([0.05, 0.06])
+        y = np.array([0, 1])
+        _, observed, counts = reliability_curve(p, y, n_bins=10)
+        assert counts[0] == 2
+        assert np.isnan(observed[5])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            reliability_curve(np.zeros(3), np.zeros(2))
+
+
+class TestECE:
+    def test_zero_for_calibrated(self):
+        rng = np.random.default_rng(2)
+        p = rng.uniform(size=100000)
+        y = rng.uniform(size=100000) < p
+        assert expected_calibration_error(p, y) < 0.01
+
+    def test_large_for_overconfident(self):
+        logits, labels = miscalibrated_data()
+        p = 1.0 / (1.0 + np.exp(-logits))
+        assert expected_calibration_error(p, labels) > 0.05
+
+
+class TestTemperatureScaler:
+    def test_recovers_temperature(self):
+        logits, labels = miscalibrated_data(true_t=3.0)
+        scaler = TemperatureScaler().fit(logits, labels)
+        assert scaler.temperature == pytest.approx(3.0, rel=0.15)
+
+    def test_improves_ece(self):
+        logits, labels = miscalibrated_data(true_t=4.0, seed=3)
+        raw_p = 1.0 / (1.0 + np.exp(-logits))
+        scaler = TemperatureScaler().fit(logits, labels)
+        cal_p = scaler.transform(logits)
+        assert expected_calibration_error(cal_p, labels) < (
+            expected_calibration_error(raw_p, labels) / 2.0
+        )
+
+    def test_identity_when_calibrated(self):
+        logits, labels = miscalibrated_data(true_t=1.0, seed=4)
+        scaler = TemperatureScaler().fit(logits, labels)
+        assert scaler.temperature == pytest.approx(1.0, abs=0.15)
+
+    def test_transform_stable_at_extremes(self):
+        scaler = TemperatureScaler(temperature=0.1)
+        out = scaler.transform(np.array([-500.0, 0.0, 500.0]))
+        assert np.all(np.isfinite(out))
+        assert out[1] == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            TemperatureScaler().fit(np.zeros(3), np.zeros(4))
+
+    def test_on_real_background_net(self, tiny_models, training_data):
+        """Temperature scaling never hurts NLL on the fit data."""
+        from repro.sources.grb import LABEL_BACKGROUND
+
+        feats = training_data.features
+        labels = (training_data.labels == LABEL_BACKGROUND).astype(float)
+        logits = tiny_models.background_net.predict_logit(feats)
+        scaler = TemperatureScaler().fit(logits, labels)
+        nll_raw = TemperatureScaler._nll(logits, labels, 1.0)
+        nll_cal = TemperatureScaler._nll(logits, labels, scaler.temperature)
+        assert nll_cal <= nll_raw + 1e-9

@@ -1,0 +1,79 @@
+"""Tests for the dEta regressor."""
+
+import numpy as np
+import pytest
+
+from repro.models.deta import (
+    DEtaTrainConfig,
+    LOG_DETA_MAX,
+    LOG_DETA_MIN,
+    build_deta_net,
+    train_deta_net,
+)
+from repro.nn.layers import Linear
+
+
+def synthetic_regression(n=3000, d=13, seed=0):
+    """Targets spanning orders of magnitude, like true eta errors."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    log_err = -4.0 + 2.0 * np.tanh(x[:, 0]) + 0.5 * x[:, 1]
+    err = np.exp(log_err + rng.normal(0, 0.1, n))
+    return x, err
+
+
+class TestBuildDetaNet:
+    def test_paper_architecture(self):
+        net = build_deta_net()
+        linears = [m for m in net if isinstance(m, Linear)]
+        assert len(linears) == 4
+        widths = [l.out_features for l in linears]
+        # Bulge: max 16 in the middle, narrower ends.
+        assert max(widths) == 16
+        assert widths.index(16) not in (0, len(widths) - 1)
+        assert widths[-1] == 1
+
+
+class TestTrainDetaNet:
+    def test_learns_synthetic_function(self):
+        x, err = synthetic_regression()
+        cfg = DEtaTrainConfig(max_epochs=60, patience=15)
+        net = train_deta_net(x, err, np.random.default_rng(1), cfg)
+        from repro.nn.metrics import r2_score
+
+        pred = net.predict_log_deta(x)
+        target = np.log(np.maximum(err, 1e-4))
+        assert r2_score(pred, target) > 0.7
+
+    def test_predict_deta_is_exp(self):
+        x, err = synthetic_regression(n=300)
+        cfg = DEtaTrainConfig(hidden_widths=(4,), max_epochs=3, patience=3)
+        net = train_deta_net(x, err, np.random.default_rng(2), cfg)
+        assert np.allclose(net.predict_deta(x), np.exp(net.predict_log_deta(x)))
+
+    def test_output_clipped(self):
+        x, err = synthetic_regression(n=300)
+        cfg = DEtaTrainConfig(hidden_widths=(4,), max_epochs=2, patience=2)
+        net = train_deta_net(x, err, np.random.default_rng(3), cfg)
+        out = net.predict_log_deta(x * 100.0)  # force extreme inputs
+        assert np.all(out >= LOG_DETA_MIN) and np.all(out <= LOG_DETA_MAX)
+
+    def test_misaligned_inputs_rejected(self):
+        x, err = synthetic_regression(n=100)
+        with pytest.raises(ValueError):
+            train_deta_net(x, err[:-1], np.random.default_rng(4))
+
+    def test_beats_propagation_on_real_rings(self, training_data):
+        """The network predicts true eta errors better than propagation of
+        error — the paper's core claim for the dEta model."""
+        from repro.nn.metrics import r2_score
+
+        grb = training_data.grb_only()
+        cfg = DEtaTrainConfig(max_epochs=40, patience=10)
+        net = train_deta_net(
+            grb.features, grb.true_eta_errors, np.random.default_rng(5), cfg
+        )
+        target = np.log(np.maximum(grb.true_eta_errors, 1e-4))
+        r2_net = r2_score(net.predict_log_deta(grb.features), target)
+        r2_prop = r2_score(np.log(grb.prop_deta), target)
+        assert r2_net > r2_prop + 0.2

@@ -1,0 +1,92 @@
+"""Tests for feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.models.features import (
+    NUM_BASE_FEATURES,
+    NUM_FEATURES,
+    azimuth_angle_of,
+    extract_features,
+    polar_angle_of,
+)
+
+
+class TestAngles:
+    def test_polar_of_zenith(self):
+        assert polar_angle_of(np.array([0.0, 0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_polar_of_horizon(self):
+        assert polar_angle_of(np.array([1.0, 0.0, 0.0])) == pytest.approx(90.0)
+
+    def test_azimuth_quadrants(self):
+        assert azimuth_angle_of(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0)
+        assert azimuth_angle_of(np.array([0.0, 1.0, 0.0])) == pytest.approx(90.0)
+        assert azimuth_angle_of(np.array([-1.0, 0.0, 0.0])) == pytest.approx(180.0)
+
+
+class TestExtractFeatures:
+    def test_shape_with_polar(self, rings, events):
+        f = extract_features(rings, events, polar_guess_deg=20.0)
+        assert f.shape == (rings.num_rings, NUM_FEATURES)
+
+    def test_shape_without_polar(self, rings, events):
+        f = extract_features(rings, events, include_polar=False)
+        assert f.shape == (rings.num_rings, NUM_BASE_FEATURES)
+
+    def test_polar_required(self, rings, events):
+        with pytest.raises(ValueError):
+            extract_features(rings, events)
+
+    def test_polar_vector_shape_check(self, rings, events):
+        with pytest.raises(ValueError):
+            extract_features(
+                rings, events, polar_guess_deg=np.zeros(rings.num_rings + 1)
+            )
+
+    def test_total_energy_column(self, rings, events):
+        f = extract_features(rings, events, polar_guess_deg=0.0)
+        seg = np.repeat(np.arange(events.num_events), events.hits_per_event())
+        etot = np.zeros(events.num_events)
+        np.add.at(etot, seg, events.energies)
+        assert np.allclose(f[:, 0], etot[rings.event_index])
+
+    def test_hit_columns(self, rings, events):
+        f = extract_features(rings, events, polar_guess_deg=0.0)
+        assert np.allclose(f[:, 1:4], events.positions[rings.first_hit])
+        assert np.allclose(f[:, 4], events.energies[rings.first_hit])
+        assert np.allclose(f[:, 5:8], events.positions[rings.second_hit])
+        assert np.allclose(f[:, 8], events.energies[rings.second_hit])
+
+    def test_sigma_columns(self, rings, events):
+        f = extract_features(rings, events, polar_guess_deg=0.0)
+        assert np.allclose(f[:, 10], events.sigma_energy[rings.first_hit])
+        assert np.allclose(f[:, 11], events.sigma_energy[rings.second_hit])
+        # Column 9 is sqrt of summed per-hit variances.
+        seg = np.repeat(np.arange(events.num_events), events.hits_per_event())
+        var = np.zeros(events.num_events)
+        np.add.at(var, seg, events.sigma_energy**2)
+        assert np.allclose(f[:, 9], np.sqrt(var[rings.event_index]))
+
+    def test_polar_column_broadcast(self, rings, events):
+        f = extract_features(rings, events, polar_guess_deg=35.0)
+        assert np.all(f[:, 12] == 35.0)
+
+    def test_azimuth_rotation_preserves_z_and_energies(self, rings, events):
+        a = extract_features(rings, events, polar_guess_deg=0.0, azimuth_deg=0.0)
+        b = extract_features(rings, events, polar_guess_deg=0.0, azimuth_deg=123.0)
+        assert np.allclose(a[:, 3], b[:, 3])  # z of first hit
+        assert np.allclose(a[:, 0], b[:, 0])  # energies
+        assert not np.allclose(a[:, 1], b[:, 1])  # x changed
+
+    def test_azimuth_rotation_preserves_radius(self, rings, events):
+        a = extract_features(rings, events, polar_guess_deg=0.0, azimuth_deg=0.0)
+        b = extract_features(rings, events, polar_guess_deg=0.0, azimuth_deg=77.0)
+        ra = np.hypot(a[:, 1], a[:, 2])
+        rb = np.hypot(b[:, 1], b[:, 2])
+        assert np.allclose(ra, rb)
+
+    def test_rotation_by_360_is_identity(self, rings, events):
+        a = extract_features(rings, events, polar_guess_deg=0.0, azimuth_deg=0.0)
+        b = extract_features(rings, events, polar_guess_deg=0.0, azimuth_deg=360.0)
+        assert np.allclose(a, b, atol=1e-9)

@@ -1,0 +1,50 @@
+"""Tests for the random-search tuning harness."""
+
+import numpy as np
+import pytest
+
+from repro.models.hyperparam import HyperParams, random_search, sample_config
+
+
+class TestSampleConfig:
+    def test_classification_space(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            cfg = sample_config(rng, "classification")
+            assert cfg.batch_size in (256, 1024, 4096)
+            assert 10**-4 <= cfg.learning_rate <= 10**-1.5
+            assert 2 <= len(cfg.hidden_widths) <= 4
+            assert max(cfg.hidden_widths) <= 256
+
+    def test_regression_space_small_widths(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            cfg = sample_config(rng, "regression")
+            assert max(cfg.hidden_widths) <= 32
+
+    def test_invalid_task(self):
+        with pytest.raises(ValueError):
+            sample_config(np.random.default_rng(2), "clustering")
+
+
+class TestRandomSearch:
+    def test_returns_sorted_results(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(400, 6))
+        y = (x[:, 0] > 0).astype(float)
+        results = random_search(
+            x, y, rng, task="classification", n_trials=3, max_epochs=3
+        )
+        assert len(results) == 3
+        losses = [r.val_loss for r in results]
+        assert losses == sorted(losses)
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_regression_task(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(400, 6))
+        y = x[:, 0] * 2.0
+        results = random_search(
+            x, y, rng, task="regression", n_trials=2, max_epochs=3
+        )
+        assert len(results) == 2

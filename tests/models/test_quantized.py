@@ -1,0 +1,66 @@
+"""Tests for the INT8 background classifier."""
+
+import numpy as np
+import pytest
+
+from repro.models.background import BackgroundTrainConfig, train_background_net
+from repro.models.quantized import quantize_background_net
+from repro.nn.metrics import roc_auc
+from tests.models.test_background import synthetic_classification
+
+
+@pytest.fixture(scope="module")
+def swapped_net_and_data():
+    x, y, polar = synthetic_classification(n=3000, seed=11)
+    cfg = BackgroundTrainConfig(
+        hidden_widths=(32, 16), max_epochs=25, patience=8, swapped=True
+    )
+    net = train_background_net(x, y, polar, np.random.default_rng(12), cfg)
+    return net, x, y, polar
+
+
+class TestQuantizeBackgroundNet:
+    def test_preserves_accuracy(self, swapped_net_and_data):
+        net, x, y, polar = swapped_net_and_data
+        q = quantize_background_net(
+            net, x, y, polar, np.random.default_rng(13), qat_epochs=3
+        )
+        auc_fp = roc_auc(net.predict_proba(x), y)
+        auc_q = roc_auc(q.predict_proba(x), y)
+        assert auc_q > auc_fp - 0.05
+
+    def test_interface_parity(self, swapped_net_and_data):
+        net, x, y, polar = swapped_net_and_data
+        q = quantize_background_net(
+            net, x, y, polar, np.random.default_rng(14), qat_epochs=2
+        )
+        assert q.predict_proba(x).shape == (x.shape[0],)
+        calls = q.is_background(x, 30.0)
+        assert calls.dtype == bool and calls.shape == (x.shape[0],)
+
+    def test_logits_correlate_with_fp32(self, swapped_net_and_data):
+        net, x, y, polar = swapped_net_and_data
+        q = quantize_background_net(
+            net, x, y, polar, np.random.default_rng(15), qat_epochs=2
+        )
+        corr = np.corrcoef(net.predict_logit(x), q.predict_logit(x))[0, 1]
+        assert corr > 0.95
+
+    def test_unswapped_model_rejected(self):
+        x, y, polar = synthetic_classification(n=400, seed=16)
+        cfg = BackgroundTrainConfig(
+            hidden_widths=(8,), max_epochs=2, patience=2, swapped=False
+        )
+        net = train_background_net(x, y, polar, np.random.default_rng(17), cfg)
+        with pytest.raises(ValueError):
+            quantize_background_net(
+                net, x, y, polar, np.random.default_rng(18), qat_epochs=1
+            )
+
+    def test_weight_storage_is_int8(self, swapped_net_and_data):
+        net, x, y, polar = swapped_net_and_data
+        q = quantize_background_net(
+            net, x, y, polar, np.random.default_rng(19), qat_epochs=1
+        )
+        for layer in q.model.layers:
+            assert layer.weight_q.dtype == np.int8

@@ -1,0 +1,76 @@
+"""Tests for per-polar-bin threshold selection."""
+
+import numpy as np
+import pytest
+
+from repro.models.thresholds import PolarBinnedThresholds
+
+
+class TestBinning:
+    def test_default_ten_degree_bins(self):
+        t = PolarBinnedThresholds()
+        assert t.num_bins == 9
+
+    def test_bin_of(self):
+        t = PolarBinnedThresholds()
+        assert t.bin_of(np.array([5.0]))[0] == 0
+        assert t.bin_of(np.array([15.0]))[0] == 1
+        assert t.bin_of(np.array([85.0]))[0] == 8
+
+    def test_out_of_range_clipped(self):
+        t = PolarBinnedThresholds()
+        assert t.bin_of(np.array([-5.0]))[0] == 0
+        assert t.bin_of(np.array([120.0]))[0] == 8
+
+
+class TestFit:
+    def test_separating_threshold_found(self):
+        rng = np.random.default_rng(0)
+        n = 2000
+        y = rng.integers(0, 2, n).astype(bool)
+        # Background scores near 0.8, GRB near 0.2.
+        p = np.where(y, 0.8, 0.2) + rng.normal(0, 0.05, n)
+        polar = rng.uniform(0, 90, n)
+        t = PolarBinnedThresholds().fit(p, y, polar)
+        calls = t.classify(p, polar)
+        assert (calls == y).mean() > 0.98
+
+    def test_unfitted_raises(self):
+        t = PolarBinnedThresholds()
+        with pytest.raises(RuntimeError):
+            t.threshold_for(np.array([10.0]))
+
+    def test_sparse_bins_inherit_global(self):
+        rng = np.random.default_rng(1)
+        n = 500
+        y = rng.integers(0, 2, n).astype(bool)
+        p = np.where(y, 0.9, 0.1)
+        polar = rng.uniform(0, 10, n)  # everything in bin 0
+        t = PolarBinnedThresholds().fit(p, y, polar)
+        # Bins 1..8 had no data; they share the global threshold.
+        assert np.all(t.thresholds[1:] == t.thresholds[1])
+
+    def test_fn_weight_lowers_miss_rate(self):
+        """Heavier FN cost pushes thresholds up, keeping more GRB rings."""
+        rng = np.random.default_rng(2)
+        n = 4000
+        y = rng.uniform(size=n) < 0.5
+        p = np.clip(np.where(y, 0.6, 0.4) + rng.normal(0, 0.2, n), 0, 1)
+        polar = rng.uniform(0, 90, n)
+        t_low = PolarBinnedThresholds().fit(p, y, polar, fn_weight=0.2)
+        t_high = PolarBinnedThresholds().fit(p, y, polar, fn_weight=5.0)
+        fn_low = (~t_low.classify(p, polar) & y).sum()
+        fn_high = (~t_high.classify(p, polar) & y).sum()
+        assert fn_high <= fn_low
+
+    def test_per_bin_adaptivity(self):
+        """Bins with different score distributions get different thresholds."""
+        rng = np.random.default_rng(3)
+        n = 6000
+        polar = rng.uniform(0, 90, n)
+        y = rng.integers(0, 2, n).astype(bool)
+        # Score separation shifts with angle.
+        shift = polar / 300.0
+        p = np.clip(np.where(y, 0.6 + shift, 0.3 + shift), 0, 1)
+        t = PolarBinnedThresholds().fit(p, y, polar)
+        assert t.thresholds.max() - t.thresholds.min() > 0.05

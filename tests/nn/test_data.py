@@ -1,0 +1,102 @@
+"""Tests for data utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.data import StandardScaler, batch_iterator, train_val_test_split
+
+
+class TestSplit:
+    def test_disjoint_and_covering(self):
+        tr, va, te = train_val_test_split(100, np.random.default_rng(0))
+        combined = np.sort(np.concatenate([tr, va, te]))
+        assert np.array_equal(combined, np.arange(100))
+
+    def test_paper_fractions(self):
+        tr, va, te = train_val_test_split(1000, np.random.default_rng(1))
+        assert te.size == 200
+        assert va.size == 160
+        assert tr.size == 640
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(2, np.random.default_rng(2))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(100, np.random.default_rng(3), test_fraction=1.0)
+
+    @given(st.integers(min_value=10, max_value=500))
+    @settings(max_examples=30)
+    def test_property_disjoint(self, n):
+        tr, va, te = train_val_test_split(n, np.random.default_rng(4))
+        assert len(set(tr) | set(va) | set(te)) == n
+        assert len(set(tr) & set(va)) == 0
+        assert len(set(tr) & set(te)) == 0
+
+
+class TestBatchIterator:
+    def test_covers_all_samples(self):
+        x = np.arange(10)[:, None].astype(float)
+        y = np.arange(10).astype(float)
+        seen = []
+        for xb, yb in batch_iterator(x, y, 3, np.random.default_rng(5)):
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_batch_sizes(self):
+        x = np.zeros((10, 2))
+        y = np.zeros(10)
+        sizes = [
+            xb.shape[0]
+            for xb, _ in batch_iterator(x, y, 4, np.random.default_rng(6))
+        ]
+        assert sizes == [4, 4, 2]
+
+    def test_no_shuffle_preserves_order(self):
+        x = np.arange(6)[:, None].astype(float)
+        y = np.arange(6).astype(float)
+        batches = list(
+            batch_iterator(x, y, 2, np.random.default_rng(7), shuffle=False)
+        )
+        assert np.array_equal(batches[0][1], [0, 1])
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batch_iterator(np.zeros((2, 1)), np.zeros(2), 0,
+                                np.random.default_rng(8)))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(5.0, 3.0, size=(1000, 4))
+        out = StandardScaler().fit_transform(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(50, 3))
+        sc = StandardScaler().fit(x)
+        assert np.allclose(sc.inverse_transform(sc.transform(x)), x)
+
+    def test_constant_feature_no_nan(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        out = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    @given(st.integers(min_value=2, max_value=50))
+    @settings(max_examples=20)
+    def test_property_round_trip(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=(n, 3)) * rng.uniform(0.1, 10)
+        sc = StandardScaler().fit(x)
+        assert np.allclose(sc.inverse_transform(sc.transform(x)), x, atol=1e-9)

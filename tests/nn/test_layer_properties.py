@@ -1,0 +1,94 @@
+"""Property-based tests of NN layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import BatchNorm1d, Linear, ReLU, Sequential, Sigmoid
+
+shapes = st.tuples(
+    st.integers(min_value=2, max_value=64),   # batch
+    st.integers(min_value=1, max_value=16),   # features
+)
+
+
+@given(shapes, st.integers(min_value=1, max_value=16), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_linear_shape_and_linearity(shape, out_features, seed):
+    batch, in_features = shape
+    rng = np.random.default_rng(seed)
+    layer = Linear(in_features, out_features, rng)
+    x = rng.normal(size=(batch, in_features))
+    y = rng.normal(size=(batch, in_features))
+    out_sum = layer.forward(x + y) - layer.bias.value
+    out_parts = (
+        layer.forward(x) - layer.bias.value
+    ) + (layer.forward(y) - layer.bias.value)
+    assert out_sum.shape == (batch, out_features)
+    assert np.allclose(out_sum, out_parts, atol=1e-9)
+
+
+@given(shapes, st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_batchnorm_training_output_standardized(shape, seed):
+    batch, features = shape
+    rng = np.random.default_rng(seed)
+    bn = BatchNorm1d(features)
+    bn.train()
+    x = rng.normal(3.0, 2.0, size=(batch, features)) + rng.uniform(
+        -5, 5, features
+    )
+    out = bn.forward(x)
+    assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+    # Unit variance only when the batch actually varies.
+    varying = x.std(axis=0) > 1e-8
+    assert np.all(out.std(axis=0)[varying] < 1.01)
+
+
+@given(shapes, st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_relu_idempotent_and_nonnegative(shape, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+    relu = ReLU()
+    once = relu.forward(x)
+    twice = ReLU().forward(once)
+    assert np.all(once >= 0)
+    assert np.array_equal(once, twice)
+
+
+@given(shapes, st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_sigmoid_bounds_and_symmetry(shape, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(scale=10.0, size=shape)
+    s = Sigmoid()
+    out = s.forward(x)
+    # Closed bounds: float rounding saturates to exactly 0/1 beyond |x|~37.
+    assert np.all((out >= 0) & (out <= 1))
+    moderate = np.abs(x) < 30.0
+    assert np.all((out[moderate] > 0) & (out[moderate] < 1))
+    flipped = Sigmoid().forward(-x)
+    assert np.allclose(out + flipped, 1.0, atol=1e-12)
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=4),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_sequential_backward_shape_roundtrip(features, depth, seed):
+    """Backward always returns a gradient matching the input shape."""
+    rng = np.random.default_rng(seed)
+    modules = []
+    width = features
+    for _ in range(depth):
+        modules += [Linear(width, width + 1, rng), ReLU()]
+        width += 1
+    model = Sequential(*modules)
+    x = rng.normal(size=(5, features))
+    out = model.forward(x)
+    grad_in = model.backward(np.ones_like(out))
+    assert grad_in.shape == x.shape
+    assert np.all(np.isfinite(grad_in))

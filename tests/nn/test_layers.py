@@ -1,0 +1,196 @@
+"""Tests for NN layers, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    BatchNorm1d,
+    Dropout,
+    Identity,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+from repro.nn.losses import MSELoss
+
+
+def numeric_gradient_check(model, x, y, tol=1e-5, samples=6):
+    """Compare analytic parameter gradients against central differences."""
+    loss = MSELoss()
+    model.train()
+    model.zero_grad()
+    value, grad = loss(model.forward(x), y)
+    model.backward(grad)
+    eps = 1e-6
+    rng = np.random.default_rng(0)
+    for p in model.parameters():
+        flat = p.value.reshape(-1)
+        grad_flat = p.grad.reshape(-1)
+        idx = rng.choice(flat.size, size=min(samples, flat.size), replace=False)
+        for i in idx:
+            orig = flat[i]
+            flat[i] = orig + eps
+            v1, _ = loss(model.forward(x), y)
+            flat[i] = orig - eps
+            v2, _ = loss(model.forward(x), y)
+            flat[i] = orig
+            num = (v1 - v2) / (2 * eps)
+            denom = max(abs(num), abs(grad_flat[i]), 1e-8)
+            assert abs(num - grad_flat[i]) / denom < tol
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 7)
+        out = layer.forward(np.zeros((3, 4)))
+        assert out.shape == (3, 7)
+
+    def test_forward_math(self):
+        layer = Linear(2, 2)
+        layer.weight.value[...] = [[1.0, 2.0], [3.0, 4.0]]
+        layer.bias.value[...] = [0.5, -0.5]
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        assert np.allclose(out, [[4.5, 5.5]])
+
+    def test_gradients(self):
+        rng = np.random.default_rng(1)
+        model = Sequential(Linear(5, 3, rng))
+        numeric_gradient_check(
+            model, rng.normal(size=(8, 5)), rng.normal(size=(8, 3))
+        )
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2).backward(np.zeros((1, 2)))
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        rng = np.random.default_rng(2)
+        bn = BatchNorm1d(4)
+        bn.train()
+        x = rng.normal(3.0, 2.0, size=(256, 4))
+        out = bn.forward(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_running_stats_converge(self):
+        rng = np.random.default_rng(3)
+        bn = BatchNorm1d(2, momentum=0.5)
+        bn.train()
+        for _ in range(50):
+            bn.forward(rng.normal(5.0, 1.0, size=(512, 2)))
+        assert np.allclose(bn.running_mean, 5.0, atol=0.2)
+        assert np.allclose(bn.running_var, 1.0, atol=0.2)
+
+    def test_eval_uses_running_stats(self):
+        rng = np.random.default_rng(4)
+        bn = BatchNorm1d(2, momentum=1.0)
+        bn.train()
+        bn.forward(rng.normal(5.0, 1.0, size=(4096, 2)))
+        bn.eval()
+        out = bn.forward(np.full((3, 2), 5.0))
+        assert np.allclose(out, 0.0, atol=0.1)
+
+    def test_gradients_training_mode(self):
+        rng = np.random.default_rng(5)
+        model = Sequential(BatchNorm1d(4), Linear(4, 2, rng))
+        numeric_gradient_check(
+            model, rng.normal(size=(16, 4)), rng.normal(size=(16, 2))
+        )
+
+    def test_gamma_beta_affine(self):
+        bn = BatchNorm1d(2)
+        bn.gamma.value[...] = [2.0, 3.0]
+        bn.beta.value[...] = [1.0, -1.0]
+        bn.train()
+        rng = np.random.default_rng(6)
+        out = bn.forward(rng.normal(size=(512, 2)))
+        assert np.allclose(out.mean(axis=0), [1.0, -1.0], atol=1e-9)
+        assert np.allclose(out.std(axis=0), [2.0, 3.0], atol=0.02)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        r = ReLU()
+        out = r.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_mask(self):
+        r = ReLU()
+        r.forward(np.array([[-1.0, 0.5]]))
+        grad = r.backward(np.array([[1.0, 1.0]]))
+        assert np.allclose(grad, [[0.0, 1.0]])
+
+    def test_sigmoid_range_and_stability(self):
+        s = Sigmoid()
+        out = s.forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(0.5)
+        assert out[0, 2] == pytest.approx(1.0)
+
+    def test_sigmoid_gradient(self):
+        rng = np.random.default_rng(7)
+        model = Sequential(Linear(3, 2, rng), Sigmoid())
+        numeric_gradient_check(
+            model, rng.normal(size=(8, 3)), rng.uniform(size=(8, 2))
+        )
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        d = Dropout(0.5)
+        d.eval()
+        x = np.ones((4, 4))
+        assert np.array_equal(d.forward(x), x)
+
+    def test_training_preserves_expectation(self):
+        d = Dropout(0.5, rng=np.random.default_rng(8))
+        d.train()
+        x = np.ones((200, 200))
+        out = d.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSequential:
+    def test_train_eval_propagates(self):
+        model = Sequential(BatchNorm1d(2), Identity(), ReLU())
+        model.eval()
+        assert all(not m.training for m in model)
+        model.train()
+        assert all(m.training for m in model)
+
+    def test_deep_gradient_check(self):
+        rng = np.random.default_rng(9)
+        model = Sequential(
+            BatchNorm1d(6),
+            Linear(6, 8, rng),
+            ReLU(),
+            BatchNorm1d(8),
+            Linear(8, 4, rng),
+            ReLU(),
+            Linear(4, 1, rng),
+        )
+        numeric_gradient_check(
+            model, rng.normal(size=(32, 6)), rng.normal(size=(32, 1))
+        )
+
+    def test_parameter_collection(self):
+        model = Sequential(BatchNorm1d(3), Linear(3, 2), Linear(2, 1))
+        assert len(model.parameters()) == 6  # 2 BN + 2x2 Linear
+
+    def test_indexing(self):
+        lin = Linear(3, 2)
+        model = Sequential(lin, ReLU())
+        assert model[0] is lin
+        assert len(model) == 2

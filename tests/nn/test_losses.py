@@ -1,0 +1,92 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import BCEWithLogitsLoss, MSELoss
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MSELoss()
+        v, _ = loss(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert v == pytest.approx(2.5)
+
+    def test_gradient(self):
+        loss = MSELoss()
+        _, g = loss(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert np.allclose(g, [[1.0, 2.0]])
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 3))
+        loss = MSELoss()
+        _, g = loss(pred, target)
+        eps = 1e-6
+        p2 = pred.copy()
+        p2[2, 1] += eps
+        v1, _ = loss(p2, target)
+        p2[2, 1] -= 2 * eps
+        v2, _ = loss(p2, target)
+        assert (v1 - v2) / (2 * eps) == pytest.approx(g[2, 1], rel=1e-5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 1)), np.zeros((2, 2)))
+
+    def test_zero_at_perfect(self):
+        v, g = MSELoss()(np.ones((3, 2)), np.ones((3, 2)))
+        assert v == 0.0
+        assert np.allclose(g, 0.0)
+
+
+class TestBCEWithLogits:
+    def test_matches_reference(self):
+        z = np.array([[0.0], [2.0], [-3.0]])
+        y = np.array([[1.0], [0.0], [1.0]])
+        loss = BCEWithLogitsLoss()
+        v, _ = loss(z, y)
+        p = 1.0 / (1.0 + np.exp(-z))
+        ref = -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+        assert v == pytest.approx(ref, rel=1e-9)
+
+    def test_gradient_is_sigmoid_minus_target(self):
+        z = np.array([[0.5], [-1.0]])
+        y = np.array([[1.0], [0.0]])
+        _, g = BCEWithLogitsLoss()(z, y)
+        p = 1.0 / (1.0 + np.exp(-z))
+        assert np.allclose(g, (p - y) / z.size)
+
+    def test_extreme_logits_stable(self):
+        z = np.array([[1000.0], [-1000.0]])
+        y = np.array([[1.0], [0.0]])
+        v, g = BCEWithLogitsLoss()(z, y)
+        assert np.isfinite(v) and np.all(np.isfinite(g))
+        assert v == pytest.approx(0.0, abs=1e-9)
+
+    def test_pos_weight_scales_positive_terms(self):
+        z = np.array([[0.0], [0.0]])
+        y = np.array([[1.0], [0.0]])
+        v1, _ = BCEWithLogitsLoss(pos_weight=1.0)(z, y)
+        v3, _ = BCEWithLogitsLoss(pos_weight=3.0)(z, y)
+        # log(2) average; tripling the positive term: (3+1)/2 vs (1+1)/2.
+        assert v3 / v1 == pytest.approx(2.0)
+
+    def test_invalid_pos_weight(self):
+        with pytest.raises(ValueError):
+            BCEWithLogitsLoss(pos_weight=0.0)
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=(6, 1))
+        y = (rng.uniform(size=(6, 1)) > 0.5).astype(float)
+        loss = BCEWithLogitsLoss(pos_weight=2.0)
+        _, g = loss(z, y)
+        eps = 1e-6
+        z2 = z.copy()
+        z2[3, 0] += eps
+        v1, _ = loss(z2, y)
+        z2[3, 0] -= 2 * eps
+        v2, _ = loss(z2, y)
+        assert (v1 - v2) / (2 * eps) == pytest.approx(g[3, 0], rel=1e-4)

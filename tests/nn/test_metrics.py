@@ -1,0 +1,93 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import binary_accuracy, confusion_counts, r2_score, roc_auc
+
+
+class TestBinaryAccuracy:
+    def test_perfect(self):
+        assert binary_accuracy(np.array([0.9, 0.1]), np.array([1, 0])) == 1.0
+
+    def test_half(self):
+        assert binary_accuracy(np.array([0.9, 0.9]), np.array([1, 0])) == 0.5
+
+    def test_threshold(self):
+        p = np.array([0.4, 0.6])
+        y = np.array([1, 1])
+        assert binary_accuracy(p, y, threshold=0.3) == 1.0
+        assert binary_accuracy(p, y, threshold=0.7) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            binary_accuracy(np.array([]), np.array([]))
+
+
+class TestConfusion:
+    def test_counts(self):
+        p = np.array([0.9, 0.8, 0.2, 0.1])
+        y = np.array([1, 0, 1, 0])
+        c = confusion_counts(p, y)
+        assert c == {"tp": 1, "fp": 1, "tn": 1, "fn": 1}
+
+    def test_sums_to_n(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(size=100)
+        y = rng.integers(0, 2, 100)
+        c = confusion_counts(p, y)
+        assert sum(c.values()) == 100
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        p = np.array([0.1, 0.2, 0.8, 0.9])
+        y = np.array([0, 0, 1, 1])
+        assert roc_auc(p, y) == 1.0
+
+    def test_inverted(self):
+        p = np.array([0.9, 0.8, 0.2, 0.1])
+        y = np.array([0, 0, 1, 1])
+        assert roc_auc(p, y) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(1)
+        p = rng.uniform(size=10000)
+        y = rng.integers(0, 2, 10000)
+        assert roc_auc(p, y) == pytest.approx(0.5, abs=0.02)
+
+    def test_ties_midranked(self):
+        p = np.array([0.5, 0.5, 0.5, 0.5])
+        y = np.array([1, 0, 1, 0])
+        assert roc_auc(p, y) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.5, 0.6]), np.array([1, 1]))
+
+    def test_matches_pair_counting(self):
+        rng = np.random.default_rng(2)
+        p = rng.uniform(size=60)
+        y = rng.integers(0, 2, 60)
+        pos, neg = p[y == 1], p[y == 0]
+        wins = sum((pp > nn) + 0.5 * (pp == nn) for pp in pos for nn in neg)
+        expected = wins / (pos.size * neg.size)
+        assert roc_auc(p, y) == pytest.approx(expected, rel=1e-9)
+
+
+class TestR2:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(np.full(3, 2.0), y) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(np.array([3.0, 2.0, 1.0]), y) < 0.0
+
+    def test_constant_target(self):
+        assert r2_score(np.array([1.0, 1.0]), np.array([1.0, 1.0])) == 1.0
+        assert r2_score(np.array([1.0, 2.0]), np.array([1.0, 1.0])) == 0.0

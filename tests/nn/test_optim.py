@@ -1,0 +1,87 @@
+"""Tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_setup(start=5.0):
+    p = Parameter(np.array([start]))
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad[...] = [0.5, -0.5]
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.value, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad[...] = [1.0]
+        opt.step()  # v=1, p=-1
+        p.grad[...] = [1.0]
+        opt.step()  # v=1.9, p=-2.9
+        assert p.value[0] == pytest.approx(-2.9)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        p.grad[...] = [0.0]
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert p.value[0] == pytest.approx(2.0 - 0.1 * 0.5 * 2.0)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_setup()
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(200):
+            p.grad[...] = 2.0 * p.value  # d/dp p^2
+            opt.step()
+        assert abs(p.value[0]) < 1e-4
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        p.grad[...] = [5.0]
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad[0] == 0.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_setup()
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            p.grad[...] = 2.0 * p.value
+            opt.step()
+        assert abs(p.value[0]) < 1e-3
+
+    def test_first_step_magnitude(self):
+        """Bias correction makes the first step ~lr regardless of grad scale."""
+        for scale in [1e-3, 1.0, 1e3]:
+            p = Parameter(np.array([0.0]))
+            p.grad[...] = [scale]
+            Adam([p], lr=0.01).step()
+            assert abs(p.value[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        p.grad[...] = [0.0]
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        opt.step()
+        assert p.value[0] < 1.0

@@ -1,0 +1,147 @@
+"""Tests for LR schedulers, gradient clipping, and the extra losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Parameter, Sequential
+from repro.nn.losses import HuberLoss, L1Loss, MSELoss
+from repro.nn.optim import SGD
+from repro.nn.schedulers import CosineAnnealingLR, StepLR, clip_gradients
+from repro.nn.train import Trainer
+
+
+def make_opt(lr=0.1):
+    p = Parameter(np.zeros(3))
+    return SGD([p], lr=lr), p
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        opt, _ = make_opt(0.1)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([0.1, 0.05, 0.05, 0.025, 0.025, 0.0125])
+
+    def test_invalid_args(self):
+        opt, _ = make_opt()
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=1, gamma=0.0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt, _ = make_opt(0.1)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.001)
+        assert sched.lr_at(0) == pytest.approx(0.1)
+        assert sched.lr_at(10) == pytest.approx(0.001)
+        assert sched.lr_at(5) == pytest.approx((0.1 + 0.001) / 2)
+
+    def test_monotone_decreasing(self):
+        opt, _ = make_opt(0.1)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = [sched.lr_at(e) for e in range(21)]
+        assert all(b <= a + 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_holds_after_t_max(self):
+        opt, _ = make_opt(0.1)
+        sched = CosineAnnealingLR(opt, t_max=5, eta_min=0.01)
+        assert sched.lr_at(50) == pytest.approx(0.01)
+
+
+class TestClipGradients:
+    def test_no_clip_below_ceiling(self):
+        p = Parameter(np.zeros(2))
+        p.grad[...] = [0.3, 0.4]  # norm 0.5
+        norm = clip_gradients([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_to_ceiling(self):
+        p = Parameter(np.zeros(2))
+        p.grad[...] = [3.0, 4.0]  # norm 5
+        clip_gradients([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad[...] = [3.0]
+        b.grad[...] = [4.0]
+        norm = clip_gradients([a, b], max_norm=2.5)
+        assert norm == pytest.approx(5.0)
+        assert np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2) == pytest.approx(2.5)
+
+    def test_invalid_ceiling(self):
+        with pytest.raises(ValueError):
+            clip_gradients([Parameter(np.zeros(1))], max_norm=0.0)
+
+
+class TestExtraLosses:
+    def test_l1_value_and_grad(self):
+        v, g = L1Loss()(np.array([[2.0, -1.0]]), np.array([[0.0, 0.0]]))
+        assert v == pytest.approx(1.5)
+        assert np.allclose(g, [[0.5, -0.5]])
+
+    def test_huber_quadratic_region_matches_mse_shape(self):
+        pred = np.array([[0.3]])
+        target = np.array([[0.0]])
+        v_h, g_h = HuberLoss(delta=1.0)(pred, target)
+        assert v_h == pytest.approx(0.5 * 0.09)
+        assert g_h[0, 0] == pytest.approx(0.3)
+
+    def test_huber_linear_region_bounded_grad(self):
+        v, g = HuberLoss(delta=1.0)(np.array([[10.0]]), np.array([[0.0]]))
+        assert g[0, 0] == pytest.approx(1.0)
+        assert v == pytest.approx(10.0 - 0.5)
+
+    def test_huber_outlier_resistance(self):
+        """Huber total loss grows linearly with an outlier; MSE quadratically."""
+        base = np.zeros((10, 1))
+        target = np.zeros((10, 1))
+        for out in (10.0, 20.0):
+            pred = base.copy()
+            pred[0, 0] = out
+            h, _ = HuberLoss(delta=1.0)(pred, target)
+            m, _ = MSELoss()(pred, target)
+            assert h < m
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+class TestTrainerIntegration:
+    def test_scheduler_steps_per_epoch(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(3, 1, rng))
+        opt = SGD(model.parameters(), lr=0.1)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        trainer = Trainer(
+            model, MSELoss(), opt, batch_size=16, max_epochs=3, patience=10,
+            scheduler=sched,
+        )
+        x = rng.normal(size=(64, 3))
+        y = x[:, :1]
+        trainer.fit(x[:48], y[:48], x[48:], y[48:], rng)
+        assert opt.lr == pytest.approx(0.1 * 0.5**3)
+
+    def test_grad_clipping_enabled(self):
+        rng = np.random.default_rng(1)
+        model = Sequential(Linear(3, 1, rng))
+        opt = SGD(model.parameters(), lr=0.1)
+        trainer = Trainer(
+            model, MSELoss(), opt, batch_size=16, max_epochs=2, patience=10,
+            grad_clip_norm=1e-6,
+        )
+        x = rng.normal(size=(64, 3))
+        y = 100.0 * x[:, :1]
+        before = [p.value.copy() for p in model.parameters()]
+        trainer.fit(x[:48], y[:48], x[48:], y[48:], rng)
+        # With a tiny clip ceiling, parameters barely move.
+        for b, p in zip(before, model.parameters()):
+            assert np.abs(p.value - b).max() < 1e-3

@@ -1,0 +1,59 @@
+"""Tests for model (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm1d, Linear, ReLU, Sequential
+from repro.nn.serialize import load_model_params, save_model_params
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        BatchNorm1d(4), Linear(4, 8, rng), ReLU(), Linear(8, 1, rng)
+    )
+
+
+class TestSerialize:
+    def test_round_trip(self, tmp_path):
+        model = make_model(1)
+        # Push data through to move BN running stats off their defaults.
+        model.train()
+        model.forward(np.random.default_rng(2).normal(2.0, 3.0, size=(64, 4)))
+        model.eval()
+        x = np.random.default_rng(3).normal(size=(5, 4))
+        expected = model.forward(x)
+
+        path = tmp_path / "model.npz"
+        save_model_params(model, path)
+        fresh = make_model(99)  # different init
+        load_model_params(fresh, path)
+        fresh.eval()
+        assert np.allclose(fresh.forward(x), expected)
+
+    def test_parameter_count_mismatch(self, tmp_path):
+        path = tmp_path / "m.npz"
+        save_model_params(make_model(), path)
+        other = Sequential(Linear(4, 1))
+        with pytest.raises(ValueError):
+            load_model_params(other, path)
+
+    def test_shape_mismatch(self, tmp_path):
+        path = tmp_path / "m.npz"
+        save_model_params(Sequential(Linear(4, 2)), path)
+        other = Sequential(Linear(4, 3))
+        with pytest.raises(ValueError):
+            load_model_params(other, path)
+
+    def test_batchnorm_stats_preserved(self, tmp_path):
+        model = make_model(4)
+        model.train()
+        model.forward(np.random.default_rng(5).normal(7.0, 1.0, size=(256, 4)))
+        path = tmp_path / "m.npz"
+        save_model_params(model, path)
+        fresh = make_model(6)
+        load_model_params(fresh, path)
+        bn_orig = model[0]
+        bn_new = fresh[0]
+        assert np.allclose(bn_new.running_mean, bn_orig.running_mean)
+        assert np.allclose(bn_new.running_var, bn_orig.running_var)

@@ -1,0 +1,70 @@
+"""Tests for parallel utilities."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import chunk_indices, parallel_map, spawn_rngs
+
+
+def square(x):
+    return x * x
+
+
+class TestSpawnRngs:
+    def test_reproducible(self):
+        a = spawn_rngs(42, 3)
+        b = spawn_rngs(42, 3)
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.random(5), rb.random(5))
+
+    def test_streams_independent(self):
+        rngs = spawn_rngs(42, 2)
+        x = rngs[0].random(1000)
+        y = rngs[1].random(1000)
+        assert abs(np.corrcoef(x, y)[0, 1]) < 0.1
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestChunkIndices:
+    def test_balanced(self):
+        chunks = chunk_indices(10, 3)
+        sizes = [c.size for c in chunks]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_indices(2, 5)
+        assert len(chunks) == 2
+
+    def test_covers_range(self):
+        chunks = chunk_indices(17, 4)
+        assert np.array_equal(np.concatenate(chunks), np.arange(17))
+
+    def test_zero_items(self):
+        assert chunk_indices(0, 3) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_indices(5, 0)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], n_workers=1) == [1, 4, 9]
+
+    def test_small_workload_stays_serial(self):
+        assert parallel_map(square, [2], n_workers=4) == [4]
+
+    def test_order_preserved(self):
+        out = parallel_map(square, list(range(20)), n_workers=1)
+        assert out == [i * i for i in range(20)]
+
+    def test_multiprocess_path(self):
+        """Actually fan out over processes (spawn context)."""
+        out = parallel_map(square, list(range(8)), n_workers=2)
+        assert out == [i * i for i in range(8)]

@@ -1,0 +1,91 @@
+"""Tests for cross sections / attenuation coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    CLASSICAL_ELECTRON_RADIUS_CM,
+    CSI,
+    PLASTIC,
+)
+from repro.physics.crosssections import (
+    PAIR_THRESHOLD_MEV,
+    compton_mu,
+    interaction_probabilities,
+    klein_nishina_total,
+    pair_mu,
+    photoelectric_mu,
+    total_mu,
+)
+
+THOMSON_CM2 = 8.0 * np.pi / 3.0 * CLASSICAL_ELECTRON_RADIUS_CM**2
+
+
+class TestKleinNishinaTotal:
+    def test_thomson_limit(self):
+        assert klein_nishina_total(1e-5) == pytest.approx(THOMSON_CM2, rel=1e-3)
+
+    def test_monotonic_decreasing(self):
+        e = np.geomspace(0.01, 100, 100)
+        sigma = klein_nishina_total(e)
+        assert np.all(np.diff(sigma) < 0)
+
+    def test_known_value_at_511kev(self):
+        # sigma(k=1) ~ 0.4318 sigma_Thomson (standard result).
+        ratio = klein_nishina_total(0.511) / THOMSON_CM2
+        assert ratio == pytest.approx(0.4318, rel=0.81e-2)
+
+
+class TestAttenuation:
+    def test_photoelectric_dominates_low_energy_csi(self):
+        assert photoelectric_mu(0.05, CSI) > compton_mu(0.05, CSI)
+
+    def test_compton_dominates_mev_csi(self):
+        assert compton_mu(1.0, CSI) > photoelectric_mu(1.0, CSI)
+
+    def test_pe_negligible_in_plastic(self):
+        assert photoelectric_mu(0.1, PLASTIC) < 0.02 * compton_mu(0.1, PLASTIC)
+
+    def test_pair_zero_below_threshold(self):
+        assert pair_mu(1.0, CSI) == 0.0
+        assert pair_mu(PAIR_THRESHOLD_MEV, CSI) == 0.0
+
+    def test_pair_rises_above_threshold(self):
+        assert pair_mu(5.0, CSI) > 0.0
+        assert pair_mu(20.0, CSI) > pair_mu(5.0, CSI)
+
+    def test_total_is_sum(self):
+        e = np.geomspace(0.03, 30, 20)
+        assert np.allclose(
+            total_mu(e, CSI),
+            compton_mu(e, CSI) + photoelectric_mu(e, CSI) + pair_mu(e, CSI),
+        )
+
+    def test_csi_mean_free_path_at_1mev(self):
+        # CsI mu/rho ~ 0.055-0.06 cm^2/g at 1 MeV -> mu ~ 0.25/cm.
+        mu = total_mu(1.0, CSI)
+        assert 0.15 < mu < 0.4
+
+    def test_density_scaling(self):
+        assert compton_mu(1.0, CSI) / compton_mu(1.0, PLASTIC) == pytest.approx(
+            CSI.electron_density_cm3 / PLASTIC.electron_density_cm3
+        )
+
+
+class TestInteractionProbabilities:
+    def test_sum_to_one(self):
+        e = np.geomspace(0.03, 30, 50)
+        p_c, p_pe, p_pp = interaction_probabilities(e, CSI)
+        assert np.allclose(p_c + p_pe + p_pp, 1.0)
+
+    def test_all_nonnegative(self):
+        e = np.geomspace(0.03, 30, 50)
+        for p in interaction_probabilities(e, CSI):
+            assert np.all(p >= 0.0)
+
+    def test_compton_fraction_rises_then_pair_takes_over(self):
+        p_c_low = interaction_probabilities(np.array([0.05]), CSI)[0][0]
+        p_c_mid = interaction_probabilities(np.array([1.0]), CSI)[0][0]
+        assert p_c_mid > p_c_low
+        p_pp_high = interaction_probabilities(np.array([30.0]), CSI)[2][0]
+        assert p_pp_high > 0.1

@@ -1,0 +1,96 @@
+"""Property-based tests of transport invariants over random configurations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.tiles import adapt_geometry
+from repro.physics.transport import (
+    FATE_ABSORBED,
+    FATE_ESCAPED,
+    FATE_MAX_GENERATIONS,
+    FATE_NO_INTERACTION,
+    transport_photons,
+)
+
+geometry_configs = st.tuples(
+    st.integers(min_value=1, max_value=6),        # layers
+    st.floats(min_value=10.0, max_value=60.0),    # tile size
+    st.floats(min_value=0.5, max_value=3.0),      # thickness
+    st.floats(min_value=0.0, max_value=15.0),     # gap
+)
+
+
+@given(
+    geometry_configs,
+    st.floats(min_value=0.05, max_value=10.0),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_transport_invariants(config, energy, seed):
+    """For any slab stack and photon energy:
+
+    - every hit lies inside scintillator,
+    - deposits are positive and (with escapes) sum to the photon energy,
+    - fates are consistent with interaction counts.
+    """
+    layers, size, thickness, gap = config
+    geometry = adapt_geometry(
+        num_layers=layers,
+        tile_size_cm=size,
+        tile_thickness_cm=thickness,
+        layer_gap_cm=gap,
+    )
+    rng = np.random.default_rng(seed)
+    n = 300
+    half = geometry.half_size
+    origins = np.stack(
+        [
+            rng.uniform(-half, half, n),
+            rng.uniform(-half, half, n),
+            np.full(n, 1.0),
+        ],
+        axis=1,
+    )
+    # Random downward directions.
+    directions = rng.normal(size=(n, 3))
+    directions[:, 2] = -np.abs(directions[:, 2]) - 0.1
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    energies = np.full(n, energy)
+
+    res = transport_photons(geometry, origins, directions, energies, rng)
+
+    if res.num_hits:
+        assert np.all(geometry.contains(res.positions))
+        assert np.all(res.energies > 0)
+
+    sums = np.zeros(n)
+    np.add.at(sums, res.photon_index, res.energies)
+    assert np.allclose(sums + res.escaped_energy, energies, atol=1e-9)
+
+    no_int = res.fate == FATE_NO_INTERACTION
+    assert np.all(res.num_interactions[no_int] == 0)
+    interacted = res.fate != FATE_NO_INTERACTION
+    assert np.all(res.num_interactions[interacted] >= 1)
+    absorbed = res.fate == FATE_ABSORBED
+    assert np.allclose(res.escaped_energy[absorbed], 0.0)
+    escaped = res.fate == FATE_ESCAPED
+    assert np.all(res.escaped_energy[escaped] > 0)
+    alive_at_cap = res.fate == FATE_MAX_GENERATIONS
+    assert np.all(res.escaped_energy[alive_at_cap] > 0)
+
+
+@given(st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=10, deadline=None)
+def test_transport_photon_count_conserved(seed):
+    """Every input photon gets exactly one fate."""
+    geometry = adapt_geometry()
+    rng = np.random.default_rng(seed)
+    n = 200
+    origins = np.tile([0.0, 0.0, 1.0], (n, 1))
+    directions = np.tile([0.0, 0.0, -1.0], (n, 1))
+    energies = rng.uniform(0.05, 5.0, n)
+    res = transport_photons(geometry, origins, directions, energies, rng)
+    assert res.num_photons == n
+    assert res.fate.shape == (n,)
+    assert set(np.unique(res.fate)).issubset({0, 1, 2, 3})

@@ -1,0 +1,125 @@
+"""Tests for the embedded-platform timing models (Tables I & II)."""
+
+import numpy as np
+import pytest
+
+from repro.platforms.platforms import (
+    ATOM,
+    PAPER_NOMINAL_EVENTS,
+    PAPER_NOMINAL_RINGS,
+    RPI3B_PLUS,
+    STAGE_NAMES,
+)
+
+PAPER_TABLE1 = {
+    "Reconstruction": (36.9, 35, 44),
+    "Localization Setup": (35.4, 34, 99),
+    "DEta NN Inference": (31.0, 17, 41),
+    "Bkg NN Inference": (36.1, 22, 58),
+    "Approx + Refine": (91.7, 89, 107),
+}
+PAPER_TABLE2 = {
+    "Reconstruction": (18.6, 15, 26),
+    "Localization Setup": (12.1, 12, 13),
+    "DEta NN Inference": (5.5, 5, 6),
+    "Bkg NN Inference": (14.7, 14, 15),
+    "Approx + Refine": (18.5, 17, 21),
+}
+
+
+class TestNominalPrediction:
+    def test_rpi_rows_match_table1(self):
+        times = RPI3B_PLUS.predict()
+        for stage, (mean, lo, hi) in PAPER_TABLE1.items():
+            assert times.mean_ms[stage] == pytest.approx(mean)
+            assert times.range_ms[stage] == pytest.approx((lo, hi))
+
+    def test_atom_rows_match_table2(self):
+        times = ATOM.predict()
+        for stage, (mean, lo, hi) in PAPER_TABLE2.items():
+            assert times.mean_ms[stage] == pytest.approx(mean)
+
+    def test_rpi_total_matches_paper(self):
+        assert RPI3B_PLUS.predict().total_mean() == pytest.approx(834.0, abs=0.5)
+
+    def test_atom_total_matches_paper(self):
+        assert ATOM.predict().total_mean() == pytest.approx(220.7, abs=0.5)
+
+    def test_rpi_total_range(self):
+        lo, hi = RPI3B_PLUS.predict().total_range()
+        # Paper reports 730-1116.
+        assert lo == pytest.approx(730.0, abs=1.0)
+        assert hi == pytest.approx(1116.0, abs=1.0)
+
+    def test_atom_total_range(self):
+        lo, hi = ATOM.predict().total_range()
+        assert lo == pytest.approx(204.0, abs=1.0)
+        assert hi == pytest.approx(246.0, abs=1.0)
+
+
+class TestWorkloadScaling:
+    def test_ring_stages_scale_with_rings(self):
+        half = RPI3B_PLUS.predict(num_rings=PAPER_NOMINAL_RINGS // 2)
+        full = RPI3B_PLUS.predict()
+        assert half.mean_ms["Bkg NN Inference"] == pytest.approx(
+            full.mean_ms["Bkg NN Inference"] * (PAPER_NOMINAL_RINGS // 2)
+            / PAPER_NOMINAL_RINGS
+        )
+        # Reconstruction depends on events, not rings.
+        assert half.mean_ms["Reconstruction"] == pytest.approx(
+            full.mean_ms["Reconstruction"]
+        )
+
+    def test_event_stage_scales_with_events(self):
+        double = RPI3B_PLUS.predict(num_events=2 * PAPER_NOMINAL_EVENTS)
+        full = RPI3B_PLUS.predict()
+        assert double.mean_ms["Reconstruction"] == pytest.approx(
+            2 * full.mean_ms["Reconstruction"]
+        )
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(ValueError):
+            RPI3B_PLUS.predict(num_events=-1)
+
+    def test_atom_faster_than_rpi_everywhere(self):
+        rpi = RPI3B_PLUS.predict()
+        atom = ATOM.predict()
+        for stage in STAGE_NAMES:
+            assert atom.mean_ms[stage] < rpi.mean_ms[stage]
+
+    def test_iterations_parameter(self):
+        t = ATOM.predict()
+        t1 = t.total_mean(iterations=1)
+        t5 = t.total_mean(iterations=5)
+        per_iter = t.mean_ms["Bkg NN Inference"] + t.mean_ms["Approx + Refine"]
+        assert t5 - t1 == pytest.approx(4 * per_iter)
+
+
+class TestHostTiming:
+    def test_stage_timer(self):
+        from repro.platforms.timing import StageTimer
+        import time
+
+        timer = StageTimer()
+        with timer.stage("work"):
+            time.sleep(0.01)
+        assert timer.mean_ms("work") >= 9.0
+        lo, hi = timer.range_ms("work")
+        assert lo <= timer.mean_ms("work") <= hi
+
+    def test_missing_stage_raises(self):
+        from repro.platforms.timing import StageTimer
+
+        with pytest.raises(KeyError):
+            StageTimer().mean_ms("nope")
+
+    def test_time_pipeline_stages(self, geometry, response, tiny_models):
+        from repro.platforms.timing import time_pipeline_stages
+
+        result = time_pipeline_stages(
+            geometry, response, tiny_models, np.random.default_rng(0), repeats=1
+        )
+        for stage in STAGE_NAMES:
+            assert result.timer.mean_ms(stage) >= 0.0
+        assert result.num_events > 0
+        assert result.num_rings > 0

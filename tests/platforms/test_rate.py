@@ -1,0 +1,75 @@
+"""Tests for event-rate capacity analysis."""
+
+import pytest
+
+from repro.platforms.platforms import ATOM, RPI3B_PLUS
+from repro.platforms.rate import max_sustainable_rate, rate_capacity, utilization
+
+
+class TestRateCapacity:
+    def test_atom_outruns_rpi(self):
+        atom = rate_capacity(ATOM)
+        rpi = rate_capacity(RPI3B_PLUS)
+        assert atom.max_event_rate_hz > rpi.max_event_rate_hz
+        assert atom.triggers_per_second > rpi.triggers_per_second
+
+    def test_localization_matches_table_total(self):
+        assert rate_capacity(ATOM).localization_ms == pytest.approx(220.7, abs=0.5)
+
+    def test_reconstruction_rate_from_table(self):
+        # 18.6 ms per 1200 events -> ~64.5k events/s.
+        cap = rate_capacity(ATOM)
+        assert cap.max_event_rate_hz == pytest.approx(1200 / 0.0186, rel=1e-6)
+
+
+class TestUtilization:
+    def test_zero_workload(self):
+        assert utilization(ATOM, 0.0) == 0.0
+
+    def test_linear_in_event_rate(self):
+        u1 = utilization(ATOM, 10_000.0)
+        u2 = utilization(ATOM, 20_000.0)
+        assert u2 == pytest.approx(2 * u1)
+
+    def test_triggers_add_load(self):
+        base = utilization(ATOM, 10_000.0)
+        with_triggers = utilization(ATOM, 10_000.0, triggers_per_hour=3600.0)
+        assert with_triggers > base
+
+    def test_saturation_detectable(self):
+        cap = rate_capacity(ATOM)
+        assert utilization(ATOM, 2.0 * cap.max_event_rate_hz) > 1.0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            utilization(ATOM, -1.0)
+
+
+class TestMaxSustainableRate:
+    def test_below_saturation(self):
+        rate = max_sustainable_rate(ATOM, triggers_per_hour=10.0, headroom=0.2)
+        assert 0 < rate < rate_capacity(ATOM).max_event_rate_hz
+
+    def test_utilization_at_answer(self):
+        rate = max_sustainable_rate(ATOM, triggers_per_hour=10.0, headroom=0.2)
+        assert utilization(ATOM, rate, 10.0) == pytest.approx(0.8, rel=1e-6)
+
+    def test_headroom_reduces_rate(self):
+        loose = max_sustainable_rate(ATOM, headroom=0.0)
+        tight = max_sustainable_rate(ATOM, headroom=0.5)
+        assert tight < loose
+
+    def test_impossible_trigger_load(self):
+        with pytest.raises(ValueError):
+            max_sustainable_rate(ATOM, triggers_per_hour=1e9)
+
+    def test_invalid_headroom(self):
+        with pytest.raises(ValueError):
+            max_sustainable_rate(ATOM, headroom=1.0)
+
+    def test_apt_scale_demand(self):
+        """APT (~25x aperture) exceeds the RPi's capacity margin sooner
+        than the Atom's — the paper's motivation for faster platforms."""
+        adapt_rate = 2000.0  # events/s scale for the demonstrator
+        apt_rate = 25.0 * adapt_rate
+        assert utilization(RPI3B_PLUS, apt_rate) > utilization(ATOM, apt_rate)

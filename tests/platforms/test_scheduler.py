@@ -1,0 +1,77 @@
+"""Tests for the anytime latency scheduler."""
+
+import pytest
+
+from repro.platforms.platforms import ATOM, RPI3B_PLUS
+from repro.platforms.scheduler import plan_cost_ms, plan_under_budget
+
+NOMINAL = dict(num_events=1200, num_rings=597)
+
+
+class TestPlanCost:
+    def test_monotone_in_iterations(self):
+        costs = [
+            plan_cost_ms(ATOM, it, True, **NOMINAL) for it in range(6)
+        ]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    def test_deta_stage_adds_cost(self):
+        without = plan_cost_ms(ATOM, 3, False, **NOMINAL)
+        with_deta = plan_cost_ms(ATOM, 3, True, **NOMINAL)
+        assert with_deta > without
+
+    def test_full_plan_matches_table_total(self):
+        """5 iterations + dEta stage reproduces the Table II total."""
+        cost = plan_cost_ms(ATOM, 5, True, **NOMINAL)
+        assert cost == pytest.approx(220.7, abs=0.5)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            plan_cost_ms(ATOM, -1, True, **NOMINAL)
+
+
+class TestPlanUnderBudget:
+    def test_generous_budget_runs_everything(self):
+        plan = plan_under_budget(ATOM, budget_ms=500.0, **NOMINAL)
+        assert plan.iterations == 5
+        assert plan.run_deta_stage
+        assert plan.meets_budget
+
+    def test_tight_budget_cuts_iterations(self):
+        full = plan_cost_ms(ATOM, 5, True, **NOMINAL)
+        plan = plan_under_budget(ATOM, budget_ms=full * 0.6, **NOMINAL)
+        assert plan.meets_budget
+        assert plan.iterations < 5
+
+    def test_impossible_budget_reports_overrun(self):
+        plan = plan_under_budget(ATOM, budget_ms=1.0, **NOMINAL)
+        assert not plan.meets_budget
+        assert plan.iterations == 0
+        assert not plan.run_deta_stage
+
+    def test_rpi_fits_fewer_iterations_than_atom(self):
+        budget = 300.0
+        atom = plan_under_budget(ATOM, budget_ms=budget, **NOMINAL)
+        rpi = plan_under_budget(RPI3B_PLUS, budget_ms=budget, **NOMINAL)
+        assert atom.iterations >= rpi.iterations
+
+    def test_smaller_workload_fits_more(self):
+        budget = 120.0
+        heavy = plan_under_budget(ATOM, budget_ms=budget, **NOMINAL)
+        light = plan_under_budget(
+            ATOM, budget_ms=budget, num_events=300, num_rings=150
+        )
+        assert (light.iterations, light.run_deta_stage) >= (
+            heavy.iterations,
+            heavy.run_deta_stage,
+        )
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            plan_under_budget(ATOM, budget_ms=0.0, **NOMINAL)
+
+    def test_prediction_consistent(self):
+        plan = plan_under_budget(ATOM, budget_ms=150.0, **NOMINAL)
+        assert plan.predicted_ms == pytest.approx(
+            plan_cost_ms(ATOM, plan.iterations, plan.run_deta_stage, **NOMINAL)
+        )

@@ -1,0 +1,128 @@
+"""Tests for quantization primitives and fake quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization.fake_quant import (
+    FakeQuantize,
+    INT8_MAX,
+    INT8_MIN,
+    UINT8_MAX,
+    UINT8_MIN,
+    dequantize,
+    quantize,
+    quantize_affine_params,
+    quantize_symmetric_params,
+)
+
+
+class TestQuantizeParams:
+    def test_symmetric_zero_point_is_zero(self):
+        scale, zp = quantize_symmetric_params(-3.0, 5.0)
+        assert zp == 0
+        assert scale == pytest.approx(5.0 / 128)
+
+    def test_affine_covers_range(self):
+        scale, zp = quantize_affine_params(-2.0, 6.0)
+        q_lo = quantize(np.array([-2.0]), scale, zp, UINT8_MIN, UINT8_MAX)
+        q_hi = quantize(np.array([6.0]), scale, zp, UINT8_MIN, UINT8_MAX)
+        assert q_lo[0] >= UINT8_MIN and q_hi[0] <= UINT8_MAX
+        assert abs(dequantize(q_lo, scale, zp)[0] - (-2.0)) < scale
+        assert abs(dequantize(q_hi, scale, zp)[0] - 6.0) < scale
+
+    def test_affine_zero_exactly_representable(self):
+        scale, zp = quantize_affine_params(0.5, 6.0)  # range widened to 0
+        q = quantize(np.array([0.0]), scale, zp, UINT8_MIN, UINT8_MAX)
+        assert dequantize(q, scale, zp)[0] == pytest.approx(0.0, abs=1e-12)
+
+    @given(
+        st.floats(min_value=-100, max_value=0),
+        st.floats(min_value=0.1, max_value=100),
+    )
+    @settings(max_examples=50)
+    def test_round_trip_error_bounded(self, lo, hi):
+        scale, zp = quantize_affine_params(lo, hi)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(lo, hi, 100)
+        q = quantize(x, scale, zp, UINT8_MIN, UINT8_MAX)
+        back = dequantize(q, scale, zp)
+        assert np.all(np.abs(back - x) <= scale / 2 + 1e-9)
+
+
+class TestFakeQuantize:
+    def test_training_observes_and_rounds(self):
+        fq = FakeQuantize()
+        fq.train()
+        x = np.linspace(-1, 1, 101)[None, :]
+        out = fq.forward(x)
+        # Rounded to the grid: at most scale/2 away.
+        assert np.all(np.abs(out - x) <= fq.scale / 2 + 1e-9)
+
+    def test_eval_uses_frozen_params(self):
+        fq = FakeQuantize()
+        fq.train()
+        fq.forward(np.array([[-1.0, 1.0]]))
+        scale = fq.scale
+        fq.eval()
+        fq.forward(np.array([[-100.0, 100.0]]))
+        assert fq.scale == scale
+
+    def test_straight_through_gradient(self):
+        fq = FakeQuantize()
+        fq.train()
+        fq.forward(np.array([[-1.0, 0.0, 1.0]]))
+        fq.eval()
+        # Out-of-range values get zero gradient.
+        fq.forward(np.array([[-100.0, 0.0, 100.0]]))
+        g = fq.backward(np.ones((1, 3)))
+        assert g[0, 0] == 0.0 and g[0, 2] == 0.0
+        assert g[0, 1] == 1.0
+
+    def test_symmetric_mode(self):
+        fq = FakeQuantize(symmetric=True)
+        fq.train()
+        fq.forward(np.array([[-2.0, 2.0]]))
+        assert fq.zero_point == 0
+        assert fq.qrange == (INT8_MIN, INT8_MAX)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            FakeQuantize().backward(np.ones((1, 1)))
+
+
+class TestObservers:
+    def test_minmax_tracks_extremes(self):
+        from repro.quantization.observers import MinMaxObserver
+
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 5.0]))
+        obs.observe(np.array([-3.0, 2.0]))
+        assert obs.range() == (-3.0, 5.0)
+
+    def test_minmax_uninitialized_default(self):
+        from repro.quantization.observers import MinMaxObserver
+
+        assert MinMaxObserver().range() == (0.0, 1.0)
+
+    def test_moving_average_smooths(self):
+        from repro.quantization.observers import MovingAverageObserver
+
+        obs = MovingAverageObserver(momentum=0.5)
+        obs.observe(np.array([0.0, 10.0]))
+        obs.observe(np.array([0.0, 20.0]))
+        assert obs.range()[1] == pytest.approx(15.0)
+
+    def test_moving_average_invalid_momentum(self):
+        from repro.quantization.observers import MovingAverageObserver
+
+        with pytest.raises(ValueError):
+            MovingAverageObserver(momentum=0.0)
+
+    def test_empty_observation_ignored(self):
+        from repro.quantization.observers import MinMaxObserver
+
+        obs = MinMaxObserver()
+        obs.observe(np.array([]))
+        assert not obs.initialized

@@ -1,0 +1,60 @@
+"""Tests for Linear+BatchNorm fusion."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm1d, Linear, ReLU, Sequential
+from repro.quantization.fuse import fuse_linear_bn_relu
+
+
+def trained_swapped_model(seed=0):
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        Linear(4, 8, rng), BatchNorm1d(8), ReLU(), Linear(8, 1, rng)
+    )
+    model.train()
+    for _ in range(10):
+        model.forward(rng.normal(2.0, 1.5, size=(64, 4)))
+    model.eval()
+    return model
+
+
+class TestFusion:
+    def test_output_identical(self):
+        model = trained_swapped_model()
+        fused = fuse_linear_bn_relu(model)
+        x = np.random.default_rng(1).normal(size=(32, 4))
+        assert np.allclose(model.forward(x), fused.forward(x), atol=1e-10)
+
+    def test_bn_layers_removed(self):
+        fused = fuse_linear_bn_relu(trained_swapped_model())
+        assert not any(isinstance(m, BatchNorm1d) for m in fused)
+
+    def test_relu_preserved(self):
+        fused = fuse_linear_bn_relu(trained_swapped_model())
+        assert any(isinstance(m, ReLU) for m in fused)
+
+    def test_training_mode_rejected(self):
+        model = trained_swapped_model()
+        model.train()
+        with pytest.raises(ValueError):
+            fuse_linear_bn_relu(model)
+
+    def test_orphan_batchnorm_rejected(self):
+        model = Sequential(BatchNorm1d(4), Linear(4, 1))
+        model.eval()
+        with pytest.raises(ValueError):
+            fuse_linear_bn_relu(model)
+
+    def test_width_mismatch_rejected(self):
+        model = Sequential(Linear(4, 8), BatchNorm1d(4))
+        model.eval()
+        with pytest.raises(ValueError):
+            fuse_linear_bn_relu(model)
+
+    def test_plain_linear_passes_through(self):
+        model = Sequential(Linear(4, 2))
+        model.eval()
+        fused = fuse_linear_bn_relu(model)
+        x = np.random.default_rng(2).normal(size=(5, 4))
+        assert np.allclose(model.forward(x), fused.forward(x))

@@ -1,0 +1,109 @@
+"""Tests for QAT preparation and the INT8 integer engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.losses import MSELoss
+from repro.nn.optim import SGD
+from repro.nn.train import Trainer
+from repro.quantization.fake_quant import FakeQuantize
+from repro.quantization.qat import QATLinear, convert_to_int8, prepare_qat
+
+
+def fused_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 12, rng), ReLU(), Linear(12, 1, rng))
+
+
+def calibrated_qat(seed=0, n=2000):
+    rng = np.random.default_rng(seed)
+    model = fused_model(seed)
+    qat = prepare_qat(model)
+    qat.train()
+    x = rng.normal(size=(n, 6))
+    qat.forward(x)
+    qat.eval()
+    return qat, x
+
+
+class TestPrepareQAT:
+    def test_structure(self):
+        qat = prepare_qat(fused_model())
+        assert isinstance(qat[0], FakeQuantize)
+        assert isinstance(qat[1], QATLinear)
+        assert isinstance(qat[2], ReLU)
+        assert isinstance(qat[3], QATLinear)
+
+    def test_rejects_unfused_modules(self):
+        from repro.nn.layers import BatchNorm1d
+
+        with pytest.raises(ValueError):
+            prepare_qat(Sequential(Linear(4, 4), BatchNorm1d(4)))
+
+    def test_output_close_to_float(self):
+        qat, x = calibrated_qat()
+        model = fused_model()
+        model.eval()
+        ref = model.forward(x[:100])
+        out = qat.forward(x[:100])
+        scale = max(np.abs(ref).max(), 1.0)
+        assert np.abs(out - ref).max() / scale < 0.05
+
+    def test_qat_trains(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(500, 6))
+        y = (x[:, :1] * 2.0) + 1.0
+        qat = prepare_qat(fused_model(1))
+        trainer = Trainer(
+            qat, MSELoss(), SGD(qat.parameters(), lr=0.01, momentum=0.9),
+            batch_size=64, max_epochs=20, patience=20,
+        )
+        hist = trainer.fit(x[:400], y[:400], x[400:], y[400:], rng)
+        assert hist.val_loss[-1] < hist.val_loss[0]
+
+
+class TestConvertToInt8:
+    def test_matches_fake_quant_model(self):
+        qat, x = calibrated_qat(seed=2)
+        engine = convert_to_int8(qat)
+        ref = qat.forward(x[:200])[:, 0]
+        out = engine.predict_logit(x[:200])
+        # Integer path vs fake-quant float path agree to ~quant noise.
+        denom = max(np.abs(ref).max(), 1.0)
+        assert np.abs(out - ref).max() / denom < 0.06
+
+    def test_integer_dtypes(self):
+        qat, _ = calibrated_qat(seed=3)
+        engine = convert_to_int8(qat)
+        for layer in engine.layers:
+            assert layer.weight_q.dtype == np.int8
+            assert layer.bias_q.dtype == np.int64
+
+    def test_weight_bytes(self):
+        qat, _ = calibrated_qat(seed=4)
+        engine = convert_to_int8(qat)
+        assert engine.weight_bytes == 6 * 12 + 12 * 1
+
+    def test_requires_prepared_model(self):
+        with pytest.raises(ValueError):
+            convert_to_int8(fused_model())
+
+    def test_relu_fused_into_layer(self):
+        qat, _ = calibrated_qat(seed=5)
+        engine = convert_to_int8(qat)
+        assert engine.layers[0].relu is True
+        assert engine.layers[1].relu is False
+
+    def test_relu_clamps_at_zero_point(self):
+        """Quantized ReLU output never dips below the zero point."""
+        qat, x = calibrated_qat(seed=6)
+        engine = convert_to_int8(qat)
+        from repro.quantization.fake_quant import UINT8_MAX, UINT8_MIN, quantize
+
+        x_q = quantize(
+            x[:100], engine.input_scale, engine.input_zero_point,
+            UINT8_MIN, UINT8_MAX,
+        )
+        y_q = engine.layers[0].forward_int(x_q)
+        assert np.all(y_q >= engine.layers[0].out_zero_point)

@@ -1,0 +1,94 @@
+"""Tests for the propagation-of-error d eta estimate."""
+
+import numpy as np
+import pytest
+
+from repro.constants import ELECTRON_MASS_MEV
+from repro.reconstruction.error_propagation import DETA_FLOOR, propagate_deta
+
+
+def _call(
+    etot=1.0,
+    e1=0.3,
+    sigma_tot_sq=None,
+    sigma_first=0.02,
+    eta=0.5,
+    dist=10.0,
+    sigma_pos=0.1,
+):
+    if sigma_tot_sq is None:
+        sigma_tot_sq = sigma_first**2 + 0.02**2
+    axis = np.array([[0.0, 0.0, 1.0]])
+    p1 = np.array([[0.0, 0.0, 0.0]])
+    p2 = np.array([[0.0, 0.0, -dist]])
+    return propagate_deta(
+        total_energy=np.array([etot]),
+        first_energy=np.array([e1]),
+        sigma_total_sq=np.array([sigma_tot_sq]),
+        sigma_first=np.array([sigma_first]),
+        axis=axis,
+        eta=np.array([eta]),
+        pos_first=p1,
+        pos_second=p2,
+        sigma_pos_first=np.full((1, 3), sigma_pos),
+        sigma_pos_second=np.full((1, 3), sigma_pos),
+    )[0]
+
+
+class TestPropagateDeta:
+    def test_floor_applied(self):
+        tiny = _call(sigma_first=1e-9, sigma_tot_sq=1e-18, sigma_pos=1e-9)
+        assert tiny == DETA_FLOOR
+
+    def test_monotonic_in_energy_sigma(self):
+        a = _call(sigma_first=0.01, sigma_tot_sq=0.01**2 + 0.01**2)
+        b = _call(sigma_first=0.05, sigma_tot_sq=0.05**2 + 0.01**2)
+        assert b > a
+
+    def test_monotonic_in_position_sigma(self):
+        a = _call(sigma_pos=0.05)
+        b = _call(sigma_pos=0.5)
+        assert b > a
+
+    def test_no_spatial_term_at_forward_scatter(self):
+        """sin(theta) = 0 at eta = +-1: position errors contribute nothing."""
+        with_spatial = _call(eta=0.5, sigma_pos=1.0)
+        without = _call(eta=1.0, sigma_pos=1.0)
+        energy_only = _call(eta=1.0, sigma_pos=0.0)
+        assert without == pytest.approx(energy_only, rel=1e-9)
+        assert with_spatial > without
+
+    def test_longer_lever_arm_shrinks_spatial_term(self):
+        short = _call(dist=3.0, sigma_pos=0.5)
+        long = _call(dist=30.0, sigma_pos=0.5)
+        assert long < short
+
+    def test_energy_term_analytic(self):
+        """Compare against a finite-difference propagation of eta."""
+        etot, e1 = 1.0, 0.3
+        s1, s_other = 0.02, 0.03
+        me = ELECTRON_MASS_MEV
+
+        def eta_of(d1, dother):
+            total = (e1 + d1) + (etot - e1 + dother)
+            scattered = etot - e1 + dother
+            return 1.0 - me * (1.0 / scattered - 1.0 / total)
+
+        h = 1e-7
+        g1 = (eta_of(h, 0) - eta_of(-h, 0)) / (2 * h)
+        g2 = (eta_of(0, h) - eta_of(0, -h)) / (2 * h)
+        expected = np.sqrt((g1 * s1) ** 2 + (g2 * s_other) ** 2)
+        got = _call(
+            etot=etot,
+            e1=e1,
+            sigma_first=s1,
+            sigma_tot_sq=s1**2 + s_other**2,
+            eta=1.0,  # kill the spatial term
+            sigma_pos=0.0,
+        )
+        assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_nonfinite_inputs_handled(self):
+        """E' = 0 (all energy in the first hit) must not produce NaN."""
+        out = _call(etot=1.0, e1=1.0)
+        assert np.isfinite(out)

@@ -1,0 +1,60 @@
+"""Tests for reconstruction quality filters."""
+
+import numpy as np
+import pytest
+
+from repro.reconstruction.filters import FilterConfig, quality_filter
+from repro.reconstruction.rings import build_rings
+from tests.reconstruction.test_ordering import kinematic_two_hit, make_event_set
+
+
+def _ring_and_events(**kw):
+    positions, energies = kinematic_two_hit(**kw)
+    ev = make_event_set([2], positions, energies, [0, 1])
+    return build_rings(ev), ev
+
+
+class TestQualityFilter:
+    def test_good_ring_passes(self):
+        rings, ev = _ring_and_events()
+        assert quality_filter(rings, ev)[0]
+
+    def test_eta_margin(self):
+        rings, ev = _ring_and_events(cos_t=0.995)
+        cfg = FilterConfig(eta_margin=0.02)
+        assert not quality_filter(rings, ev, cfg)[0]
+
+    def test_lever_arm_gate(self):
+        positions, energies = kinematic_two_hit()
+        positions[1] = [0.5, 0.0, -0.5]  # 0.5 cm apart -> fails 3 cm gate
+        ev = make_event_set([2], positions, energies, [0, 1])
+        rings = build_rings(ev)
+        if rings.num_rings:  # may be dropped as degenerate upstream
+            assert not quality_filter(rings, ev)[0]
+
+    def test_energy_gate(self):
+        rings, ev = _ring_and_events(e0=0.12)
+        cfg = FilterConfig(min_total_energy_mev=0.5)
+        assert not quality_filter(rings, ev, cfg)[0]
+
+    def test_deta_gate(self):
+        rings, ev = _ring_and_events()
+        wide = rings.with_deta(np.full(rings.num_rings, 10.0))
+        assert not quality_filter(wide, ev)[0]
+
+    def test_ordering_score_gate_passes_two_hit(self):
+        """2-hit rings (NaN score) always pass the score gate."""
+        rings, ev = _ring_and_events()
+        cfg = FilterConfig(max_ordering_score=0.0)
+        assert quality_filter(rings, ev, cfg)[0]
+
+    def test_filters_reduce_population(self, events):
+        rings = build_rings(events)
+        mask = quality_filter(rings, events)
+        assert 0 < mask.sum() < rings.num_rings
+
+    def test_mask_shape(self, events):
+        rings = build_rings(events)
+        mask = quality_filter(rings, events)
+        assert mask.shape == (rings.num_rings,)
+        assert mask.dtype == bool

@@ -1,0 +1,164 @@
+"""Tests for Compton hit ordering."""
+
+import numpy as np
+import pytest
+
+from repro.detector.response import EventSet
+from repro.physics.compton import scattered_energy
+from repro.reconstruction.ordering import order_hits
+
+
+def make_event_set(hits_per_event, positions, energies, true_order, labels=None):
+    """Assemble a minimal EventSet from per-hit arrays."""
+    n_events = len(hits_per_event)
+    offsets = np.concatenate([[0], np.cumsum(hits_per_event)]).astype(np.int64)
+    k = offsets[-1]
+    positions = np.asarray(positions, dtype=np.float64)
+    energies = np.asarray(energies, dtype=np.float64)
+    return EventSet(
+        event_offsets=offsets,
+        positions=positions,
+        energies=energies,
+        sigma_energy=np.full(k, 0.01),
+        sigma_position=np.full((k, 3), 0.1),
+        true_positions=positions.copy(),
+        true_energies=energies.copy(),
+        true_order=np.asarray(true_order, dtype=np.int64),
+        photon_index=np.arange(n_events),
+        labels=np.zeros(n_events, dtype=np.int64)
+        if labels is None
+        else np.asarray(labels),
+        photon_energy=np.array(
+            [energies[offsets[i] : offsets[i + 1]].sum() for i in range(n_events)]
+        ),
+        source_direction=np.array([0.0, 0.0, 1.0]),
+    )
+
+
+def kinematic_two_hit(e0=1.0, cos_t=0.5):
+    """A physically consistent 2-hit event: Compton scatter then absorb."""
+    e_sc = scattered_energy(e0, cos_t)
+    first_deposit = e0 - e_sc
+    # Positions: first hit at top layer, second below.
+    positions = [[0.0, 0.0, -0.5], [2.0, 0.0, -12.0]]
+    energies = [first_deposit, e_sc]
+    return positions, energies
+
+
+class TestTwoHitOrdering:
+    def test_correct_order_chosen(self):
+        positions, energies = kinematic_two_hit()
+        ev = make_event_set([2], positions, energies, [0, 1])
+        res = order_hits(ev)
+        assert res.valid[0]
+        assert res.first[0] == 0
+        assert res.second[0] == 1
+        assert res.correct[0]
+
+    def test_swapped_input_still_finds_first(self):
+        positions, energies = kinematic_two_hit()
+        ev = make_event_set(
+            [2], positions[::-1], energies[::-1], [1, 0]
+        )
+        res = order_hits(ev)
+        assert res.valid[0]
+        # Flat index 1 now holds the true first hit.
+        assert res.first[0] == 1
+        assert res.correct[0]
+
+    def test_invalid_kinematics_flagged(self):
+        # Symmetric 0.1+0.1 MeV deposits: eta = 1 - m_e/E_tot*... = -1.55
+        # for either ordering, outside [-1, 1] -> no valid order exists.
+        ev = make_event_set(
+            [2],
+            [[0.0, 0.0, -0.5], [0.0, 0.0, -12.0]],
+            [0.1, 0.1],
+            [0, 1],
+        )
+        res = order_hits(ev)
+        assert not res.valid[0]
+
+    def test_single_hit_invalid(self):
+        ev = make_event_set([1], [[0.0, 0.0, -0.5]], [0.3], [0])
+        res = order_hits(ev)
+        assert not res.valid[0]
+
+    def test_two_hit_score_is_nan(self):
+        positions, energies = kinematic_two_hit()
+        ev = make_event_set([2], positions, energies, [0, 1])
+        res = order_hits(ev)
+        assert np.isnan(res.score[0])
+
+
+class TestMultiHitOrdering:
+    def _three_hit_event(self):
+        """Geometrically and kinematically consistent 3-hit chain."""
+        e0 = 1.5
+        # First scatter: cos 0.6 -> deposits d1.
+        e1 = scattered_energy(e0, 0.6)
+        d1 = e0 - e1
+        # Second scatter: cos 0.3 of remaining photon.
+        e2 = scattered_energy(e1, 0.3)
+        d2 = e1 - e2
+        # Third: absorb e2.
+        r0 = np.array([0.0, 0.0, -0.5])
+        # Direction after first scatter: choose any unit vector v1 with the
+        # geometry matching cos of scatter at hit 2 equal to 0.3.
+        v1 = np.array([np.sqrt(1 - 0.6**2), 0.0, -0.6])
+        v1 /= np.linalg.norm(v1)
+        r1 = r0 + 11.5 * v1
+        # Build v2 at angle acos(0.3) from v1.
+        perp = np.cross(v1, [0.0, 0.0, 1.0])
+        perp /= np.linalg.norm(perp)
+        v2 = 0.3 * v1 + np.sqrt(1 - 0.3**2) * perp
+        r2 = r1 + 8.0 * v2
+        positions = [r0, r1, r2]
+        energies = [d1, d2, e2]
+        return positions, energies
+
+    def test_recovers_order(self):
+        positions, energies = self._three_hit_event()
+        ev = make_event_set([3], positions, energies, [0, 1, 2])
+        res = order_hits(ev)
+        assert res.valid[0]
+        assert res.first[0] == 0
+        assert res.second[0] == 1
+        assert res.correct[0]
+        assert res.score[0] < 1e-3
+
+    def test_recovers_order_from_shuffled_hits(self):
+        positions, energies = self._three_hit_event()
+        perm = [2, 0, 1]
+        ev = make_event_set(
+            [3],
+            [positions[i] for i in perm],
+            [energies[i] for i in perm],
+            [ [0,1,2][i] for i in perm],
+        )
+        res = order_hits(ev)
+        assert res.valid[0]
+        assert ev.true_order[res.first[0]] == 0
+        assert ev.true_order[res.second[0]] == 1
+        assert res.correct[0]
+
+    def test_mixed_multiplicities(self):
+        p2, e2 = kinematic_two_hit()
+        p3, e3 = self._three_hit_event()
+        ev = make_event_set(
+            [2, 3],
+            list(p2) + list(p3),
+            list(e2) + list(e3),
+            [0, 1, 0, 1, 2],
+        )
+        res = order_hits(ev)
+        assert res.valid.all()
+        assert res.correct.all()
+
+
+class TestOrderingOnSimulation:
+    def test_majority_correct_on_real_events(self, events):
+        """On simulated data, ordering beats coin flipping comfortably."""
+        res = order_hits(events)
+        valid = res.valid
+        assert valid.mean() > 0.5
+        assert res.correct[valid].mean() > 0.55

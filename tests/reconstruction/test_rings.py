@@ -1,0 +1,99 @@
+"""Tests for Compton-ring construction."""
+
+import numpy as np
+import pytest
+
+from repro.physics.compton import cos_theta_from_energies
+from repro.reconstruction.rings import build_rings
+from tests.reconstruction.test_ordering import kinematic_two_hit, make_event_set
+
+
+class TestBuildRings:
+    def test_axis_unit_norm(self, rings):
+        assert np.allclose(np.linalg.norm(rings.axis, axis=1), 1.0)
+
+    def test_axis_points_from_second_to_first(self):
+        positions, energies = kinematic_two_hit()
+        ev = make_event_set([2], positions, energies, [0, 1])
+        rings = build_rings(ev)
+        expected = np.asarray(positions[0]) - np.asarray(positions[1])
+        expected /= np.linalg.norm(expected)
+        assert np.allclose(rings.axis[0], expected)
+
+    def test_eta_matches_compton_formula(self):
+        positions, energies = kinematic_two_hit(e0=1.0, cos_t=0.5)
+        ev = make_event_set([2], positions, energies, [0, 1])
+        rings = build_rings(ev)
+        expected = cos_theta_from_energies(
+            np.array([sum(energies)]), np.array([energies[0]])
+        )[0]
+        assert rings.eta[0] == pytest.approx(expected)
+        assert rings.eta[0] == pytest.approx(0.5, abs=1e-9)
+
+    def test_deta_positive(self, rings):
+        assert np.all(rings.deta > 0)
+
+    def test_event_index_valid(self, rings, events):
+        assert np.all(rings.event_index >= 0)
+        assert np.all(rings.event_index < events.num_events)
+
+    def test_labels_match_events(self, rings, events):
+        assert np.array_equal(rings.labels, events.labels[rings.event_index])
+
+    def test_empty_event_set(self, geometry, response):
+        from repro.detector.response import _empty_event_set
+
+        ev = _empty_event_set(None)
+        rings = build_rings(ev)
+        assert rings.num_rings == 0
+
+
+class TestRingSetOps:
+    def test_select(self, rings):
+        mask = rings.labels == 0
+        sub = rings.select(mask)
+        assert sub.num_rings == int(mask.sum())
+        assert np.all(sub.labels == 0)
+
+    def test_with_deta_replaces(self, rings):
+        new = np.full(rings.num_rings, 0.123)
+        out = rings.with_deta(new)
+        assert np.allclose(out.deta, 0.123)
+        assert out.eta is rings.eta  # shares unchanged arrays
+
+    def test_with_deta_shape_check(self, rings):
+        with pytest.raises(ValueError):
+            rings.with_deta(np.ones(rings.num_rings + 1))
+
+    def test_residuals_definition(self, rings):
+        s = np.array([0.0, 0.0, 1.0])
+        r = rings.residuals(s)
+        assert np.allclose(r, rings.axis @ s - rings.eta)
+
+    def test_true_eta_errors_requires_source(self, rings):
+        sub = rings.select(np.ones(rings.num_rings, dtype=bool))
+        object.__setattr__(sub, "source_direction", None) if False else None
+        sub.source_direction = None
+        with pytest.raises(ValueError):
+            sub.true_eta_errors()
+
+    def test_true_errors_nonnegative(self, rings):
+        assert np.all(rings.true_eta_errors() >= 0)
+
+    def test_perfect_ring_zero_error(self):
+        """A noiseless kinematic event yields ~zero true eta error."""
+        cos_t = 0.5
+        e0 = 1.0
+        # Build geometry so the axis and the source satisfy c.s = cos_t.
+        # Source at zenith; incoming beam -z; scatter direction at angle
+        # acos(cos_t) from the beam.
+        from repro.physics.compton import scattered_energy
+
+        e_sc = scattered_energy(e0, cos_t)
+        d1 = e0 - e_sc
+        r0 = np.array([0.0, 0.0, -0.5])
+        v = np.array([np.sqrt(1 - cos_t**2), 0.0, -cos_t])
+        r1 = r0 + 10.0 * v
+        ev = make_event_set([2], [r0, r1], [d1, e_sc], [0, 1])
+        rings = build_rings(ev)
+        assert rings.true_eta_errors()[0] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for the atmospheric background model."""
+
+import numpy as np
+import pytest
+
+from repro.sources.background import BackgroundModel
+from repro.sources.grb import LABEL_BACKGROUND
+
+
+class TestBackgroundModel:
+    def test_invalid_flux(self):
+        with pytest.raises(ValueError):
+            BackgroundModel(flux_per_cm2_s=-1.0)
+
+    def test_invalid_cos_range(self):
+        with pytest.raises(ValueError):
+            BackgroundModel(cos_polar_min=1.5)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            BackgroundModel(duration_s=0.0)
+
+    def test_expected_scales_with_flux_and_duration(self, geometry):
+        base = BackgroundModel(flux_per_cm2_s=10.0).expected_photons(geometry)
+        double_flux = BackgroundModel(flux_per_cm2_s=20.0).expected_photons(geometry)
+        double_time = BackgroundModel(
+            flux_per_cm2_s=10.0, duration_s=2.0
+        ).expected_photons(geometry)
+        assert double_flux == pytest.approx(2 * base)
+        assert double_time == pytest.approx(2 * base)
+
+    def test_labels(self, geometry):
+        rng = np.random.default_rng(0)
+        batch = BackgroundModel().generate(geometry, rng, n_photons=50)
+        assert np.all(batch.labels == LABEL_BACKGROUND)
+        assert batch.source_direction is None
+
+    def test_arrival_cos_range(self, geometry):
+        rng = np.random.default_rng(1)
+        model = BackgroundModel(cos_polar_min=-0.5)
+        batch = model.generate(geometry, rng, n_photons=5000)
+        # Beam = -source vector, so beam_z in [-1, 0.5].
+        assert batch.directions[:, 2].max() <= 0.5 + 1e-9
+        assert batch.directions[:, 2].min() >= -1.0
+
+    def test_directions_unit_norm(self, geometry):
+        rng = np.random.default_rng(2)
+        batch = BackgroundModel().generate(geometry, rng, n_photons=500)
+        assert np.allclose(np.linalg.norm(batch.directions, axis=1), 1.0)
+
+    def test_azimuthal_symmetry(self, geometry):
+        rng = np.random.default_rng(3)
+        batch = BackgroundModel().generate(geometry, rng, n_photons=20000)
+        assert abs(batch.directions[:, 0].mean()) < 0.02
+        assert abs(batch.directions[:, 1].mean()) < 0.02
+
+    def test_times_within_duration(self, geometry):
+        rng = np.random.default_rng(4)
+        model = BackgroundModel(duration_s=1.0)
+        batch = model.generate(geometry, rng, n_photons=500)
+        assert batch.times.min() >= 0.0 and batch.times.max() <= 1.0
+
+    def test_ring_ratio_calibration(self, geometry, response):
+        """The default flux yields the paper's 2-3x background:GRB ring
+        ratio for a 1 MeV/cm^2 burst (averaged over a few exposures)."""
+        from repro.localization.pipeline import prepare_rings
+        from repro.sources.exposure import simulate_exposure
+        from repro.sources.grb import GRBSource, LABEL_GRB
+
+        ratios = []
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            exp = simulate_exposure(
+                geometry, rng, GRBSource(fluence_mev_cm2=1.0), BackgroundModel()
+            )
+            events = response.digitize(exp.transport, exp.batch, rng, min_hits=2)
+            rings = prepare_rings(events)
+            n_grb = int((rings.labels == LABEL_GRB).sum())
+            ratios.append((rings.num_rings - n_grb) / max(n_grb, 1))
+        mean_ratio = float(np.mean(ratios))
+        assert 1.8 < mean_ratio < 4.2

@@ -1,0 +1,85 @@
+"""Tests for the short-GRB population model."""
+
+import numpy as np
+import pytest
+
+from repro.sources.catalog import PopulationModel
+
+
+class TestSampling:
+    def test_fluence_bounds(self):
+        model = PopulationModel()
+        rng = np.random.default_rng(0)
+        f = model.sample_fluence(5000, rng)
+        assert f.min() >= model.fluence_min
+        assert f.max() <= model.fluence_max
+
+    def test_fluence_logn_logs_slope(self):
+        """Cumulative counts follow N(>F) ~ F^-1.5 between bounds."""
+        model = PopulationModel(fluence_min=0.2, fluence_max=200.0)
+        rng = np.random.default_rng(1)
+        f = model.sample_fluence(200_000, rng)
+        n1 = (f > 0.5).sum()
+        n2 = (f > 2.0).sum()
+        measured_slope = np.log(n2 / n1) / np.log(2.0 / 0.5)
+        assert measured_slope == pytest.approx(-1.5, abs=0.1)
+
+    def test_dim_bursts_dominate(self):
+        model = PopulationModel()
+        rng = np.random.default_rng(2)
+        f = model.sample_fluence(10000, rng)
+        assert np.median(f) < 1.0
+
+    def test_duration_truncated(self):
+        model = PopulationModel()
+        rng = np.random.default_rng(3)
+        d = model.sample_duration(5000, rng)
+        assert d.min() >= 0.01
+        assert d.max() <= 2.0
+
+    def test_directions_isotropic_within_cone(self):
+        model = PopulationModel(max_polar_deg=85.0)
+        rng = np.random.default_rng(4)
+        polar, azimuth = model.sample_direction(20000, rng)
+        assert polar.max() <= 85.0
+        assert azimuth.min() >= 0.0 and azimuth.max() <= 360.0
+        # Isotropy: cos(polar) uniform on [cos(85), 1].
+        cos_p = np.cos(np.deg2rad(polar))
+        hist, _ = np.histogram(cos_p, bins=10,
+                               range=(np.cos(np.deg2rad(85.0)), 1.0))
+        assert hist.std() / hist.mean() < 0.08
+
+
+class TestSampleBurst:
+    def test_burst_is_simulatable(self, geometry):
+        model = PopulationModel()
+        rng = np.random.default_rng(5)
+        burst = model.sample_burst(rng)
+        assert burst.fluence_mev_cm2 > 0
+        assert 0 <= burst.polar_angle_deg < 90
+        batch = burst.generate(geometry, rng, n_photons=50)
+        assert batch.num_photons == 50
+
+    def test_population_diversity(self):
+        model = PopulationModel()
+        rng = np.random.default_rng(6)
+        bursts = model.sample_population(50, rng)
+        fluences = {b.fluence_mev_cm2 for b in bursts}
+        assert len(fluences) == 50
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            PopulationModel().sample_population(-1, np.random.default_rng(7))
+
+    def test_end_to_end_localization(self, geometry, response):
+        """A bright population burst localizes through the full chain."""
+        from repro.localization.pipeline import localize_baseline
+        from repro.sources.exposure import simulate_exposure
+
+        model = PopulationModel(fluence_min=2.0, fluence_max=5.0)
+        rng = np.random.default_rng(8)
+        burst = model.sample_burst(rng)
+        exp = simulate_exposure(geometry, rng, burst)
+        ev = response.digitize(exp.transport, exp.batch, rng, min_hits=2)
+        out = localize_baseline(ev, rng)
+        assert out.error_degrees(burst.source_direction) < 10.0

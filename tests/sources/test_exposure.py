@@ -1,0 +1,46 @@
+"""Tests for exposure assembly."""
+
+import numpy as np
+import pytest
+
+from repro.sources.background import BackgroundModel
+from repro.sources.exposure import simulate_exposure
+from repro.sources.grb import GRBSource, LABEL_BACKGROUND, LABEL_GRB
+
+
+class TestSimulateExposure:
+    def test_requires_a_source(self, geometry):
+        with pytest.raises(ValueError):
+            simulate_exposure(geometry, np.random.default_rng(0))
+
+    def test_grb_only(self, geometry):
+        rng = np.random.default_rng(1)
+        exp = simulate_exposure(geometry, rng, grb=GRBSource())
+        assert np.all(exp.batch.labels == LABEL_GRB)
+        assert exp.source_direction is not None
+
+    def test_background_only(self, geometry):
+        rng = np.random.default_rng(2)
+        exp = simulate_exposure(geometry, rng, background=BackgroundModel())
+        assert np.all(exp.batch.labels == LABEL_BACKGROUND)
+        assert exp.source_direction is None
+
+    def test_combined_labels_ordered(self, geometry):
+        rng = np.random.default_rng(3)
+        exp = simulate_exposure(
+            geometry, rng, grb=GRBSource(), background=BackgroundModel()
+        )
+        labels = exp.batch.labels
+        # GRB photons first, then background.
+        first_bkg = np.argmax(labels == LABEL_BACKGROUND)
+        assert np.all(labels[:first_bkg] == LABEL_GRB)
+        assert np.all(labels[first_bkg:] == LABEL_BACKGROUND)
+
+    def test_hit_labels_consistent(self, exposure):
+        hit_labels = exposure.hit_labels()
+        assert hit_labels.shape[0] == exposure.transport.num_hits
+        expected = exposure.batch.labels[exposure.transport.photon_index]
+        assert np.array_equal(hit_labels, expected)
+
+    def test_transport_covers_batch(self, exposure):
+        assert exposure.transport.num_photons == exposure.batch.num_photons

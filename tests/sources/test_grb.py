@@ -1,0 +1,115 @@
+"""Tests for the GRB plane-wave source."""
+
+import numpy as np
+import pytest
+
+from repro.physics.transport import transport_photons
+from repro.sources.grb import (
+    GRBSource,
+    LABEL_GRB,
+    PhotonBatch,
+    direction_from_angles,
+)
+
+
+class TestDirectionFromAngles:
+    def test_zenith(self):
+        assert np.allclose(direction_from_angles(0.0), [0, 0, 1])
+
+    def test_horizon(self):
+        d = direction_from_angles(90.0, 0.0)
+        assert np.allclose(d, [1, 0, 0], atol=1e-12)
+
+    def test_azimuth_rotation(self):
+        d = direction_from_angles(90.0, 90.0)
+        assert np.allclose(d, [0, 1, 0], atol=1e-12)
+
+    def test_unit_norm(self):
+        for polar in [0, 15, 45, 80]:
+            for az in [0, 90, 200]:
+                assert np.linalg.norm(
+                    direction_from_angles(polar, az)
+                ) == pytest.approx(1.0)
+
+
+class TestGRBSource:
+    def test_invalid_fluence(self):
+        with pytest.raises(ValueError):
+            GRBSource(fluence_mev_cm2=0.0)
+
+    def test_invalid_polar(self):
+        with pytest.raises(ValueError):
+            GRBSource(polar_angle_deg=95.0)
+
+    def test_expected_photons_scales_with_fluence(self, geometry):
+        lo = GRBSource(fluence_mev_cm2=1.0).expected_photons(geometry)
+        hi = GRBSource(fluence_mev_cm2=3.0).expected_photons(geometry)
+        assert hi == pytest.approx(3.0 * lo)
+
+    def test_generate_shapes_and_labels(self, geometry):
+        rng = np.random.default_rng(0)
+        batch = GRBSource().generate(geometry, rng, n_photons=100)
+        assert batch.origins.shape == (100, 3)
+        assert batch.directions.shape == (100, 3)
+        assert np.all(batch.labels == LABEL_GRB)
+        assert batch.source_direction is not None
+
+    def test_beam_is_antiparallel_to_source(self, geometry):
+        rng = np.random.default_rng(1)
+        src = GRBSource(polar_angle_deg=35.0, azimuth_deg=120.0)
+        batch = src.generate(geometry, rng, n_photons=10)
+        assert np.allclose(batch.directions, -src.source_direction)
+
+    def test_times_within_lightcurve(self, geometry):
+        rng = np.random.default_rng(2)
+        batch = GRBSource().generate(geometry, rng, n_photons=500)
+        assert batch.times.min() >= 0.0
+        assert batch.times.max() <= 1.0
+
+    def test_plane_covers_detector(self, geometry):
+        """At every polar angle a plane-wave batch actually illuminates
+        the detector: a healthy fraction of photons hit scintillator."""
+        for polar in [0.0, 40.0, 80.0]:
+            rng = np.random.default_rng(3)
+            src = GRBSource(fluence_mev_cm2=1.0, polar_angle_deg=polar)
+            batch = src.generate(geometry, rng, n_photons=4000)
+            res = transport_photons(
+                geometry, batch.origins, batch.directions, batch.energies, rng
+            )
+            assert (res.num_interactions > 0).mean() > 0.05
+
+    def test_poisson_count_near_mean(self, geometry):
+        rng = np.random.default_rng(4)
+        src = GRBSource(fluence_mev_cm2=1.0)
+        expected = src.expected_photons(geometry)
+        batch = src.generate(geometry, rng)
+        assert batch.num_photons == pytest.approx(expected, rel=0.1)
+
+
+class TestPhotonBatch:
+    def test_concatenate_lengths(self, geometry):
+        rng = np.random.default_rng(5)
+        a = GRBSource().generate(geometry, rng, n_photons=10)
+        b = GRBSource().generate(geometry, rng, n_photons=20)
+        c = PhotonBatch.concatenate([a, b])
+        assert c.num_photons == 30
+
+    def test_concatenate_keeps_source(self, geometry):
+        rng = np.random.default_rng(6)
+        a = GRBSource(polar_angle_deg=10.0).generate(geometry, rng, n_photons=5)
+        c = PhotonBatch.concatenate([a])
+        assert np.allclose(c.source_direction, a.source_direction)
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            PhotonBatch.concatenate([])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonBatch(
+                origins=np.zeros((3, 3)),
+                directions=np.zeros((2, 3)),
+                energies=np.zeros(3),
+                times=np.zeros(3),
+                labels=np.zeros(3, dtype=np.int64),
+            )

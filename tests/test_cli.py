@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.fluence == 1.0
+        assert args.polar == 0.0
+
+    def test_train_args(self):
+        args = build_parser().parse_args(
+            ["train", "--output", "x.pkl", "--exposures-per-angle", "3"]
+        )
+        assert args.output == "x.pkl"
+        assert args.exposures_per_angle == 3
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_simulate_runs(self, capsys):
+        rc = main(["simulate", "--fluence", "2.0", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "localization error" in out
+
+    def test_localize_round_trip(self, tmp_path, tiny_models, capsys):
+        from repro.io.datasets import save_pipeline
+
+        path = tmp_path / "p.pkl"
+        save_pipeline(tiny_models, path)
+        rc = main(
+            [
+                "localize",
+                "--pipeline", str(path),
+                "--trials", "2",
+                "--seed", "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "68% containment" in out

@@ -1,0 +1,61 @@
+"""Meta-test: every public item in the library carries a docstring.
+
+Guards the documentation deliverable — public modules, classes, and
+functions (anything not underscore-prefixed) must be documented.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        # Only enforce on items defined in this package (re-exports are
+        # checked where they are defined).
+        if getattr(obj, "__module__", "") != module.__name__:
+            continue
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+        elif inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth):
+                    continue
+                # A method counts as documented if it, or the protocol
+                # method it overrides anywhere in the MRO, carries a doc.
+                documented = any(
+                    inspect.getdoc(getattr(base, meth_name, None))
+                    for base in obj.__mro__
+                    if hasattr(base, meth_name)
+                )
+                if not documented:
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, (
+        f"{module.__name__}: undocumented public items: {undocumented}"
+    )

@@ -1,0 +1,54 @@
+"""Tests for the physics self-validation suite."""
+
+import numpy as np
+import pytest
+
+from repro.constants import PLASTIC
+from repro.geometry.tiles import adapt_geometry
+from repro.validation import (
+    check_attenuation,
+    check_energy_conservation,
+    check_klein_nishina,
+    passed,
+    run_all,
+)
+
+
+class TestChecks:
+    def test_attenuation_passes_on_default(self):
+        result = check_attenuation(n_photons=30_000)
+        assert result.passed, str(result)
+
+    def test_attenuation_other_material(self):
+        result = check_attenuation(material=PLASTIC, n_photons=30_000)
+        assert result.passed, str(result)
+
+    def test_energy_conservation_exact(self):
+        result = check_energy_conservation(n_photons=5_000)
+        assert result.measured < 1e-9
+
+    def test_klein_nishina_mean(self):
+        result = check_klein_nishina(n_samples=50_000)
+        assert result.passed, str(result)
+
+    def test_run_all_passes(self):
+        results = run_all()
+        assert passed(results), "\n".join(str(r) for r in results)
+
+    def test_run_all_on_modified_geometry(self):
+        geo = adapt_geometry(num_layers=2, tile_thickness_cm=2.0)
+        results = run_all(geo)
+        assert passed(results), "\n".join(str(r) for r in results)
+
+    def test_result_string(self):
+        result = check_klein_nishina(n_samples=10_000)
+        text = str(result)
+        assert "PASS" in text or "FAIL" in text
+        assert "measured" in text
+
+    def test_failure_detectable(self):
+        """A deliberately wrong expectation reports failed."""
+        from repro.validation import CheckResult
+
+        bad = CheckResult(name="x", measured=1.0, expected=2.0, tolerance=0.1)
+        assert not bad.passed
