@@ -36,13 +36,18 @@ def response(geometry):
     return DetectorResponse(geometry)
 
 
-@pytest.fixture(scope="module")
+# Unlike geometry/response (immutable, no RNG), the exposure/events inputs
+# are rebuilt per benchmark from a fresh generator: function scope keeps
+# every benchmark's workload identical whether the module runs whole, as a
+# subset, or reordered, and no benchmark can skew another by mutating a
+# shared object.
+@pytest.fixture
 def exposure(geometry):
     rng = np.random.default_rng(0)
     return simulate_exposure(geometry, rng, GRBSource(), BackgroundModel())
 
 
-@pytest.fixture(scope="module")
+@pytest.fixture
 def events(exposure, response):
     rng = np.random.default_rng(1)
     return response.digitize(exposure.transport, exposure.batch, rng, min_hits=2)

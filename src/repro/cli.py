@@ -1,12 +1,17 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows without writing any Python:
+Four subcommands cover the common workflows without writing any Python:
 
 * ``python -m repro.cli simulate`` — one burst, baseline localization.
 * ``python -m repro.cli train`` — run the training campaign, train both
   networks, and save the pipeline to disk.
 * ``python -m repro.cli localize`` — load a trained pipeline and run
   ML-pipeline trials at a chosen experimental point.
+* ``python -m repro.cli figure`` — reproduce one paper figure.
+
+Campaign subcommands (``train``, ``localize``, ``figure``) accept
+``--workers N`` to fan Monte-Carlo exposures/trials out over the
+persistent campaign executor.
 """
 
 from __future__ import annotations
@@ -46,11 +51,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.experiments.datasets import generate_training_rings
     from repro.experiments.modelzoo import train_models
+    from repro.detector.response import DetectorResponse
+    from repro.geometry.tiles import adapt_geometry
     from repro.io.datasets import save_pipeline
 
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    data = generate_training_rings(
+        geometry,
+        response,
+        seed=args.seed,
+        exposures_per_angle=args.exposures_per_angle,
+        n_workers=args.workers,
+    )
     models = train_models(
-        seed=args.seed, exposures_per_angle=args.exposures_per_angle
+        geometry=geometry,
+        response=response,
+        seed=args.seed,
+        exposures_per_angle=args.exposures_per_angle,
+        data=data,
     )
     save_pipeline(models.pipeline, args.output)
     print(f"trained on {models.data.num_rings} rings; "
@@ -79,11 +100,33 @@ def _cmd_localize(args: argparse.Namespace) -> int:
             condition="ml",
         ),
         ml_pipeline=pipeline,
+        n_workers=args.workers,
     )
     print(f"{args.trials} trials at {args.fluence} MeV/cm^2, "
           f"polar {args.polar} deg:")
     print(f"  68% containment: {containment(errors, 0.68):.2f} deg")
     print(f"  95% containment: {containment(errors, 0.95):.2f} deg")
+    return 0
+
+
+#: Figure name -> (driver, printer) from repro.experiments.figures.
+FIGURES = ("fig4", "fig7", "fig8", "fig9", "fig10", "fig11")
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    scale = figures.ExperimentScale(
+        n_trials=args.trials,
+        n_meta=args.meta,
+        seed=args.seed,
+        n_workers=args.workers,
+        cache=args.cache if args.cache else None,
+    )
+    number = args.name.removeprefix("fig")
+    driver = getattr(figures, f"figure{number}")
+    printer = getattr(figures, f"print_figure{number}")
+    printer(driver(scale=scale))
     return 0
 
 
@@ -110,6 +153,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output pipeline file")
     p.add_argument("--exposures-per-angle", type=int, default=20)
     p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--workers", type=int, default=1,
+                   help="campaign fan-out over worker processes")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("localize", help="run ML-pipeline trials")
@@ -119,7 +164,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--polar", type=float, default=0.0)
     p.add_argument("--trials", type=int, default=20)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=1,
+                   help="trial fan-out over worker processes")
     p.set_defaults(func=_cmd_localize)
+
+    p = sub.add_parser("figure", help="reproduce one paper figure")
+    p.add_argument("name", choices=FIGURES,
+                   help="which figure to reproduce")
+    p.add_argument("--trials", type=int, default=30,
+                   help="trials per experimental point")
+    p.add_argument("--meta", type=int, default=2,
+                   help="meta-trials for error bars")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=1,
+                   help="trial fan-out over worker processes")
+    p.add_argument("--cache", action="store_true",
+                   help="cache trial sets in .campaign_cache/")
+    p.set_defaults(func=_cmd_figure)
     return parser
 
 

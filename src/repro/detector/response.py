@@ -235,16 +235,27 @@ class DetectorResponse:
         measured = true_positions.copy()
         measured[:, 0] = self.fiber_grid.quantize(true_positions[:, 0])
         measured[:, 1] = self.fiber_grid.quantize(true_positions[:, 1])
-        # Depth: tile center + Gaussian smear of the within-tile estimate,
-        # clipped to the owning tile.
+        # Depth: Gaussian smear of the within-tile estimate, clipped to the
+        # owning tile — one vectorized draw/clip over all in-layer hits
+        # (hits outside any layer keep their true depth, as before).
+        # Normals are consumed grouped by layer, stable within a layer, so
+        # the RNG stream is bit-compatible with the per-layer loop this
+        # replaces (Generator.normal streams identically across call
+        # boundaries).
         layer_idx = self.geometry.layer_index(true_positions)
         z = true_positions[:, 2].copy()
-        for j, layer in enumerate(self.geometry.layers):
-            sel = layer_idx == j
-            if not np.any(sel):
-                continue
-            smeared = z[sel] + rng.normal(0.0, cfg.depth_sigma_cm, sel.sum())
-            z[sel] = np.clip(smeared, layer.z_bottom, layer.z_top)
+        in_layer = layer_idx >= 0
+        if np.any(in_layer):
+            z_bottom = np.array([layer.z_bottom for layer in self.geometry.layers])
+            z_top = np.array([layer.z_top for layer in self.geometry.layers])
+            owner = layer_idx[in_layer]
+            draws = np.empty(owner.size)
+            draws[np.argsort(owner, kind="stable")] = rng.normal(
+                0.0, cfg.depth_sigma_cm, owner.size
+            )
+            z[in_layer] = np.clip(
+                z[in_layer] + draws, z_bottom[owner], z_top[owner]
+            )
         measured[:, 2] = z
         sigma = np.empty_like(measured)
         sigma[:, 0] = self.fiber_grid.position_sigma_cm

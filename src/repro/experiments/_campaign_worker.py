@@ -3,6 +3,11 @@
 Workers must be importable (picklable by reference) for
 ``multiprocessing``; lambdas/closures inside the campaign functions would
 fail under the spawn start method.
+
+Every worker takes ``(common, task)``: the campaign-constant context
+(geometry, response, models, ...) arrives via the executor's broadcast
+channel once per campaign, and only the tiny per-task payload (seed,
+angle) crosses the pipe per task.
 """
 
 from __future__ import annotations
@@ -10,11 +15,17 @@ from __future__ import annotations
 import numpy as np
 
 
-def collect_worker(args: tuple) -> "object":
-    """Unpack one training-campaign task and run it."""
+def collect_worker(common: tuple, task: tuple) -> "object":
+    """Run one training-campaign exposure.
+
+    Args:
+        common: ``(geometry, response, fluence, background, jitter)``.
+        task: ``(polar_deg, seed_sequence)``.
+    """
     from repro.experiments.datasets import collect_exposure_rings
 
-    geometry, response, seed_seq, polar, fluence, background, jitter = args
+    geometry, response, fluence, background, jitter = common
+    polar, seed_seq = task
     rng = np.random.default_rng(seed_seq)
     return collect_exposure_rings(
         geometry,
@@ -24,4 +35,23 @@ def collect_worker(args: tuple) -> "object":
         fluence_mev_cm2=fluence,
         background=background,
         polar_jitter_deg=jitter,
+    )
+
+
+def trial_worker(common: tuple, seed_seq) -> float:
+    """Run one localization trial.
+
+    Args:
+        common: ``(geometry, response, config, ml_pipeline)``.
+        seed_seq: The trial's ``SeedSequence``.
+    """
+    from repro.experiments.trials import trial_error
+
+    geometry, response, config, ml_pipeline = common
+    return trial_error(
+        geometry,
+        response,
+        np.random.default_rng(seed_seq),
+        config,
+        ml_pipeline,
     )

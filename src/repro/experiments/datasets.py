@@ -159,6 +159,8 @@ def generate_training_rings(
     polar_jitter_deg: float = 5.0,
     n_workers: int = 1,
     background_fraction: float | None = 0.4,
+    executor=None,
+    cache=None,
 ) -> TrainingData:
     """Run the full training campaign over all polar angles.
 
@@ -172,48 +174,59 @@ def generate_training_rings(
         fluence_mev_cm2: GRB fluence for training exposures.
         background: Background model.
         polar_jitter_deg: Polar-feature jitter.
-        n_workers: Process count; >1 fans exposures out over a pool.
+        n_workers: Fan-out over the persistent campaign executor; ring
+            arrays return to the parent via shared memory.
         background_fraction: Target background share of the final dataset
             (paper: ~40%), achieved by subsampling background rings; None
             keeps the raw composition.
+        executor: Explicit :class:`~repro.parallel.CampaignExecutor`
+            (overrides ``n_workers``).
+        cache: Deterministic stage cache — True for the default
+            ``.campaign_cache/``, a path/:class:`StageCache` for a custom
+            one, None to disable.  The campaign is pure in (seed, config),
+            so a hit is bit-identical to a recompute.
 
     Returns:
         The concatenated :class:`TrainingData`.
     """
+    from repro.parallel import config_token, get_executor, resolve_cache
+
     if polar_angles_deg is None:
         polar_angles_deg = np.arange(0.0, 81.0, 10.0)
+    stage_cache = resolve_cache(cache)
+    token = None
+    if stage_cache is not None:
+        token = config_token(
+            seed,
+            np.asarray(polar_angles_deg, dtype=np.float64),
+            exposures_per_angle,
+            fluence_mev_cm2,
+            background,
+            polar_jitter_deg,
+            background_fraction,
+            geometry,
+            response,
+        )
+        hit = stage_cache.load("training_rings", token)
+        if hit is not None:
+            return hit
     tasks = [
         (float(polar), i)
         for polar in polar_angles_deg
         for i in range(exposures_per_angle)
     ]
     seeds = np.random.SeedSequence(seed).spawn(len(tasks))
-
-    if n_workers <= 1:
-        parts = [
-            collect_exposure_rings(
-                geometry,
-                response,
-                np.random.default_rng(ss),
-                polar_deg=polar,
-                fluence_mev_cm2=fluence_mev_cm2,
-                background=background,
-                polar_jitter_deg=polar_jitter_deg,
-            )
-            for (polar, _), ss in zip(tasks, seeds)
-        ]
-    else:
-        from repro.parallel.pool import parallel_map
-
-        args = [
-            (geometry, response, ss, polar, fluence_mev_cm2, background,
-             polar_jitter_deg)
-            for (polar, _), ss in zip(tasks, seeds)
-        ]
-        parts = parallel_map(_campaign_worker.collect_worker, args, n_workers)
+    ex = executor if executor is not None else get_executor(n_workers)
+    parts = ex.map(
+        _campaign_worker.collect_worker,
+        [(polar, ss) for (polar, _), ss in zip(tasks, seeds)],
+        common=(geometry, response, fluence_mev_cm2, background, polar_jitter_deg),
+    )
     data = TrainingData.concatenate(parts)
     if background_fraction is not None:
         data = _rebalance(data, background_fraction, np.random.default_rng(seed))
+    if stage_cache is not None:
+        stage_cache.store("training_rings", token, data)
     return data
 
 

@@ -51,7 +51,11 @@ class ExperimentScale:
             step 10; default here is a coarser grid for runtime).
         fluences: Fluence grid for Fig. 9.
         seed: Master seed.
-        n_workers: Process fan-out for trials.
+        n_workers: Process fan-out for trials; every figure point shares
+            one persistent pool per worker count.
+        cache: Deterministic stage cache for trial sets (True uses the
+            repo-local ``.campaign_cache/``; results are bit-identical
+            hit or miss, so figures can be re-rendered for free).
     """
 
     n_trials: int = 30
@@ -60,6 +64,7 @@ class ExperimentScale:
     fluences: tuple[float, ...] = (0.5, 0.75, 1.0, 2.0, 4.0)
     seed: int = 7
     n_workers: int = 1
+    cache: object = None
 
     @staticmethod
     def from_env() -> "ExperimentScale":
@@ -110,6 +115,7 @@ def _point(
         config,
         ml_pipeline,
         scale.n_workers,
+        cache=scale.cache,
     )
     return ContainmentPoint.from_error_sets(sets)
 

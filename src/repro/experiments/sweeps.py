@@ -46,8 +46,14 @@ def sweep(
     n_trials: int,
     ml_pipeline: MLPipeline | None = None,
     n_workers: int = 1,
+    executor=None,
+    cache=None,
 ) -> list[SweepPoint]:
     """Run trials over the Cartesian product of ``grid`` values.
+
+    All points share one persistent executor, so the pool is started (and
+    the campaign context broadcast) once for the whole sweep rather than
+    once per grid point.
 
     Args:
         geometry: Detector geometry.
@@ -58,6 +64,10 @@ def sweep(
         n_trials: Trials per point.
         ml_pipeline: Required if any point uses the "ml" condition.
         n_workers: Trial fan-out per point.
+        executor: Explicit :class:`~repro.parallel.CampaignExecutor`
+            (overrides ``n_workers``).
+        cache: Deterministic stage cache forwarded to every point's
+            :func:`~repro.experiments.trials.run_trials`.
 
     Returns:
         One :class:`SweepPoint` per grid combination, in ``product``
@@ -66,6 +76,8 @@ def sweep(
     Raises:
         ValueError: For an empty grid or unknown field names.
     """
+    from repro.parallel import get_executor
+
     if not grid:
         raise ValueError("grid must be non-empty")
     valid_fields = set(TrialConfig.__dataclass_fields__)
@@ -76,6 +88,7 @@ def sweep(
     names = sorted(grid)
     combos = list(product(*(grid[name] for name in names)))
     seeds = np.random.SeedSequence(seed).spawn(len(combos))
+    ex = executor if executor is not None else get_executor(n_workers)
     points: list[SweepPoint] = []
     for combo, point_seed in zip(combos, seeds):
         overrides = dict(zip(names, combo))
@@ -87,7 +100,8 @@ def sweep(
             n_trials,
             config,
             ml_pipeline,
-            n_workers,
+            executor=ex,
+            cache=cache,
         )
         points.append(SweepPoint(overrides=overrides, errors=errors))
     return points

@@ -125,17 +125,6 @@ def trial_error(
     return outcome.error_degrees(grb.source_direction)
 
 
-def _trial_worker(args: tuple) -> float:
-    geometry, response, seed_seq, config, ml_pipeline = args
-    return trial_error(
-        geometry,
-        response,
-        np.random.default_rng(seed_seq),
-        config,
-        ml_pipeline,
-    )
-
-
 def run_trials(
     geometry: DetectorGeometry,
     response: DetectorResponse,
@@ -144,32 +133,56 @@ def run_trials(
     config: TrialConfig,
     ml_pipeline: MLPipeline | None = None,
     n_workers: int = 1,
+    executor=None,
+    cache=None,
 ) -> np.ndarray:
     """Run ``n_trials`` independent trials of one experimental point.
 
     Per-trial generators are spawned from ``seed`` so results do not
-    depend on ``n_workers``.
+    depend on ``n_workers`` (or on executor chunking).
+
+    Args:
+        geometry: Detector geometry.
+        response: Detector response.
+        seed: Master seed for this trial set.
+        n_trials: Number of independent trials.
+        config: Experimental point.
+        ml_pipeline: Required when ``config.condition == "ml"``.
+        n_workers: Fan-out over the persistent campaign executor (the
+            process-wide pool for this worker count is created on first
+            use and reused by every later campaign stage).
+        executor: Explicit :class:`~repro.parallel.CampaignExecutor` to
+            run on (overrides ``n_workers``); lets sweeps share one pool.
+        cache: Deterministic stage cache — True for the default
+            ``.campaign_cache/``, a path or :class:`StageCache` for a
+            custom location, None to disable.  Keyed by seed and every
+            result-affecting input, never by ``n_workers``.
 
     Returns:
         ``(n_trials,)`` array of angular errors, degrees.
     """
+    from repro.parallel import get_executor, resolve_cache
+    from repro.experiments._campaign_worker import trial_worker
+
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
-    seeds = np.random.SeedSequence(seed).spawn(n_trials)
-    if n_workers <= 1:
-        return np.array(
-            [
-                trial_error(
-                    geometry, response, np.random.default_rng(ss), config,
-                    ml_pipeline,
-                )
-                for ss in seeds
-            ]
-        )
-    from repro.parallel.pool import parallel_map
+    stage_cache = resolve_cache(cache)
+    token = None
+    if stage_cache is not None:
+        from repro.parallel import config_token
 
-    args = [(geometry, response, ss, config, ml_pipeline) for ss in seeds]
-    return np.array(parallel_map(_trial_worker, args, n_workers))
+        token = config_token(seed, n_trials, config, geometry, response, ml_pipeline)
+        hit = stage_cache.load("trials", token)
+        if hit is not None:
+            return hit
+    seeds = np.random.SeedSequence(seed).spawn(n_trials)
+    ex = executor if executor is not None else get_executor(n_workers)
+    errors = np.array(
+        ex.map(trial_worker, seeds, common=(geometry, response, config, ml_pipeline))
+    )
+    if stage_cache is not None:
+        stage_cache.store("trials", token, errors)
+    return errors
 
 
 def run_meta_trials(
@@ -181,6 +194,8 @@ def run_meta_trials(
     config: TrialConfig,
     ml_pipeline: MLPipeline | None = None,
     n_workers: int = 1,
+    executor=None,
+    cache=None,
 ) -> list[np.ndarray]:
     """Run ``n_meta`` independent trial sets (for containment error bars)."""
     if n_meta < 1:
@@ -198,6 +213,8 @@ def run_meta_trials(
                 config,
                 ml_pipeline,
                 n_workers,
+                executor=executor,
+                cache=cache,
             )
         )
     return out

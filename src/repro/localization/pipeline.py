@@ -133,13 +133,17 @@ def localize_rings(
         )
     seeds = np.atleast_2d(np.asarray(seed_list))
 
+    # Refine every seed, then score all refined candidates with a single
+    # batched capped-chi-square evaluation (one (m, k) residual matrix
+    # instead of k separate (m, 1) passes).
+    results = [refine_source(rings, seed, cfg.refinement) for seed in seeds]
+    candidates = np.stack([r.direction for r in results], axis=0)
+    scores = capped_chi_square(rings, candidates)
     best = None
     best_score = np.inf
-    for seed in seeds:
-        result = refine_source(rings, seed, cfg.refinement)
-        score = float(capped_chi_square(rings, result.direction[None, :])[0])
+    for result, score in zip(results, scores):
         if score < best_score:
-            best_score = score
+            best_score = float(score)
             best = result
     assert best is not None
     return LocalizationOutcome(

@@ -58,23 +58,25 @@ class SkyGrid:
         step = np.deg2rad(resolution_deg)
         n_bands = max(1, int(np.ceil(max_polar_deg / resolution_deg)))
         polar_edges = np.linspace(0.0, np.deg2rad(max_polar_deg), n_bands + 1)
-        dirs: list[np.ndarray] = []
-        areas: list[float] = []
-        for lo, hi in zip(polar_edges[:-1], polar_edges[1:]):
-            mid = 0.5 * (lo + hi)
-            band_area = 2.0 * np.pi * (np.cos(lo) - np.cos(hi))
-            n_az = max(1, int(np.ceil(2.0 * np.pi * np.sin(mid) / step)))
-            az = (np.arange(n_az) + 0.5) * (2.0 * np.pi / n_az)
-            sin_m, cos_m = np.sin(mid), np.cos(mid)
-            ring = np.stack(
-                [sin_m * np.cos(az), sin_m * np.sin(az), np.full(n_az, cos_m)],
-                axis=1,
-            )
-            dirs.append(ring)
-            areas.extend([band_area / n_az] * n_az)
+        lo, hi = polar_edges[:-1], polar_edges[1:]
+        mid = 0.5 * (lo + hi)
+        band_area = 2.0 * np.pi * (np.cos(lo) - np.cos(hi))
+        # Pixels per band ~ band circumference / step, at least one.
+        n_az = np.maximum(
+            1, np.ceil(2.0 * np.pi * np.sin(mid) / step).astype(np.int64)
+        )
+        # Flat pixel index -> (band, azimuth slot) without a Python loop.
+        starts = np.concatenate([[0], np.cumsum(n_az)[:-1]])
+        slot = np.arange(int(n_az.sum())) - np.repeat(starts, n_az)
+        az = (slot + 0.5) * np.repeat(2.0 * np.pi / n_az, n_az)
+        sin_m = np.repeat(np.sin(mid), n_az)
+        cos_m = np.repeat(np.cos(mid), n_az)
+        directions = np.stack(
+            [sin_m * np.cos(az), sin_m * np.sin(az), cos_m], axis=1
+        )
         return SkyGrid(
-            directions=np.concatenate(dirs, axis=0),
-            pixel_area_sr=np.asarray(areas),
+            directions=directions,
+            pixel_area_sr=np.repeat(band_area / n_az, n_az),
         )
 
 

@@ -1,0 +1,320 @@
+"""Persistent campaign executor: one pool, many map calls.
+
+The seed ``parallel_map`` built a fresh ``spawn`` pool on *every* call, so
+a figure campaign (dozens of sweep points, each mapping trials over a
+pool) paid interpreter startup + ``import numpy`` per point and pickled
+every argument and result through pipes.  :class:`CampaignExecutor` fixes
+both failure modes:
+
+* **Pool lifetime** — workers are spawned once and reused across campaign
+  stages and sweep points.  ``get_executor`` keeps one live executor per
+  worker count for the whole process (shut down atexit), so independent
+  call sites share the same warm pool.
+* **Transport** — large NumPy arrays travel via
+  ``multiprocessing.shared_memory`` (:mod:`repro.parallel.shm`); only an
+  object skeleton crosses the pipe.  Campaign-constant context (geometry,
+  response, trained pipeline, config) is broadcast to each worker *once*
+  per change instead of per task.
+* **Scheduling** — tasks are dispatched in dynamically sized chunks:
+  small enough that heterogeneous exposures load-balance across workers,
+  large enough that per-chunk overhead stays negligible.  Results are
+  reassembled in input order, and per-task seeds are the caller's
+  responsibility (``spawn_rngs`` / ``SeedSequence.spawn``), so results
+  are bit-identical regardless of worker count or chunking.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import traceback
+from collections.abc import Callable, Sequence
+
+from repro.parallel import shm as shm_transport
+
+#: Dispatch roughly this many chunks per worker so a slow exposure on one
+#: worker is absorbed by the others picking up the remaining chunks.
+CHUNKS_PER_WORKER = 4
+
+#: Never let a chunk grow beyond this many tasks, whatever the workload.
+MAX_CHUNK_TASKS = 64
+
+
+class CampaignWorkerError(RuntimeError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+
+def auto_chunksize(n_tasks: int, n_workers: int) -> int:
+    """Chunk size balancing dispatch overhead against load balance."""
+    if n_tasks <= 0 or n_workers <= 0:
+        return 1
+    per_worker = -(-n_tasks // (CHUNKS_PER_WORKER * n_workers))  # ceil div
+    return max(1, min(per_worker, MAX_CHUNK_TASKS))
+
+
+def _worker_main(worker_id: int, inbox, results) -> None:
+    """Worker loop: apply chunks, ship results back via shared memory."""
+    common = None
+    pending_unlink: list[shm_transport.PackedPayload] = []
+    while True:
+        msg = inbox.get()
+        # The parent has necessarily consumed every result we sent before
+        # it sent this message, so earlier result blocks can be released.
+        for payload in pending_unlink:
+            shm_transport.unlink(payload)
+        pending_unlink.clear()
+        if msg is None:
+            return
+        kind = msg[0]
+        if kind == "common":
+            common = pickle.loads(msg[1])
+            continue
+        _, chunk_id, fn, packed_args = msg
+        try:
+            args = shm_transport.unpack(packed_args)
+            if common is None:
+                out = [fn(a) for a in args]
+            else:
+                out = [fn(common, a) for a in args]
+            packed = shm_transport.pack(out)
+            pending_unlink.append(packed)
+            results.put(("ok", worker_id, chunk_id, packed))
+        except BaseException:
+            results.put(("err", worker_id, chunk_id, traceback.format_exc()))
+
+
+class CampaignExecutor:
+    """Persistent worker pool for Monte-Carlo campaigns.
+
+    With ``n_workers <= 1`` the executor degrades to an in-process serial
+    map (no processes, no shared memory) with the same semantics, so
+    callers never branch on worker count.
+
+    Args:
+        n_workers: Number of worker processes (<=1 runs serially).
+        start_method: Multiprocessing start method (``spawn`` matches the
+            seed behavior and works everywhere).
+    """
+
+    def __init__(self, n_workers: int, start_method: str = "spawn"):
+        self.n_workers = int(n_workers)
+        self._common_digest: str | None = None
+        self._procs: list = []
+        self._inboxes: list = []
+        self._results = None
+        self._closed = False
+        if self.n_workers <= 1:
+            return
+        ctx = mp.get_context(start_method)
+        self._results = ctx.Queue()
+        for wid in range(self.n_workers):
+            inbox = ctx.SimpleQueue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(wid, inbox, self._results),
+                daemon=True,
+                name=f"campaign-worker-{wid}",
+            )
+            proc.start()
+            self._inboxes.append(inbox)
+            self._procs.append(proc)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def is_serial(self) -> bool:
+        """True when mapping runs in-process (no pool)."""
+        return self.n_workers <= 1
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (empty when serial)."""
+        return [p.pid for p in self._procs]
+
+    def close(self) -> None:
+        """Shut the pool down; the executor is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs.clear()
+        self._inboxes.clear()
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- mapping -------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable,
+        args: Sequence,
+        common: object | None = None,
+        chunksize: int | None = None,
+    ) -> list:
+        """Map ``fn`` over ``args``, preserving input order.
+
+        Args:
+            fn: Importable (module-level) callable.  Called as ``fn(a)``,
+                or ``fn(common, a)`` when a common payload is given.
+            args: Per-task arguments.
+            common: Campaign-constant context shared by every task
+                (geometry, response, trained models, ...).  Broadcast to
+                each worker once and cached there until it changes, so
+                repeated ``map`` calls with the same context pay nothing.
+            chunksize: Tasks per dispatch unit (auto-sized when None).
+
+        Returns:
+            ``[fn(a) for a in args]`` (respectively with ``common``),
+            independent of worker count and chunking.
+
+        Raises:
+            CampaignWorkerError: A task raised in a worker (remote
+                traceback attached).  The pool survives and stays usable.
+            RuntimeError: The executor was closed.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        args = list(args)
+        if not args:
+            return []
+        if self.is_serial:
+            if common is None:
+                return [fn(a) for a in args]
+            return [fn(common, a) for a in args]
+
+        self._broadcast_common(common)
+        size = chunksize or auto_chunksize(len(args), self.n_workers)
+        bounds = [(lo, min(lo + size, len(args))) for lo in range(0, len(args), size)]
+        chunks: dict[int, shm_transport.PackedPayload] = {}
+        results: list = [None] * len(args)
+        n_done = 0
+        first_error: str | None = None
+        next_chunk = 0
+
+        def dispatch(wid: int) -> None:
+            nonlocal next_chunk
+            lo, hi = bounds[next_chunk]
+            packed = shm_transport.pack(args[lo:hi])
+            chunks[next_chunk] = packed
+            self._inboxes[wid].put(("chunk", next_chunk, fn, packed))
+            next_chunk += 1
+
+        for wid in range(min(self.n_workers, len(bounds))):
+            dispatch(wid)
+        while n_done < len(bounds):
+            try:
+                status, wid, chunk_id, payload = self._results.get(timeout=1.0)
+            except queue_mod.Empty:
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                if dead:
+                    for packed in chunks.values():
+                        shm_transport.unlink(packed)
+                    self.close()
+                    raise RuntimeError(
+                        f"campaign workers died unexpectedly: {dead}"
+                    ) from None
+                continue
+            # The worker has consumed this chunk's input block.
+            shm_transport.unlink(chunks.pop(chunk_id))
+            n_done += 1
+            if status == "ok":
+                out = shm_transport.unpack(payload)
+                lo, hi = bounds[chunk_id]
+                results[lo:hi] = out
+            elif first_error is None:
+                first_error = payload
+            if next_chunk < len(bounds):
+                dispatch(wid)
+        # Each worker's final result block stays mapped until its next
+        # inbox message (next map call or shutdown) — a bounded backlog of
+        # one block per worker, traded for an ack-free protocol.
+        if first_error is not None:
+            raise CampaignWorkerError(
+                f"campaign task failed in worker:\n{first_error}"
+            )
+        return results
+
+    def _broadcast_common(self, common: object | None) -> None:
+        """Ship the campaign context to every worker if it changed.
+
+        ``common=None`` clears any previously broadcast context so a later
+        common-free ``map`` goes back to calling ``fn(a)``.
+        """
+        if common is None:
+            if self._common_digest is None:
+                return
+            payload = pickle.dumps(None, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = None
+        else:
+            payload = pickle.dumps(common, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest == self._common_digest:
+                return
+        for inbox in self._inboxes:
+            inbox.put(("common", payload))
+        self._common_digest = digest
+
+# -- process-wide executor registry -----------------------------------------
+
+_EXECUTORS: dict[int, CampaignExecutor] = {}
+
+
+def get_executor(n_workers: int) -> CampaignExecutor:
+    """Return the process-wide executor for ``n_workers``, creating it once.
+
+    The returned executor must *not* be closed by the caller; it is shared
+    across call sites and shut down atexit (or via
+    :func:`shutdown_executors`).
+    """
+    n_workers = max(1, int(n_workers))
+    ex = _EXECUTORS.get(n_workers)
+    if ex is None or ex._closed:
+        ex = CampaignExecutor(n_workers)
+        _EXECUTORS[n_workers] = ex
+    return ex
+
+
+def live_executor(n_workers: int) -> CampaignExecutor | None:
+    """The already-running executor for ``n_workers``, or None.
+
+    Lets ``parallel_map`` route small batches through a pool the caller
+    already paid for, without ever *starting* a pool for them.
+    """
+    ex = _EXECUTORS.get(max(1, int(n_workers)))
+    if ex is not None and not ex._closed:
+        return ex
+    return None
+
+
+def shutdown_executors() -> None:
+    """Close every registry executor (idempotent)."""
+    for ex in list(_EXECUTORS.values()):
+        ex.close()
+    _EXECUTORS.clear()
+
+
+def _atexit_shutdown() -> None:
+    # Only the parent process should tear the registry down; a spawned
+    # worker importing this module must not touch it.
+    if os.getpid() == _REGISTRY_PID:
+        shutdown_executors()
+
+
+_REGISTRY_PID = os.getpid()
+atexit.register(_atexit_shutdown)

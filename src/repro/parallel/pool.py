@@ -3,14 +3,15 @@
 ``spawn_rngs`` derives independent, reproducible generators from one
 master seed via :class:`numpy.random.SeedSequence` — the canonical pattern
 for parallel Monte Carlo.  ``parallel_map`` runs an importable worker over
-argument tuples with an optional process pool, falling back to serial
-execution for one worker (or very small workloads) so callers need no
-branching.
+argument tuples, fanning out over the persistent
+:class:`~repro.parallel.executor.CampaignExecutor` pool; it falls back to
+serial execution for one worker, or for workloads too small to justify
+*starting* a pool — but once a pool is already live, even tiny batches
+ride the warm workers.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -45,15 +46,20 @@ def parallel_map(
     Args:
         worker: Importable (module-level) callable taking one argument.
         args: Argument list.
-        n_workers: Process count; <=1 (or a tiny workload) runs serially.
-        min_parallel: Workloads smaller than this run serially — pool
-            startup would dominate.
+        n_workers: Process count; <=1 runs serially.
+        min_parallel: Workloads smaller than this run serially *unless* a
+            pool for ``n_workers`` is already live — then the batch is
+            routed through the warm workers (starting a pool would
+            dominate; reusing one costs nothing).
 
     Returns:
         Results in input order.
     """
-    if n_workers <= 1 or len(args) < min_parallel:
+    from repro.parallel.executor import get_executor, live_executor
+
+    if n_workers <= 1:
         return [worker(a) for a in args]
-    ctx = mp.get_context("spawn")
-    with ctx.Pool(processes=n_workers) as pool:
-        return pool.map(worker, args)
+    executor = live_executor(n_workers)
+    if executor is None and len(args) < min_parallel:
+        return [worker(a) for a in args]
+    return (executor or get_executor(n_workers)).map(worker, args)

@@ -1,0 +1,148 @@
+"""Shared-memory transport for NumPy-bearing object trees.
+
+``parallel_map``-style campaigns ship large hit/ring arrays between the
+parent and its workers.  Pickling those arrays through a pipe copies every
+byte twice (serialize + deserialize) and stalls the queue on large
+payloads.  ``pack`` instead extracts every sizeable ``ndarray`` from an
+arbitrary picklable object tree into a single
+:class:`multiprocessing.shared_memory.SharedMemory` block and pickles only
+the remaining skeleton (dataclasses, tuples, scalars, small arrays), so a
+``TrainingData`` fragment or an ``EventSet`` crosses the process boundary
+with one bulk memcpy per side and a few hundred bytes on the pipe.
+
+Ownership protocol (keeps the ``resource_tracker`` quiet): the *creating*
+process is the only one that ever calls ``unlink``.  The consumer attaches
+by name, copies the arrays out (``unpack`` always returns fresh writable
+arrays), and closes its mapping; the creator unlinks once it knows the
+payload was consumed (in the executor: when the consumer's next message
+arrives).
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Arrays at or above this many bytes travel through shared memory;
+#: smaller ones ride the pickle skeleton (a pipe round-trip is cheaper
+#: than an extra mmap for tiny payloads).
+SHM_THRESHOLD_BYTES = 16_384
+
+
+@dataclass
+class PackedPayload:
+    """One packed object tree.
+
+    Attributes:
+        skeleton: Pickle of the object tree with large arrays replaced by
+            persistent-id placeholders.
+        shm_name: Name of the shared-memory block holding the extracted
+            arrays, or None when nothing crossed the threshold.
+        array_meta: Per-extracted-array ``(dtype_str, shape, offset)``.
+    """
+
+    skeleton: bytes
+    shm_name: str | None
+    array_meta: list[tuple[str, tuple[int, ...], int]]
+
+
+class _ArrayExtractingPickler(pickle.Pickler):
+    """Pickler that siphons large ndarrays off into a side list."""
+
+    def __init__(self, file: io.BytesIO, arrays: list[np.ndarray], threshold: int):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._arrays = arrays
+        self._threshold = threshold
+
+    def persistent_id(self, obj):  # noqa: D102 (pickle hook)
+        if (
+            type(obj) is np.ndarray
+            and obj.dtype != object
+            and obj.nbytes >= self._threshold
+        ):
+            self._arrays.append(np.ascontiguousarray(obj))
+            return len(self._arrays) - 1
+        return None
+
+
+class _ArrayInsertingUnpickler(pickle.Unpickler):
+    """Unpickler resolving persistent ids against reconstructed arrays."""
+
+    def __init__(self, file: io.BytesIO, arrays: list[np.ndarray]):
+        super().__init__(file)
+        self._arrays = arrays
+
+    def persistent_load(self, pid):  # noqa: D102 (pickle hook)
+        return self._arrays[pid]
+
+
+def pack(obj: object, threshold: int = SHM_THRESHOLD_BYTES) -> PackedPayload:
+    """Pack a picklable object tree, large arrays into shared memory.
+
+    Args:
+        obj: Any picklable object (nested dataclasses/containers fine).
+        threshold: Minimum array size in bytes for shm extraction.
+
+    Returns:
+        A :class:`PackedPayload` (safe to pickle through a queue).
+    """
+    buf = io.BytesIO()
+    arrays: list[np.ndarray] = []
+    _ArrayExtractingPickler(buf, arrays, threshold).dump(obj)
+    if not arrays:
+        return PackedPayload(skeleton=buf.getvalue(), shm_name=None, array_meta=[])
+    total = sum(a.nbytes for a in arrays)
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    meta: list[tuple[str, tuple[int, ...], int]] = []
+    offset = 0
+    for a in arrays:
+        if a.nbytes:
+            view = np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf, offset=offset)
+            view[...] = a
+        meta.append((a.dtype.str, a.shape, offset))
+        offset += a.nbytes
+    name = shm.name
+    shm.close()  # unmap our view; the segment lives until unlink()
+    return PackedPayload(skeleton=buf.getvalue(), shm_name=name, array_meta=meta)
+
+
+def unpack(payload: PackedPayload) -> object:
+    """Reconstruct the object tree from a packed payload.
+
+    Arrays are *copied* out of shared memory, so the result stays valid
+    after the block is unlinked and is writable like any fresh array.
+    """
+    arrays: list[np.ndarray] = []
+    if payload.shm_name is not None:
+        shm = shared_memory.SharedMemory(name=payload.shm_name)
+        try:
+            for dtype_str, shape, offset in payload.array_meta:
+                dt = np.dtype(dtype_str)
+                if int(np.prod(shape)) == 0:
+                    arrays.append(np.empty(shape, dtype=dt))
+                else:
+                    view = np.ndarray(shape, dtype=dt, buffer=shm.buf, offset=offset)
+                    arrays.append(view.copy())
+        finally:
+            shm.close()
+    return _ArrayInsertingUnpickler(io.BytesIO(payload.skeleton), arrays).load()
+
+
+def unlink(payload: PackedPayload) -> None:
+    """Release the payload's shared-memory block (creator side).
+
+    Safe to call on array-free payloads and idempotent against an
+    already-released block.
+    """
+    if payload.shm_name is None:
+        return
+    try:
+        shm = shared_memory.SharedMemory(name=payload.shm_name)
+    except FileNotFoundError:
+        return
+    shm.close()
+    shm.unlink()

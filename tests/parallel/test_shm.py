@@ -1,0 +1,120 @@
+"""Tests for the shared-memory object transport."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import shm
+
+
+def roundtrip(obj, threshold=0):
+    payload = shm.pack(obj, threshold=threshold)
+    try:
+        return shm.unpack(payload), payload
+    finally:
+        shm.unlink(payload)
+
+
+class TestPackUnpack:
+    def test_nested_tree(self):
+        obj = {
+            "big": np.arange(10_000, dtype=np.float64),
+            "nested": [("label", np.ones((50, 3))), {"k": np.int64(7)}],
+            "scalar": 3.5,
+        }
+        out, payload = roundtrip(obj)
+        assert payload.shm_name is not None
+        assert np.array_equal(out["big"], obj["big"])
+        assert np.array_equal(out["nested"][0][1], np.ones((50, 3)))
+        assert out["nested"][1]["k"] == 7
+        assert out["scalar"] == 3.5
+
+    def test_empty_array(self):
+        out, _ = roundtrip(np.empty(0))
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+
+    def test_zero_row_2d_array(self):
+        """0-row hit/ring arrays (empty exposures) must survive transport."""
+        out, _ = roundtrip({"pos": np.empty((0, 3)), "e": np.empty(0)})
+        assert out["pos"].shape == (0, 3)
+        assert out["e"].shape == (0,)
+
+    def test_mixed_empty_and_full(self):
+        obj = (np.empty((0, 13)), np.arange(5000.0), np.empty(0, dtype=np.int64))
+        out, _ = roundtrip(obj)
+        assert out[0].shape == (0, 13)
+        assert np.array_equal(out[1], np.arange(5000.0))
+        assert out[2].dtype == np.int64
+
+    def test_small_arrays_stay_inline(self):
+        payload = shm.pack(np.arange(4), threshold=1 << 20)
+        assert payload.shm_name is None
+        assert np.array_equal(shm.unpack(payload), np.arange(4))
+
+    def test_dtype_preserved(self):
+        for dtype in (np.float32, np.int32, np.uint8, np.bool_, np.complex128):
+            out, _ = roundtrip(np.zeros(100, dtype=dtype))
+            assert out.dtype == dtype
+
+    def test_non_contiguous_input(self):
+        base = np.arange(20_000, dtype=np.float64).reshape(100, 200)
+        strided = base[::2, ::3]
+        out, _ = roundtrip(strided)
+        assert np.array_equal(out, strided)
+
+    def test_result_is_writable_after_unlink(self):
+        out, _ = roundtrip(np.arange(1000.0))
+        out[0] = -1.0
+        assert out[0] == -1.0
+
+    def test_dataclass_payload(self):
+        from repro.experiments.datasets import TrainingData
+
+        data = TrainingData(
+            features=np.random.default_rng(0).normal(size=(300, 13)),
+            labels=np.zeros(300, dtype=np.int64),
+            true_eta_errors=np.zeros(300),
+            polar_true=np.zeros(300),
+            prop_deta=np.zeros(300),
+        )
+        out, _ = roundtrip(data)
+        assert isinstance(out, TrainingData)
+        assert np.array_equal(out.features, data.features)
+
+    def test_unlink_idempotent(self):
+        payload = shm.pack(np.arange(10_000.0), threshold=0)
+        shm.unpack(payload)
+        shm.unlink(payload)
+        shm.unlink(payload)  # second release is a no-op
+
+    def test_unlink_required_before_reuse(self):
+        """Unpack twice is legal while the block is still linked."""
+        payload = shm.pack(np.arange(10_000.0), threshold=0)
+        a = shm.unpack(payload)
+        b = shm.unpack(payload)
+        shm.unlink(payload)
+        assert np.array_equal(a, b)
+
+    def test_object_dtype_rides_pickle(self):
+        arr = np.array([{"a": 1}, None], dtype=object)
+        payload = shm.pack(arr, threshold=0)
+        assert payload.shm_name is None
+        out = shm.unpack(payload)
+        assert out[0] == {"a": 1}
+
+
+class TestThreshold:
+    def test_threshold_boundary(self):
+        arr = np.zeros(shm.SHM_THRESHOLD_BYTES // 8, dtype=np.float64)
+        payload = shm.pack(arr)
+        assert payload.shm_name is not None
+        shm.unlink(payload)
+        small = np.zeros(shm.SHM_THRESHOLD_BYTES // 8 - 1, dtype=np.float64)
+        assert shm.pack(small).shm_name is None
+
+    def test_meta_matches_arrays(self):
+        payload = shm.pack([np.zeros(5000), np.ones((40, 70))], threshold=0)
+        assert len(payload.array_meta) == 2
+        dtypes = [m[0] for m in payload.array_meta]
+        assert all(np.dtype(d) == np.float64 for d in dtypes)
+        shm.unlink(payload)
