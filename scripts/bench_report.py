@@ -1,17 +1,24 @@
 #!/usr/bin/env python
-"""Run the performance suite and write ``BENCH_pr1.json``.
+"""Run the performance suite and write ``BENCH_pr2.json``.
 
-Two measurement groups:
+Three measurement groups:
 
 * **Kernel micro-benchmarks** — ``benchmarks/test_perf_kernels.py`` via
   pytest-benchmark; the report records each kernel's median seconds.
 * **End-to-end campaign** — ``benchmarks/test_campaign_e2e.py`` timed in
   this process: the seed-style fresh-pool-per-stage path versus the
-  persistent shared-memory executor, plus the resulting speedup.
+  persistent shared-memory executor, plus the resulting speedup.  The
+  executor path is timed with telemetry disabled (the default) *and*
+  enabled, so the report quantifies both the disabled-path overhead
+  (versus ``BENCH_pr1.json``, which predates the telemetry layer) and
+  the cost of actually tracing.
+* **Trace summary** — one traced executor campaign, rolled up with
+  :func:`repro.obs.summary.summary_dict` and embedded in the report, so
+  the per-stage table ships next to the wall-clock numbers it explains.
 
 Usage::
 
-    python scripts/bench_report.py [--output BENCH_pr1.json] [--skip-kernels]
+    python scripts/bench_report.py [--output BENCH_pr2.json] [--skip-kernels]
 """
 
 from __future__ import annotations
@@ -78,20 +85,75 @@ def run_campaign_benchmark(rounds: int = 2) -> dict[str, float]:
     t_executor, pooled = best_of(e2e.run_campaign_executor)
     t_legacy, legacy = best_of(e2e.run_campaign_legacy)
 
+    import repro.obs as obs
+
+    obs.enable()
+    try:
+        t_traced, traced = best_of(e2e.run_campaign_executor)
+    finally:
+        obs.disable()
+
     import numpy as np
-    for ref, got in zip(legacy, pooled):
+    for ref, got, tr in zip(legacy, pooled, traced):
         np.testing.assert_array_equal(ref, got)
+        np.testing.assert_array_equal(ref, tr)
 
     return {
         "campaign_e2e_executor_4w": t_executor,
         "campaign_e2e_legacy_4w": t_legacy,
         "campaign_e2e_speedup": t_legacy / t_executor,
+        "campaign_e2e_executor_4w_traced": t_traced,
+        "campaign_e2e_tracing_overhead_pct":
+            100.0 * (t_traced - t_executor) / t_executor,
     }
+
+
+def run_traced_summary() -> dict:
+    """Run one traced executor campaign and return its per-stage rollup."""
+    sys.path.insert(0, str(REPO / "src"))
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    import test_campaign_e2e as e2e
+    import repro.obs as obs
+    from repro.detector.response import DetectorResponse
+    from repro.geometry.tiles import adapt_geometry
+    from repro.obs.summary import summary_dict
+
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    obs.enable()
+    try:
+        e2e.run_campaign_executor(geometry, response)
+        events = obs.events() + obs.metric_events()
+    finally:
+        obs.disable()
+    return summary_dict(events)
+
+
+def compare_with_pr1(results: dict[str, float]) -> dict:
+    """Compare campaign wall-clock against ``BENCH_pr1.json``, if present.
+
+    The pr1 report predates the telemetry layer entirely, so the executor
+    delta measures the disabled-telemetry overhead of the instrumented
+    hot path (acceptance: under a few percent, i.e. noise).
+    """
+    pr1_path = REPO / "BENCH_pr1.json"
+    if not pr1_path.exists():
+        return {"available": False}
+    pr1 = json.loads(pr1_path.read_text())["results"]
+    out: dict = {"available": True}
+    for key in ("campaign_e2e_executor_4w", "campaign_e2e_legacy_4w"):
+        if key in pr1 and key in results:
+            out[key] = {
+                "pr1_s": pr1[key],
+                "pr2_s": results[key],
+                "delta_pct": 100.0 * (results[key] - pr1[key]) / pr1[key],
+            }
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=str(REPO / "BENCH_pr1.json"))
+    parser.add_argument("--output", default=str(REPO / "BENCH_pr2.json"))
     parser.add_argument(
         "--skip-kernels", action="store_true",
         help="only run the e2e campaign comparison",
@@ -108,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": results,
+        "vs_pr1": compare_with_pr1(results),
+        "trace_summary": run_traced_summary(),
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

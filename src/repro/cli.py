@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
 * ``python -m repro.cli simulate`` — one burst, baseline localization.
 * ``python -m repro.cli train`` — run the training campaign, train both
@@ -8,10 +8,15 @@ Four subcommands cover the common workflows without writing any Python:
 * ``python -m repro.cli localize`` — load a trained pipeline and run
   ML-pipeline trials at a chosen experimental point.
 * ``python -m repro.cli figure`` — reproduce one paper figure.
+* ``python -m repro.cli trace-summary`` — render the per-stage table of a
+  trace captured with ``--trace``.
 
 Campaign subcommands (``train``, ``localize``, ``figure``) accept
 ``--workers N`` to fan Monte-Carlo exposures/trials out over the
-persistent campaign executor.
+persistent campaign executor.  Every workload subcommand accepts
+``--trace out.jsonl`` (record a telemetry trace, merged across worker
+processes) and ``--quiet`` (suppress stderr status lines; stdout carries
+only machine-readable results).
 """
 
 from __future__ import annotations
@@ -20,6 +25,8 @@ import argparse
 import sys
 
 import numpy as np
+
+from repro.obs import log
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -38,15 +45,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         polar_angle_deg=args.polar,
         azimuth_deg=args.azimuth,
     )
+    log.status(f"simulating one burst (fluence {args.fluence}, "
+               f"polar {args.polar} deg, seed {args.seed})")
     exposure = simulate_exposure(geometry, rng, grb, BackgroundModel())
     events = response.digitize(
         exposure.transport, exposure.batch, rng, min_hits=2
     )
     outcome = localize_baseline(events, rng)
-    print(f"photons={exposure.batch.num_photons} events={events.num_events} "
-          f"rings={outcome.rings.num_rings}")
-    print(f"localization error: "
-          f"{outcome.error_degrees(grb.source_direction):.2f} deg")
+    log.result(
+        f"photons={exposure.batch.num_photons} events={events.num_events} "
+        f"rings={outcome.rings.num_rings}"
+    )
+    log.result(f"localization error: "
+               f"{outcome.error_degrees(grb.source_direction):.2f} deg")
     return 0
 
 
@@ -59,6 +70,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     geometry = adapt_geometry()
     response = DetectorResponse(geometry)
+    log.status(f"generating training rings "
+               f"({args.exposures_per_angle} exposures/angle, "
+               f"{args.workers} workers)")
     data = generate_training_rings(
         geometry,
         response,
@@ -66,6 +80,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         exposures_per_angle=args.exposures_per_angle,
         n_workers=args.workers,
     )
+    log.status(f"training both networks on {data.num_rings} rings")
     models = train_models(
         geometry=geometry,
         response=response,
@@ -74,8 +89,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         data=data,
     )
     save_pipeline(models.pipeline, args.output)
-    print(f"trained on {models.data.num_rings} rings; "
-          f"pipeline saved to {args.output}")
+    log.result(f"trained on {models.data.num_rings} rings; "
+               f"pipeline saved to {args.output}")
     return 0
 
 
@@ -89,6 +104,8 @@ def _cmd_localize(args: argparse.Namespace) -> int:
     pipeline = load_pipeline(args.pipeline)
     geometry = adapt_geometry()
     response = DetectorResponse(geometry)
+    log.status(f"running {args.trials} ML trials "
+               f"({args.workers} workers, seed {args.seed})")
     errors = run_trials(
         geometry,
         response,
@@ -102,10 +119,10 @@ def _cmd_localize(args: argparse.Namespace) -> int:
         ml_pipeline=pipeline,
         n_workers=args.workers,
     )
-    print(f"{args.trials} trials at {args.fluence} MeV/cm^2, "
-          f"polar {args.polar} deg:")
-    print(f"  68% containment: {containment(errors, 0.68):.2f} deg")
-    print(f"  95% containment: {containment(errors, 0.95):.2f} deg")
+    log.result(f"{args.trials} trials at {args.fluence} MeV/cm^2, "
+               f"polar {args.polar} deg:")
+    log.result(f"  68% containment: {containment(errors, 0.68):.2f} deg")
+    log.result(f"  95% containment: {containment(errors, 0.95):.2f} deg")
     return 0
 
 
@@ -126,8 +143,26 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     number = args.name.removeprefix("fig")
     driver = getattr(figures, f"figure{number}")
     printer = getattr(figures, f"print_figure{number}")
+    log.status(f"reproducing {args.name} ({args.trials} trials x "
+               f"{args.meta} meta, {args.workers} workers)")
     printer(driver(scale=scale))
     return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.obs.summary import render_file
+
+    log.result(render_file(args.trace_file))
+    return 0
+
+
+def _add_common_flags(p: argparse.ArgumentParser) -> None:
+    """Telemetry/verbosity flags shared by every workload subcommand."""
+    p.add_argument("--trace", metavar="OUT.JSONL", default=None,
+                   help="record a telemetry trace (spans + metrics, merged "
+                        "across workers) to this JSONL file")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress stderr status output")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -146,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--azimuth", type=float, default=0.0,
                    help="source azimuth, degrees")
     p.add_argument("--seed", type=int, default=0)
+    _add_common_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("train", help="train the two networks")
@@ -155,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2024)
     p.add_argument("--workers", type=int, default=1,
                    help="campaign fan-out over worker processes")
+    _add_common_flags(p)
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("localize", help="run ML-pipeline trials")
@@ -166,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--workers", type=int, default=1,
                    help="trial fan-out over worker processes")
+    _add_common_flags(p)
     p.set_defaults(func=_cmd_localize)
 
     p = sub.add_parser("figure", help="reproduce one paper figure")
@@ -180,15 +218,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trial fan-out over worker processes")
     p.add_argument("--cache", action="store_true",
                    help="cache trial sets in .campaign_cache/")
+    _add_common_flags(p)
     p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser(
+        "trace-summary",
+        help="render the per-stage table of a --trace JSONL file",
+    )
+    p.add_argument("trace_file", help="trace file written by --trace")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress stderr status output")
+    p.set_defaults(func=_cmd_trace_summary)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Handles the cross-cutting telemetry flags: ``--trace`` enables the
+    span tracer and metrics registry around the command (root span
+    ``cli.<command>``) and writes the merged JSONL trace afterwards;
+    ``--quiet`` silences stderr status lines.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    log.set_quiet(getattr(args, "quiet", False))
+    trace_path = getattr(args, "trace", None)
+    try:
+        if trace_path is None:
+            return args.func(args)
+
+        import repro.obs as obs
+
+        obs.enable()
+        try:
+            with obs.span(f"cli.{args.command}"):
+                rc = args.func(args)
+            n = obs.flush_jsonl(trace_path, extra_events=obs.metric_events())
+            log.status(f"trace: {n} events written to {trace_path} "
+                       f"(render with `repro trace-summary {trace_path}`)")
+        finally:
+            obs.disable()
+        return rc
+    except BrokenPipeError:
+        # The stdout consumer went away (`repro trace-summary ... | head`).
+        # Point stdout at devnull so interpreter shutdown doesn't complain,
+        # and exit with the conventional SIGPIPE-ish success for filters.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.geometry.fibers import FiberGrid
 from repro.geometry.tiles import DetectorGeometry
+from repro.obs import trace as obs_trace
 from repro.physics.transport import TransportResult
 from repro.sources.grb import PhotonBatch
 
@@ -223,6 +224,7 @@ class DetectorResponse:
         )
         return measured, nominal_sigma
 
+    @obs_trace.traced("response.measure_position")
     def measure_position(
         self, true_positions: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -265,6 +267,7 @@ class DetectorResponse:
 
     # -- full digitization ----------------------------------------------------
 
+    @obs_trace.traced("response.digitize")
     def digitize(
         self,
         transport: TransportResult,

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+
 
 def collect_worker(common: tuple, task: tuple) -> "object":
     """Run one training-campaign exposure.
@@ -27,15 +29,16 @@ def collect_worker(common: tuple, task: tuple) -> "object":
     geometry, response, fluence, background, jitter = common
     polar, seed_seq = task
     rng = np.random.default_rng(seed_seq)
-    return collect_exposure_rings(
-        geometry,
-        response,
-        rng,
-        polar_deg=polar,
-        fluence_mev_cm2=fluence,
-        background=background,
-        polar_jitter_deg=jitter,
-    )
+    with obs_trace.span("datasets.exposure"):
+        return collect_exposure_rings(
+            geometry,
+            response,
+            rng,
+            polar_deg=polar,
+            fluence_mev_cm2=fluence,
+            background=background,
+            polar_jitter_deg=jitter,
+        )
 
 
 def trial_worker(common: tuple, seed_seq) -> float:
@@ -48,10 +51,11 @@ def trial_worker(common: tuple, seed_seq) -> float:
     from repro.experiments.trials import trial_error
 
     geometry, response, config, ml_pipeline = common
-    return trial_error(
-        geometry,
-        response,
-        np.random.default_rng(seed_seq),
-        config,
-        ml_pipeline,
-    )
+    with obs_trace.span("trials.trial"):
+        return trial_error(
+            geometry,
+            response,
+            np.random.default_rng(seed_seq),
+            config,
+            ml_pipeline,
+        )

@@ -189,45 +189,52 @@ def generate_training_rings(
     Returns:
         The concatenated :class:`TrainingData`.
     """
+    from repro.obs import trace as obs_trace
     from repro.parallel import config_token, get_executor, resolve_cache
 
     if polar_angles_deg is None:
         polar_angles_deg = np.arange(0.0, 81.0, 10.0)
-    stage_cache = resolve_cache(cache)
-    token = None
-    if stage_cache is not None:
-        token = config_token(
-            seed,
-            np.asarray(polar_angles_deg, dtype=np.float64),
-            exposures_per_angle,
-            fluence_mev_cm2,
-            background,
-            polar_jitter_deg,
-            background_fraction,
-            geometry,
-            response,
+    with obs_trace.span("datasets.generate_training_rings"):
+        stage_cache = resolve_cache(cache)
+        token = None
+        if stage_cache is not None:
+            token = config_token(
+                seed,
+                np.asarray(polar_angles_deg, dtype=np.float64),
+                exposures_per_angle,
+                fluence_mev_cm2,
+                background,
+                polar_jitter_deg,
+                background_fraction,
+                geometry,
+                response,
+            )
+            hit = stage_cache.load("training_rings", token)
+            if hit is not None:
+                return hit
+        tasks = [
+            (float(polar), i)
+            for polar in polar_angles_deg
+            for i in range(exposures_per_angle)
+        ]
+        seeds = np.random.SeedSequence(seed).spawn(len(tasks))
+        ex = executor if executor is not None else get_executor(n_workers)
+        parts = ex.map(
+            _campaign_worker.collect_worker,
+            [(polar, ss) for (polar, _), ss in zip(tasks, seeds)],
+            common=(
+                geometry, response, fluence_mev_cm2, background,
+                polar_jitter_deg,
+            ),
         )
-        hit = stage_cache.load("training_rings", token)
-        if hit is not None:
-            return hit
-    tasks = [
-        (float(polar), i)
-        for polar in polar_angles_deg
-        for i in range(exposures_per_angle)
-    ]
-    seeds = np.random.SeedSequence(seed).spawn(len(tasks))
-    ex = executor if executor is not None else get_executor(n_workers)
-    parts = ex.map(
-        _campaign_worker.collect_worker,
-        [(polar, ss) for (polar, _), ss in zip(tasks, seeds)],
-        common=(geometry, response, fluence_mev_cm2, background, polar_jitter_deg),
-    )
-    data = TrainingData.concatenate(parts)
-    if background_fraction is not None:
-        data = _rebalance(data, background_fraction, np.random.default_rng(seed))
-    if stage_cache is not None:
-        stage_cache.store("training_rings", token, data)
-    return data
+        data = TrainingData.concatenate(parts)
+        if background_fraction is not None:
+            data = _rebalance(
+                data, background_fraction, np.random.default_rng(seed)
+            )
+        if stage_cache is not None:
+            stage_cache.store("training_rings", token, data)
+        return data
 
 
 def _rebalance(

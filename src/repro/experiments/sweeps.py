@@ -76,6 +76,7 @@ def sweep(
     Raises:
         ValueError: For an empty grid or unknown field names.
     """
+    from repro.obs import trace as obs_trace
     from repro.parallel import get_executor
 
     if not grid:
@@ -90,18 +91,20 @@ def sweep(
     seeds = np.random.SeedSequence(seed).spawn(len(combos))
     ex = executor if executor is not None else get_executor(n_workers)
     points: list[SweepPoint] = []
-    for combo, point_seed in zip(combos, seeds):
-        overrides = dict(zip(names, combo))
-        config = replace(base_config, **overrides)
-        errors = run_trials(
-            geometry,
-            response,
-            int(point_seed.generate_state(1)[0]),
-            n_trials,
-            config,
-            ml_pipeline,
-            executor=ex,
-            cache=cache,
-        )
-        points.append(SweepPoint(overrides=overrides, errors=errors))
+    with obs_trace.span("sweeps.sweep"):
+        for combo, point_seed in zip(combos, seeds):
+            overrides = dict(zip(names, combo))
+            config = replace(base_config, **overrides)
+            with obs_trace.span("sweeps.point"):
+                errors = run_trials(
+                    geometry,
+                    response,
+                    int(point_seed.generate_state(1)[0]),
+                    n_trials,
+                    config,
+                    ml_pipeline,
+                    executor=ex,
+                    cache=cache,
+                )
+            points.append(SweepPoint(overrides=overrides, errors=errors))
     return points

@@ -161,28 +161,39 @@ def run_trials(
     Returns:
         ``(n_trials,)`` array of angular errors, degrees.
     """
+    from repro.obs import trace as obs_trace
     from repro.parallel import get_executor, resolve_cache
     from repro.experiments._campaign_worker import trial_worker
 
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
-    stage_cache = resolve_cache(cache)
-    token = None
-    if stage_cache is not None:
-        from repro.parallel import config_token
+    with obs_trace.span("trials.run_trials"):
+        stage_cache = resolve_cache(cache)
+        token = None
+        if stage_cache is not None:
+            from repro.parallel import config_token
 
-        token = config_token(seed, n_trials, config, geometry, response, ml_pipeline)
-        hit = stage_cache.load("trials", token)
-        if hit is not None:
-            return hit
-    seeds = np.random.SeedSequence(seed).spawn(n_trials)
-    ex = executor if executor is not None else get_executor(n_workers)
-    errors = np.array(
-        ex.map(trial_worker, seeds, common=(geometry, response, config, ml_pipeline))
-    )
-    if stage_cache is not None:
-        stage_cache.store("trials", token, errors)
-    return errors
+            # Telemetry never feeds the token: keys stay a pure function
+            # of the experiment inputs, so traced and untraced runs share
+            # cache entries bit-for-bit.
+            token = config_token(
+                seed, n_trials, config, geometry, response, ml_pipeline
+            )
+            hit = stage_cache.load("trials", token)
+            if hit is not None:
+                return hit
+        seeds = np.random.SeedSequence(seed).spawn(n_trials)
+        ex = executor if executor is not None else get_executor(n_workers)
+        errors = np.array(
+            ex.map(
+                trial_worker,
+                seeds,
+                common=(geometry, response, config, ml_pipeline),
+            )
+        )
+        if stage_cache is not None:
+            stage_cache.store("trials", token, errors)
+        return errors
 
 
 def run_meta_trials(

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.detector.response import EventSet
 from repro.localization.approximation import approximate_source
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.localization.likelihood import capped_chi_square
 from repro.localization.refinement import RefinementConfig, refine_source
 from repro.reconstruction.error_propagation import DETA_FLOOR
@@ -78,6 +80,7 @@ class LocalizationOutcome:
         return float(np.degrees(np.arccos(c)))
 
 
+@obs_trace.traced("localize.localize_rings")
 def localize_rings(
     rings: RingSet,
     rng: np.random.Generator,
@@ -101,6 +104,7 @@ def localize_rings(
     Returns:
         A :class:`LocalizationOutcome`.
     """
+    obs_metrics.inc("localize.calls")
     cfg = config or BaselineConfig()
     if rings.num_rings == 0:
         return LocalizationOutcome(
@@ -114,13 +118,14 @@ def localize_rings(
     if initial is not None:
         seed_list.append(np.asarray(initial, dtype=np.float64))
     if initial is None or reseed:
-        found = approximate_source(
-            rings,
-            rng,
-            sample_size=cfg.approx_sample_size,
-            n_azimuth=cfg.approx_n_azimuth,
-            top_k=cfg.num_seeds,
-        )
+        with obs_trace.span("localize.approximate"):
+            found = approximate_source(
+                rings,
+                rng,
+                sample_size=cfg.approx_sample_size,
+                n_azimuth=cfg.approx_n_azimuth,
+                top_k=cfg.num_seeds,
+            )
         if found is not None:
             seed_list.extend(np.atleast_2d(found))
     if not seed_list:
@@ -136,9 +141,10 @@ def localize_rings(
     # Refine every seed, then score all refined candidates with a single
     # batched capped-chi-square evaluation (one (m, k) residual matrix
     # instead of k separate (m, 1) passes).
-    results = [refine_source(rings, seed, cfg.refinement) for seed in seeds]
-    candidates = np.stack([r.direction for r in results], axis=0)
-    scores = capped_chi_square(rings, candidates)
+    with obs_trace.span("localize.refine"):
+        results = [refine_source(rings, seed, cfg.refinement) for seed in seeds]
+        candidates = np.stack([r.direction for r in results], axis=0)
+        scores = capped_chi_square(rings, candidates)
     best = None
     best_score = np.inf
     for result, score in zip(results, scores):
@@ -174,8 +180,12 @@ def prepare_rings(
         The ring set entering localization.
     """
     cfg = config or BaselineConfig()
-    rings = build_rings(events)
-    rings = rings.select(quality_filter(rings, events, cfg.filter_config))
+    with obs_trace.span("reconstruct.prepare_rings"):
+        rings = build_rings(events)
+        n_built = rings.num_rings
+        rings = rings.select(quality_filter(rings, events, cfg.filter_config))
+        obs_metrics.inc("rings.built", n_built)
+        obs_metrics.inc("rings.rejected", n_built - rings.num_rings)
     if drop_background:
         rings = rings.select(rings.labels == LABEL_GRB)
     if true_deta and rings.num_rings > 0:

@@ -15,6 +15,8 @@ from repro.nn.data import batch_iterator
 from repro.nn.layers import Module
 from repro.nn.losses import Loss
 from repro.nn.optim import Optimizer
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 @dataclass
@@ -63,6 +65,11 @@ class Trainer:
     scheduler: "object | None" = None
     #: Optional global gradient-norm ceiling (None disables clipping).
     grad_clip_norm: float | None = None
+    #: Optional hook called after every epoch as
+    #: ``epoch_hook(epoch, train_loss, val_loss)`` — e.g. for live
+    #: progress reporting; exceptions propagate (a broken hook should not
+    #: silently corrupt a training run).
+    epoch_hook: "object | None" = None
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
         """Loss on a dataset in eval mode (no parameter updates)."""
@@ -100,35 +107,49 @@ class Trainer:
         stale = 0
 
         self.model.train()
-        for epoch in range(self.max_epochs):
-            epoch_losses = []
-            for xb, yb in batch_iterator(x_train, y_train, self.batch_size, rng):
-                self.optimizer.zero_grad()
-                pred = self.model.forward(xb)
-                value, grad = self.loss(pred, yb)
-                self.model.backward(grad)
-                if self.grad_clip_norm is not None:
-                    from repro.nn.schedulers import clip_gradients
+        fit_span = obs_trace.span("nn.fit")
+        with fit_span:
+            for epoch in range(self.max_epochs):
+                with obs_trace.span("nn.epoch"):
+                    epoch_losses = []
+                    for xb, yb in batch_iterator(
+                        x_train, y_train, self.batch_size, rng
+                    ):
+                        self.optimizer.zero_grad()
+                        pred = self.model.forward(xb)
+                        value, grad = self.loss(pred, yb)
+                        self.model.backward(grad)
+                        if self.grad_clip_norm is not None:
+                            from repro.nn.schedulers import clip_gradients
 
-                    clip_gradients(self.model.parameters(), self.grad_clip_norm)
-                self.optimizer.step()
-                epoch_losses.append(value)
-            history.train_loss.append(float(np.mean(epoch_losses)))
-            if self.scheduler is not None:
-                self.scheduler.step()
+                            clip_gradients(
+                                self.model.parameters(), self.grad_clip_norm
+                            )
+                        self.optimizer.step()
+                        epoch_losses.append(value)
+                    history.train_loss.append(float(np.mean(epoch_losses)))
+                    if self.scheduler is not None:
+                        self.scheduler.step()
 
-            val = self.evaluate(x_val, y_val)
-            history.val_loss.append(val)
-            if val < best_val - self.min_delta:
-                best_val = val
-                history.best_epoch = epoch
-                best_params = [p.value.copy() for p in self.model.parameters()]
-                stale = 0
-            else:
-                stale += 1
-                if stale >= self.patience:
-                    history.stopped_early = True
-                    break
+                    val = self.evaluate(x_val, y_val)
+                    history.val_loss.append(val)
+                obs_metrics.inc("nn.epochs")
+                obs_metrics.set_gauge("nn.epoch_loss", history.train_loss[-1])
+                obs_metrics.set_gauge("nn.val_loss", val)
+                if self.epoch_hook is not None:
+                    self.epoch_hook(epoch, history.train_loss[-1], val)
+                if val < best_val - self.min_delta:
+                    best_val = val
+                    history.best_epoch = epoch
+                    best_params = [
+                        p.value.copy() for p in self.model.parameters()
+                    ]
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.patience:
+                        history.stopped_early = True
+                        break
 
         if best_params is not None:
             for p, saved in zip(self.model.parameters(), best_params):

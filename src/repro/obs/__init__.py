@@ -1,0 +1,84 @@
+"""Telemetry substrate: spans, metrics, cross-process aggregation, logging.
+
+The paper's whole argument is a latency/accuracy budget — stage timings
+decide whether the networks fit the real-time localization loop — so the
+reproduction needs end-to-end visibility: which stage costs what, how busy
+executor workers are, whether the stage cache actually hits.  ``repro.obs``
+is that substrate:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer with a JSONL sink.
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms.
+* :mod:`repro.obs.aggregate` — worker snapshots piggy-backed on executor
+  results and merged parent-side into one coherent campaign trace.
+* :mod:`repro.obs.summary` — the ``repro trace-summary`` per-stage rollup.
+* :mod:`repro.obs.log` — stderr status / stdout results CLI logging.
+
+Everything is **off by default** and costs one attribute check per
+instrumentation point when off; telemetry never influences RNG streams,
+stage-cache keys, or cached payloads, so traced and untraced runs are
+bit-identical.  Enable with :func:`enable` (the CLI's ``--trace`` flag).
+"""
+
+from repro.obs import log
+from repro.obs.aggregate import merge_snapshot, snapshot_and_reset
+from repro.obs.metrics import (
+    REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    inc,
+    metric_events,
+    observe,
+    set_gauge,
+)
+from repro.obs.summary import render_table, summarize, summary_dict
+from repro.obs.trace import (
+    Span,
+    events,
+    flush_jsonl,
+    is_enabled,
+    load_jsonl,
+    span,
+    timed_span,
+    traced,
+)
+from repro.obs.trace import disable as _trace_disable
+from repro.obs.trace import enable as _trace_enable
+
+
+def enable() -> None:
+    """Turn telemetry on process-wide (tracer + metrics, fresh buffers)."""
+    REGISTRY.reset()
+    _trace_enable()
+
+
+def disable() -> None:
+    """Turn telemetry off and drop all buffered events and metrics."""
+    _trace_disable()
+    REGISTRY.reset()
+
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "disable",
+    "enable",
+    "events",
+    "flush_jsonl",
+    "inc",
+    "is_enabled",
+    "load_jsonl",
+    "log",
+    "merge_snapshot",
+    "metric_events",
+    "observe",
+    "render_table",
+    "set_gauge",
+    "snapshot_and_reset",
+    "span",
+    "summarize",
+    "summary_dict",
+    "timed_span",
+    "traced",
+]

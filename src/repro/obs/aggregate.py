@@ -1,0 +1,60 @@
+"""Cross-process telemetry aggregation for the campaign executor.
+
+Workers record spans and metrics into their own process-local buffers;
+shipping them live would serialize the hot path, so instead each worker
+snapshots its buffer once per completed chunk and piggy-backs the snapshot
+on the chunk's result message (:mod:`repro.parallel.executor`).  The parent
+merges snapshots as results arrive, producing one coherent trace for the
+whole campaign regardless of ``--workers``.
+
+Merging rules:
+
+* **Spans** — worker span ids already embed the producing pid, so they
+  never collide with parent ids.  Worker *root* spans (``parent_id is
+  None`` in the worker) are re-parented under the parent-side span that
+  was open when the chunk was dispatched (normally ``executor.map``), so
+  the merged tree stays rooted in the parent's call stack.
+* **Counters / histograms** — added; buckets are fixed so histogram
+  addition is exact.
+* **Gauges** — last writer wins (arrival order).
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as _metrics
+from repro.obs.trace import STATE
+
+
+def snapshot_and_reset() -> dict | None:
+    """Drain this process's telemetry into a serializable snapshot.
+
+    Returns ``None`` when telemetry is disabled (so the executor ships no
+    extra bytes on the result queue in the common case).
+    """
+    if not STATE.enabled:
+        return None
+    events = STATE.drain()
+    metric_snap = _metrics.REGISTRY.dump()
+    _metrics.REGISTRY.reset()
+    if not events and not metric_snap["counters"] and not metric_snap["histograms"] \
+            and not metric_snap["gauges"]:
+        return None
+    return {"events": events, "metrics": metric_snap}
+
+
+def merge_snapshot(snap: dict | None, parent_span_id: str | None = None) -> None:
+    """Fold a worker snapshot into this process's buffers.
+
+    Args:
+        snap: A :func:`snapshot_and_reset` payload (``None`` is a no-op).
+        parent_span_id: Span id to graft worker root spans onto (the
+            parent-side span active around the executor map call).
+    """
+    if snap is None or not STATE.enabled:
+        return
+    for ev in snap.get("events", ()):
+        if ev.get("type") == "span" and ev.get("parent_id") is None:
+            ev = dict(ev)
+            ev["parent_id"] = parent_span_id
+        STATE.record(ev)
+    _metrics.REGISTRY.merge(snap.get("metrics", {}))

@@ -1,0 +1,49 @@
+"""Structured CLI logging: status to stderr, results to stdout.
+
+The CLI used bare ``print`` for everything, which tangles human-facing
+progress chatter with machine-readable output (figure rows, containment
+numbers) on one stream.  This module splits them:
+
+* :func:`status` — progress/diagnostic lines, written to **stderr**,
+  suppressed by ``--quiet``.
+* :func:`result` — the command's actual output, written to **stdout**,
+  never suppressed (piping ``repro figure ... > out.txt`` stays clean).
+
+``status`` lines carry a ``[repro]`` prefix so they are visually and
+grep-ably distinct from library warnings on the same stream.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+class LogState:
+    """Module-level switches for the CLI logger.
+
+    Attributes:
+        quiet: When True, :func:`status` writes nothing.
+    """
+
+    def __init__(self) -> None:
+        self.quiet = False
+
+
+STATE = LogState()
+
+
+def set_quiet(quiet: bool) -> None:
+    """Enable/disable suppression of status output."""
+    STATE.quiet = bool(quiet)
+
+
+def status(message: str) -> None:
+    """Write one status line to stderr (unless ``--quiet``)."""
+    if STATE.quiet:
+        return
+    print(f"[repro] {message}", file=sys.stderr)
+
+
+def result(message: str) -> None:
+    """Write one machine-readable output line to stdout."""
+    print(message, file=sys.stdout)

@@ -1,0 +1,253 @@
+"""Hierarchical span tracer with a disabled-by-default fast path.
+
+A *span* is one named wall-clock interval (``trace.span("localize.refine")``
+as a context manager or decorator).  Spans nest: each thread keeps a stack
+of open spans, and a finished span records its parent's id, so the event
+stream reconstructs the call tree.  Durations come from
+``time.perf_counter`` (monotonic); absolute origins are per-process and
+never compared across processes — only durations and parent links are.
+
+Telemetry is off by default and must cost nearly nothing when off: the
+module-level :func:`span` performs a single attribute check and returns a
+shared no-op context manager, so instrumented hot paths (``measure_position``,
+ring building, per-chunk executor work) pay one branch per call.  When
+enabled, finished spans append one event dict to an in-memory buffer that
+:func:`repro.obs.aggregate.snapshot_and_reset` serializes for worker →
+parent shipping and :func:`flush_jsonl` writes as JSON Lines.
+
+The event schema (one JSON object per line) is shared by every process::
+
+    {"type": "span", "name": str, "span_id": "pid-n", "parent_id": str|null,
+     "dur_ms": float, "pid": int, "tid": int, "status": "ok"|"error"}
+
+``span_id`` embeds the producing pid, so merging worker buffers into the
+parent (:mod:`repro.obs.aggregate`) never collides ids.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import threading
+import time
+from collections.abc import Callable, Iterator
+
+
+class TraceState:
+    """Process-local tracer state: the enable flag, buffer, and span stack.
+
+    Attributes:
+        enabled: Master switch; every recording call checks it first.
+        events: Completed-span (and metric) event dicts, in finish order.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.events: list[dict] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counter = 0
+
+    # -- span bookkeeping ---------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def next_span_id(self) -> str:
+        """Allocate a process-unique span id (``pid-counter``)."""
+        with self._lock:
+            self._counter += 1
+            return f"{os.getpid()}-{self._counter}"
+
+    def record(self, event: dict) -> None:
+        """Append one event to the buffer (thread-safe)."""
+        with self._lock:
+            self.events.append(event)
+
+    def drain(self) -> list[dict]:
+        """Return and clear the buffered events."""
+        with self._lock:
+            out = self.events
+            self.events = []
+            return out
+
+    def reset(self) -> None:
+        """Drop all buffered events and restart span-id allocation."""
+        with self._lock:
+            self.events = []
+            self._counter = 0
+
+
+#: The process-wide tracer state (workers get their own copy post-spawn).
+STATE = TraceState()
+
+
+class Span:
+    """One open span; context manager that records itself on exit.
+
+    Attributes:
+        name: Span name (dotted stage path, e.g. ``"localize.refine"``).
+        duration_ms: Wall-clock milliseconds, set when the span closes.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "duration_ms", "_t0")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
+        self.duration_ms: float = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        if STATE.enabled:
+            stack = STATE._stack()
+            self.parent_id = stack[-1] if stack else None
+            self.span_id = STATE.next_span_id()
+            stack.append(self.span_id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_ms = (time.perf_counter() - self._t0) * 1e3
+        if self.span_id is not None:
+            stack = STATE._stack()
+            # Exception safety: pop back to (and including) our own frame
+            # even if an inner span leaked without closing.
+            if self.span_id in stack:
+                del stack[stack.index(self.span_id):]
+            STATE.record({
+                "type": "span",
+                "name": self.name,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "dur_ms": self.duration_ms,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "status": "error" if exc_type is not None else "ok",
+            })
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+    duration_ms = 0.0
+    span_id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def __call__(self, fn: Callable) -> Callable:
+        return fn
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str) -> "Span | _NullSpan":
+    """Open a named span (context manager); no-op while tracing is off.
+
+    Args:
+        name: Dotted stage name (``"physics.transport"``).
+
+    Returns:
+        A :class:`Span` when tracing is enabled, otherwise a shared no-op
+        object — the disabled cost is this one attribute check.
+    """
+    if not STATE.enabled:
+        return _NULL_SPAN
+    return Span(name)
+
+
+def timed_span(name: str) -> Span:
+    """A span that *always* measures its duration.
+
+    Unlike :func:`span`, the returned object times the interval even while
+    tracing is disabled (``duration_ms`` is valid either way); an event is
+    recorded only when tracing is on.  :class:`repro.platforms.timing
+    .StageTimer` delegates here so platform timings and campaign traces
+    share one clock and event schema.
+    """
+    return Span(name)
+
+
+def traced(name: str) -> Callable:
+    """Decorator form of :func:`span`.
+
+    Example::
+
+        @traced("nn.fit")
+        def fit(...): ...
+    """
+    def wrap(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            if not STATE.enabled:
+                return fn(*args, **kwargs)
+            with Span(name):
+                return fn(*args, **kwargs)
+        return inner
+    return wrap
+
+
+def enable() -> None:
+    """Turn tracing on for this process (buffer starts empty)."""
+    STATE.reset()
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off and drop any buffered events."""
+    STATE.enabled = False
+    STATE.reset()
+
+
+def is_enabled() -> bool:
+    """Whether tracing is currently on in this process."""
+    return STATE.enabled
+
+
+def events() -> list[dict]:
+    """Snapshot (copy) of the buffered events, oldest first."""
+    with STATE._lock:
+        return list(STATE.events)
+
+
+def flush_jsonl(path: str | os.PathLike, extra_events: Iterator[dict] | None = None) -> int:
+    """Write all buffered events (plus ``extra_events``) as JSON Lines.
+
+    Args:
+        path: Output file (overwritten).
+        extra_events: Additional event dicts appended after the span
+            events — :mod:`repro.obs.metrics` contributes its dump here.
+
+    Returns:
+        Number of lines written.
+    """
+    all_events = events()
+    if extra_events is not None:
+        all_events = all_events + list(extra_events)
+    with open(path, "w") as f:
+        for ev in all_events:
+            f.write(json.dumps(ev) + "\n")
+    return len(all_events)
+
+
+def load_jsonl(path: str | os.PathLike) -> list[dict]:
+    """Read a JSONL trace file back into a list of event dicts."""
+    out: list[dict] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

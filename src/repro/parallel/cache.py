@@ -24,6 +24,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 #: Default repo-local cache directory (git-ignored, like ``.model_cache``).
 DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".campaign_cache"
 
@@ -88,29 +91,42 @@ class StageCache:
         return self.root / f"{stage}_{token}.pkl"
 
     def load(self, stage: str, token: str) -> object | None:
-        """Return the cached result, or None on a miss (or unreadable entry)."""
+        """Return the cached result, or None on a miss (or unreadable entry).
+
+        Telemetry (when enabled) distinguishes the outcomes that look
+        identical to the caller: ``cache.hit``, ``cache.miss`` (no entry),
+        and ``cache.corrupt`` (an entry exists but cannot be unpickled —
+        previously a silent degradation to a miss).
+        """
         path = self.path_for(stage, token)
-        if not path.exists():
-            return None
-        try:
-            with open(path, "rb") as f:
-                return pickle.load(f)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
+        with obs_trace.span("cache.load"):
+            if not path.exists():
+                obs_metrics.inc("cache.miss")
+                return None
+            try:
+                with open(path, "rb") as f:
+                    result = pickle.load(f)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                obs_metrics.inc("cache.corrupt")
+                return None
+            obs_metrics.inc("cache.hit")
+            return result
 
     def store(self, stage: str, token: str, result: object) -> None:
         """Persist a stage result atomically (rename over partial writes)."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(stage, token)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as f:
-                pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        with obs_trace.span("cache.store"):
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+                obs_metrics.inc("cache.store")
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
 
 
 def resolve_cache(cache: "StageCache | str | os.PathLike | bool | None") -> StageCache | None:

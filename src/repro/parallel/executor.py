@@ -31,9 +31,13 @@ import multiprocessing as mp
 import os
 import pickle
 import queue as queue_mod
+import time
 import traceback
 from collections.abc import Callable, Sequence
 
+from repro.obs import aggregate as obs_aggregate
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.parallel import shm as shm_transport
 
 #: Dispatch roughly this many chunks per worker so a slow exposure on one
@@ -73,18 +77,37 @@ def _worker_main(worker_id: int, inbox, results) -> None:
         if kind == "common":
             common = pickle.loads(msg[1])
             continue
-        _, chunk_id, fn, packed_args = msg
+        _, chunk_id, fn, packed_args, trace_on = msg
+        # Telemetry follows the parent's --trace flag per chunk: enable the
+        # worker-local buffers on the first traced chunk, drop them if the
+        # parent stops tracing.  Spans/metrics recorded while running the
+        # chunk are snapshotted and piggy-backed on the result message.
+        if trace_on and not obs_trace.STATE.enabled:
+            obs_trace.enable()
+        elif not trace_on and obs_trace.STATE.enabled:
+            obs_trace.disable()
+            obs_metrics.REGISTRY.reset()
         try:
-            args = shm_transport.unpack(packed_args)
-            if common is None:
-                out = [fn(a) for a in args]
-            else:
-                out = [fn(common, a) for a in args]
-            packed = shm_transport.pack(out)
+            with obs_trace.span("executor.chunk") as chunk_span:
+                args = shm_transport.unpack(packed_args)
+                if common is None:
+                    out = [fn(a) for a in args]
+                else:
+                    out = [fn(common, a) for a in args]
+                packed = shm_transport.pack(out)
+            obs_metrics.observe(
+                "executor.worker_busy_ms", chunk_span.duration_ms
+            )
             pending_unlink.append(packed)
-            results.put(("ok", worker_id, chunk_id, packed))
+            results.put(
+                ("ok", worker_id, chunk_id, packed,
+                 obs_aggregate.snapshot_and_reset())
+            )
         except BaseException:
-            results.put(("err", worker_id, chunk_id, traceback.format_exc()))
+            results.put(
+                ("err", worker_id, chunk_id, traceback.format_exc(),
+                 obs_aggregate.snapshot_and_reset())
+            )
 
 
 class CampaignExecutor:
@@ -198,10 +221,24 @@ class CampaignExecutor:
                 return [fn(a) for a in args]
             return [fn(common, a) for a in args]
 
+        with obs_trace.span("executor.map") as map_span:
+            return self._map_parallel(fn, args, common, chunksize, map_span)
+
+    def _map_parallel(
+        self,
+        fn: Callable,
+        args: list,
+        common: object | None,
+        chunksize: int | None,
+        map_span,
+    ) -> list:
+        """Parallel body of :meth:`map` (telemetry merged under ``map_span``)."""
+        trace_on = obs_trace.STATE.enabled
         self._broadcast_common(common)
         size = chunksize or auto_chunksize(len(args), self.n_workers)
         bounds = [(lo, min(lo + size, len(args))) for lo in range(0, len(args), size)]
         chunks: dict[int, shm_transport.PackedPayload] = {}
+        dispatch_time: dict[int, float] = {}
         results: list = [None] * len(args)
         n_done = 0
         first_error: str | None = None
@@ -212,14 +249,18 @@ class CampaignExecutor:
             lo, hi = bounds[next_chunk]
             packed = shm_transport.pack(args[lo:hi])
             chunks[next_chunk] = packed
-            self._inboxes[wid].put(("chunk", next_chunk, fn, packed))
+            if trace_on:
+                dispatch_time[next_chunk] = time.perf_counter()
+            self._inboxes[wid].put(("chunk", next_chunk, fn, packed, trace_on))
             next_chunk += 1
 
         for wid in range(min(self.n_workers, len(bounds))):
             dispatch(wid)
         while n_done < len(bounds):
             try:
-                status, wid, chunk_id, payload = self._results.get(timeout=1.0)
+                status, wid, chunk_id, payload, snap = self._results.get(
+                    timeout=1.0
+                )
             except queue_mod.Empty:
                 dead = [p.name for p in self._procs if not p.is_alive()]
                 if dead:
@@ -233,6 +274,10 @@ class CampaignExecutor:
             # The worker has consumed this chunk's input block.
             shm_transport.unlink(chunks.pop(chunk_id))
             n_done += 1
+            if trace_on:
+                self._record_chunk_telemetry(
+                    snap, chunk_id, dispatch_time, map_span
+                )
             if status == "ok":
                 out = shm_transport.unpack(payload)
                 lo, hi = bounds[chunk_id]
@@ -249,6 +294,37 @@ class CampaignExecutor:
                 f"campaign task failed in worker:\n{first_error}"
             )
         return results
+
+    @staticmethod
+    def _record_chunk_telemetry(
+        snap: dict | None,
+        chunk_id: int,
+        dispatch_time: dict[int, float],
+        map_span,
+    ) -> None:
+        """Merge a worker chunk snapshot and derive dispatch-side metrics.
+
+        Queue wait is turnaround minus the worker's in-chunk busy time —
+        the cost of the chunk sitting in the inbox plus result-queue
+        latency plus shm transfer, i.e. everything the executor adds.
+        """
+        obs_aggregate.merge_snapshot(snap, parent_span_id=map_span.span_id)
+        obs_metrics.inc("executor.chunks")
+        t0 = dispatch_time.pop(chunk_id, None)
+        if t0 is None:
+            return
+        turnaround_ms = (time.perf_counter() - t0) * 1e3
+        obs_metrics.observe("executor.chunk_turnaround_ms", turnaround_ms)
+        busy_ms = None
+        if snap:
+            for ev in reversed(snap.get("events", ())):
+                if ev.get("type") == "span" and ev.get("name") == "executor.chunk":
+                    busy_ms = ev["dur_ms"]
+                    break
+        if busy_ms is not None:
+            obs_metrics.observe(
+                "executor.queue_wait_ms", max(0.0, turnaround_ms - busy_ms)
+            )
 
     def _broadcast_common(self, common: object | None) -> None:
         """Ship the campaign context to every worker if it changed.

@@ -27,6 +27,9 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 #: Arrays at or above this many bytes travel through shared memory;
 #: smaller ones ride the pickle skeleton (a pipe round-trip is cheaper
 #: than an extra mmap for tiny payloads).
@@ -90,24 +93,31 @@ def pack(obj: object, threshold: int = SHM_THRESHOLD_BYTES) -> PackedPayload:
     Returns:
         A :class:`PackedPayload` (safe to pickle through a queue).
     """
-    buf = io.BytesIO()
-    arrays: list[np.ndarray] = []
-    _ArrayExtractingPickler(buf, arrays, threshold).dump(obj)
-    if not arrays:
-        return PackedPayload(skeleton=buf.getvalue(), shm_name=None, array_meta=[])
-    total = sum(a.nbytes for a in arrays)
-    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
-    meta: list[tuple[str, tuple[int, ...], int]] = []
-    offset = 0
-    for a in arrays:
-        if a.nbytes:
-            view = np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf, offset=offset)
-            view[...] = a
-        meta.append((a.dtype.str, a.shape, offset))
-        offset += a.nbytes
-    name = shm.name
-    shm.close()  # unmap our view; the segment lives until unlink()
-    return PackedPayload(skeleton=buf.getvalue(), shm_name=name, array_meta=meta)
+    with obs_trace.span("shm.pack"):
+        buf = io.BytesIO()
+        arrays: list[np.ndarray] = []
+        _ArrayExtractingPickler(buf, arrays, threshold).dump(obj)
+        if not arrays:
+            return PackedPayload(
+                skeleton=buf.getvalue(), shm_name=None, array_meta=[]
+            )
+        total = sum(a.nbytes for a in arrays)
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        meta: list[tuple[str, tuple[int, ...], int]] = []
+        offset = 0
+        for a in arrays:
+            if a.nbytes:
+                view = np.ndarray(
+                    a.shape, dtype=a.dtype, buffer=shm.buf, offset=offset
+                )
+                view[...] = a
+            meta.append((a.dtype.str, a.shape, offset))
+            offset += a.nbytes
+        name = shm.name
+        shm.close()  # unmap our view; the segment lives until unlink()
+        obs_metrics.inc("shm.blocks_created")
+        obs_metrics.inc("shm.bytes_packed", total)
+        return PackedPayload(skeleton=buf.getvalue(), shm_name=name, array_meta=meta)
 
 
 def unpack(payload: PackedPayload) -> object:
@@ -116,20 +126,26 @@ def unpack(payload: PackedPayload) -> object:
     Arrays are *copied* out of shared memory, so the result stays valid
     after the block is unlinked and is writable like any fresh array.
     """
-    arrays: list[np.ndarray] = []
-    if payload.shm_name is not None:
-        shm = shared_memory.SharedMemory(name=payload.shm_name)
-        try:
-            for dtype_str, shape, offset in payload.array_meta:
-                dt = np.dtype(dtype_str)
-                if int(np.prod(shape)) == 0:
-                    arrays.append(np.empty(shape, dtype=dt))
-                else:
-                    view = np.ndarray(shape, dtype=dt, buffer=shm.buf, offset=offset)
-                    arrays.append(view.copy())
-        finally:
-            shm.close()
-    return _ArrayInsertingUnpickler(io.BytesIO(payload.skeleton), arrays).load()
+    with obs_trace.span("shm.unpack"):
+        arrays: list[np.ndarray] = []
+        if payload.shm_name is not None:
+            shm = shared_memory.SharedMemory(name=payload.shm_name)
+            try:
+                for dtype_str, shape, offset in payload.array_meta:
+                    dt = np.dtype(dtype_str)
+                    if int(np.prod(shape)) == 0:
+                        arrays.append(np.empty(shape, dtype=dt))
+                    else:
+                        view = np.ndarray(
+                            shape, dtype=dt, buffer=shm.buf, offset=offset
+                        )
+                        arrays.append(view.copy())
+            finally:
+                shm.close()
+            obs_metrics.inc("shm.blocks_attached")
+        return _ArrayInsertingUnpickler(
+            io.BytesIO(payload.skeleton), arrays
+        ).load()
 
 
 def unlink(payload: PackedPayload) -> None:

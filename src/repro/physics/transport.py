@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.constants import Material, CSI
 from repro.geometry.tiles import DetectorGeometry
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.physics.compton import (
     rotate_directions,
     sample_klein_nishina,
@@ -125,6 +127,7 @@ def _material_path_to_geometric(
     return t_star, escaped
 
 
+@obs_trace.traced("physics.transport")
 def transport_photons(
     geometry: DetectorGeometry,
     origins: np.ndarray,
@@ -164,6 +167,7 @@ def transport_photons(
         raise ValueError("origins, directions, energies must have equal length")
     if np.any(energies <= 0):
         raise ValueError("photon energies must be positive")
+    obs_metrics.inc("transport.photons", n)
 
     alive = np.ones(n, dtype=bool)
     num_interactions = np.zeros(n, dtype=np.int64)

@@ -45,6 +45,8 @@ from repro.localization.pipeline import (
 )
 from repro.models.background import BackgroundNet
 from repro.models.deta import DEtaNet
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.models.features import (
     azimuth_angle_of,
     extract_features,
@@ -172,11 +174,13 @@ class MLPipeline:
         converged = False
         iterations = 0
         for iterations in range(1, cfg.max_iterations + 1):
-            bkg_mask = self._classify_background(all_rings, events, s_hat)
-            survivors = all_rings.select(~bkg_mask)
-            outcome = localize_rings(
-                survivors, rng, cfg.baseline, initial=s_hat
-            )
+            obs_metrics.inc("ml.iterations")
+            with obs_trace.span("ml.iteration"):
+                bkg_mask = self._classify_background(all_rings, events, s_hat)
+                survivors = all_rings.select(~bkg_mask)
+                outcome = localize_rings(
+                    survivors, rng, cfg.baseline, initial=s_hat
+                )
             if outcome.direction is None:
                 break
             step = np.degrees(
@@ -200,6 +204,7 @@ class MLPipeline:
                     break
         return s_hat, survivors, iterations, converged, intermediates
 
+    @obs_trace.traced("ml.localize")
     def localize(
         self,
         events: EventSet,

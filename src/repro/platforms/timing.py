@@ -10,11 +10,12 @@ implementation.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.obs import trace as obs_trace
 
 from repro.detector.response import DetectorResponse
 from repro.geometry.tiles import DetectorGeometry
@@ -33,19 +34,26 @@ from repro.sources.grb import GRBSource
 
 @dataclass
 class StageTimer:
-    """Accumulates named wall-clock intervals (milliseconds)."""
+    """Accumulates named wall-clock intervals (milliseconds).
+
+    Delegates interval measurement to :func:`repro.obs.trace.timed_span`,
+    so platform timings share one clock (``time.perf_counter``) and event
+    schema with campaign traces: when telemetry is enabled each stage also
+    emits a ``platform.<name>`` span into the trace; when disabled only
+    the local ``times_ms`` samples are kept, exactly as before.
+    """
 
     times_ms: dict[str, list[float]] = field(default_factory=dict)
 
     @contextmanager
     def stage(self, name: str):
         """Context manager timing one interval under ``name``."""
-        start = time.perf_counter()
+        span = obs_trace.timed_span(f"platform.{name}")
         try:
-            yield
+            with span:
+                yield
         finally:
-            elapsed = (time.perf_counter() - start) * 1e3
-            self.times_ms.setdefault(name, []).append(elapsed)
+            self.times_ms.setdefault(name, []).append(span.duration_ms)
 
     def mean_ms(self, name: str) -> float:
         """Mean recorded milliseconds of stage ``name``."""

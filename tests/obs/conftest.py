@@ -1,0 +1,12 @@
+"""Telemetry tests mutate process-global state; always clean up."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off_after_test():
+    """Guarantee telemetry is disabled and empty after every test."""
+    yield
+    obs.disable()

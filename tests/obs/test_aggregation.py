@@ -1,0 +1,135 @@
+"""Cross-process telemetry: worker snapshots merge into one parent trace.
+
+The contract under test: a 4-worker campaign yields the same instrumented
+span counts as a serial run (every trial's spans arrive, none duplicated),
+worker metrics fold into the parent registry, and — critically — enabling
+telemetry changes no campaign output bit.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import REGISTRY
+
+
+#: Span names emitted per trial by the instrumented hot path, independent
+#: of whether the trial ran in-process or in a worker.
+PER_TRIAL_SPANS = (
+    "trials.trial",
+    "physics.transport",
+    "response.digitize",
+    "localize.localize_rings",
+    "reconstruct.prepare_rings",
+)
+
+
+def _run(geometry, response, n_workers):
+    from repro.experiments.trials import TrialConfig, run_trials
+
+    return run_trials(
+        geometry,
+        response,
+        seed=321,
+        n_trials=8,
+        config=TrialConfig(fluence_mev_cm2=0.5, polar_angle_deg=20.0),
+        n_workers=n_workers,
+    )
+
+
+def _span_counts():
+    return Counter(
+        ev["name"] for ev in obs.events() if ev["type"] == "span"
+    )
+
+
+class TestMergedTelemetry:
+    def test_4worker_span_counts_match_serial(self, geometry, response):
+        obs.enable()
+        serial_out = _run(geometry, response, n_workers=1)
+        serial_counts = _span_counts()
+        serial_metrics = REGISTRY.dump()
+
+        obs.enable()  # reset buffers
+        pooled_out = _run(geometry, response, n_workers=4)
+        pooled_counts = _span_counts()
+        pooled_metrics = REGISTRY.dump()
+
+        np.testing.assert_array_equal(serial_out, pooled_out)
+        for name in PER_TRIAL_SPANS:
+            assert serial_counts[name] > 0
+            assert pooled_counts[name] == serial_counts[name], name
+        # Worker-side counters merged into the parent registry.
+        assert (pooled_metrics["counters"]["transport.photons"]
+                == serial_metrics["counters"]["transport.photons"])
+        assert (pooled_metrics["counters"]["localize.calls"]
+                == serial_metrics["counters"]["localize.calls"])
+        # Executor-only telemetry exists only in the pooled run.
+        assert "executor.chunks" not in serial_metrics["counters"]
+        assert pooled_metrics["counters"]["executor.chunks"] > 0
+        assert "executor.worker_busy_ms" in pooled_metrics["histograms"]
+
+    def test_worker_spans_reparent_under_executor_map(self, geometry, response):
+        obs.enable()
+        _run(geometry, response, n_workers=4)
+        events = obs.events()
+        by_id = {ev["span_id"]: ev for ev in events if ev["type"] == "span"}
+        map_ids = {
+            ev["span_id"] for ev in events
+            if ev["type"] == "span" and ev["name"] == "executor.map"
+        }
+        assert map_ids
+        chunk_spans = [
+            ev for ev in events
+            if ev["type"] == "span" and ev["name"] == "executor.chunk"
+        ]
+        assert chunk_spans
+        for ev in chunk_spans:
+            assert ev["parent_id"] in map_ids
+        # Every span resolves to a parent in the merged buffer or is a
+        # parent-process root: one coherent tree, no orphans.
+        for ev in events:
+            if ev["type"] == "span" and ev["parent_id"] is not None:
+                assert ev["parent_id"] in by_id
+
+
+class TestBitIdentity:
+    def test_traced_and_untraced_outputs_identical(self, geometry, response):
+        untraced = _run(geometry, response, n_workers=4)
+        obs.enable()
+        traced = _run(geometry, response, n_workers=4)
+        obs.disable()
+        again_untraced = _run(geometry, response, n_workers=4)
+        np.testing.assert_array_equal(untraced, traced)
+        np.testing.assert_array_equal(untraced, again_untraced)
+
+    def test_cache_tokens_unaffected_by_telemetry(self, geometry, response):
+        from repro.experiments.trials import TrialConfig
+        from repro.parallel import config_token
+
+        config = TrialConfig(fluence_mev_cm2=1.0)
+        t0 = config_token(1, 4, config, geometry, response, None)
+        obs.enable()
+        t1 = config_token(1, 4, config, geometry, response, None)
+        obs.disable()
+        assert t0 == t1
+
+
+class TestCacheCounters:
+    def test_hit_miss_corrupt_counters(self, tmp_path):
+        from repro.parallel import StageCache
+
+        cache = StageCache(tmp_path)
+        obs.enable()
+        assert cache.load("stage", "tok") is None          # miss
+        cache.store("stage", "tok", {"x": 1})              # store
+        assert cache.load("stage", "tok") == {"x": 1}      # hit
+        cache.path_for("stage", "tok").write_bytes(b"not a pickle")
+        assert cache.load("stage", "tok") is None          # corrupt
+        counters = REGISTRY.dump()["counters"]
+        assert counters["cache.miss"] == 1
+        assert counters["cache.store"] == 1
+        assert counters["cache.hit"] == 1
+        assert counters["cache.corrupt"] == 1

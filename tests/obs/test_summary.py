@@ -1,0 +1,85 @@
+"""Per-stage summary: aggregation, %-of-parent, coverage, rendering."""
+
+import pytest
+
+from repro.obs.summary import coverage, render_table, summarize, summary_dict
+
+
+def _span(name, span_id, parent_id, dur_ms, status="ok"):
+    return {
+        "type": "span", "name": name, "span_id": span_id,
+        "parent_id": parent_id, "dur_ms": dur_ms, "pid": 1, "tid": 1,
+        "status": status,
+    }
+
+
+@pytest.fixture
+def tree():
+    """root(100ms) -> work(60ms + 30ms), work -> leaf(45ms)."""
+    return [
+        _span("leaf", "1-4", "1-2", 45.0),
+        _span("work", "1-2", "1-1", 60.0),
+        _span("work", "1-3", "1-1", 30.0),
+        _span("root", "1-1", None, 100.0),
+    ]
+
+
+class TestSummarize:
+    def test_counts_and_totals(self, tree):
+        by_name = {s.name: s for s in summarize(tree)}
+        assert by_name["work"].count == 2
+        assert by_name["work"].total_ms == pytest.approx(90.0)
+        assert by_name["work"].mean_ms == pytest.approx(45.0)
+
+    def test_pct_of_parent(self, tree):
+        by_name = {s.name: s for s in summarize(tree)}
+        assert by_name["work"].parent == "root"
+        assert by_name["work"].pct_of_parent == pytest.approx(90.0)
+        assert by_name["leaf"].pct_of_parent == pytest.approx(50.0)
+        assert by_name["root"].pct_of_parent == pytest.approx(100.0)
+
+    def test_sorted_by_total_desc(self, tree):
+        names = [s.name for s in summarize(tree)]
+        assert names == ["root", "work", "leaf"]
+
+    def test_p95_nearest_rank(self):
+        events = [
+            _span("s", f"1-{i}", None, float(i)) for i in range(1, 101)
+        ]
+        by_name = {s.name: s for s in summarize(events)}
+        assert by_name["s"].p95_ms == pytest.approx(95.0)
+
+    def test_error_spans_counted(self):
+        events = [_span("s", "1-1", None, 1.0, status="error")]
+        (st,) = summarize(events)
+        assert st.errors == 1
+
+
+class TestCoverage:
+    def test_full_coverage(self, tree):
+        assert coverage(tree) == pytest.approx(0.9)
+
+    def test_no_children(self):
+        events = [_span("root", "1-1", None, 50.0)]
+        assert coverage(events) == 0.0
+
+    def test_empty(self):
+        assert coverage([]) == 0.0
+
+
+class TestRender:
+    def test_table_mentions_stages_and_metrics(self, tree):
+        events = tree + [
+            {"type": "counter", "name": "cache.hit", "value": 7},
+            {"type": "histogram", "name": "h", "buckets": [1.0],
+             "counts": [1, 0], "total": 0.5, "count": 1},
+        ]
+        text = render_table(events)
+        assert "work" in text
+        assert "cache.hit" in text
+        assert "coverage" in text
+
+    def test_summary_dict_shape(self, tree):
+        d = summary_dict(tree)
+        assert d["stages"]["work"]["count"] == 2
+        assert d["coverage"] == pytest.approx(0.9)

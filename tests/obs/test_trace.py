@@ -1,0 +1,191 @@
+"""Span tracer: nesting, exception safety, no-op fast path, JSONL I/O."""
+
+import os
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import trace
+
+
+class TestDisabled:
+    def test_span_is_shared_noop(self):
+        assert not obs.is_enabled()
+        s1 = trace.span("a")
+        s2 = trace.span("b")
+        assert s1 is s2  # one shared object, no allocation per call
+
+    def test_noop_span_records_nothing(self):
+        with trace.span("a"):
+            pass
+        assert obs.events() == []
+
+    def test_decorated_function_passthrough(self):
+        @trace.traced("x")
+        def f(v):
+            return v + 1
+
+        assert f(1) == 2
+        assert obs.events() == []
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        obs.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        inner, outer = obs.events()
+        assert inner["name"] == "inner"
+        assert outer["name"] == "outer"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_sibling_spans_share_parent(self):
+        obs.enable()
+        with trace.span("outer"):
+            with trace.span("a"):
+                pass
+            with trace.span("b"):
+                pass
+        a, b, outer = obs.events()
+        assert a["parent_id"] == outer["span_id"]
+        assert b["parent_id"] == outer["span_id"]
+
+    def test_span_ids_embed_pid_and_are_unique(self):
+        obs.enable()
+        with trace.span("a"):
+            pass
+        with trace.span("b"):
+            pass
+        ids = [ev["span_id"] for ev in obs.events()]
+        assert len(set(ids)) == 2
+        assert all(i.startswith(f"{os.getpid()}-") for i in ids)
+
+    def test_durations_are_positive_and_nested_leq_parent(self):
+        obs.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                sum(range(1000))
+        inner, outer = obs.events()
+        assert 0 <= inner["dur_ms"] <= outer["dur_ms"]
+
+    def test_thread_stacks_independent(self):
+        obs.enable()
+        seen = []
+
+        def worker():
+            with trace.span("thread-root"):
+                pass
+            seen.append(True)
+
+        with trace.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        roots = [ev for ev in obs.events() if ev["parent_id"] is None]
+        # The thread's span must NOT parent under main's open span.
+        assert {ev["name"] for ev in roots} == {"thread-root", "main-root"}
+
+
+class TestExceptionSafety:
+    def test_exception_marks_status_and_unwinds(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with trace.span("boom"):
+                raise ValueError("x")
+        (ev,) = obs.events()
+        assert ev["status"] == "error"
+        # The stack fully unwound: a new span is a root again.
+        with trace.span("after"):
+            pass
+        assert obs.events()[-1]["parent_id"] is None
+
+    def test_leaked_inner_span_does_not_corrupt_stack(self):
+        obs.enable()
+        outer = trace.span("outer")
+        outer.__enter__()
+        inner = trace.span("inner")
+        inner.__enter__()  # never exited
+        outer.__exit__(None, None, None)
+        with trace.span("next"):
+            pass
+        assert obs.events()[-1]["parent_id"] is None
+
+
+class TestDecorator:
+    def test_traced_records_span(self):
+        obs.enable()
+
+        @trace.traced("math.op")
+        def f(v):
+            return v * 2
+
+        assert f(21) == 42
+        (ev,) = obs.events()
+        assert ev["name"] == "math.op"
+
+
+class TestTimedSpan:
+    def test_measures_even_when_disabled(self):
+        assert not obs.is_enabled()
+        with trace.timed_span("t") as sp:
+            sum(range(10000))
+        assert sp.duration_ms > 0
+        assert obs.events() == []
+
+    def test_records_when_enabled(self):
+        obs.enable()
+        with trace.timed_span("t"):
+            pass
+        assert obs.events()[0]["name"] == "t"
+
+
+class TestJsonlRoundTrip:
+    def test_flush_and_load(self, tmp_path):
+        obs.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        obs.inc("cache.hit", 3)
+        path = tmp_path / "trace.jsonl"
+        n = obs.flush_jsonl(path, extra_events=obs.metric_events())
+        assert n == 3
+        loaded = obs.load_jsonl(path)
+        spans = [ev for ev in loaded if ev["type"] == "span"]
+        counters = [ev for ev in loaded if ev["type"] == "counter"]
+        assert [ev["name"] for ev in spans] == ["inner", "outer"]
+        assert spans[0]["parent_id"] == spans[1]["span_id"]
+        assert counters == [{"type": "counter", "name": "cache.hit", "value": 3}]
+
+    def test_loaded_events_match_buffer(self, tmp_path):
+        obs.enable()
+        with trace.span("a"):
+            pass
+        buffered = obs.events()
+        path = tmp_path / "t.jsonl"
+        obs.flush_jsonl(path)
+        assert obs.load_jsonl(path) == buffered
+
+
+class TestStageTimerDelegation:
+    def test_stage_timer_emits_platform_spans(self):
+        from repro.platforms.timing import StageTimer
+
+        obs.enable()
+        timer = StageTimer()
+        with timer.stage("Reconstruction"):
+            pass
+        assert timer.mean_ms("Reconstruction") >= 0
+        (ev,) = obs.events()
+        assert ev["name"] == "platform.Reconstruction"
+
+    def test_stage_timer_still_works_disabled(self):
+        from repro.platforms.timing import StageTimer
+
+        timer = StageTimer()
+        with timer.stage("X"):
+            sum(range(1000))
+        assert timer.mean_ms("X") > 0
+        assert obs.events() == []

@@ -31,6 +31,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "localization error" in out
 
+    def test_simulate_status_goes_to_stderr(self, capsys):
+        rc = main(["simulate", "--seed", "3"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "[repro]" in captured.err
+        assert "[repro]" not in captured.out
+
+    def test_quiet_suppresses_status(self, capsys):
+        rc = main(["simulate", "--seed", "3", "--quiet"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "localization error" in captured.out
+
     def test_localize_round_trip(self, tmp_path, tiny_models, capsys):
         from repro.io.datasets import save_pipeline
 
@@ -47,3 +61,41 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "68% containment" in out
+
+
+class TestTrace:
+    def test_trace_writes_jsonl_and_disables_after(self, tmp_path, capsys):
+        import repro.obs as obs
+
+        trace_file = tmp_path / "t.jsonl"
+        rc = main(["simulate", "--seed", "3", "--trace", str(trace_file)])
+        assert rc == 0
+        assert not obs.is_enabled()
+        events = obs.load_jsonl(trace_file)
+        names = {ev["name"] for ev in events if ev["type"] == "span"}
+        assert "cli.simulate" in names
+        assert "physics.transport" in names
+        assert "localize.localize_rings" in names
+        # The root span parents the instrumented pipeline stages.
+        root = next(ev for ev in events if ev.get("name") == "cli.simulate")
+        assert root["parent_id"] is None
+
+    def test_traced_and_untraced_stdout_identical(self, tmp_path, capsys):
+        rc = main(["simulate", "--seed", "11", "--quiet"])
+        assert rc == 0
+        plain = capsys.readouterr().out
+        rc = main(["simulate", "--seed", "11", "--quiet",
+                   "--trace", str(tmp_path / "t.jsonl")])
+        assert rc == 0
+        traced = capsys.readouterr().out
+        assert plain == traced
+
+    def test_trace_summary_renders_table(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        main(["simulate", "--seed", "3", "--quiet", "--trace", str(trace_file)])
+        capsys.readouterr()
+        rc = main(["trace-summary", str(trace_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli.simulate" in out
+        assert "% parent" in out
