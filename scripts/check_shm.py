@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CI gate: fail when /dev/shm holds orphaned ``repro`` shm segments.
+
+Run after the test suite (or any campaign):
+
+    python scripts/check_shm.py            # report + exit 1 on orphans
+    python scripts/check_shm.py --sweep    # also unlink the orphans
+
+Every shared-memory block the campaign executor creates is named
+``repro-shm-<owner pid>-<seq>`` (:mod:`repro.parallel.shm`).  A segment
+whose owner pid no longer exists is a leak — a run that crashed before
+its ``unlink``, or a cleanup path regression.  Segments owned by *live*
+processes are reported but do not fail the check (a warm executor
+legitimately keeps a bounded backlog of one result block per worker).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.parallel import shm  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sweep", action="store_true",
+                        help="unlink the orphaned segments after reporting")
+    args = parser.parse_args(argv)
+
+    orphans = []
+    live = []
+    for name in shm.list_segments():
+        pid = shm.owner_pid(name)
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            orphans.append(name)
+        except PermissionError:
+            live.append(name)
+        else:
+            live.append(name)
+
+    for name in live:
+        print(f"live:   {name} (owner pid {shm.owner_pid(name)})")
+    for name in orphans:
+        print(f"ORPHAN: {name} (owner pid {shm.owner_pid(name)} is dead)")
+    if args.sweep and orphans:
+        removed = shm.sweep_stale()
+        print(f"swept {len(removed)} orphaned segment(s)")
+    if orphans:
+        print(f"FAIL: {len(orphans)} orphaned repro shm segment(s) in "
+              f"/dev/shm — a cleanup path leaked", file=sys.stderr)
+        return 1
+    print("OK: no orphaned repro shm segments")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

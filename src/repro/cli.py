@@ -13,7 +13,10 @@ Five subcommands cover the common workflows without writing any Python:
 
 Campaign subcommands (``train``, ``localize``, ``figure``) accept
 ``--workers N`` to fan Monte-Carlo exposures/trials out over the
-persistent campaign executor.  Every workload subcommand accepts
+persistent campaign executor, plus the crash-recovery knobs
+``--max-retries`` (chunk redispatches after a worker crash) and
+``--task-timeout`` (soft per-task timeout before a hung worker is killed
+and its chunk retried).  Every workload subcommand accepts
 ``--trace out.jsonl`` (record a telemetry trace, merged across worker
 processes) and ``--quiet`` (suppress stderr status lines; stdout carries
 only machine-readable results).
@@ -165,6 +168,17 @@ def _add_common_flags(p: argparse.ArgumentParser) -> None:
                    help="suppress stderr status output")
 
 
+def _add_fault_flags(p: argparse.ArgumentParser) -> None:
+    """Crash-recovery knobs for subcommands that fan out over workers."""
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="redispatches allowed per chunk after a worker "
+                        "crash before the campaign fails (default 2)")
+    p.add_argument("--task-timeout", type=float, default=None, metavar="SEC",
+                   help="soft per-task timeout; a chunk of k tasks may run "
+                        "k*SEC seconds before its worker is killed and the "
+                        "chunk retried (default: no timeout)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -191,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2024)
     p.add_argument("--workers", type=int, default=1,
                    help="campaign fan-out over worker processes")
+    _add_fault_flags(p)
     _add_common_flags(p)
     p.set_defaults(func=_cmd_train)
 
@@ -203,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--workers", type=int, default=1,
                    help="trial fan-out over worker processes")
+    _add_fault_flags(p)
     _add_common_flags(p)
     p.set_defaults(func=_cmd_localize)
 
@@ -216,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--workers", type=int, default=1,
                    help="trial fan-out over worker processes")
+    _add_fault_flags(p)
     p.add_argument("--cache", action="store_true",
                    help="cache trial sets in .campaign_cache/")
     _add_common_flags(p)
@@ -243,6 +260,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     log.set_quiet(getattr(args, "quiet", False))
+    if getattr(args, "max_retries", None) is not None \
+            or getattr(args, "task_timeout", None) is not None:
+        from repro.parallel import executor as campaign_executor
+
+        kwargs = {}
+        if args.max_retries is not None:
+            kwargs["max_retries"] = args.max_retries
+        if args.task_timeout is not None:
+            kwargs["task_timeout"] = args.task_timeout
+        campaign_executor.configure(**kwargs)
     trace_path = getattr(args, "trace", None)
     try:
         if trace_path is None:

@@ -17,6 +17,14 @@ import numpy as np
 from repro.obs import trace as obs_trace
 
 
+def _annotate(exc: BaseException, context: str) -> None:
+    """Attach task context to an exception about to cross the process
+    boundary, so the remote traceback in ``CampaignWorkerError`` names
+    the exact campaign point that failed."""
+    if hasattr(exc, "add_note"):  # Python >= 3.11
+        exc.add_note(context)
+
+
 def collect_worker(common: tuple, task: tuple) -> "object":
     """Run one training-campaign exposure.
 
@@ -29,16 +37,21 @@ def collect_worker(common: tuple, task: tuple) -> "object":
     geometry, response, fluence, background, jitter = common
     polar, seed_seq = task
     rng = np.random.default_rng(seed_seq)
-    with obs_trace.span("datasets.exposure"):
-        return collect_exposure_rings(
-            geometry,
-            response,
-            rng,
-            polar_deg=polar,
-            fluence_mev_cm2=fluence,
-            background=background,
-            polar_jitter_deg=jitter,
-        )
+    try:
+        with obs_trace.span("datasets.exposure"):
+            return collect_exposure_rings(
+                geometry,
+                response,
+                rng,
+                polar_deg=polar,
+                fluence_mev_cm2=fluence,
+                background=background,
+                polar_jitter_deg=jitter,
+            )
+    except Exception as exc:
+        _annotate(exc, f"campaign task: exposure at polar={polar} deg, "
+                       f"fluence={fluence} MeV/cm^2")
+        raise
 
 
 def trial_worker(common: tuple, seed_seq) -> float:
@@ -51,11 +64,15 @@ def trial_worker(common: tuple, seed_seq) -> float:
     from repro.experiments.trials import trial_error
 
     geometry, response, config, ml_pipeline = common
-    with obs_trace.span("trials.trial"):
-        return trial_error(
-            geometry,
-            response,
-            np.random.default_rng(seed_seq),
-            config,
-            ml_pipeline,
-        )
+    try:
+        with obs_trace.span("trials.trial"):
+            return trial_error(
+                geometry,
+                response,
+                np.random.default_rng(seed_seq),
+                config,
+                ml_pipeline,
+            )
+    except Exception as exc:
+        _annotate(exc, f"campaign task: trial with config={config!r}")
+        raise

@@ -188,6 +188,13 @@ def generate_training_rings(
 
     Returns:
         The concatenated :class:`TrainingData`.
+
+    Raises:
+        CampaignWorkerError: An exposure raised (same exception at every
+            worker count), or repeatedly crashed its workers past the
+            executor's retry budget.  Crashes within budget are recovered
+            by respawn + redispatch without changing the dataset; the
+            stage cache is only written on full success.
     """
     from repro.obs import trace as obs_trace
     from repro.parallel import config_token, get_executor, resolve_cache

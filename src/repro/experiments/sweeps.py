@@ -75,6 +75,10 @@ def sweep(
 
     Raises:
         ValueError: For an empty grid or unknown field names.
+        CampaignWorkerError: A point's trials failed (task exception or a
+            chunk past the executor's crash-retry budget).  The shared
+            pool survives either way, so a caller may catch this, drop
+            the point, and continue the sweep on the same executor.
     """
     from repro.obs import trace as obs_trace
     from repro.parallel import get_executor

@@ -160,6 +160,14 @@ def run_trials(
 
     Returns:
         ``(n_trials,)`` array of angular errors, degrees.
+
+    Raises:
+        CampaignWorkerError: A trial raised (same exception at every
+            worker count), or a chunk of trials repeatedly crashed its
+            workers.  Worker crashes below the executor's retry budget
+            are recovered transparently — the chunk is redispatched and
+            the returned errors stay bit-identical to a serial run.
+            Nothing is cached on failure.
     """
     from repro.obs import trace as obs_trace
     from repro.parallel import get_executor, resolve_cache

@@ -11,16 +11,32 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.nn.layers import BatchNorm1d, Module, Sequential
+from repro.nn.layers import BatchNorm1d, Module
+
+
+def _child_modules(module: Module):
+    """Direct child modules, in attribute-insertion order.
+
+    Covers any container shape — ``Sequential`` (whose layer list is an
+    instance attribute), custom modules holding sub-modules as attributes,
+    and modules holding lists/tuples of sub-modules — so architectures
+    that are not plain ``Sequential`` stacks serialize correctly.
+    """
+    for value in vars(module).values():
+        if isinstance(value, Module):
+            yield value
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, Module):
+                    yield item
 
 
 def _walk_batchnorms(model: Module) -> list[BatchNorm1d]:
     out: list[BatchNorm1d] = []
     if isinstance(model, BatchNorm1d):
         out.append(model)
-    if isinstance(model, Sequential):
-        for m in model:
-            out.extend(_walk_batchnorms(m))
+    for child in _child_modules(model):
+        out.extend(_walk_batchnorms(child))
     return out
 
 
@@ -67,6 +83,15 @@ def load_model_params(model: Module, path: str | Path) -> Module:
                 f"batchnorm count mismatch: file has {n_bn}, model has {len(bns)}"
             )
         for i, bn in enumerate(bns):
-            bn.running_mean[...] = data[f"bn_{i}_mean"]
-            bn.running_var[...] = data[f"bn_{i}_var"]
+            for key, target in (("mean", bn.running_mean),
+                                ("var", bn.running_var)):
+                saved = data[f"bn_{i}_{key}"]
+                if saved.shape != target.shape:
+                    # Without this check a mismatched width either
+                    # broadcasts silently or fails with a bare numpy error.
+                    raise ValueError(
+                        f"shape mismatch at batchnorm {i} running_{key}: "
+                        f"{saved.shape} vs {target.shape}"
+                    )
+                target[...] = saved
     return model

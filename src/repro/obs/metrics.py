@@ -1,6 +1,8 @@
 """Process-local metrics registry: counters, gauges, fixed-bucket histograms.
 
-Counters count occurrences (``cache.hit``, ``rings.rejected``), gauges hold
+Counters count occurrences (``cache.hit``, ``rings.rejected``, and the
+executor's crash-recovery trio ``executor.worker_restarts`` /
+``executor.chunk_retries`` / ``executor.timeouts``), gauges hold
 a last-written value (``nn.epoch_loss``), and histograms accumulate samples
 into fixed buckets (``executor.worker_busy_ms``).  Like the span tracer,
 recording is a no-op while telemetry is disabled — each helper performs one

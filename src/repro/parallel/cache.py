@@ -97,6 +97,14 @@ class StageCache:
         identical to the caller: ``cache.hit``, ``cache.miss`` (no entry),
         and ``cache.corrupt`` (an entry exists but cannot be unpickled —
         previously a silent degradation to a miss).
+
+        Corruption covers every way an entry written by an older code
+        layout can fail to unpickle — truncated file, renamed/deleted
+        module or attribute (``ModuleNotFoundError``/``AttributeError``),
+        or a reduce payload the current classes reject
+        (``IndexError``/``TypeError``/``ValueError``/``KeyError``).  A
+        corrupt entry is quarantined (renamed to ``*.pkl.corrupt``) so
+        it is recomputed once, not re-parsed and re-failed on every run.
         """
         path = self.path_for(stage, token)
         with obs_trace.span("cache.load"):
@@ -106,11 +114,23 @@ class StageCache:
             try:
                 with open(path, "rb") as f:
                     result = pickle.load(f)
-            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError, KeyError,
+                    TypeError, ValueError):
                 obs_metrics.inc("cache.corrupt")
+                self._quarantine(path)
                 return None
             obs_metrics.inc("cache.hit")
             return result
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt entry aside (best effort) so ``store`` can
+        rewrite the real path and later loads miss cleanly."""
+        try:
+            path.replace(path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
 
     def store(self, stage: str, token: str, result: object) -> None:
         """Persist a stage result atomically (rename over partial writes)."""

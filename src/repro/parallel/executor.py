@@ -21,6 +21,40 @@ both failure modes:
   reassembled in input order, and per-task seeds are the caller's
   responsibility (``spawn_rngs`` / ``SeedSequence.spawn``), so results
   are bit-identical regardless of worker count or chunking.
+
+Fault tolerance
+---------------
+
+Flight-software campaigns must survive a worker OOM-kill or segfault
+without losing the whole run.  The executor therefore treats worker death
+as a recoverable event:
+
+* A dead worker is detected from the dispatch loop, **respawned** in
+  place (same worker id, fresh process), the cached ``common`` payload is
+  re-broadcast to it, and the chunk it was running is **redispatched**.
+* Each chunk carries a bounded retry budget (``max_retries``): a chunk
+  that kills ``max_retries + 1`` consecutive workers is declared
+  poisonous and raises :class:`CampaignWorkerError` carrying the full
+  failure history.  The pool itself stays healthy and usable.
+* ``task_timeout`` arms a **soft per-chunk timeout** of
+  ``task_timeout * tasks_in_chunk`` seconds; a hung worker is killed and
+  handled exactly like a crashed one.
+* Every message is tagged with a **map epoch** so results from a chunk
+  that was redispatched (or from a map interrupted by
+  ``KeyboardInterrupt``) are recognized and discarded instead of
+  corrupting a later call.
+* Shared-memory hygiene: ``map`` unlinks every in-flight input block on
+  *any* exit path, segments owned by reaped workers are swept after the
+  map (and on ``close``), and pool startup runs a janitor that removes
+  segments orphaned by previously crashed runs
+  (:func:`repro.parallel.shm.sweep_stale`).
+
+Recovery never changes results: chunk payloads are immutable and per-task
+seeds are caller-supplied, so a redispatched chunk recomputes bit-identical
+values.  Counters ``executor.worker_restarts`` / ``executor.chunk_retries``
+/ ``executor.timeouts`` surface recovery activity in traces, and the same
+numbers are always available (traced or not) in
+:attr:`CampaignExecutor.stats`.
 """
 
 from __future__ import annotations
@@ -47,9 +81,20 @@ CHUNKS_PER_WORKER = 4
 #: Never let a chunk grow beyond this many tasks, whatever the workload.
 MAX_CHUNK_TASKS = 64
 
+#: Base respawn backoff; attempt ``k`` for a chunk waits ``k`` times this.
+RESTART_BACKOFF_S = 0.05
+
+#: Process-wide fault-tolerance defaults, adjustable via :func:`configure`
+#: (the CLI's ``--max-retries`` / ``--task-timeout`` land here).
+DEFAULTS = {"max_retries": 2, "task_timeout": None}
+
+_UNSET = object()
+
 
 class CampaignWorkerError(RuntimeError):
-    """A task raised inside a worker; carries the remote traceback."""
+    """A task failed in a worker: raised an exception, or killed
+    ``max_retries + 1`` workers in a row.  Carries the remote traceback
+    or the per-attempt failure history."""
 
 
 def auto_chunksize(n_tasks: int, n_workers: int) -> int:
@@ -58,6 +103,28 @@ def auto_chunksize(n_tasks: int, n_workers: int) -> int:
         return 1
     per_worker = -(-n_tasks // (CHUNKS_PER_WORKER * n_workers))  # ceil div
     return max(1, min(per_worker, MAX_CHUNK_TASKS))
+
+
+def configure(max_retries: int | None = None,
+              task_timeout: float | None = _UNSET) -> None:
+    """Set process-wide fault-tolerance defaults and update live pools.
+
+    Args:
+        max_retries: Redispatches allowed per chunk (None keeps current).
+        task_timeout: Soft per-task timeout in seconds; ``None`` disables
+            timeouts (omit the argument to keep the current value).
+    """
+    if max_retries is not None:
+        DEFAULTS["max_retries"] = max(0, int(max_retries))
+    if task_timeout is not _UNSET:
+        DEFAULTS["task_timeout"] = (
+            None if task_timeout is None else float(task_timeout)
+        )
+    for ex in _EXECUTORS.values():
+        if max_retries is not None:
+            ex.max_retries = DEFAULTS["max_retries"]
+        if task_timeout is not _UNSET:
+            ex.task_timeout = DEFAULTS["task_timeout"]
 
 
 def _worker_main(worker_id: int, inbox, results) -> None:
@@ -77,7 +144,7 @@ def _worker_main(worker_id: int, inbox, results) -> None:
         if kind == "common":
             common = pickle.loads(msg[1])
             continue
-        _, chunk_id, fn, packed_args, trace_on = msg
+        _, epoch, chunk_id, fn, packed_args, trace_on = msg
         # Telemetry follows the parent's --trace flag per chunk: enable the
         # worker-local buffers on the first traced chunk, drop them if the
         # parent stops tracing.  Spans/metrics recorded while running the
@@ -100,51 +167,83 @@ def _worker_main(worker_id: int, inbox, results) -> None:
             )
             pending_unlink.append(packed)
             results.put(
-                ("ok", worker_id, chunk_id, packed,
+                ("ok", epoch, worker_id, chunk_id, packed,
                  obs_aggregate.snapshot_and_reset())
             )
         except BaseException:
             results.put(
-                ("err", worker_id, chunk_id, traceback.format_exc(),
+                ("err", epoch, worker_id, chunk_id, traceback.format_exc(),
                  obs_aggregate.snapshot_and_reset())
             )
 
 
 class CampaignExecutor:
-    """Persistent worker pool for Monte-Carlo campaigns.
+    """Persistent, crash-recovering worker pool for Monte-Carlo campaigns.
 
     With ``n_workers <= 1`` the executor degrades to an in-process serial
-    map (no processes, no shared memory) with the same semantics, so
-    callers never branch on worker count.
+    map (no processes, no shared memory) with the same semantics —
+    including error semantics: a raising task surfaces as
+    :class:`CampaignWorkerError` at every worker count — so callers never
+    branch on worker count.
 
     Args:
         n_workers: Number of worker processes (<=1 runs serially).
         start_method: Multiprocessing start method (``spawn`` matches the
             seed behavior and works everywhere).
+        max_retries: Redispatches allowed per chunk before it is declared
+            poisonous (default from :data:`DEFAULTS`).
+        task_timeout: Soft per-task timeout in seconds; a chunk of ``k``
+            tasks may run ``k * task_timeout`` seconds before its worker
+            is killed and the chunk retried.  ``None`` disables timeouts
+            (omit the argument to take the :data:`DEFAULTS` value).
+
+    Attributes:
+        stats: Always-on recovery counters (``worker_restarts``,
+            ``chunk_retries``, ``timeouts``) — the untraced mirror of the
+            ``executor.*`` obs counters.
     """
 
-    def __init__(self, n_workers: int, start_method: str = "spawn"):
+    def __init__(self, n_workers: int, start_method: str = "spawn",
+                 max_retries: int | None = None,
+                 task_timeout: float | None = _UNSET):
         self.n_workers = int(n_workers)
+        self.max_retries = (DEFAULTS["max_retries"] if max_retries is None
+                            else max(0, int(max_retries)))
+        self.task_timeout = (DEFAULTS["task_timeout"]
+                             if task_timeout is _UNSET else task_timeout)
+        self.stats = {"worker_restarts": 0, "chunk_retries": 0, "timeouts": 0}
         self._common_digest: str | None = None
+        self._common_payload: bytes | None = None
         self._procs: list = []
         self._inboxes: list = []
         self._results = None
         self._closed = False
+        self._epoch = 0
+        self._dead_pids: set[int] = set()
         if self.n_workers <= 1:
             return
-        ctx = mp.get_context(start_method)
-        self._results = ctx.Queue()
+        # Janitor: a previous run that crashed (or was SIGKILLed) may have
+        # left segments behind; reclaim them before creating new ones.
+        shm_transport.sweep_stale()
+        self._ctx = mp.get_context(start_method)
+        self._results = self._ctx.Queue()
+        self._inboxes = [None] * self.n_workers
+        self._procs = [None] * self.n_workers
         for wid in range(self.n_workers):
-            inbox = ctx.SimpleQueue()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(wid, inbox, self._results),
-                daemon=True,
-                name=f"campaign-worker-{wid}",
-            )
-            proc.start()
-            self._inboxes.append(inbox)
-            self._procs.append(proc)
+            self._spawn_worker(wid)
+
+    def _spawn_worker(self, wid: int) -> None:
+        """(Re)create worker ``wid`` with a fresh inbox and process."""
+        inbox = self._ctx.SimpleQueue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, inbox, self._results),
+            daemon=True,
+            name=f"campaign-worker-{wid}",
+        )
+        proc.start()
+        self._inboxes[wid] = inbox
+        self._procs[wid] = proc
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -167,13 +266,20 @@ class CampaignExecutor:
                 inbox.put(None)
             except (OSError, ValueError):
                 pass
+        closed_pids = set(self._dead_pids)
         for proc in self._procs:
+            closed_pids.add(proc.pid)
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
         self._procs.clear()
         self._inboxes.clear()
+        self._dead_pids.clear()
+        if closed_pids:
+            # A worker terminated between pack and unlink leaves a block
+            # behind; everything it owned is reclaimable now.
+            shm_transport.sweep_stale(extra_pids=closed_pids)
 
     def __enter__(self) -> "CampaignExecutor":
         return self
@@ -207,8 +313,10 @@ class CampaignExecutor:
             independent of worker count and chunking.
 
         Raises:
-            CampaignWorkerError: A task raised in a worker (remote
-                traceback attached).  The pool survives and stays usable.
+            CampaignWorkerError: A task raised (remote traceback attached;
+                identical semantics at every worker count), or a chunk
+                exhausted its retry budget killing workers.  The pool
+                survives and stays usable either way.
             RuntimeError: The executor was closed.
         """
         if self._closed:
@@ -217,9 +325,14 @@ class CampaignExecutor:
         if not args:
             return []
         if self.is_serial:
-            if common is None:
-                return [fn(a) for a in args]
-            return [fn(common, a) for a in args]
+            try:
+                if common is None:
+                    return [fn(a) for a in args]
+                return [fn(common, a) for a in args]
+            except Exception as exc:
+                raise CampaignWorkerError(
+                    f"campaign task failed in worker:\n{traceback.format_exc()}"
+                ) from exc
 
         with obs_trace.span("executor.map") as map_span:
             return self._map_parallel(fn, args, common, chunksize, map_span)
@@ -234,66 +347,166 @@ class CampaignExecutor:
     ) -> list:
         """Parallel body of :meth:`map` (telemetry merged under ``map_span``)."""
         trace_on = obs_trace.STATE.enabled
+        self._epoch += 1
+        epoch = self._epoch
         self._broadcast_common(common)
         size = chunksize or auto_chunksize(len(args), self.n_workers)
         bounds = [(lo, min(lo + size, len(args))) for lo in range(0, len(args), size)]
         chunks: dict[int, shm_transport.PackedPayload] = {}
         dispatch_time: dict[int, float] = {}
         results: list = [None] * len(args)
-        n_done = 0
+        done_chunks: set[int] = set()
+        in_flight: dict[int, int] = {}      # wid -> chunk_id
+        started: dict[int, float] = {}      # wid -> dispatch monotonic time
+        attempts: dict[int, list[str]] = {}  # chunk_id -> failure history
         first_error: str | None = None
         next_chunk = 0
+        poll_s = 1.0
+        if self.task_timeout is not None:
+            poll_s = min(1.0, max(0.05, self.task_timeout / 2.0))
 
-        def dispatch(wid: int) -> None:
-            nonlocal next_chunk
-            lo, hi = bounds[next_chunk]
-            packed = shm_transport.pack(args[lo:hi])
-            chunks[next_chunk] = packed
+        def send_chunk(wid: int, cid: int) -> None:
+            packed = chunks.get(cid)
+            if packed is None:
+                lo, hi = bounds[cid]
+                packed = shm_transport.pack(args[lo:hi])
+                chunks[cid] = packed
             if trace_on:
-                dispatch_time[next_chunk] = time.perf_counter()
-            self._inboxes[wid].put(("chunk", next_chunk, fn, packed, trace_on))
+                dispatch_time[cid] = time.perf_counter()
+            in_flight[wid] = cid
+            started[wid] = time.monotonic()
+            self._inboxes[wid].put(("chunk", epoch, cid, fn, packed, trace_on))
+
+        def dispatch_next(wid: int) -> None:
+            nonlocal next_chunk
+            send_chunk(wid, next_chunk)
             next_chunk += 1
 
-        for wid in range(min(self.n_workers, len(bounds))):
-            dispatch(wid)
-        while n_done < len(bounds):
-            try:
-                status, wid, chunk_id, payload, snap = self._results.get(
-                    timeout=1.0
+        def reap_and_respawn(wid: int, reason: str) -> None:
+            """Replace a dead/hung worker; retry or condemn its chunk."""
+            proc = self._procs[wid]
+            proc.join(timeout=5.0)
+            self._dead_pids.add(proc.pid)
+            self.stats["worker_restarts"] += 1
+            obs_metrics.inc("executor.worker_restarts")
+            cid = in_flight.pop(wid, None)
+            started.pop(wid, None)
+            history = None
+            if cid is not None and cid not in done_chunks:
+                history = attempts.setdefault(cid, [])
+                history.append(reason)
+                # Backoff grows with consecutive failures of this chunk,
+                # giving a transiently starved machine room to recover.
+                time.sleep(RESTART_BACKOFF_S * len(history))
+            self._spawn_worker(wid)
+            if self._common_payload is not None:
+                self._inboxes[wid].put(("common", self._common_payload))
+            if history is None:
+                return
+            if len(history) > self.max_retries:
+                detail = "\n".join(
+                    f"  attempt {i + 1}: {r}" for i, r in enumerate(history)
                 )
-            except queue_mod.Empty:
-                dead = [p.name for p in self._procs if not p.is_alive()]
-                if dead:
-                    for packed in chunks.values():
-                        shm_transport.unlink(packed)
-                    self.close()
-                    raise RuntimeError(
-                        f"campaign workers died unexpectedly: {dead}"
-                    ) from None
-                continue
-            # The worker has consumed this chunk's input block.
-            shm_transport.unlink(chunks.pop(chunk_id))
-            n_done += 1
-            if trace_on:
-                self._record_chunk_telemetry(
-                    snap, chunk_id, dispatch_time, map_span
+                raise CampaignWorkerError(
+                    f"chunk {cid} (tasks {bounds[cid][0]}..{bounds[cid][1]}) "
+                    f"killed {len(history)} consecutive workers; giving up "
+                    f"after {self.max_retries} retries:\n{detail}"
                 )
-            if status == "ok":
-                out = shm_transport.unpack(payload)
-                lo, hi = bounds[chunk_id]
-                results[lo:hi] = out
-            elif first_error is None:
-                first_error = payload
-            if next_chunk < len(bounds):
-                dispatch(wid)
-        # Each worker's final result block stays mapped until its next
-        # inbox message (next map call or shutdown) — a bounded backlog of
-        # one block per worker, traded for an ack-free protocol.
-        if first_error is not None:
-            raise CampaignWorkerError(
-                f"campaign task failed in worker:\n{first_error}"
-            )
-        return results
+            self.stats["chunk_retries"] += 1
+            obs_metrics.inc("executor.chunk_retries")
+            send_chunk(wid, cid)
+
+        def check_workers() -> None:
+            """Kill hung workers, then respawn every dead one."""
+            if self.task_timeout is not None:
+                now = time.monotonic()
+                for wid, cid in list(in_flight.items()):
+                    proc = self._procs[wid]
+                    if not proc.is_alive():
+                        continue  # handled by the death scan below
+                    lo, hi = bounds[cid]
+                    budget = self.task_timeout * (hi - lo)
+                    if now - started[wid] > budget:
+                        self.stats["timeouts"] += 1
+                        obs_metrics.inc("executor.timeouts")
+                        proc.kill()
+                        reap_and_respawn(
+                            wid,
+                            f"worker {proc.name} (pid {proc.pid}) exceeded "
+                            f"the soft chunk timeout ({budget:.1f}s for "
+                            f"{hi - lo} tasks) and was killed",
+                        )
+            for wid, proc in enumerate(self._procs):
+                if not proc.is_alive():
+                    reap_and_respawn(
+                        wid,
+                        f"worker {proc.name} (pid {proc.pid}) died with "
+                        f"exitcode {proc.exitcode}",
+                    )
+
+        try:
+            for wid in range(min(self.n_workers, len(bounds))):
+                dispatch_next(wid)
+            while len(done_chunks) < len(bounds):
+                try:
+                    status, r_epoch, wid, chunk_id, payload, snap = \
+                        self._results.get(timeout=poll_s)
+                except queue_mod.Empty:
+                    check_workers()
+                    continue
+                if r_epoch != epoch:
+                    # Leftover from an interrupted or poisoned earlier map;
+                    # its producer is gone or mid-teardown, so reclaim the
+                    # result block here instead of relying on it.
+                    if status == "ok":
+                        shm_transport.unlink(payload)
+                    continue
+                if chunk_id in done_chunks:
+                    # A worker we condemned (timeout kill racing completion)
+                    # still delivered; the redispatch already supplied this
+                    # chunk.  Identical bytes either way — drop it.
+                    if status == "ok":
+                        shm_transport.unlink(payload)
+                    continue
+                if in_flight.get(wid) == chunk_id:
+                    in_flight.pop(wid)
+                    started.pop(wid, None)
+                done_chunks.add(chunk_id)
+                packed_in = chunks.pop(chunk_id, None)
+                if packed_in is not None:
+                    # The worker has consumed this chunk's input block.
+                    shm_transport.unlink(packed_in)
+                if trace_on:
+                    self._record_chunk_telemetry(
+                        snap, chunk_id, dispatch_time, map_span
+                    )
+                if status == "ok":
+                    out = shm_transport.unpack(payload)
+                    lo, hi = bounds[chunk_id]
+                    results[lo:hi] = out
+                elif first_error is None:
+                    first_error = payload
+                if next_chunk < len(bounds) and self._procs[wid].is_alive():
+                    dispatch_next(wid)
+            # Each worker's final result block stays mapped until its next
+            # inbox message (next map call or shutdown) — a bounded backlog
+            # of one block per worker, traded for an ack-free protocol.
+            if first_error is not None:
+                raise CampaignWorkerError(
+                    f"campaign task failed in worker:\n{first_error}"
+                )
+            return results
+        finally:
+            # Every exit path — success, poisoned chunk, task error,
+            # KeyboardInterrupt — releases the parent-owned input blocks
+            # still in flight and reclaims segments orphaned by workers
+            # that died while owning one.
+            for packed in chunks.values():
+                shm_transport.unlink(packed)
+            chunks.clear()
+            if self._dead_pids:
+                shm_transport.sweep_stale(extra_pids=self._dead_pids)
+                self._dead_pids.clear()
 
     @staticmethod
     def _record_chunk_telemetry(
@@ -330,7 +543,9 @@ class CampaignExecutor:
         """Ship the campaign context to every worker if it changed.
 
         ``common=None`` clears any previously broadcast context so a later
-        common-free ``map`` goes back to calling ``fn(a)``.
+        common-free ``map`` goes back to calling ``fn(a)``.  The pickled
+        payload is kept so a respawned worker can be re-primed without
+        the caller re-passing it.
         """
         if common is None:
             if self._common_digest is None:
@@ -345,6 +560,7 @@ class CampaignExecutor:
         for inbox in self._inboxes:
             inbox.put(("common", payload))
         self._common_digest = digest
+        self._common_payload = payload if digest is not None else None
 
 # -- process-wide executor registry -----------------------------------------
 
@@ -356,7 +572,8 @@ def get_executor(n_workers: int) -> CampaignExecutor:
 
     The returned executor must *not* be closed by the caller; it is shared
     across call sites and shut down atexit (or via
-    :func:`shutdown_executors`).
+    :func:`shutdown_executors`).  New executors take the fault-tolerance
+    settings in :data:`DEFAULTS` (see :func:`configure`).
     """
     n_workers = max(1, int(n_workers))
     ex = _EXECUTORS.get(n_workers)

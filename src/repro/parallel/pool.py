@@ -54,12 +54,17 @@ def parallel_map(
 
     Returns:
         Results in input order.
+
+    Raises:
+        CampaignWorkerError: A task raised.  Error semantics match the
+            executor at every worker count, so callers handle one
+            exception type whether the batch ran serially or pooled.
     """
-    from repro.parallel.executor import get_executor, live_executor
+    from repro.parallel.executor import CampaignExecutor, get_executor, live_executor
 
     if n_workers <= 1:
-        return [worker(a) for a in args]
+        return CampaignExecutor(1).map(worker, args)
     executor = live_executor(n_workers)
     if executor is None and len(args) < min_parallel:
-        return [worker(a) for a in args]
+        return CampaignExecutor(1).map(worker, args)
     return (executor or get_executor(n_workers)).map(worker, args)

@@ -16,11 +16,19 @@ by name, copies the arrays out (``unpack`` always returns fresh writable
 arrays), and closes its mapping; the creator unlinks once it knows the
 payload was consumed (in the executor: when the consumer's next message
 arrives).
+
+Crash accounting: every block is named ``repro-shm-<owner pid>-<seq>`` so
+a segment orphaned by a killed process is attributable after the fact.
+:func:`sweep_stale` removes segments whose owner is no longer alive — the
+executor runs it at startup (janitor for previous crashed runs) and after
+reaping a dead worker; ``scripts/check_shm.py`` runs it as a CI gate.
 """
 
 from __future__ import annotations
 
 import io
+import itertools
+import os
 import pickle
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -34,6 +42,89 @@ from repro.obs import trace as obs_trace
 #: smaller ones ride the pickle skeleton (a pipe round-trip is cheaper
 #: than an extra mmap for tiny payloads).
 SHM_THRESHOLD_BYTES = 16_384
+
+#: Every block this module creates is named ``<prefix>-<pid>-<seq>``.
+SHM_NAME_PREFIX = "repro-shm"
+
+#: Where POSIX shared memory surfaces as files (Linux).  On platforms
+#: without it, :func:`list_segments` degrades to an empty listing.
+_SHM_DIR = "/dev/shm"
+
+_name_counter = itertools.count()
+
+
+def _next_name() -> str:
+    """A process-unique segment name encoding the owning pid."""
+    return f"{SHM_NAME_PREFIX}-{os.getpid()}-{next(_name_counter)}"
+
+
+def owner_pid(name: str) -> int | None:
+    """The pid encoded in a segment name, or None for foreign names."""
+    parts = name.split("-")
+    if len(parts) != 4 or "-".join(parts[:2]) != SHM_NAME_PREFIX:
+        return None
+    try:
+        return int(parts[2])
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def list_segments(pids: "set[int] | None" = None) -> list[str]:
+    """Names of live ``repro-shm`` segments, optionally filtered by owner.
+
+    Args:
+        pids: Restrict to segments owned by these pids (None lists all).
+    """
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    out = []
+    for entry in entries:
+        pid = owner_pid(entry)
+        if pid is None:
+            continue
+        if pids is None or pid in pids:
+            out.append(entry)
+    return sorted(out)
+
+
+def sweep_stale(extra_pids: "set[int] | None" = None) -> list[str]:
+    """Unlink orphaned segments; return the names removed.
+
+    A segment is orphaned when its owning process is dead — a previous
+    run that crashed before its ``unlink``, or a worker the executor had
+    to kill.  ``extra_pids`` marks owners known-dead by the caller (a
+    just-reaped worker) even if the pid has been recycled.
+    """
+    removed = []
+    extra = extra_pids or set()
+    for name in list_segments():
+        pid = owner_pid(name)
+        if pid in extra or not _pid_alive(pid):
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                continue
+            removed.append(name)
+    if removed:
+        obs_metrics.inc("shm.segments_swept", len(removed))
+    return removed
 
 
 @dataclass
@@ -102,7 +193,16 @@ def pack(obj: object, threshold: int = SHM_THRESHOLD_BYTES) -> PackedPayload:
                 skeleton=buf.getvalue(), shm_name=None, array_meta=[]
             )
         total = sum(a.nbytes for a in arrays)
-        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        while True:
+            # A recycled pid can collide with a dead run's leftover name;
+            # advance the counter past it rather than fail the pack.
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=_next_name(), create=True, size=max(total, 1)
+                )
+                break
+            except FileExistsError:
+                continue
         meta: list[tuple[str, tuple[int, ...], int]] = []
         offset = 0
         for a in arrays:

@@ -16,6 +16,7 @@ the FPGA.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +29,10 @@ from repro.quantization.fake_quant import (
     quantize,
 )
 
+#: Range of the FPGA's 32-bit MAC accumulator; biases saturate to it.
+INT32_MIN = -(2 ** 31)
+INT32_MAX = 2 ** 31 - 1
+
 
 @dataclass
 class QuantizedLinear:
@@ -36,7 +41,8 @@ class QuantizedLinear:
     Attributes:
         weight_q: ``(in, out)`` int8 weights.
         bias_q: ``(out,)`` int32 bias in accumulator units
-            (``bias / (s_x s_w)``).
+            (``bias / (s_x s_w)``), saturated to the int32 accumulator
+            range exactly as the FPGA's fixed-width adder would hold it.
         in_zero_point: Zero point of the incoming activation.
         requant_multiplier: ``s_x s_w / s_y``.
         out_zero_point: Zero point of the outgoing activation.
@@ -87,7 +93,21 @@ class QuantizedLinear:
             q = np.round(weight / weight_scale[None, :])
             w_q = np.clip(q, weight_qmin, weight_qmax).astype(np.int32)
         acc_scale = in_scale * weight_scale  # scalar or (out,)
-        b_q = np.round(bias / acc_scale).astype(np.int64)
+        # The docs promised int32 but this stored int64 — wider than the
+        # FPGA's 32-bit accumulator, so a bias outside int32 would behave
+        # differently on hardware than in this reference.  Saturate
+        # explicitly and warn, matching fixed-width adder semantics.
+        b_real = np.round(bias / acc_scale)
+        overflow = (b_real < INT32_MIN) | (b_real > INT32_MAX)
+        if np.any(overflow):
+            warnings.warn(
+                f"{int(np.count_nonzero(overflow))} bias value(s) exceed "
+                "the int32 accumulator range and were saturated; the "
+                "quantization scales are likely miscalibrated",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        b_q = np.clip(b_real, INT32_MIN, INT32_MAX).astype(np.int32)
         multiplier = acc_scale / out_scale
         return QuantizedLinear(
             weight_q=w_q.astype(np.int8),

@@ -3,8 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.nn.layers import BatchNorm1d, Linear, ReLU, Sequential
-from repro.nn.serialize import load_model_params, save_model_params
+from repro.nn.layers import BatchNorm1d, Linear, Module, ReLU, Sequential
+from repro.nn.serialize import (
+    _walk_batchnorms,
+    load_model_params,
+    save_model_params,
+)
 
 
 def make_model(seed=0):
@@ -12,6 +16,30 @@ def make_model(seed=0):
     return Sequential(
         BatchNorm1d(4), Linear(4, 8, rng), ReLU(), Linear(8, 1, rng)
     )
+
+
+class ResidualBlock(Module):
+    """A non-Sequential container: children live in plain attributes and
+    a list — the shapes the old Sequential-only walk missed entirely."""
+
+    def __init__(self, seed):
+        rng = np.random.default_rng(seed)
+        self.norm = BatchNorm1d(4)
+        self.branches = [Linear(4, 4, rng), ReLU()]
+        self.head = Sequential(Linear(4, 1, rng), BatchNorm1d(1))
+
+    def forward(self, x):
+        h = self.norm.forward(x)
+        for m in self.branches:
+            h = m.forward(h)
+        return self.head.forward(h)
+
+    def parameters(self):
+        out = self.norm.parameters()
+        for m in self.branches:
+            out.extend(m.parameters())
+        out.extend(self.head.parameters())
+        return out
 
 
 class TestSerialize:
@@ -57,3 +85,39 @@ class TestSerialize:
         bn_new = fresh[0]
         assert np.allclose(bn_new.running_mean, bn_orig.running_mean)
         assert np.allclose(bn_new.running_var, bn_orig.running_var)
+
+
+class TestGenericTraversal:
+    def test_walk_finds_batchnorms_outside_sequential(self):
+        model = ResidualBlock(1)
+        bns = _walk_batchnorms(model)
+        assert bns == [model.norm, model.head.modules[1]]
+
+    def test_non_sequential_round_trip_restores_bn_stats(self, tmp_path):
+        model = ResidualBlock(2)
+        model.train()
+        model.forward(np.random.default_rng(3).normal(5.0, 2.0, size=(128, 4)))
+        path = tmp_path / "res.npz"
+        save_model_params(model, path)
+
+        fresh = ResidualBlock(9)
+        load_model_params(fresh, path)
+        assert np.allclose(fresh.norm.running_mean, model.norm.running_mean)
+        assert np.allclose(fresh.norm.running_var, model.norm.running_var)
+        head_bn = model.head.modules[1]
+        fresh_bn = fresh.head.modules[1]
+        assert np.allclose(fresh_bn.running_mean, head_bn.running_mean)
+        assert np.allclose(fresh_bn.running_var, head_bn.running_var)
+
+    def test_batchnorm_stat_shape_mismatch_raises(self, tmp_path):
+        """A tampered archive with mis-sized running stats must not
+        broadcast silently into the model."""
+        model = make_model(7)
+        path = tmp_path / "m.npz"
+        save_model_params(model, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["bn_0_mean"] = np.zeros(1)  # would broadcast over width 4
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="batchnorm 0 running_mean"):
+            load_model_params(make_model(8), path)

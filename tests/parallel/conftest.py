@@ -1,0 +1,32 @@
+"""Shared-memory hygiene enforcement for the parallel test suite.
+
+Tests marked ``shm_leakcheck`` get a teardown guard that fails if the
+test left orphaned ``repro-shm`` segments in ``/dev/shm`` — either
+segments owned by a process that no longer exists (a killed worker whose
+blocks the executor failed to sweep) or parent-owned segments that
+survived the map that created them.  ``scripts/check_shm.py`` applies the
+same check standalone as a CI gate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import shm
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_guard(request):
+    yield
+    if request.node.get_closest_marker("shm_leakcheck") is None:
+        return
+    stale = shm.sweep_stale()
+    assert not stale, (
+        f"orphaned repro shm segments (dead owners) leaked: {stale}"
+    )
+    mine = shm.list_segments(pids={os.getpid()})
+    assert not mine, (
+        f"parent-owned shm segments survived the map: {mine}"
+    )

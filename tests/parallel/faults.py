@@ -1,0 +1,88 @@
+"""Fault-injection workers for executor crash-recovery tests.
+
+Module-level functions (importable under the ``spawn`` start method) that
+kill, hang, or poison the worker process they run in, on demand.  The
+once-only variants coordinate through an exclusive-create flag file so
+exactly one attempt injects the fault and every redispatch computes
+normally — which is what lets the recovery tests assert bit-identical
+results against a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+
+def _claim_flag(path: str) -> bool:
+    """Atomically claim a one-shot fault flag; True for the first caller."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def array_sum(arr) -> float:
+    """Reduce an ndarray argument (exercises shm transport of inputs)."""
+    return float(arr.sum())
+
+
+def crash_once(task: tuple) -> int:
+    """SIGKILL the hosting worker on the first encounter, then compute.
+
+    ``task`` is ``(value, flag_path)``; the task whose claim on
+    ``flag_path`` succeeds kills its worker mid-chunk.  On redispatch the
+    flag already exists, so the chunk completes with ``value ** 2``.
+    """
+    value, flag_path = task
+    if _claim_flag(flag_path):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
+
+
+def scale_or_crash(common: int, task: tuple) -> int:
+    """Common-payload variant of :func:`crash_once`: ``common * value``.
+
+    Verifies that a respawned worker re-receives the broadcast context —
+    without the re-broadcast it would compute ``fn(value)`` and crash on
+    the missing ``common`` argument (or return garbage).
+    """
+    value, flag_path = task
+    if _claim_flag(flag_path):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return common * value
+
+
+def crash_always(task) -> None:
+    """SIGKILL the hosting worker unconditionally — a poison task."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def hang_once(task: tuple) -> int:
+    """Hang the worker far past any soft timeout on the first encounter.
+
+    ``task`` is ``(value, flag_path, seconds)``.  The killed-and-respawned
+    attempt finds the flag claimed and returns ``value ** 2`` promptly.
+    """
+    value, flag_path, seconds = task
+    if _claim_flag(flag_path):
+        time.sleep(seconds)
+    return value * value
+
+
+def raise_on(task: tuple) -> int:
+    """Raise ``ValueError`` for the marked value, else square it.
+
+    ``task`` is ``(value, bad_value)``.
+    """
+    value, bad_value = task
+    if value == bad_value:
+        raise ValueError(f"task {value} exploded deliberately")
+    return value * value

@@ -70,6 +70,36 @@ class TestStageCache:
         cache.path_for("stage", token).write_bytes(b"not a pickle")
         assert cache.load("stage", token) is None
 
+    def test_corrupt_entry_is_quarantined_not_rescanned(self, tmp_path):
+        cache = StageCache(tmp_path)
+        token = config_token(2)
+        cache.store("stage", token, [1, 2, 3])
+        path = cache.path_for("stage", token)
+        path.write_bytes(b"garbage bytes")
+        assert cache.load("stage", token) is None
+        # The bad file was moved aside, so the entry is now a clean miss
+        # and a fresh store reclaims the real path.
+        assert not path.exists()
+        assert path.with_suffix(".pkl.corrupt").exists()
+        assert cache.load("stage", token) is None
+        cache.store("stage", token, [4, 5])
+        assert cache.load("stage", token) == [4, 5]
+
+    def test_entry_from_renamed_module_layout_is_corrupt_not_crash(
+        self, tmp_path
+    ):
+        """Unpickling an entry written by an older code layout raises
+        ModuleNotFoundError — must degrade to a recompute, not crash."""
+        cache = StageCache(tmp_path)
+        token = config_token(3)
+        path = cache.path_for("stage", token)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # GLOBAL opcode referencing a module that no longer exists.
+        path.write_bytes(b"crepro.legacy_module_gone\nOldResult\n.")
+        assert cache.load("stage", token) is None
+        assert not path.exists()
+        assert path.with_suffix(".pkl.corrupt").exists()
+
     def test_resolve_cache(self, tmp_path):
         assert resolve_cache(None) is None
         assert resolve_cache(False) is None

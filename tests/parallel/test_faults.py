@@ -1,0 +1,168 @@
+"""Crash-recovery tests: the executor must survive dying, hanging, and
+poisonous workers without changing results or leaking shared memory.
+
+Each test uses a private :class:`CampaignExecutor` (not the process-wide
+registry) because killing workers mutates pool state that other tests
+share.  All tests carry the ``shm_leakcheck`` marker, so the conftest
+guard asserts zero orphaned segments after every scenario.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.parallel import shm
+from repro.parallel.executor import (
+    CampaignExecutor,
+    CampaignWorkerError,
+    get_executor,
+)
+
+from tests.parallel import faults
+
+pytestmark = pytest.mark.shm_leakcheck
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_is_respawned_and_results_match_serial(
+        self, tmp_path
+    ):
+        """The acceptance scenario: SIGKILL one worker mid-campaign."""
+        # Serial reference: a pre-claimed flag disarms the fault (the
+        # serial path runs in this very process).
+        disarmed = str(tmp_path / "disarmed.flag")
+        assert faults._claim_flag(disarmed)
+        serial = CampaignExecutor(1).map(
+            faults.crash_once, [(i, disarmed) for i in range(12)]
+        )
+        assert serial == [i * i for i in range(12)]
+        flag = str(tmp_path / "kill.flag")
+        tasks = [(i, flag) for i in range(12)]
+        with CampaignExecutor(2) as ex:
+            out = ex.map(faults.crash_once, tasks, chunksize=2)
+            assert out == serial
+            assert ex.stats["worker_restarts"] >= 1
+            assert ex.stats["chunk_retries"] >= 1
+            # The pool is at full strength again afterwards.
+            assert len(ex.worker_pids()) == 2
+            assert ex.map(faults.square, [3, 4]) == [9, 16]
+
+    def test_common_payload_rebroadcast_to_respawned_worker(self, tmp_path):
+        """A respawned worker must re-receive the cached common context."""
+        flag = str(tmp_path / "kill-common.flag")
+        tasks = [(i, flag) for i in range(8)]
+        with CampaignExecutor(2) as ex:
+            out = ex.map(faults.scale_or_crash, tasks, common=10, chunksize=2)
+            assert out == [10 * i for i in range(8)]
+            assert ex.stats["worker_restarts"] >= 1
+
+    def test_poison_chunk_raises_with_history_and_pool_survives(self):
+        with CampaignExecutor(2, max_retries=1) as ex:
+            with pytest.raises(
+                CampaignWorkerError, match="killed 2 consecutive workers"
+            ) as excinfo:
+                ex.map(faults.crash_always, list(range(4)), chunksize=4)
+            assert "attempt 1" in str(excinfo.value)
+            assert "attempt 2" in str(excinfo.value)
+            assert ex.stats["worker_restarts"] >= 2
+            # Both workers are alive again; ordinary work proceeds.
+            assert ex.map(faults.square, [2, 3]) == [4, 9]
+
+    def test_soft_timeout_kills_hung_worker_and_retries(self, tmp_path):
+        flag = str(tmp_path / "hang.flag")
+        tasks = [(i, flag, 120.0) for i in range(4)]
+        with CampaignExecutor(2, task_timeout=1.0) as ex:
+            out = ex.map(faults.hang_once, tasks, chunksize=1)
+            assert out == [i * i for i in range(4)]
+            assert ex.stats["timeouts"] >= 1
+            assert ex.stats["worker_restarts"] >= 1
+
+
+class TestErrorParity:
+    def test_raising_task_same_error_at_1_and_4_workers(self):
+        """Serial and pooled maps surface the same exception type, and
+        both pools stay usable afterwards."""
+        tasks = [(i, 2) for i in range(6)]
+        ex1 = CampaignExecutor(1)
+        with pytest.raises(
+            CampaignWorkerError, match="task 2 exploded deliberately"
+        ):
+            ex1.map(faults.raise_on, tasks)
+        assert ex1.map(faults.square, [5]) == [25]
+
+        ex4 = get_executor(4)
+        pids = ex4.worker_pids()
+        with pytest.raises(
+            CampaignWorkerError, match="task 2 exploded deliberately"
+        ):
+            ex4.map(faults.raise_on, tasks, chunksize=1)
+        assert ex4.worker_pids() == pids  # no restarts for a task error
+        assert ex4.map(faults.square, [5]) == [25]
+
+
+class TestShmHygiene:
+    def test_interrupted_map_leaves_zero_segments(self):
+        """KeyboardInterrupt mid-map must not leak /dev/shm segments."""
+
+        class InterruptingQueue:
+            def __init__(self, inner):
+                self.inner = inner
+                self.fired = False
+
+            def get(self, timeout=None):
+                if not self.fired:
+                    self.fired = True
+                    raise KeyboardInterrupt
+                return self.inner.get(timeout=timeout)
+
+        rng = np.random.default_rng(0)
+        args = [rng.normal(size=(256, 64)) for _ in range(8)]  # > threshold
+        expected = [float(a.sum()) for a in args]
+        with CampaignExecutor(2) as ex:
+            worker_pids = set(ex.worker_pids())
+            real_queue = ex._results
+            ex._results = InterruptingQueue(real_queue)
+            with pytest.raises(KeyboardInterrupt):
+                ex.map(faults.array_sum, args, chunksize=2)
+            ex._results = real_queue
+            # No parent-owned input blocks survived the interrupt.
+            assert shm.list_segments(pids={os.getpid()}) == []
+            # The pool is still usable, and stale results from the
+            # interrupted epoch are discarded, not spliced in.
+            out = ex.map(faults.array_sum, args, chunksize=2)
+            assert out == expected
+        # After close, the workers' final result blocks are gone too.
+        assert shm.list_segments(pids=worker_pids) == []
+
+    def test_startup_janitor_sweeps_dead_owner_segments(self):
+        """A segment named for a dead pid is reclaimed at pool startup."""
+        from multiprocessing import shared_memory
+
+        # Fabricate an orphan: claim a name owned by an impossible pid.
+        name = f"{shm.SHM_NAME_PREFIX}-999999999-0"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+        seg.close()
+        assert name in shm.list_segments()
+        removed = shm.sweep_stale()
+        assert name in removed
+        assert name not in shm.list_segments()
+
+
+class TestRecoveryTelemetry:
+    def test_worker_restarts_surface_in_trace_summary(self, tmp_path):
+        """Traced crash-recovery campaign reports executor.worker_restarts."""
+        flag = str(tmp_path / "kill-traced.flag")
+        tasks = [(i, flag) for i in range(8)]
+        obs.enable()
+        try:
+            with obs.span("test.campaign"):
+                with CampaignExecutor(2) as ex:
+                    out = ex.map(faults.crash_once, tasks, chunksize=2)
+            assert out == [i * i for i in range(8)]
+            summary = obs.summary_dict(obs.events() + obs.metric_events())
+            assert summary["counters"].get("executor.worker_restarts", 0) >= 1
+            assert summary["counters"].get("executor.chunk_retries", 0) >= 1
+        finally:
+            obs.disable()

@@ -113,3 +113,43 @@ class TestPerChannelLinear:
         )
         assert layer.weight_q.min() >= -8
         assert layer.weight_q.max() <= 7
+
+
+class TestBiasAccumulatorRange:
+    def test_bias_stored_as_int32(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(6, 3))
+        layer = build_layer(w, rng.normal(size=3), 0.05, 3, 0.1, 0,
+                            per_channel=False, relu=False)
+        assert layer.bias_q.dtype == np.int32
+
+    def test_overflowing_bias_saturates_with_warning(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(4, 2))
+        # Tiny scales push bias/(s_x*s_w) far beyond the int32 range.
+        huge_bias = np.array([1e6, -1e6])
+        with pytest.warns(RuntimeWarning, match="int32 accumulator range"):
+            layer = build_layer(w, huge_bias, 1e-4, 0, 0.1, 0,
+                                per_channel=False, relu=False)
+        assert layer.bias_q.dtype == np.int32
+        assert layer.bias_q[0] == 2 ** 31 - 1
+        assert layer.bias_q[1] == -(2 ** 31)
+
+    def test_in_range_bias_unchanged_and_silent(self):
+        import warnings as _warnings
+
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(5, 4))
+        b = rng.normal(size=4)
+        x = rng.normal(size=(64, 5))
+        in_scale, in_zp = quantize_affine_params(x.min(), x.max())
+        y_ref = reference_float(x, w, b, relu=True)
+        out_scale, out_zp = quantize_affine_params(y_ref.min(), y_ref.max())
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            layer = build_layer(w, b, in_scale, in_zp, out_scale, out_zp,
+                                per_channel=True, relu=True)
+        # The integer path still tracks the float reference.
+        x_q = quantize(x, in_scale, in_zp, UINT8_MIN, UINT8_MAX)
+        y = layer.dequantize_output(layer.forward_int(x_q))
+        assert np.abs(y - y_ref).max() < 6.0 * out_scale

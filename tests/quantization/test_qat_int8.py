@@ -78,7 +78,9 @@ class TestConvertToInt8:
         engine = convert_to_int8(qat)
         for layer in engine.layers:
             assert layer.weight_q.dtype == np.int8
-            assert layer.bias_q.dtype == np.int64
+            # Bias is held at the accumulator's width: int32, the
+            # FPGA's fixed-width adder (saturating on overflow).
+            assert layer.bias_q.dtype == np.int32
 
     def test_weight_bytes(self):
         qat, _ = calibrated_qat(seed=4)
