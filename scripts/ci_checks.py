@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""One-shot CI gate: reprolint + shm-leak check + docstring coverage.
+
+Runs the repository's three repo-hygiene checks and exits non-zero if
+any fails:
+
+1. **reprolint** — ``repro.analysis`` over ``src/`` against the
+   checked-in baseline (``.reprolint-baseline.json``).
+2. **shm leak check** — ``scripts/check_shm.py``: no orphaned
+   ``repro-shm-*`` segments left in ``/dev/shm``.
+3. **docstring coverage** — every public module, top-level class and
+   top-level function under ``src/repro`` carries a docstring (an
+   AST-level complement to ``tests/test_docstrings.py``, which checks
+   the *imported* surface).
+
+Usage:
+
+    python scripts/ci_checks.py            # run all checks
+    python scripts/ci_checks.py --skip shm # skip a check by name
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "src"))
+
+from repro.analysis.cli import main as reprolint_main  # noqa: E402
+
+#: Check names accepted by ``--skip``.
+CHECK_NAMES = ("lint", "shm", "docstrings")
+
+
+def check_lint() -> int:
+    """Run reprolint over ``src/`` with the checked-in baseline."""
+    return reprolint_main(
+        [
+            str(_REPO / "src"),
+            "--baseline",
+            str(_REPO / ".reprolint-baseline.json"),
+        ]
+    )
+
+
+def check_shm() -> int:
+    """Run the shm-orphan gate as a subprocess (it inspects /dev/shm)."""
+    proc = subprocess.run(
+        [sys.executable, str(_REPO / "scripts" / "check_shm.py")],
+        check=False,
+    )
+    return proc.returncode
+
+
+def _missing_docstrings(tree: ast.Module) -> list[str]:
+    """Public top-level defs in ``tree`` lacking a docstring."""
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append("<module>")
+    for node in tree.body:
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            missing.append(node.name)
+    return missing
+
+
+def check_docstrings() -> int:
+    """Require docstrings on every public top-level def under src/repro."""
+    total = 0
+    missing_total = 0
+    failures: list[str] = []
+    for path in sorted((_REPO / "src" / "repro").rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        names = _missing_docstrings(tree)
+        documented = 1 + sum(
+            isinstance(
+                n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            and not n.name.startswith("_")
+            for n in tree.body
+        )
+        total += documented
+        missing_total += len(names)
+        rel = path.relative_to(_REPO)
+        failures += [f"{rel}: {name}" for name in names]
+    for line in failures:
+        print(f"docstrings: missing on {line}")
+    covered = total - missing_total
+    pct = 100.0 * covered / total if total else 100.0
+    print(f"docstrings: {covered}/{total} public defs documented ({pct:.1f}%)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run every check; return the number of failing checks."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip",
+        action="append",
+        default=[],
+        choices=CHECK_NAMES,
+        help="skip a check (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    checks = {
+        "lint": check_lint,
+        "shm": check_shm,
+        "docstrings": check_docstrings,
+    }
+    failed = []
+    for name, fn in checks.items():
+        if name in args.skip:
+            print(f"ci-checks: {name} SKIPPED")
+            continue
+        code = fn()
+        status = "ok" if code == 0 else f"FAILED (exit {code})"
+        print(f"ci-checks: {name} {status}")
+        if code != 0:
+            failed.append(name)
+    if failed:
+        print(f"ci-checks: {len(failed)} check(s) failed: {', '.join(failed)}")
+    return len(failed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

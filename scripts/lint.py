@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Run reprolint over the repository sources with the checked-in baseline.
+
+Thin wrapper around ``python -m repro.analysis`` that fills in the
+repo-local defaults:
+
+    python scripts/lint.py                 # lint src/ against the baseline
+    python scripts/lint.py --format json   # machine-readable report
+    python scripts/lint.py tests/analysis  # lint something else
+
+Any arguments are forwarded to the reprolint CLI; ``src/`` and
+``--baseline .reprolint-baseline.json`` are added only when no paths /
+no baseline were given explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO, "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+#: Checked-in baseline of grandfathered findings (empty by policy).
+DEFAULT_BASELINE = os.path.join(_REPO, ".reprolint-baseline.json")
+
+
+def run(argv: list[str] | None = None) -> int:
+    """Forward to the reprolint CLI with repo defaults filled in."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    has_paths = any(not a.startswith("-") for a in args)
+    passthrough_only = any(
+        a in ("--list-rules", "-h", "--help") for a in args
+    )
+    if not has_paths and not passthrough_only:
+        args.append(os.path.join(_REPO, "src"))
+    if "--baseline" not in args and not passthrough_only:
+        args += ["--baseline", DEFAULT_BASELINE]
+    return main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(run())

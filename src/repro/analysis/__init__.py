@@ -1,0 +1,36 @@
+"""reprolint — AST-based static analysis enforcing the repo's invariants.
+
+The reproduction's headline guarantees (bit-identical serial/parallel
+campaigns, NaN-free Compton kinematics, INT8 accumulator discipline,
+worker-safe shared state) are invariants of *how* the code is written,
+not just what it computes.  This package makes them machine-checked:
+
+* :mod:`repro.analysis.core` — rule framework (``Rule``, ``Finding``,
+  severity, registry);
+* :mod:`repro.analysis.context` — per-module AST context: alias
+  resolution, guard dataflow, suppression comments;
+* :mod:`repro.analysis.rules` — the shipped rule set (determinism,
+  rng-threading, numerical safety, worker safety, dtype discipline);
+* :mod:`repro.analysis.runner` — file discovery, worker-reachability
+  graph, rule execution;
+* :mod:`repro.analysis.baseline` — grandfathered-finding baselines;
+* :mod:`repro.analysis.report` — text and JSON reporters;
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis`` /
+  ``repro-lint`` entry point.
+
+Run ``python -m repro.analysis src/`` to lint the library, or see
+``docs/static_analysis.md`` for the rule catalogue and the
+suppression/baseline workflow.
+"""
+
+from repro.analysis.core import Finding, Rule, Severity, all_rules
+from repro.analysis.runner import AnalysisResult, analyze_paths
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+]

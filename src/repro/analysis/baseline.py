@@ -1,0 +1,97 @@
+"""Baseline files: grandfather known findings without silencing new ones.
+
+A baseline is a checked-in JSON file mapping finding *fingerprints*
+(rule + path + scope + message — deliberately line-independent) to
+occurrence counts.  ``apply_baseline`` subtracts baselined occurrences
+from a run's findings; anything beyond the recorded count is new and
+still fails the gate.  Entries no longer matched by any finding are
+reported as *stale* so the baseline shrinks monotonically.
+
+This repository ships an **empty** baseline (``.reprolint-baseline.json``)
+— the clean-up sweep fixed or per-line-justified every finding — but the
+mechanism exists so future rules can land before their sweep completes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+#: Current on-disk schema version.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """In-memory form of a baseline file.
+
+    Attributes:
+        entries: Fingerprint -> grandfathered occurrence count.
+    """
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Build a baseline covering exactly ``findings``."""
+        return cls(entries=Counter(f.fingerprint() for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (empty baseline when the file is absent).
+
+        Raises:
+            ValueError: On an unrecognized schema version.
+        """
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        data = json.loads(p.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {p}"
+            )
+        return cls(entries=Counter(data.get("findings", {})))
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": dict(sorted(self.entries.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Split findings into new vs. grandfathered; report stale entries.
+
+    Args:
+        findings: Active findings from an analysis run.
+        baseline: Grandfathered fingerprints.
+
+    Returns:
+        ``(new, grandfathered, stale)``: findings not covered by the
+        baseline, findings absorbed by it, and baseline fingerprints
+        that matched nothing this run.
+    """
+    budget = Counter(baseline.entries)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for f in findings:
+        fp = f.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            grandfathered.append(f)
+        else:
+            new.append(f)
+    stale = sorted(fp for fp, count in budget.items() if count > 0)
+    return new, grandfathered, stale

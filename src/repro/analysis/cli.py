@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit codes: 0 clean, 1 findings (or stale baseline entries / parse
+errors), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.core import all_rules
+from repro.analysis.report import render_json, render_text
+from repro.analysis.runner import DEFAULT_WORKER_ENTRY, analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "reprolint: AST-based static analysis enforcing this repo's "
+            "determinism, numerical-safety, and worker-safety invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (e.g. src/)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of grandfathered findings (JSON)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--worker-entry",
+        default=DEFAULT_WORKER_ENTRY,
+        help=(
+            "module anchoring the worker-reachability graph for WRK001 "
+            f"(default: {DEFAULT_WORKER_ENTRY})"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if not raw:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _run(argv: Sequence[str] | None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  [{rule.severity.value:7s}] {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: repro-lint src/)")
+
+    if args.write_baseline and not args.baseline:
+        parser.error("--write-baseline requires --baseline FILE")
+
+    result = analyze_paths(
+        args.paths,
+        select=_split_ids(args.select),
+        disable=_split_ids(args.disable),
+        worker_entry=args.worker_entry,
+    )
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(args.baseline)
+        print(
+            f"reprolint: wrote {len(result.findings)} finding(s) to "
+            f"{args.baseline}"
+        )
+        return 0
+
+    baseline = Baseline.load(args.baseline) if args.baseline else Baseline()
+    new, grandfathered, stale = apply_baseline(result.findings, baseline)
+
+    renderer = render_json if args.format == "json" else render_text
+    renderer(result, new, grandfathered, stale, sys.stdout)
+
+    failed = bool(new) or bool(stale) or bool(result.errors)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

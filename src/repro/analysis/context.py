@@ -1,0 +1,422 @@
+"""Per-module analysis context: aliases, guard dataflow, suppressions.
+
+One :class:`ModuleContext` wraps one parsed source file and provides the
+semantic helpers every rule needs:
+
+* **alias resolution** — maps local names through ``import`` statements so
+  ``np.random.default_rng`` and ``from numpy.random import default_rng``
+  resolve to the same dotted name (``numpy.random.default_rng``);
+* **guard dataflow** — a deliberately simple, flow-insensitive,
+  intra-scope analysis marking names/attribute-chains as *guarded* when
+  they are assigned from a guarding expression (``np.clip``,
+  ``np.maximum``, ``abs`` ...), validated by an early-exit ``if``
+  (``if x < 1: raise``), or asserted;
+* **errstate tracking** — nodes inside ``with np.errstate(...)`` blocks,
+  where invalid/zero-division outcomes are explicitly managed;
+* **suppressions** — ``# reprolint: disable=RULE-ID`` comments, per line
+  or per file, with an optional ``-- justification`` tail.
+
+The dataflow is a heuristic, not a proof: it exists so that code which
+*visibly* guards its inputs lints clean, while code with no guard in
+sight is surfaced for a human decision (fix, or suppress with a written
+justification).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.analysis.runner import Project
+
+#: Calls whose result is range-restricted enough to count as a guard for
+#: domain functions (``sqrt``/``log``/``arccos``) and denominators.
+GUARD_CALLS = frozenset(
+    {
+        "numpy.clip",
+        "numpy.maximum",
+        "numpy.minimum",
+        "numpy.abs",
+        "numpy.absolute",
+        "numpy.fabs",
+        "numpy.exp",
+        "numpy.linalg.norm",
+        "numpy.hypot",
+        "numpy.square",
+        "numpy.sqrt",
+        "numpy.errstate",
+    }
+)
+
+#: Builtins accepted as guards (``max(x, 1)``, ``abs(d)``).
+BUILTIN_GUARDS = frozenset({"max", "min", "abs", "round", "len"})
+
+#: Module-level numpy constants trusted as nonzero denominators.
+KNOWN_CONSTANTS = frozenset(
+    {"numpy.pi", "numpy.e", "numpy.euler_gamma", "numpy.inf"}
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?P<scope>-file)?\s*=\s*(?P<ids>[A-Za-z0-9_,\s-]+?)"
+    r"(?:\s+--.*)?$"
+)
+
+
+def _parse_suppressions(
+    source: str,
+) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """Extract per-line and per-file suppression directives.
+
+    Returns:
+        ``(line_disables, file_disables)`` where ``line_disables`` maps a
+        1-based line number to the rule ids disabled on that line, and
+        ``file_disables`` holds rule ids disabled for the whole file.
+        The id ``all`` disables every rule.
+    """
+    line_disables: dict[int, frozenset[str]] = {}
+    file_disables: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "reprolint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        ids = frozenset(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        if not ids:
+            continue
+        if match.group("scope"):
+            file_disables |= ids
+        else:
+            line_disables[lineno] = ids | line_disables.get(lineno, frozenset())
+    return line_disables, frozenset(file_disables)
+
+
+def _expr_token(node: ast.AST) -> str | None:
+    """Dotted token for a name or attribute chain (``rings.deta``), else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _expr_token(node.value)
+        if base is not None:
+            return f"{base}.{node.attr}"
+    if isinstance(node, ast.Subscript):
+        return _expr_token(node.value)
+    return None
+
+
+def _is_early_exit(stmts: list[ast.stmt]) -> bool:
+    """True when a statement list exits its scope (raise/return/continue/break)."""
+    return any(
+        isinstance(s, (ast.Raise, ast.Return, ast.Continue, ast.Break))
+        for s in stmts
+    )
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one source file.
+
+    Attributes:
+        path: Filesystem path of the module.
+        display_path: Path as shown in findings (relative when possible).
+        module_name: Dotted module name (``repro.physics.compton``).
+        source: Raw source text.
+        tree: Parsed ``ast.Module``.
+        project: Back-reference to project-wide state (worker
+            reachability); None when linting standalone files.
+    """
+
+    path: Path
+    display_path: str
+    module_name: str
+    source: str
+    tree: ast.Module
+    project: "Project | None" = None
+    _parents: dict[int, ast.AST] = field(default_factory=dict, repr=False)
+    _aliases: dict[str, str] = field(default_factory=dict, repr=False)
+    _guarded: dict[int, frozenset[str]] = field(default_factory=dict, repr=False)
+    _errstate_nodes: set[int] = field(default_factory=set, repr=False)
+    line_disables: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_disables: frozenset[str] = frozenset()
+
+    @classmethod
+    def from_path(
+        cls,
+        path: Path,
+        module_name: str,
+        display_path: str | None = None,
+        project: "Project | None" = None,
+    ) -> "ModuleContext":
+        """Parse ``path`` and precompute the per-module analysis tables.
+
+        Raises:
+            SyntaxError: When the file does not parse.
+            OSError: When the file cannot be read.
+        """
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        ctx = cls(
+            path=path,
+            display_path=display_path or str(path),
+            module_name=module_name,
+            source=source,
+            tree=tree,
+            project=project,
+        )
+        ctx._index()
+        return ctx
+
+    # -- precomputation ------------------------------------------------
+
+    def _index(self) -> None:
+        """Build parent links, import aliases, errstate spans, suppressions."""
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        self._collect_aliases()
+        self._collect_errstate()
+        self.line_disables, self.file_disables = _parse_suppressions(self.source)
+
+    def _collect_aliases(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                module = self._absolute_import_base(node)
+                if module is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{module}.{alias.name}" if module else alias.name
+
+    def _absolute_import_base(self, node: ast.ImportFrom) -> str | None:
+        """Absolute dotted base for an ``from X import ...`` statement."""
+        if node.level == 0:
+            return node.module or ""
+        parts = self.module_name.split(".")
+        # ``from . import x`` inside pkg.mod resolves against pkg.
+        base = parts[: len(parts) - node.level]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base)
+
+    def _collect_errstate(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.With):
+                continue
+            if any(
+                isinstance(item.context_expr, ast.Call)
+                and self.resolve(item.context_expr.func) == "numpy.errstate"
+                for item in node.items
+            ):
+                for stmt in node.body:
+                    for sub in ast.walk(stmt):
+                        self._errstate_nodes.add(id(sub))
+
+    # -- queries -------------------------------------------------------
+
+    def resolve(self, node: ast.AST | None) -> str | None:
+        """Dotted name of a Name/Attribute chain through import aliases.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` when the module imported
+        ``numpy as np``; unresolvable expressions return None.
+        """
+        if isinstance(node, ast.Name):
+            return self._aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None
+
+    def imported_modules(self) -> set[str]:
+        """Absolute dotted targets of every import in the module."""
+        targets: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    targets.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._absolute_import_base(node)
+                if base is None:
+                    continue
+                if base:
+                    targets.add(base)
+                for alias in node.names:
+                    if alias.name != "*" and base:
+                        targets.add(f"{base}.{alias.name}")
+        return targets
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """Syntactic parent of ``node`` (None for the module root)."""
+        return self._parents.get(id(node))
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """Nearest enclosing function node, or the module root."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parent(current)
+        return self.tree
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted class/function path enclosing ``node`` (``<module>`` at top)."""
+        parts: list[str] = []
+        current: ast.AST | None = node
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                parts.append(current.name)
+            current = self.parent(current)
+        return ".".join(reversed(parts)) or "<module>"
+
+    def in_errstate(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside a ``with np.errstate(...)`` body."""
+        return id(node) in self._errstate_nodes
+
+    def module_segments(self) -> frozenset[str]:
+        """Segments of the dotted module name, for package-scoped rules."""
+        return frozenset(self.module_name.split("."))
+
+    def in_packages(self, segments: tuple[str, ...] | frozenset[str]) -> bool:
+        """True when any dotted-name segment matches ``segments``."""
+        return bool(self.module_segments() & frozenset(segments))
+
+    # -- guard dataflow ------------------------------------------------
+
+    def contains_guard(self, expr: ast.AST) -> bool:
+        """True when ``expr``'s subtree contains a guarding call."""
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            resolved = self.resolve(sub.func)
+            if resolved in GUARD_CALLS:
+                return True
+            if (
+                isinstance(sub.func, ast.Name)
+                and sub.func.id in BUILTIN_GUARDS
+                and sub.func.id not in self._aliases
+            ):
+                return True
+        return False
+
+    def guarded_names(self, scope: ast.AST) -> frozenset[str]:
+        """Names/attribute-chains considered guarded within ``scope``.
+
+        A token is guarded when, anywhere in the scope (flow-insensitive):
+
+        * it is assigned from an expression containing a guard call or a
+          numeric constant;
+        * it appears in the test of an ``if`` whose body exits early
+          (``raise``/``return``/``continue``/``break``) — the scope
+          visibly rejects out-of-domain values;
+        * it appears in an ``assert`` test;
+        * for function scopes, it is a parameter *validated* by one of
+          the above (parameters are not guarded by default).
+        """
+        key = id(scope)
+        cached = self._guarded.get(key)
+        if cached is not None:
+            return cached
+        tokens: set[str] = set()
+        assignments: list[tuple[list[str], ast.AST]] = []
+        for stmt in self._scope_statements(scope):
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = stmt.value
+                if value is None:
+                    continue
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                names = [t for t in map(_expr_token, targets) if t]
+                if not names:
+                    continue
+                if self.contains_guard(value) or isinstance(value, ast.Constant):
+                    tokens.update(names)
+                else:
+                    assignments.append((names, value))
+            elif isinstance(stmt, ast.If) and _is_early_exit(stmt.body):
+                tokens.update(self._test_tokens(stmt.test))
+            elif isinstance(stmt, ast.Assert):
+                tokens.update(self._test_tokens(stmt.test))
+            elif isinstance(stmt, ast.While) and _is_early_exit(stmt.body):
+                # ``while x < 0: ...`` style normalization loops.
+                tokens.update(self._test_tokens(stmt.test))
+        # Propagate guardedness through plain assignments (``step =
+        # np.radians(res)`` is guarded once ``res`` is) to a fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for names, value in assignments:
+                if set(names) <= tokens:
+                    continue
+                value_tokens = self._value_tokens(value)
+                if value_tokens and all(
+                    t in tokens or t.split(".")[0] in tokens for t in value_tokens
+                ):
+                    tokens.update(names)
+                    changed = True
+        result = frozenset(tokens)
+        self._guarded[key] = result
+        return result
+
+    def _value_tokens(self, value: ast.AST) -> set[str]:
+        """Data tokens of an expression, ignoring called-function names."""
+        tokens: set[str] = set()
+        stack: list[ast.AST] = [value]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Call):
+                stack.extend(node.args)
+                stack.extend(kw.value for kw in node.keywords)
+                continue
+            token = _expr_token(node)
+            if token is not None:
+                tokens.add(token)
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return tokens
+
+    def _test_tokens(self, test: ast.AST) -> set[str]:
+        tokens: set[str] = set()
+        for sub in ast.walk(test):
+            token = _expr_token(sub)
+            if token:
+                tokens.add(token)
+        return tokens
+
+    def _scope_statements(self, scope: ast.AST) -> Iterator[ast.stmt]:
+        """Statements belonging to ``scope``, excluding nested functions."""
+        stack: list[ast.AST] = list(getattr(scope, "body", []))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(node, ast.stmt):
+                yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.stmt, ast.excepthandler)):
+                    stack.append(child)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is disabled on ``line`` or file-wide."""
+        if "all" in self.file_disables or rule_id in self.file_disables:
+            return True
+        ids = self.line_disables.get(line)
+        return bool(ids) and ("all" in ids or rule_id in ids)

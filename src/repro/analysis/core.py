@@ -1,0 +1,152 @@
+"""Rule framework: findings, severities, and the rule registry.
+
+A *rule* inspects one :class:`~repro.analysis.context.ModuleContext` at a
+time and yields :class:`Finding` objects.  Rules self-register via the
+:func:`register` decorator; :func:`all_rules` instantiates the full
+catalogue in rule-id order so reports and tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.analysis.context import ModuleContext
+
+
+class Severity(enum.Enum):
+    """Severity ladder for findings.
+
+    Both levels fail the lint gate; severity is reporting metadata that
+    tells a reader whether a finding is a hard invariant violation
+    (``ERROR``) or a discipline/hygiene concern (``WARNING``).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation anchored to a source location.
+
+    Attributes:
+        path: Repo-relative (or as-given) path of the offending file.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule_id: Identifier of the rule that fired (e.g. ``NUM002``).
+        severity: ``error`` or ``warning`` (string form of
+            :class:`Severity`).
+        message: Human-readable description of the violation.
+        scope: Dotted name of the enclosing function/class, or
+            ``<module>`` for module-level findings.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    scope: str = "<module>"
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching.
+
+        Excludes ``line``/``col`` so unrelated edits that shift code do
+        not invalidate a baselined finding.
+        """
+        return f"{self.rule_id}|{self.path}|{self.scope}|{self.message}"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "scope": self.scope,
+        }
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        rule_id: Stable identifier (``<FAMILY><number>``), used in
+            reports, ``--select``/``--disable``, suppressions, and
+            baselines.
+        title: One-line summary for ``--list-rules``.
+        severity: Default :class:`Severity` of this rule's findings.
+        rationale: Why the invariant matters in this repository.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    rationale: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        """Yield findings for one module.
+
+        Args:
+            ctx: Parsed module under analysis (AST, aliases, guard sets,
+                project-level reachability).
+        """
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: "ModuleContext", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` for ``node`` with this rule's metadata."""
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.severity.value,
+            message=message,
+            scope=ctx.qualname(node),
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry.
+
+    Raises:
+        ValueError: On a duplicate or empty ``rule_id``.
+    """
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Instantiate every registered rule, sorted by rule id."""
+    # Importing the rules package populates the registry on first use.
+    import repro.analysis.rules  # noqa: F401
+
+    return [_REGISTRY[rid]() for rid in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    """All registered rule ids, sorted."""
+    import repro.analysis.rules  # noqa: F401
+
+    return sorted(_REGISTRY)

@@ -1,0 +1,72 @@
+"""Text and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.analysis.core import Finding
+from repro.analysis.runner import AnalysisResult
+
+
+def render_text(
+    result: AnalysisResult,
+    new: list[Finding],
+    grandfathered: list[Finding],
+    stale: list[str],
+    stream: TextIO,
+) -> None:
+    """Human-readable report: one line per finding plus a summary.
+
+    Args:
+        result: The raw analysis result (for counts and parse errors).
+        new: Findings not absorbed by the baseline (these fail the gate).
+        grandfathered: Findings absorbed by the baseline.
+        stale: Baseline fingerprints that matched nothing.
+        stream: Output stream.
+    """
+    for path, message in result.errors:
+        print(f"{path}: parse error: {message}", file=stream)
+    for f in new:
+        print(
+            f"{f.path}:{f.line}:{f.col}: {f.rule_id} {f.severity}: "
+            f"{f.message} [{f.scope}]",
+            file=stream,
+        )
+    for fp in stale:
+        print(f"stale baseline entry (fix the baseline): {fp}", file=stream)
+    bits = [
+        f"{result.files_scanned} file(s) scanned",
+        f"{len(new)} finding(s)",
+    ]
+    if grandfathered:
+        bits.append(f"{len(grandfathered)} baselined")
+    if result.suppressed:
+        bits.append(f"{len(result.suppressed)} suppressed inline")
+    if stale:
+        bits.append(f"{len(stale)} stale baseline entr(ies)")
+    if result.errors:
+        bits.append(f"{len(result.errors)} parse error(s)")
+    print("reprolint: " + ", ".join(bits), file=stream)
+
+
+def render_json(
+    result: AnalysisResult,
+    new: list[Finding],
+    grandfathered: list[Finding],
+    stale: list[str],
+    stream: TextIO,
+) -> None:
+    """Machine-readable report mirroring :func:`render_text`."""
+    payload = {
+        "files_scanned": result.files_scanned,
+        "findings": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in grandfathered],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "stale_baseline": stale,
+        "parse_errors": [
+            {"path": path, "message": message} for path, message in result.errors
+        ],
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")

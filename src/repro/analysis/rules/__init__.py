@@ -1,0 +1,27 @@
+"""The shipped reprolint rule set.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.core`.  Rule families:
+
+* ``DET`` — determinism (:mod:`repro.analysis.rules.determinism`)
+* ``RNG`` — rng threading (:mod:`repro.analysis.rules.rng_threading`)
+* ``NUM`` — numerical safety (:mod:`repro.analysis.rules.numerics`)
+* ``WRK`` — worker safety (:mod:`repro.analysis.rules.worker_safety`)
+* ``DTY`` — dtype discipline (:mod:`repro.analysis.rules.dtypes`)
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    determinism,
+    dtypes,
+    numerics,
+    rng_threading,
+    worker_safety,
+)
+
+__all__ = [
+    "determinism",
+    "dtypes",
+    "numerics",
+    "rng_threading",
+    "worker_safety",
+]

@@ -1,0 +1,171 @@
+"""Determinism rules (``DET``): ban hidden global state and wall clocks.
+
+Campaign results must be bit-identical across runs and across worker
+counts (PR 1's headline guarantee).  Anything that reads process-global
+mutable state — the legacy ``np.random.*`` API, OS-entropy-seeded
+generators, the wall clock — silently breaks that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding, Rule, Severity, register
+
+#: Legacy ``numpy.random`` global-state API (draws from or mutates the
+#: hidden module-level ``RandomState``).
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "normal",
+        "uniform",
+        "choice",
+        "shuffle",
+        "permutation",
+        "poisson",
+        "exponential",
+        "standard_normal",
+        "binomial",
+        "gamma",
+        "beta",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+)
+
+#: Wall-clock / monotonic-clock reads forbidden inside numeric kernels.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Packages whose modules count as numeric kernels: pure functions of
+#: their inputs and the threaded rng, never of the clock.  Telemetry
+#: (``repro.obs``) and orchestration (``repro.experiments``) are
+#: deliberately excluded — timing spans are their job.
+KERNEL_PACKAGES = frozenset(
+    {
+        "physics",
+        "reconstruction",
+        "localization",
+        "detector",
+        "geometry",
+        "sources",
+        "nn",
+        "models",
+        "quantization",
+        "fpga",
+    }
+)
+
+
+@register
+class LegacyNumpyRandomRule(Rule):
+    """DET001: no legacy ``np.random.*`` global-state API anywhere."""
+
+    rule_id = "DET001"
+    title = "legacy np.random.* global-state API"
+    severity = Severity.ERROR
+    rationale = (
+        "The legacy API draws from one hidden process-global RandomState; "
+        "results then depend on call order across the whole process, which "
+        "breaks 1-vs-N-worker bit-identity.  Thread an explicit "
+        "np.random.Generator instead."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag any attribute access resolving to the legacy API."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            resolved = ctx.resolve(node)
+            if (
+                resolved
+                and resolved.startswith("numpy.random.")
+                and resolved.rsplit(".", 1)[1] in LEGACY_NP_RANDOM
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"legacy global-state API `{resolved}`; thread an "
+                    "explicit np.random.Generator",
+                )
+
+
+@register
+class UnseededDefaultRngRule(Rule):
+    """DET002: no ``np.random.default_rng()`` without a seed argument."""
+
+    rule_id = "DET002"
+    title = "unseeded default_rng()"
+    severity = Severity.ERROR
+    rationale = (
+        "default_rng() with no argument seeds from OS entropy: every run "
+        "differs and no campaign is reproducible.  Derive generators from "
+        "the campaign SeedSequence instead."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag zero-argument ``default_rng`` calls."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.resolve(node.func) != "numpy.random.default_rng":
+                continue
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() seeded from OS entropy; pass a seed or "
+                    "SeedSequence derived from the campaign seed",
+                )
+
+
+@register
+class WallClockInKernelRule(Rule):
+    """DET003: no clock reads inside numeric-kernel packages."""
+
+    rule_id = "DET003"
+    title = "wall clock read inside a numeric kernel"
+    severity = Severity.ERROR
+    rationale = (
+        "Kernels must be pure functions of their inputs and the threaded "
+        "rng.  A time.time()/datetime.now() read makes outputs (or control "
+        "flow) run-dependent; timing belongs in repro.obs spans."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag clock calls when the module lives in a kernel package."""
+        if not ctx.in_packages(KERNEL_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"clock read `{resolved}` inside a numeric kernel; "
+                    "pass timestamps in or use repro.obs tracing",
+                )

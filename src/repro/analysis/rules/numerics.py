@@ -1,0 +1,228 @@
+"""Numerical-safety rules (``NUM``): keep the kinematics NaN-free.
+
+Compton reconstruction feeds measured (noisy) energies into functions
+with restricted domains — ``arccos`` on [-1, 1], ``sqrt``/``log`` on
+non-negatives — and divides by quantities that are only *physically*
+guaranteed nonzero.  A single unguarded call turns one mismeasured event
+into NaNs that propagate through ring weights into the localization fit.
+These rules demand a visible guard (``np.clip``/``np.maximum``/… in the
+argument, a guarded local name, an early-exit validation, or an
+``np.errstate`` block with explicit invalid-handling) at every such
+call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import KNOWN_CONSTANTS, ModuleContext, _expr_token
+from repro.analysis.core import Finding, Rule, Severity, register
+
+#: Functions with a restricted real domain, checked by NUM001.
+DOMAIN_CALLS = frozenset(
+    {
+        "numpy.arccos",
+        "numpy.arcsin",
+        "numpy.arctanh",
+        "numpy.sqrt",
+        "numpy.log",
+        "numpy.log2",
+        "numpy.log10",
+    }
+)
+
+#: Packages where bare division is checked (NUM002): the kinematics and
+#: fitting code where a zero denominator is a real event-data hazard.
+DIVISION_PACKAGES = frozenset({"physics", "reconstruction", "localization"})
+
+
+def _is_eps_token(node: ast.AST) -> bool:
+    """True for names/attributes that read as an epsilon (``eps``, ``self.eps``)."""
+    token = _expr_token(node) or ""
+    return "eps" in token.rsplit(".", 1)[-1].lower()
+
+
+def _has_positive_offset(expr: ast.AST) -> bool:
+    """True for ``x + <positive constant>`` / ``x + eps`` additive guards."""
+    if not (isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add)):
+        return False
+    for side in (expr.left, expr.right):
+        if (
+            isinstance(side, ast.Constant)
+            and isinstance(side.value, (int, float))
+            and side.value > 0
+        ):
+            return True
+        if _is_eps_token(side):
+            return True
+    return False
+
+
+def _provably_nonneg(expr: ast.AST) -> bool:
+    """Structurally non-negative: even powers, their products and sums."""
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, (int, float)) and expr.value >= 0
+    if isinstance(expr, ast.BinOp):
+        if isinstance(expr.op, (ast.Add, ast.Mult)):
+            return _provably_nonneg(expr.left) and _provably_nonneg(expr.right)
+        if isinstance(expr.op, ast.Pow):
+            exponent = expr.right
+            return (
+                isinstance(exponent, ast.Constant)
+                and isinstance(exponent.value, int)
+                and exponent.value % 2 == 0
+            )
+    if _is_eps_token(expr):
+        return True
+    return False
+
+
+def _names_all_guarded(ctx: ModuleContext, expr: ast.AST, scope: ast.AST) -> bool:
+    """True when every name/attribute token in ``expr`` is scope-guarded.
+
+    Expressions with no tokens at all (pure constants) also count.
+    """
+    guarded = ctx.guarded_names(scope)
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        token = _expr_token(node)
+        if token is not None:
+            if token not in guarded and token.split(".")[0] not in guarded:
+                return False
+            continue  # do not descend into a guarded chain
+        stack.extend(ast.iter_child_nodes(node))
+    return True
+
+
+@register
+class UnguardedDomainCallRule(Rule):
+    """NUM001: ``arccos``/``sqrt``/``log`` arguments must be guarded."""
+
+    rule_id = "NUM001"
+    title = "unguarded domain-restricted call"
+    severity = Severity.ERROR
+    rationale = (
+        "Measured energies routinely push eta outside [-1, 1] and "
+        "radicands below zero; an unguarded arccos/sqrt/log turns those "
+        "events into NaNs deep inside the pipeline.  Clip or floor the "
+        "argument where the call happens, or validate-and-reject first."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag domain-restricted calls with no visible guard."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved not in DOMAIN_CALLS or not node.args:
+                continue
+            arg = node.args[0]
+            if ctx.in_errstate(node):
+                continue
+            if isinstance(arg, ast.Constant):
+                continue
+            if ctx.contains_guard(arg):
+                continue
+            fn_name = resolved.rsplit(".", 1)[1]
+            if fn_name in ("sqrt",) and _provably_nonneg(arg):
+                continue
+            if fn_name in ("sqrt", "log", "log2", "log10") and _has_positive_offset(
+                arg
+            ):
+                continue
+            scope = ctx.enclosing_scope(node)
+            if _names_all_guarded(ctx, arg, scope):
+                continue
+            fn = resolved.rsplit(".", 1)[1]
+            yield self.finding(
+                ctx,
+                node,
+                f"np.{fn} argument has no visible domain guard "
+                "(np.clip/np.maximum/validation); out-of-domain inputs "
+                "become NaN",
+            )
+
+
+@register
+class UnguardedDivisionRule(Rule):
+    """NUM002: bare division in kinematics/fitting packages needs a guard."""
+
+    rule_id = "NUM002"
+    title = "unguarded division"
+    severity = Severity.WARNING
+    rationale = (
+        "In physics/reconstruction/localization a denominator is usually "
+        "a measured quantity that *can* be zero (coincident hits, "
+        "degenerate fits).  Guard it (np.maximum/epsilon/validation), "
+        "compute under np.errstate with explicit invalid-handling, or "
+        "suppress with a written physical justification."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag divisions whose denominator has no visible guard."""
+        if not ctx.in_packages(DIVISION_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp) or not isinstance(
+                node.op, (ast.Div, ast.FloorDiv, ast.Mod)
+            ):
+                continue
+            if ctx.in_errstate(node):
+                continue
+            scope = ctx.enclosing_scope(node)
+            if self._denominator_safe(ctx, node.right, scope):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "denominator "
+                f"`{ast.unparse(node.right)}` has no visible nonzero guard",
+            )
+
+    def _denominator_safe(
+        self, ctx: ModuleContext, denom: ast.AST, scope: ast.AST
+    ) -> bool:
+        if isinstance(denom, ast.Constant):
+            return not isinstance(denom.value, (int, float)) or denom.value != 0
+        if isinstance(denom, ast.UnaryOp):
+            return self._denominator_safe(ctx, denom.operand, scope)
+        token = _expr_token(denom)
+        if token is not None:
+            if ctx.resolve(denom) in KNOWN_CONSTANTS:
+                return True
+            # ALL_CAPS module constants are trusted (validated at import).
+            last = token.rsplit(".", 1)[-1]
+            if last.isupper() or (last.startswith("_") and last[1:].isupper()):
+                return True
+            guarded = ctx.guarded_names(scope)
+            return token in guarded or token.split(".")[0] in guarded
+        if isinstance(denom, ast.Call):
+            return ctx.contains_guard(denom)
+        if isinstance(denom, ast.BinOp):
+            if isinstance(denom.op, ast.Add):
+                # Additive positive offset (`1.0 + x`, `x + eps`) is the
+                # canonical epsilon pattern.
+                for side in (denom.left, denom.right):
+                    if (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, (int, float))
+                        and side.value > 0
+                    ):
+                        return True
+                    side_token = _expr_token(side) or ""
+                    if "eps" in side_token.rsplit(".", 1)[-1].lower():
+                        return True
+                return self._denominator_safe(
+                    ctx, denom.left, scope
+                ) and self._denominator_safe(ctx, denom.right, scope)
+            if isinstance(denom.op, ast.Mult):
+                return self._denominator_safe(
+                    ctx, denom.left, scope
+                ) and self._denominator_safe(ctx, denom.right, scope)
+            if isinstance(denom.op, ast.Pow):
+                return self._denominator_safe(ctx, denom.left, scope)
+            # Subtraction and anything else: cancellation hazard.
+            return False
+        return False

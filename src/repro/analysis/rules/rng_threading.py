@@ -1,0 +1,145 @@
+"""RNG-threading rules (``RNG``): every draw comes from a threaded Generator.
+
+The 1-vs-N-worker bit-identity proof (PR 1) rests on one invariant:
+randomness flows *down* the call graph from a single campaign
+``SeedSequence``, through explicit ``rng: np.random.Generator``
+parameters.  A function that conjures its own generator — from a
+hard-coded seed, or as a silent ``rng or default_rng(0)`` fallback —
+severs that thread: two call sites share one stream, or a caller that
+forgot to pass ``rng`` silently gets deterministic-but-wrong draws
+instead of an error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding, Rule, Severity, register
+
+#: Constructors that mint a new random stream.
+RNG_FACTORIES = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+    }
+)
+
+
+def _is_rng_factory_call(ctx: ModuleContext, node: ast.AST) -> bool:
+    """True for a call to any :data:`RNG_FACTORIES` constructor."""
+    return isinstance(node, ast.Call) and ctx.resolve(node.func) in RNG_FACTORIES
+
+
+@register
+class HardCodedSeedRule(Rule):
+    """RNG001: no generator minted from a hard-coded literal seed."""
+
+    rule_id = "RNG001"
+    title = "hard-coded rng seed"
+    severity = Severity.ERROR
+    rationale = (
+        "default_rng(<literal>) gives every call site the same stream, "
+        "hides an unthreaded rng parameter, and decouples the draw from "
+        "the campaign seed.  Derive the seed from a parameter or the "
+        "campaign SeedSequence; for an explicit opt-in fallback use "
+        "repro.rng.require_rng."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag rng factory calls whose first argument is a literal."""
+        for node in ast.walk(ctx.tree):
+            if not _is_rng_factory_call(ctx, node):
+                continue
+            assert isinstance(node, ast.Call)
+            seed = node.args[0] if node.args else None
+            for kw in node.keywords:
+                if kw.arg in ("seed", "entropy"):
+                    seed = kw.value
+            if isinstance(seed, ast.Constant) and isinstance(
+                seed.value, (int, float)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"generator minted from hard-coded seed {seed.value!r}; "
+                    "derive it from a parameter or the campaign SeedSequence",
+                )
+
+
+@register
+class SilentRngFallbackRule(Rule):
+    """RNG002: no silent ``rng or default_rng(...)`` parameter fallback."""
+
+    rule_id = "RNG002"
+    title = "silent rng fallback"
+    severity = Severity.ERROR
+    rationale = (
+        "`rng = rng or default_rng(...)` masks callers that forgot to "
+        "thread the generator: they get valid-looking draws from a stream "
+        "unrelated to the campaign seed.  Require the generator, or call "
+        "repro.rng.require_rng(rng, owner) which warns explicitly."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag fallback assignments inside functions with an rng parameter."""
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            arg_names = {
+                a.arg
+                for a in (
+                    func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+                )
+            }
+            if "rng" not in arg_names:
+                continue
+            for node in ast.walk(func):
+                if self._is_fallback(ctx, node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "silent fallback mints a generator when rng is "
+                        "omitted; require it or use repro.rng.require_rng",
+                    )
+
+    def _is_fallback(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        # Pattern A: ``x = rng or default_rng(...)`` (any boolean-or whose
+        # operands mix the rng parameter with a factory call).
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+            has_rng = any(
+                isinstance(v, ast.Name) and v.id == "rng" for v in node.values
+            )
+            has_factory = any(
+                _is_rng_factory_call(ctx, v) for v in node.values
+            )
+            return has_rng and has_factory
+        # Pattern B: ``if rng is None: rng = default_rng(...)``.
+        if isinstance(node, ast.If):
+            test = node.test
+            is_none_check = (
+                isinstance(test, ast.Compare)
+                and isinstance(test.left, ast.Name)
+                and test.left.id == "rng"
+                and any(isinstance(op, ast.Is) for op in test.ops)
+            ) or (
+                isinstance(test, ast.UnaryOp)
+                and isinstance(test.op, ast.Not)
+                and isinstance(test.operand, ast.Name)
+                and test.operand.id == "rng"
+            )
+            if not is_none_check:
+                return False
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign) and _is_rng_factory_call(
+                    ctx, stmt.value
+                ):
+                    return True
+        return False

@@ -1,0 +1,158 @@
+"""Worker-safety rules (``WRK``): what campaign workers may touch.
+
+Campaign workers are spawned processes executing
+``repro.experiments._campaign_worker`` functions.  Two invariants keep
+them honest:
+
+* modules *reachable from the worker call graph* must not accumulate
+  state in module-level mutable containers — a worker that mutates one
+  produces results that depend on its private task history, which breaks
+  1-vs-N-worker bit-identity and makes respawned workers (PR 3)
+  diverge from the workers they replace;
+* all cross-process transport goes through the one audited chokepoint,
+  :mod:`repro.parallel` (``shm.pack``/``unpack`` + the executor) — ad-hoc
+  ``multiprocessing`` use elsewhere bypasses the shm ownership protocol,
+  the leak janitor, and the fault-tolerance fencing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext, _expr_token
+from repro.analysis.core import Finding, Rule, Severity, register
+
+#: Constructors of mutable module-level state flagged by WRK001.
+MUTABLE_FACTORIES = frozenset(
+    {
+        "collections.defaultdict",
+        "collections.OrderedDict",
+        "collections.Counter",
+        "collections.deque",
+        "itertools.count",
+        "queue.Queue",
+    }
+)
+
+#: Builtin constructors of mutable containers.
+MUTABLE_BUILTINS = frozenset({"list", "dict", "set", "bytearray"})
+
+#: Package segment allowed to use multiprocessing primitives directly.
+TRANSPORT_PACKAGE_SEGMENT = "parallel"
+
+#: Dotted prefixes that constitute direct cross-process transport.
+TRANSPORT_PREFIXES = ("multiprocessing",)
+
+#: Specific transport entry points outside the ``multiprocessing`` root.
+TRANSPORT_CALLS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "os.fork",
+    }
+)
+
+
+@register
+class MutableGlobalInWorkerPathRule(Rule):
+    """WRK001: no module-level mutable containers on the worker call graph."""
+
+    rule_id = "WRK001"
+    title = "module-level mutable state reachable from campaign workers"
+    severity = Severity.WARNING
+    rationale = (
+        "A worker that reads-and-mutates module state makes its results a "
+        "function of its private task history: chunk order, worker count, "
+        "and PR 3 respawns all change the answer.  Keep worker-reachable "
+        "module state immutable (tuples/frozensets/MappingProxyType) or "
+        "justify the exception in a suppression."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag mutable module-level assignments in worker-reachable modules."""
+        project = ctx.project
+        if project is None or ctx.module_name not in project.worker_reachable:
+            return
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            reason = self._mutability(ctx, value)
+            if reason is None:
+                continue
+            for target in targets:
+                name = _expr_token(target)
+                if name is None:
+                    continue
+                # Dunders (__all__ & friends) are interpreter conventions,
+                # written once at import and never mutated.
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"module-level mutable state `{name}` ({reason}) is "
+                    "reachable from the campaign worker call graph",
+                )
+
+    def _mutability(self, ctx: ModuleContext, value: ast.AST) -> str | None:
+        if isinstance(value, (ast.List, ast.ListComp)):
+            return "list"
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            return "dict"
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return "set"
+        if isinstance(value, ast.Call):
+            if (
+                isinstance(value.func, ast.Name)
+                and value.func.id in MUTABLE_BUILTINS
+            ):
+                return value.func.id
+            resolved = ctx.resolve(value.func)
+            if resolved in MUTABLE_FACTORIES:
+                return resolved
+        return None
+
+
+@register
+class TransportOutsideParallelRule(Rule):
+    """WRK002: multiprocessing primitives only inside ``repro.parallel``."""
+
+    rule_id = "WRK002"
+    title = "cross-process transport outside repro.parallel"
+    severity = Severity.ERROR
+    rationale = (
+        "repro.parallel owns the shm ownership protocol (named segments, "
+        "janitor sweeps, epoch fencing).  Payload types cross the process "
+        "boundary only via shm.pack/unpack, which knows how to extract "
+        "and rehydrate ndarray-bearing trees; a bare Pool/Pipe elsewhere "
+        "ships unregistered payloads and leaks segments on crash."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag multiprocessing usage outside the transport package."""
+        if TRANSPORT_PACKAGE_SEGMENT in ctx.module_segments():
+            return
+        seen_lines: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            resolved: str | None = None
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = ctx.resolve(node)
+            if resolved is None:
+                continue
+            hit = resolved in TRANSPORT_CALLS or any(
+                resolved == p or resolved.startswith(p + ".")
+                for p in TRANSPORT_PREFIXES
+            )
+            if hit and node.lineno not in seen_lines:
+                seen_lines.add(node.lineno)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct transport primitive `{resolved}`; route "
+                    "cross-process payloads through repro.parallel "
+                    "(CampaignExecutor + shm.pack/unpack)",
+                )

@@ -1,0 +1,195 @@
+"""File discovery, worker-reachability, and rule execution.
+
+:func:`analyze_paths` is the library entry point: it discovers ``.py``
+files, derives dotted module names (relative to the nearest ``src``
+directory when present, else to the given root), computes the set of
+modules transitively imported by the campaign-worker entry module, runs
+every registered rule, and applies inline suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding, all_rules
+
+#: Module whose (transitive) imports define the worker call graph.
+DEFAULT_WORKER_ENTRY = "repro.experiments._campaign_worker"
+
+
+@dataclass
+class Project:
+    """Cross-module state shared by all rules in one analysis run.
+
+    Attributes:
+        modules: Module name -> context for every analyzed file.
+        worker_entry: Dotted name of the campaign-worker entry module.
+        worker_reachable: Modules transitively imported from the entry
+            (including the entry itself); empty when the entry is not
+            among the analyzed files.
+    """
+
+    modules: dict[str, ModuleContext] = field(default_factory=dict)
+    worker_entry: str = DEFAULT_WORKER_ENTRY
+    worker_reachable: frozenset[str] = frozenset()
+
+    def compute_reachability(self) -> None:
+        """Breadth-first closure of imports starting at ``worker_entry``."""
+        if self.worker_entry not in self.modules:
+            self.worker_reachable = frozenset()
+            return
+        seen: set[str] = set()
+        frontier = [self.worker_entry]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            ctx = self.modules.get(name)
+            if ctx is None:
+                continue
+            for target in ctx.imported_modules():
+                for candidate in self._module_candidates(target):
+                    if candidate not in seen:
+                        frontier.append(candidate)
+        self.worker_reachable = frozenset(seen)
+
+    def _module_candidates(self, target: str) -> list[str]:
+        """Analyzed modules an import target may denote (incl. packages)."""
+        out = []
+        if target in self.modules:
+            out.append(target)
+        # ``import a.b.c`` also executes a and a.b (__init__ chain).
+        parts = target.split(".")
+        for i in range(1, len(parts)):
+            prefix = ".".join(parts[:i])
+            if prefix in self.modules:
+                out.append(prefix)
+        return out
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analysis run.
+
+    Attributes:
+        findings: Active (unsuppressed) findings, sorted by location.
+        suppressed: Findings silenced by inline directives.
+        files_scanned: Number of files analyzed.
+        errors: Per-file read/parse failures as ``(path, message)``.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[tuple[Path, Path]]:
+    """Expand files/directories into ``(file, root)`` pairs.
+
+    The root is the argument the file was found under; module names are
+    derived relative to it (or to an intermediate ``src`` directory).
+    """
+    out: list[tuple[Path, Path]] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                out.append((f, p))
+        elif p.suffix == ".py":
+            out.append((p, p.parent))
+    return out
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name for ``path`` relative to ``root``.
+
+    When a ``src`` directory appears anywhere on the file's (resolved)
+    path, names are relative to it, so ``src/repro/physics/compton.py``
+    becomes ``repro.physics.compton`` even when the lint root is a
+    single file or a subdirectory below ``src``.
+    """
+    resolved = path.resolve()
+    try:
+        rel = resolved.relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    full = list(resolved.with_suffix("").parts)
+    if "src" in full:
+        anchor = len(full) - 1 - full[::-1].index("src")
+        parts = full[anchor + 1 :]
+    elif "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        parts = [root.resolve().name]
+    return ".".join(parts)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+    worker_entry: str = DEFAULT_WORKER_ENTRY,
+) -> AnalysisResult:
+    """Run every registered rule over the python files under ``paths``.
+
+    Args:
+        paths: Files and/or directories to lint.
+        select: When given, only these rule ids run.
+        disable: Rule ids excluded from the run.
+        worker_entry: Module anchoring the worker-reachability graph
+            (rule WRK001).
+
+    Returns:
+        An :class:`AnalysisResult` with active and suppressed findings.
+    """
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        rules = [r for r in rules if r.rule_id in wanted]
+    if disable:
+        dropped = set(disable)
+        rules = [r for r in rules if r.rule_id not in dropped]
+
+    result = AnalysisResult()
+    project = Project(worker_entry=worker_entry)
+    cwd = Path.cwd()
+    for path, root in discover_files(paths):
+        try:
+            resolved = path.resolve()
+            try:
+                display = str(resolved.relative_to(cwd))
+            except ValueError:
+                display = str(path)
+            ctx = ModuleContext.from_path(
+                path,
+                module_name_for(path, root),
+                display_path=display,
+                project=project,
+            )
+        except (SyntaxError, OSError, UnicodeDecodeError) as exc:
+            result.errors.append((str(path), str(exc)))
+            continue
+        project.modules[ctx.module_name] = ctx
+    project.compute_reachability()
+    result.files_scanned = len(project.modules)
+
+    for name in sorted(project.modules):
+        ctx = project.modules[name]
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding.rule_id, finding.line):
+                    result.suppressed.append(finding)
+                else:
+                    result.findings.append(finding)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result

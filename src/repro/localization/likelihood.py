@@ -29,7 +29,7 @@ def ring_chi_square(rings: RingSet, directions: np.ndarray) -> np.ndarray:
     single = directions.ndim == 1
     dirs = np.atleast_2d(directions)
     resid = rings.axis @ dirs.T - rings.eta[:, None]
-    chi2 = (resid / rings.deta[:, None]) ** 2
+    chi2 = (resid / rings.deta[:, None]) ** 2  # reprolint: disable=NUM002 -- RingSet.deta is floored at DETA_FLOOR by reconstruction.error_propagation
     return chi2[:, 0] if single else chi2
 
 
@@ -59,4 +59,4 @@ def joint_log_likelihood(rings: RingSet, direction: np.ndarray) -> float:
     ``log L = -1/2 sum_j [ ((c_j . s - eta_j)/d eta_j)^2 + 2 log d eta_j ]``
     """
     chi2 = ring_chi_square(rings, direction)
-    return float(-0.5 * np.sum(chi2) - np.sum(np.log(rings.deta)))
+    return float(-0.5 * np.sum(chi2) - np.sum(np.log(rings.deta)))  # reprolint: disable=NUM001 -- deta >= DETA_FLOOR > 0 (reconstruction.error_propagation)

@@ -65,7 +65,7 @@ def _solve_weighted(rings: RingSet, mask: np.ndarray, ridge: float) -> np.ndarra
     """One weighted least-squares solve over the masked rings."""
     axis = rings.axis[mask]
     eta = rings.eta[mask]
-    w = 1.0 / rings.deta[mask] ** 2
+    w = 1.0 / rings.deta[mask] ** 2  # reprolint: disable=NUM002 -- deta >= DETA_FLOOR > 0 (reconstruction.error_propagation)
     a = (axis * w[:, None]).T @ axis
     b = (axis * (w * eta)[:, None]).sum(axis=0)
     a += np.eye(3) * (ridge * max(np.trace(a), 1.0))
@@ -107,7 +107,7 @@ def refine_source(
     converged = False
     iterations = 0
     for iterations in range(1, cfg.max_iterations + 1):
-        normalized = np.abs(rings.residuals(s)) / rings.deta
+        normalized = np.abs(rings.residuals(s)) / rings.deta  # reprolint: disable=NUM002 -- deta >= DETA_FLOOR > 0 (reconstruction.error_propagation)
         gate = normalized <= cfg.gate_sigma
         if gate.sum() < min(cfg.min_rings, m):
             order = np.argsort(normalized)

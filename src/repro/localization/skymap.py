@@ -156,7 +156,7 @@ def render_ascii(
     sin_max = np.sin(np.deg2rad(min(max_polar_deg, 90.0)))
     xs = np.linspace(-sin_max, sin_max, width)
     ys = np.linspace(-sin_max, sin_max, height)
-    dens = sky.probability / sky.grid.pixel_area_sr
+    dens = sky.probability / sky.grid.pixel_area_sr  # reprolint: disable=NUM002 -- band areas are strictly positive by construction in SkyGrid.build
     # Rank-based shading: each pixel's glyph reflects its density rank, so
     # the likelihood landscape stays visible no matter how many orders of
     # magnitude separate the localization peak from the floor.
@@ -209,7 +209,7 @@ def compute_skymap(
     if cap is not None:
         chi2 = np.minimum(chi2, cap)
     log_like = -0.5 * chi2.sum(axis=0)
-    log_post = log_like + np.log(grid.pixel_area_sr)
+    log_post = log_like + np.log(grid.pixel_area_sr)  # reprolint: disable=NUM001 -- pixel areas strictly positive by construction in SkyGrid.build
     log_post -= log_post.max()
     prob = np.exp(log_post)
     prob /= prob.sum()

@@ -62,7 +62,7 @@ def predicted_error_deg(
     # by (c.u) du + (c.v) dv under a tangent displacement.
     cu = axis @ u
     cv = axis @ v
-    w = 1.0 / deta**2
+    w = 1.0 / deta**2  # reprolint: disable=NUM002 -- deta >= DETA_FLOOR > 0 (reconstruction.error_propagation)
     i_uu = float(np.sum(w * cu * cu))
     i_uv = float(np.sum(w * cu * cv))
     i_vv = float(np.sum(w * cv * cv))
@@ -100,7 +100,7 @@ def error_ellipse_deg(
     u, v = _tangent_basis(direction)
     cu = axis @ u
     cv = axis @ v
-    w = 1.0 / deta**2
+    w = 1.0 / deta**2  # reprolint: disable=NUM002 -- deta >= DETA_FLOOR > 0 (reconstruction.error_propagation)
     info = np.array(
         [
             [np.sum(w * cu * cu), np.sum(w * cu * cv)],

@@ -28,6 +28,7 @@ from repro.nn.optim import SGD
 from repro.nn.train import Trainer, TrainingHistory
 from repro.models.features import NUM_FEATURES
 from repro.models.thresholds import PolarBinnedThresholds
+from repro.rng import require_rng
 
 #: Paper's tuned hyperparameters for the background network.
 PAPER_BATCH_SIZE: int = 4096
@@ -57,7 +58,7 @@ def build_background_net(
     Returns:
         A :class:`Sequential` producing ``(batch, 1)`` logits.
     """
-    rng = rng or np.random.default_rng(0)
+    rng = require_rng(rng, "models.build_background_net")
     modules: list[Module] = []
     width_in = num_features
     for width in hidden_widths:

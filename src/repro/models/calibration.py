@@ -111,6 +111,8 @@ class TemperatureScaler:
         labels = np.asarray(labels, dtype=np.float64).ravel()
         if logits.shape != labels.shape:
             raise ValueError("shape mismatch")
+        if not 0.0 < t_range[0] < t_range[1]:
+            raise ValueError("t_range must satisfy 0 < lo < hi")
         lo, hi = np.log(t_range[0]), np.log(t_range[1])
         golden = (np.sqrt(5.0) - 1.0) / 2.0
         a, b = lo, hi

@@ -22,6 +22,7 @@ from repro.nn.losses import MSELoss
 from repro.nn.optim import SGD
 from repro.nn.train import Trainer, TrainingHistory
 from repro.models.features import NUM_FEATURES
+from repro.rng import require_rng
 
 #: Paper's tuned hyperparameters for the dEta network.
 PAPER_BATCH_SIZE: int = 256
@@ -54,7 +55,7 @@ def build_deta_net(
     Returns:
         A :class:`Sequential` producing ``(batch, 1)`` outputs.
     """
-    rng = rng or np.random.default_rng(0)
+    rng = require_rng(rng, "models.build_deta_net")
     modules: list[Module] = []
     width_in = num_features
     for width in hidden_widths:

@@ -110,7 +110,7 @@ def extract_features(
         positions[second, 1],
         positions[second, 2],
         events.energies[second],
-        np.sqrt(var_tot[ev]),
+        np.sqrt(var_tot[ev]),  # reprolint: disable=NUM001 -- var_tot is a sum of squared sigmas, nonnegative by construction
         events.sigma_energy[first],
         events.sigma_energy[second],
     ]

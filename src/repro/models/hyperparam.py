@@ -9,6 +9,7 @@ each configuration by validation loss after a short training run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 
 import numpy as np
 
@@ -38,13 +39,13 @@ class HyperParams:
 
 #: Width profiles: how hidden widths relate to the maximum width, matching
 #: the paper's "width of each layer relative to the maximum" search axis.
-_PROFILES = {
+_PROFILES = MappingProxyType({
     "decreasing": lambda w, n: [max(w // (2**i), 4) for i in range(n)],
     "bulge": lambda w, n: [
         max(w // (2 ** abs(i - n // 2)), 4) for i in range(n)
     ],
     "constant": lambda w, n: [w] * n,
-}
+})
 
 
 def sample_config(rng: np.random.Generator, task: str) -> HyperParams:

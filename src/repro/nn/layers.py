@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.rng import require_rng
+
 
 class Parameter:
     """A trainable tensor with its gradient accumulator.
@@ -77,8 +79,9 @@ class Linear(Module):
     Args:
         in_features: Input width.
         out_features: Output width.
-        rng: Generator for weight init (a fixed default keeps module
-            construction deterministic when omitted).
+        rng: Generator for weight init.  Omitting it emits a
+            :class:`repro.rng.MissingRngWarning` and falls back to a
+            fixed-seed generator (deterministic, but unthreaded).
     """
 
     def __init__(
@@ -89,7 +92,7 @@ class Linear(Module):
     ) -> None:
         if in_features < 1 or out_features < 1:
             raise ValueError("layer widths must be positive")
-        rng = rng or np.random.default_rng(0)
+        rng = require_rng(rng, "nn.Linear")
         scale = np.sqrt(2.0 / in_features)
         self.weight = Parameter(
             rng.normal(0.0, scale, size=(in_features, out_features)), "weight"
@@ -234,7 +237,7 @@ class Dropout(Module):
         if not (0.0 <= p < 1.0):
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = require_rng(rng, "nn.Dropout")
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:

@@ -109,4 +109,4 @@ class Adam(Optimizer):
             m += (1.0 - self.beta1) * g
             v *= self.beta2
             v += (1.0 - self.beta2) * g**2
-            p.value -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)
+            p.value -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)  # reprolint: disable=NUM001 -- v is an EWMA of g**2, nonnegative by construction

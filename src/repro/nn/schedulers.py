@@ -93,7 +93,7 @@ def clip_gradients(parameters, max_norm: float) -> float:
     if max_norm <= 0:
         raise ValueError("max_norm must be positive")
     params = list(parameters)
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))  # reprolint: disable=NUM001 -- sum of squared norms, nonnegative by construction
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for p in params:

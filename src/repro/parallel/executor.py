@@ -86,7 +86,7 @@ RESTART_BACKOFF_S = 0.05
 
 #: Process-wide fault-tolerance defaults, adjustable via :func:`configure`
 #: (the CLI's ``--max-retries`` / ``--task-timeout`` land here).
-DEFAULTS = {"max_retries": 2, "task_timeout": None}
+DEFAULTS = {"max_retries": 2, "task_timeout": None}  # reprolint: disable=WRK001 -- parent-side knobs read at executor construction; workers never touch it
 
 _UNSET = object()
 
@@ -564,7 +564,7 @@ class CampaignExecutor:
 
 # -- process-wide executor registry -----------------------------------------
 
-_EXECUTORS: dict[int, CampaignExecutor] = {}
+_EXECUTORS: dict[int, CampaignExecutor] = {}  # reprolint: disable=WRK001 -- parent-side registry; never populated inside workers
 
 
 def get_executor(n_workers: int) -> CampaignExecutor:

@@ -50,7 +50,7 @@ SHM_NAME_PREFIX = "repro-shm"
 #: without it, :func:`list_segments` degrades to an empty listing.
 _SHM_DIR = "/dev/shm"
 
-_name_counter = itertools.count()
+_name_counter = itertools.count()  # reprolint: disable=WRK001 -- per-process counter, pid-fenced via _next_name
 
 
 def _next_name() -> str:

@@ -71,9 +71,9 @@ def klein_nishina_differential(
     """
     energy = np.asarray(energy, dtype=np.float64)
     cos_theta = np.asarray(cos_theta, dtype=np.float64)
-    ratio = scattered_energy(energy, cos_theta) / energy
+    ratio = scattered_energy(energy, cos_theta) / energy  # reprolint: disable=NUM002 -- photon energy > 0 MeV is a documented precondition
     sin2 = 1.0 - cos_theta**2
-    return ratio**2 * (ratio + 1.0 / ratio - sin2)
+    return ratio**2 * (ratio + 1.0 / ratio - sin2)  # reprolint: disable=NUM002 -- ratio = E'/E in (0, 1] for E > 0
 
 
 def sample_klein_nishina(
@@ -120,11 +120,11 @@ def sample_klein_nishina(
         r3 = rng.uniform(size=m)
         branch1 = r1 <= (1.0 + 2.0 * a) / (9.0 + 2.0 * a)
         eta = np.where(branch1, 1.0 + 2.0 * a * r2, (1.0 + 2.0 * a) / (1.0 + 2.0 * a * r2))
-        cos_t = 1.0 - (eta - 1.0) / a
+        cos_t = 1.0 - (eta - 1.0) / a  # reprolint: disable=NUM002 -- alpha = E/m_e > 0 for physical photons
         accept_p = np.where(
             branch1,
-            4.0 * (1.0 / eta - 1.0 / eta**2),
-            0.5 * (cos_t**2 + 1.0 / eta),
+            4.0 * (1.0 / eta - 1.0 / eta**2),  # reprolint: disable=NUM002 -- eta in [1, 1+2*alpha] by construction
+            0.5 * (cos_t**2 + 1.0 / eta),  # reprolint: disable=NUM002 -- eta in [1, 1+2*alpha] by construction
         )
         accept = r3 <= accept_p
         out[pending[accept]] = cos_t[accept]

@@ -35,6 +35,11 @@ PAIR_THRESHOLD_MEV: float = 2.0 * _ME
 #: 10 MeV, matching NIST XCOM within a factor ~1.5 across 2-30 MeV.
 _PAIR_COEFF: float = 9.2e-4
 
+#: Floor on the reduced energy ``k = E / m_e c^2``.  A no-op for any
+#: physical photon (k ~ 2e-7 already at 0.1 keV); keeps the closed-form
+#: Klein--Nishina expression finite if a zero-energy row sneaks in.
+_K_FLOOR: float = 1e-30
+
 
 def klein_nishina_total(energy: np.ndarray) -> np.ndarray:
     """Total Klein--Nishina cross section per electron, cm^2.
@@ -45,7 +50,7 @@ def klein_nishina_total(energy: np.ndarray) -> np.ndarray:
     + ln(1+2k)/(2k) - (1+3k)/(1+2k)^2 ]``
     """
     energy = np.asarray(energy, dtype=np.float64)
-    k = energy / _ME
+    k = np.maximum(energy / _ME, _K_FLOOR)
     one_2k = 1.0 + 2.0 * k
     log_term = np.log1p(2.0 * k)
     sigma = (
@@ -93,7 +98,7 @@ def pair_mu(energy: np.ndarray, material: Material) -> np.ndarray:
     return (
         material.density_g_cm3
         * _PAIR_COEFF
-        * (material.z_eff**2 / material.a_eff)
+        * (material.z_eff**2 / material.a_eff)  # reprolint: disable=NUM002 -- Material.a_eff is a positive tabulated constant
         * ramp
     )
 
@@ -119,5 +124,7 @@ def interaction_probabilities(
     mu_c = compton_mu(energy, material)
     mu_pe = photoelectric_mu(energy, material)
     mu_pp = pair_mu(energy, material)
-    total = mu_c + mu_pe + mu_pp
+    # mu_c > 0 at every energy, so the floor is a no-op for physical
+    # photons; it only shields a hand-crafted all-zero row from 0/0.
+    total = np.maximum(mu_c + mu_pe + mu_pp, np.finfo(np.float64).tiny)
     return mu_c / total, mu_pe / total, mu_pp / total

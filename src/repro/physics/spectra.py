@@ -42,7 +42,7 @@ class Spectrum:
         """Mean photon energy <E> of the spectrum, MeV."""
         grid = np.geomspace(self.e_min, self.e_max, 8192)
         pdf = self.pdf_unnormalized(grid)
-        norm = np.trapezoid(pdf, grid)
+        norm = max(np.trapezoid(pdf, grid), np.finfo(np.float64).tiny)
         return float(np.trapezoid(grid * pdf, grid) / norm)
 
 
@@ -72,7 +72,7 @@ class PowerLawSpectrum(Spectrum):
         g = self.index + 1.0
         if abs(g) < 1e-12:
             # N(E) ~ 1/E: log-uniform.
-            return self.e_min * np.exp(u * np.log(self.e_max / self.e_min))
+            return self.e_min * np.exp(u * np.log(self.e_max / self.e_min))  # reprolint: disable=NUM001,NUM002 -- __post_init__ enforces 0 < e_min < e_max
         lo = self.e_min**g
         hi = self.e_max**g
         return np.power(lo + u * (hi - lo), 1.0 / g)
@@ -106,6 +106,8 @@ class BandSpectrum(Spectrum):
     def __post_init__(self) -> None:
         if self.alpha <= self.beta:
             raise ValueError("Band function requires alpha > beta")
+        if self.e_peak <= 0 or self.alpha <= -2.0:
+            raise ValueError("require e_peak > 0 and alpha > -2")
         if not (0 < self.e_min < self.e_max):
             raise ValueError("require 0 < e_min < e_max")
         self._e0 = self.e_peak / (2.0 + self.alpha)
@@ -118,6 +120,6 @@ class BandSpectrum(Spectrum):
 
     def pdf_unnormalized(self, energy: np.ndarray) -> np.ndarray:
         energy = np.asarray(energy, dtype=np.float64)
-        low = np.power(energy, self.alpha) * np.exp(-energy / self._e0)
+        low = np.power(energy, self.alpha) * np.exp(-energy / self._e0)  # reprolint: disable=NUM002 -- _e0 > 0: __post_init__ enforces e_peak > 0, alpha > -2
         high = self._join * np.power(energy, self.beta)
         return np.where(energy < self._e_break, low, high)

@@ -188,7 +188,9 @@ def transport_photons(
         e = energies[live_idx]
 
         t_in, t_out = geometry.segment_intersections(pos, dirs)
-        mu = total_mu(e, material)
+        # total_mu > 0 at every energy (Compton never vanishes); the
+        # floor only shields degenerate test materials from 0-division.
+        mu = np.maximum(total_mu(e, material), np.finfo(np.float64).tiny)
         required = rng.exponential(1.0, size=live_idx.size) / mu
         t_star, escaped = _material_path_to_geometric(t_in, t_out, required)
 

@@ -20,7 +20,7 @@ from repro.nn.layers import BatchNorm1d, Identity, Linear, Module, Sequential
 
 def _fold(linear: Linear, bn: BatchNorm1d) -> Linear:
     g = bn.gamma.value / np.sqrt(bn.running_var + bn.eps)
-    fused = Linear(linear.in_features, linear.out_features)
+    fused = Linear(linear.in_features, linear.out_features, rng=np.random.default_rng(0))  # reprolint: disable=RNG001 -- init values are discarded; weight and bias are overwritten below
     fused.weight.value[...] = linear.weight.value * g[None, :]
     fused.bias.value[...] = (linear.bias.value - bn.running_mean) * g + bn.beta.value
     return fused

@@ -100,7 +100,7 @@ def post_training_quantize(
             # ReLU clamps the preceding Linear's observed range at zero; the
             # affine parameter computation handles this via the zero-anchor,
             # but tightening the min to 0 improves resolution.
-            observers[-1].observe(np.zeros(1))
+            observers[-1].observe(np.zeros(1, dtype=np.float64))
             observers[-1].min_val = max(observers[-1].min_val, 0.0)
             observers[-1].observe(x)
 

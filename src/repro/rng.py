@@ -1,0 +1,58 @@
+"""Explicit random-generator threading helpers.
+
+The repository's reproducibility contract (see ``docs/performance.md``
+and reprolint rules RNG001/RNG002) is that randomness flows from one
+campaign ``SeedSequence`` down through explicit
+``rng: np.random.Generator`` parameters.  :func:`require_rng` is the one
+sanctioned escape hatch for interactive/exploratory use: omitting the
+generator is *loud* (a :class:`MissingRngWarning`), so an unthreaded rng
+can never silently masquerade as a seeded campaign.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+
+class MissingRngWarning(UserWarning):
+    """Warns that a component minted its own fallback random generator.
+
+    Raised-as-warning by :func:`require_rng` when a caller omitted the
+    ``rng`` argument.  Campaign code must never trigger this: every draw
+    is supposed to trace back to the campaign ``SeedSequence``.
+    """
+
+
+#: Seed of the fallback generator minted by :func:`require_rng`.
+FALLBACK_SEED = 0
+
+
+def require_rng(
+    rng: np.random.Generator | None, owner: str
+) -> np.random.Generator:
+    """Return ``rng``, or warn and mint a deterministic fallback.
+
+    Args:
+        rng: The caller-threaded generator, or None when omitted.
+        owner: Human-readable name of the component asking (used in the
+            warning so the unthreaded call site is identifiable).
+
+    Returns:
+        ``rng`` unchanged when provided; otherwise a fresh generator
+        seeded with :data:`FALLBACK_SEED`, after emitting a
+        :class:`MissingRngWarning`.
+    """
+    if rng is not None:
+        return rng
+    warnings.warn(
+        f"{owner}: no rng passed; drawing from a fixed fallback generator "
+        f"(seed {FALLBACK_SEED}). Thread the campaign Generator for "
+        "reproducible results.",
+        MissingRngWarning,
+        stacklevel=3,
+    )
+    # The fallback is deliberately constant-seeded so exploratory use is
+    # at least repeatable; the warning above keeps it out of campaigns.
+    return np.random.default_rng(FALLBACK_SEED)  # reprolint: disable=RNG001 -- sanctioned fallback, guarded by MissingRngWarning

@@ -94,7 +94,7 @@ class BackgroundModel:
         if n_photons is None:
             n_photons = int(rng.poisson(self.expected_photons(geometry)))
         cos_p = rng.uniform(self.cos_polar_min, 1.0, size=n_photons)
-        sin_p = np.sqrt(1.0 - cos_p**2)
+        sin_p = np.sqrt(np.clip(1.0 - cos_p**2, 0.0, 1.0))
         az = rng.uniform(0.0, 2.0 * np.pi, size=n_photons)
         # Unit vectors from detector toward each photon's origin direction.
         src = np.stack([sin_p * np.cos(az), sin_p * np.sin(az), cos_p], axis=1)

@@ -84,7 +84,7 @@ class PopulationModel:
         """Isotropic (polar_deg, azimuth_deg) over the visibility cone."""
         cos_max = np.cos(np.deg2rad(self.max_polar_deg))
         cos_p = rng.uniform(cos_max, 1.0, n)
-        polar = np.degrees(np.arccos(cos_p))
+        polar = np.degrees(np.arccos(np.clip(cos_p, -1.0, 1.0)))
         azimuth = rng.uniform(0.0, 360.0, n)
         return polar, azimuth
 

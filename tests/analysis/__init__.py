@@ -1,0 +1,1 @@
+"""Tests for the reprolint static-analysis framework."""

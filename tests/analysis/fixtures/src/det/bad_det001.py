@@ -1,0 +1,8 @@
+"""Bad: legacy np.random global-state API."""
+import numpy as np
+
+
+def draw(n):
+    """Draw from the hidden global stream."""
+    np.random.seed(123)
+    return np.random.rand(n)

@@ -1,0 +1,7 @@
+"""Bad: OS-entropy-seeded generator."""
+import numpy as np
+
+
+def fresh_stream():
+    """Mint an irreproducible generator."""
+    return np.random.default_rng()

@@ -1,0 +1,7 @@
+"""Good: draws come from an explicit Generator."""
+import numpy as np
+
+
+def draw(n, rng: np.random.Generator):
+    """Draw from the threaded generator."""
+    return rng.uniform(size=n)

@@ -1,0 +1,7 @@
+"""Good: generator derived from a caller-supplied seed."""
+import numpy as np
+
+
+def stream(seed):
+    """Mint a generator from an explicit seed."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,7 @@
+"""Clock use outside kernel packages is allowed (orchestration)."""
+import time
+
+
+def now():
+    """Wall-clock read in non-kernel code."""
+    return time.time()

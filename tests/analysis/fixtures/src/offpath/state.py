@@ -1,0 +1,8 @@
+"""Mutable module state NOT reachable from the worker entry."""
+
+SCRATCH = {}
+
+
+def note(key, value):
+    """Record a value (fine: never runs in a worker)."""
+    SCRATCH[key] = value

@@ -1,0 +1,9 @@
+"""Good: multiprocessing inside a ``parallel`` package is the chokepoint."""
+import multiprocessing
+
+
+def spawn(target):
+    """The transport package may use multiprocessing directly."""
+    proc = multiprocessing.Process(target=target)
+    proc.start()
+    return proc

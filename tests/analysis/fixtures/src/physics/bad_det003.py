@@ -1,0 +1,7 @@
+"""Bad: wall-clock read inside a kernel package."""
+import time
+
+
+def timed_kernel(x):
+    """Return the input plus the current time (run-dependent!)."""
+    return x + time.time()

@@ -1,0 +1,12 @@
+"""Bad: domain-restricted calls with no visible guard."""
+import numpy as np
+
+
+def angles(cos_theta):
+    """arccos of unclipped measured values."""
+    return np.arccos(cos_theta)
+
+
+def widths(variance):
+    """sqrt of an unguarded measurement."""
+    return np.sqrt(variance)

@@ -1,0 +1,6 @@
+"""Bad: bare division by a measured quantity in a physics module."""
+
+
+def ratio(energy_out, energy_in):
+    """Divide by an unguarded measurement."""
+    return energy_out / energy_in

@@ -1,0 +1,19 @@
+"""Good: every domain-restricted call is visibly guarded."""
+import numpy as np
+
+
+def angles(cos_theta):
+    """arccos of clipped values."""
+    return np.arccos(np.clip(cos_theta, -1.0, 1.0))
+
+
+def widths(variance):
+    """sqrt of a floored radicand."""
+    return np.sqrt(np.maximum(variance, 0.0))
+
+
+def validated(x):
+    """Early-exit validation also counts as a guard."""
+    if x < 0:
+        raise ValueError("x must be nonnegative")
+    return np.sqrt(x)

@@ -1,0 +1,20 @@
+"""Good: denominators are guarded or structurally nonzero."""
+import numpy as np
+
+SCALE = 4.0
+
+
+def ratio(energy_out, energy_in):
+    """Divide by a floored measurement."""
+    denom = np.maximum(energy_in, 1e-12)
+    return energy_out / denom
+
+
+def offset_ratio(x, y):
+    """The 1 + y**2 denominator carries a positive offset."""
+    return x / (1.0 + y**2)
+
+
+def scaled(x):
+    """Module ALL_CAPS constants are trusted."""
+    return x / SCALE

@@ -1,0 +1,7 @@
+"""Bad: narrowing cast with no clip to the target range."""
+import numpy as np
+
+
+def quantize(x):
+    """Wraps modulo 256 where the FPGA would saturate."""
+    return x.astype(np.int8)

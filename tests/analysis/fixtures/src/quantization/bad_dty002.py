@@ -1,0 +1,7 @@
+"""Bad: array constructor inheriting float64 in the quantized path."""
+import numpy as np
+
+
+def accumulator(n):
+    """Width left to the numpy default."""
+    return np.zeros(n)

@@ -1,0 +1,13 @@
+"""Good: narrowing casts clip to the representable range first."""
+import numpy as np
+
+
+def quantize(x):
+    """Saturating cast, matching the hardware."""
+    return np.clip(x, -128, 127).astype(np.int8)
+
+
+def quantize_named(x):
+    """Clipping through a guarded local also counts."""
+    y = np.clip(x, -128, 127)
+    return y.astype("int8")

@@ -1,0 +1,17 @@
+"""Good: every constructor names its width."""
+import numpy as np
+
+
+def accumulator(n):
+    """Explicit accumulator width."""
+    return np.zeros(n, dtype=np.int32)
+
+
+def positional(n):
+    """Positional dtype is explicit too."""
+    return np.zeros(n, np.int32)
+
+
+def like(x):
+    """*_like constructors inherit deliberately."""
+    return np.zeros_like(x)

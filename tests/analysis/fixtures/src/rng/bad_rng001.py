@@ -1,0 +1,7 @@
+"""Bad: generator minted from a hard-coded literal seed."""
+import numpy as np
+
+
+def stream():
+    """Every call site shares this one stream."""
+    return np.random.default_rng(42)

@@ -1,0 +1,15 @@
+"""Bad: silent rng fallbacks in both syntactic forms."""
+import numpy as np
+
+
+def sample_or(n, rng=None):
+    """Boolean-or fallback."""
+    rng = rng or np.random.default_rng(7)
+    return rng.uniform(size=n)
+
+
+def sample_if(n, rng=None):
+    """If-None fallback."""
+    if rng is None:
+        rng = np.random.default_rng(seed=7)
+    return rng.uniform(size=n)

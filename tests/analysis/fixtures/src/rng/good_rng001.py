@@ -1,0 +1,7 @@
+"""Good: seed flows in from the campaign SeedSequence."""
+import numpy as np
+
+
+def stream(seed_seq):
+    """Derive the generator from the campaign seed."""
+    return np.random.default_rng(seed_seq)

@@ -1,0 +1,9 @@
+"""Good: the generator is required, never silently minted."""
+import numpy as np
+
+
+def sample(n, rng):
+    """Draw from the mandatory generator."""
+    if rng is None:
+        raise ValueError("rng is required")
+    return rng.uniform(size=n)

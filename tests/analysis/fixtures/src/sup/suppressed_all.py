@@ -1,0 +1,8 @@
+"""The ``all`` wildcard silences every rule on the line."""
+import numpy as np
+
+
+def draw(n):
+    """Two rules fire here; both are waived."""
+    rng = np.random.default_rng()  # reprolint: disable=all -- fixture: wildcard waiver
+    return rng.uniform(size=n)

@@ -1,0 +1,13 @@
+"""File-scoped suppression."""
+# reprolint: disable-file=DET001 -- fixture: whole-file waiver
+import numpy as np
+
+
+def draw_a(n):
+    """First legacy call."""
+    return np.random.rand(n)
+
+
+def draw_b(n):
+    """Second legacy call, same waiver."""
+    return np.random.randn(n)

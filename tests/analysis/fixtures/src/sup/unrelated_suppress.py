@@ -1,0 +1,7 @@
+"""A suppression for a different rule does not silence this one."""
+import numpy as np
+
+
+def draw(n):
+    """DET001 fires: the waiver below names another rule."""
+    return np.random.rand(n)  # reprolint: disable=NUM001 -- fixture: wrong rule id on purpose

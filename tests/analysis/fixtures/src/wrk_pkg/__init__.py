@@ -1,0 +1,1 @@
+"""Mini campaign-worker package for WRK001 reachability tests."""

@@ -1,0 +1,7 @@
+"""Worker entry module: imports the state module below."""
+from wrk_pkg import state
+
+
+def run_task(payload):
+    """Execute one task (reads package state)."""
+    return state.lookup(payload)

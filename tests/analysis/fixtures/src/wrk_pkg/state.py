@@ -1,0 +1,12 @@
+"""Bad: mutable module state on the worker path."""
+
+CACHE = {}
+
+GOOD_TABLE = (1, 2, 3)
+
+
+def lookup(key):
+    """Read-through cache (mutates module state!)."""
+    if key not in CACHE:
+        CACHE[key] = key * 2
+    return CACHE[key]

@@ -1,0 +1,99 @@
+"""Baseline round-trips, grandfathering, stale detection, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "src"
+BAD_FILE = FIXTURES / "det" / "bad_det001.py"
+
+
+@pytest.fixture(scope="module")
+def findings():
+    """Active findings from one bad fixture (DET001 twice: seed + rand)."""
+    result = analyze_paths([BAD_FILE])
+    assert result.findings
+    return result.findings
+
+
+def test_round_trip(tmp_path, findings):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == Baseline.from_findings(findings).entries
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+    assert sum(data["findings"].values()) == len(findings)
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    assert not Baseline.load(tmp_path / "absent.json").entries
+
+
+def test_unknown_version_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "findings": {}}')
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_apply_baseline_grandfathers_exact_matches(findings):
+    baseline = Baseline.from_findings(findings)
+    new, grandfathered, stale = apply_baseline(findings, baseline)
+    assert not new
+    assert len(grandfathered) == len(findings)
+    assert not stale
+
+
+def test_apply_baseline_reports_stale_entries(findings):
+    baseline = Baseline.from_findings(findings)
+    extra = "XXX999|gone.py|<module>|this finding no longer exists"
+    baseline.entries[extra] += 1
+    new, grandfathered, stale = apply_baseline(findings, baseline)
+    assert not new
+    assert stale == [extra]
+
+
+def test_apply_baseline_flags_findings_beyond_the_count(findings):
+    baseline = Baseline.from_findings(findings[:-1])
+    new, grandfathered, stale = apply_baseline(findings, baseline)
+    assert len(new) == len(findings) - len(findings[:-1])
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    bad = str(BAD_FILE)
+    assert cli_main([bad]) == 1
+    assert cli_main([bad, "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert cli_main([bad, "--baseline", str(baseline)]) == 0
+    # A fixed (here: vanished) finding leaves the baseline entry stale.
+    good = str(FIXTURES / "det" / "good_det001.py")
+    assert cli_main([good, "--baseline", str(baseline)]) == 1
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "NUM002", "WRK001", "DTY002"):
+        assert rule_id in out
+
+
+def test_cli_json_format(capsys):
+    assert cli_main([str(BAD_FILE), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    assert any(f["rule"] == "DET001" for f in payload["findings"])
+
+
+def test_cli_select_and_disable(capsys):
+    assert cli_main([str(BAD_FILE), "--select", "NUM001"]) == 0
+    assert cli_main([str(BAD_FILE), "--disable", "DET001"]) == 0
+    capsys.readouterr()

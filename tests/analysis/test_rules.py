@@ -1,0 +1,106 @@
+"""Every rule fires on its bad fixture and stays silent on the good one.
+
+The fixture tree under ``fixtures/src`` mirrors the repository layout:
+package-scoped rules (DET003, NUM002, WRK*, DTY*) get fixture modules
+whose dotted names carry the scoping segment (``physics``,
+``quantization``, ``parallel``), and the WRK001 reachability graph is
+anchored at the miniature ``wrk_pkg._campaign_worker`` entry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "src"
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One analysis run over the whole fixture tree."""
+    return analyze_paths([FIXTURES], worker_entry="wrk_pkg._campaign_worker")
+
+
+def rules_in(result, filename):
+    """Rule ids of active findings in the named fixture file."""
+    return {
+        f.rule_id
+        for f in result.findings
+        if Path(f.path).name == filename
+    }
+
+
+CASES = [
+    ("DET001", "bad_det001.py", "good_det001.py"),
+    ("DET002", "bad_det002.py", "good_det002.py"),
+    ("DET003", "bad_det003.py", "good_det003.py"),
+    ("RNG001", "bad_rng001.py", "good_rng001.py"),
+    ("RNG002", "bad_rng002.py", "good_rng002.py"),
+    ("NUM001", "bad_num001.py", "good_num001.py"),
+    ("NUM002", "bad_num002.py", "good_num002.py"),
+    ("WRK002", "bad_wrk002.py", "good_wrk002.py"),
+    ("DTY001", "bad_dty001.py", "good_dty001.py"),
+    ("DTY002", "bad_dty002.py", "good_dty002.py"),
+]
+
+
+@pytest.mark.parametrize("rule_id,bad,good", CASES)
+def test_rule_fires_on_bad_fixture(result, rule_id, bad, good):
+    assert rule_id in rules_in(result, bad), f"{rule_id} missed {bad}"
+
+
+@pytest.mark.parametrize("rule_id,bad,good", CASES)
+def test_rule_silent_on_good_fixture(result, rule_id, bad, good):
+    assert rule_id not in rules_in(result, good), f"{rule_id} fired on {good}"
+
+
+def test_wrk001_fires_on_worker_reachable_state(result):
+    hits = [
+        f
+        for f in result.findings
+        if f.rule_id == "WRK001" and Path(f.path).name == "state.py"
+    ]
+    paths = {Path(f.path).parent.name for f in hits}
+    assert "wrk_pkg" in paths, "mutable state on the worker path missed"
+    assert "offpath" not in paths, "unreachable module wrongly flagged"
+    assert all("CACHE" in f.message for f in hits)
+
+
+def test_wrk001_ignores_immutable_state(result):
+    messages = [f.message for f in result.findings if f.rule_id == "WRK001"]
+    assert not any("GOOD_TABLE" in m for m in messages)
+
+
+def test_det003_allowed_outside_kernel_packages(result):
+    assert "DET003" not in rules_in(result, "uses_clock.py")
+
+
+def test_rng002_flags_both_fallback_forms(result):
+    hits = [
+        f
+        for f in result.findings
+        if f.rule_id == "RNG002" and Path(f.path).name == "bad_rng002.py"
+    ]
+    assert len(hits) == 2, "expected both the `or` and `if None` forms"
+
+
+def test_findings_carry_location_and_scope(result):
+    f = next(
+        f
+        for f in result.findings
+        if f.rule_id == "DET001" and Path(f.path).name == "bad_det001.py"
+    )
+    assert f.line > 0
+    assert f.scope == "draw"
+    assert f.severity == "error"
+
+
+def test_rule_ids_are_unique():
+    from repro.analysis.core import all_rules
+
+    ids = [r.rule_id for r in all_rules()]
+    assert len(ids) == len(set(ids))
+    assert len(ids) >= 10

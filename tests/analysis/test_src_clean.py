@@ -1,0 +1,53 @@
+"""Tier-1 gate: the repository sources lint clean against the baseline.
+
+Marked ``lint`` so fast loops can deselect it (``-m 'not lint'``); in
+full runs it keeps ``src/`` at zero unbaselined findings — exactly what
+``python -m repro.analysis src/`` and ``scripts/ci_checks.py`` enforce
+in CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.baseline import Baseline, apply_baseline
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.lint
+def test_repository_sources_lint_clean():
+    result = analyze_paths([REPO / "src"])
+    baseline = Baseline.load(REPO / ".reprolint-baseline.json")
+    new, _grandfathered, stale = apply_baseline(result.findings, baseline)
+    assert not result.errors, f"parse errors: {result.errors}"
+    report = "\n".join(
+        f"{f.path}:{f.line}: {f.rule_id} {f.message}" for f in new
+    )
+    assert not new, f"unbaselined findings:\n{report}"
+    assert not stale, f"stale baseline entries: {stale}"
+
+
+@pytest.mark.lint
+def test_checked_in_baseline_is_empty():
+    baseline = Baseline.load(REPO / ".reprolint-baseline.json")
+    assert not baseline.entries, (
+        "the baseline is meant to stay empty: fix findings or add "
+        "per-line justified suppressions instead of grandfathering"
+    )
+
+
+@pytest.mark.lint
+def test_every_inline_suppression_carries_a_justification():
+    result = analyze_paths([REPO / "src"])
+    bare = []
+    for path in sorted({f.path for f in result.suppressed}):
+        for lineno, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if "reprolint: disable" in line and " -- " not in line:
+                bare.append(f"{path}:{lineno}")
+    assert not bare, f"suppressions without a justification: {bare}"

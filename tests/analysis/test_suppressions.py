@@ -1,0 +1,52 @@
+"""Inline-suppression semantics: line scope, file scope, wildcards."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "src" / "sup"
+
+
+@pytest.fixture(scope="module")
+def result():
+    """Analysis of the suppression fixtures only."""
+    return analyze_paths([FIXTURES])
+
+
+def active(result, filename):
+    return [f for f in result.findings if Path(f.path).name == filename]
+
+
+def suppressed(result, filename):
+    return [f for f in result.suppressed if Path(f.path).name == filename]
+
+
+def test_line_suppression_silences_only_that_line(result):
+    assert not [
+        f for f in active(result, "suppressed_line.py") if f.rule_id == "DET001"
+    ]
+    sup = suppressed(result, "suppressed_line.py")
+    assert [f.rule_id for f in sup] == ["DET001"]
+
+
+def test_file_suppression_covers_every_occurrence(result):
+    assert not [
+        f for f in active(result, "suppressed_file.py") if f.rule_id == "DET001"
+    ]
+    assert len(suppressed(result, "suppressed_file.py")) == 2
+
+
+def test_all_wildcard_silences_every_rule_on_the_line(result):
+    assert not active(result, "suppressed_all.py")
+    ids = {f.rule_id for f in suppressed(result, "suppressed_all.py")}
+    assert "DET002" in ids
+
+
+def test_suppression_for_other_rule_does_not_silence(result):
+    ids = [f.rule_id for f in active(result, "unrelated_suppress.py")]
+    assert ids == ["DET001"]
+    assert not suppressed(result, "unrelated_suppress.py")
