@@ -1,24 +1,35 @@
 #!/usr/bin/env python
-"""Run the performance suite and write ``BENCH_pr2.json``.
+"""Run the performance suite and write ``BENCH_pr5.json``.
 
-Three measurement groups:
+Five measurement groups:
 
 * **Kernel micro-benchmarks** — ``benchmarks/test_perf_kernels.py`` via
   pytest-benchmark; the report records each kernel's median seconds.
+* **Inference backends** — the paper-shaped background network
+  (13-256-128-64-1) forwarded over Fig.-6-sized ring blocks
+  (597 rows each) through every ``repro.infer`` backend: the eager
+  module tree, the compiled plan per block, the plan over one gathered
+  cross-event batch, and the INT8 plan.  Each backend's output is
+  asserted against the eager reference *before* it is timed, so a
+  broken backend cannot post a flattering rows/s figure.
 * **End-to-end campaign** — ``benchmarks/test_campaign_e2e.py`` timed in
   this process: the seed-style fresh-pool-per-stage path versus the
   persistent shared-memory executor, plus the resulting speedup.  The
   executor path is timed with telemetry disabled (the default) *and*
   enabled, so the report quantifies both the disabled-path overhead
-  (versus ``BENCH_pr1.json``, which predates the telemetry layer) and
-  the cost of actually tracing.
+  (versus earlier reports, which predate the telemetry layer) and the
+  cost of actually tracing.
+* **ML campaign backends** — ``run_trials`` on the ``"ml"`` condition
+  with small trained networks, timed once per ``infer_backend``
+  (reference vs planned vs planned + ``event_batch``), with the error
+  arrays cross-checked for parity first.
 * **Trace summary** — one traced executor campaign, rolled up with
   :func:`repro.obs.summary.summary_dict` and embedded in the report, so
   the per-stage table ships next to the wall-clock numbers it explains.
 
 Usage::
 
-    python scripts/bench_report.py [--output BENCH_pr2.json] [--skip-kernels]
+    python scripts/bench_report.py [--output BENCH_pr5.json] [--skip-kernels]
 """
 
 from __future__ import annotations
@@ -56,6 +67,210 @@ def run_kernel_benchmarks() -> dict[str, float]:
         bench["name"]: bench["stats"]["median"]
         for bench in data["benchmarks"]
     }
+
+
+def run_inference_benchmarks(rounds: int = 3) -> dict[str, float]:
+    """Time every inference backend on paper-shaped ring blocks.
+
+    The workload is 64 blocks of 597 rows x 13 features — the paper's
+    first-background-iteration ring count (``fpga.PAPER_NUM_RINGS``) —
+    pushed through the paper-width background network.  Returns
+    rows-per-second per backend (best of ``rounds``) plus the speedup
+    of each compiled backend over the eager module tree.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    import numpy as np
+    from repro.fpga.hls_model import PAPER_NUM_RINGS
+    from repro.infer import compile_int8_plan, compile_plan
+    from repro.models.background import build_background_net
+    from repro.quantization.fuse import fuse_linear_bn_relu
+    from repro.quantization.qat import convert_to_int8, prepare_qat
+
+    rng = np.random.default_rng(2024)
+    calib = rng.normal(size=(4096, 13))
+
+    net = build_background_net(rng=rng)
+    net.train()
+    net.forward(calib)  # warm BatchNorm running stats
+    net.eval()
+
+    swapped = build_background_net(rng=np.random.default_rng(2024), swapped=True)
+    swapped.train()
+    swapped.forward(calib)  # warm BatchNorm before baking it into the fusion
+    swapped.eval()
+    qat = prepare_qat(fuse_linear_bn_relu(swapped))
+    qat.train()
+    qat.forward(calib)  # calibrate observers
+    qat.eval()
+    quantized = convert_to_int8(qat)
+
+    plan = compile_plan(net)
+    arena = plan.arena()
+    int8_plan = compile_int8_plan(quantized)
+    int8_arena = int8_plan.arena()
+
+    def best_of(fn) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    # Two block regimes: the paper's first-iteration ring count (plan
+    # fusion territory) and late-iteration / dEta-sized small blocks
+    # (where cross-event gathering pays).
+    regimes = {
+        f"block{PAPER_NUM_RINGS}": (PAPER_NUM_RINGS, 64),
+        "block40": (40, 500),
+    }
+    results: dict[str, float] = {}
+    for tag, (nrows, nblocks) in regimes.items():
+        blocks = [rng.normal(size=(nrows, 13)) for _ in range(nblocks)]
+        gathered = np.concatenate(blocks, axis=0)
+        total_rows = float(gathered.shape[0])
+
+        # Parity before timing: a broken backend must not post a number.
+        eager_out = [net.forward(block) for block in blocks]
+        for block, ref in zip(blocks, eager_out):
+            np.testing.assert_array_equal(plan.run(block, arena=arena), ref)
+        np.testing.assert_allclose(
+            plan.run(gathered),
+            np.concatenate(eager_out, axis=0),
+            rtol=1e-9,
+            atol=0.0,
+        )
+        for block in blocks[:4]:
+            np.testing.assert_array_equal(
+                int8_plan.run(block, arena=int8_arena),
+                quantized.forward(block),
+            )
+
+        t_eager = best_of(lambda: [net.forward(b) for b in blocks])
+        t_planned = best_of(
+            lambda: [plan.run(b, arena=arena) for b in blocks]
+        )
+        t_gathered = best_of(lambda: plan.run(gathered))
+        t_int8 = best_of(
+            lambda: [int8_plan.run(b, arena=int8_arena) for b in blocks]
+        )
+        results.update(
+            {
+                f"infer_{tag}_eager_rows_per_s": total_rows / t_eager,
+                f"infer_{tag}_planned_rows_per_s": total_rows / t_planned,
+                f"infer_{tag}_gathered_rows_per_s": total_rows / t_gathered,
+                f"infer_{tag}_int8_rows_per_s": total_rows / t_int8,
+                f"infer_{tag}_planned_speedup": t_eager / t_planned,
+                f"infer_{tag}_gathered_speedup": t_eager / t_gathered,
+            }
+        )
+    return results
+
+
+def run_ml_campaign_benchmark(
+    n_trials: int = 12, n_workers: int = 4
+) -> dict[str, float]:
+    """Time the ML-condition campaign per inference backend.
+
+    Trains the small test-sized networks once, then runs the same
+    ``run_trials`` point with ``infer_backend`` reference / planned /
+    planned + ``event_batch=4``, asserting the reference and planned
+    error arrays are identical (and the batched run close) before
+    reporting wall-clocks.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    import dataclasses
+
+    import numpy as np
+    from repro.detector.response import DetectorResponse
+    from repro.experiments.datasets import generate_training_rings
+    from repro.experiments.trials import TrialConfig, run_trials
+    from repro.geometry.tiles import adapt_geometry
+    from repro.models.background import BackgroundTrainConfig, train_background_net
+    from repro.models.deta import DEtaTrainConfig, train_deta_net
+    from repro.pipeline.ml_pipeline import MLPipeline
+    from repro.sources.grb import LABEL_BACKGROUND
+
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    data = generate_training_rings(
+        geometry,
+        response,
+        seed=77,
+        polar_angles_deg=np.array([0.0, 40.0, 80.0]),
+        exposures_per_angle=3,
+    )
+    rng = np.random.default_rng(5)
+    bnet = train_background_net(
+        data.features,
+        (data.labels == LABEL_BACKGROUND).astype(float),
+        data.polar_true,
+        rng,
+        config=BackgroundTrainConfig(
+            hidden_widths=(32, 16), max_epochs=25, patience=8
+        ),
+    )
+    grb = data.grb_only()
+    dnet = train_deta_net(
+        grb.features,
+        grb.true_eta_errors,
+        rng,
+        config=DEtaTrainConfig(hidden_widths=(8, 8), max_epochs=25, patience=8),
+    )
+    pipeline = MLPipeline(background_net=bnet, deta_net=dnet)
+
+    base = TrialConfig(
+        fluence_mev_cm2=1.0, polar_angle_deg=30.0, condition="ml"
+    )
+    configs = {
+        "reference": base,
+        "planned": dataclasses.replace(base, infer_backend="planned"),
+        "planned_batched": dataclasses.replace(
+            base, infer_backend="planned", event_batch=4
+        ),
+    }
+    # Warm the persistent executor (worker spawn + numpy/scipy imports)
+    # so the first timed backend does not pay pool startup.
+    run_trials(
+        geometry,
+        response,
+        seed=314,
+        n_trials=n_workers,
+        config=base,
+        ml_pipeline=pipeline,
+        n_workers=n_workers,
+    )
+
+    timings: dict[str, float] = {}
+    errors: dict[str, np.ndarray] = {}
+    for name, config in configs.items():
+        t0 = time.perf_counter()
+        errors[name] = run_trials(
+            geometry,
+            response,
+            seed=314,
+            n_trials=n_trials,
+            config=config,
+            ml_pipeline=pipeline,
+            n_workers=n_workers,
+        )
+        timings[f"campaign_ml_{name}_{n_workers}w"] = (
+            time.perf_counter() - t0
+        )
+
+    np.testing.assert_array_equal(errors["reference"], errors["planned"])
+    np.testing.assert_allclose(
+        errors["reference"], errors["planned_batched"], atol=1e-6
+    )
+    timings["campaign_ml_planned_speedup"] = (
+        timings[f"campaign_ml_reference_{n_workers}w"]
+        / timings[f"campaign_ml_planned_{n_workers}w"]
+    )
+    timings["campaign_ml_batched_speedup"] = (
+        timings[f"campaign_ml_reference_{n_workers}w"]
+        / timings[f"campaign_ml_planned_batched_{n_workers}w"]
+    )
+    return timings
 
 
 def run_campaign_benchmark(rounds: int = 2) -> dict[str, float]:
@@ -129,31 +344,32 @@ def run_traced_summary() -> dict:
     return summary_dict(events)
 
 
-def compare_with_pr1(results: dict[str, float]) -> dict:
-    """Compare campaign wall-clock against ``BENCH_pr1.json``, if present.
+def compare_with_prior(results: dict[str, float], prior_name: str) -> dict:
+    """Compare campaign wall-clock against a prior report, if present.
 
-    The pr1 report predates the telemetry layer entirely, so the executor
-    delta measures the disabled-telemetry overhead of the instrumented
-    hot path (acceptance: under a few percent, i.e. noise).
+    Earlier reports predate the inference runtime (and, for pr1, the
+    telemetry layer), so the executor-campaign delta measures the
+    overhead this PR's instrumented hot path adds when its features are
+    off (acceptance: under a few percent, i.e. noise).
     """
-    pr1_path = REPO / "BENCH_pr1.json"
-    if not pr1_path.exists():
+    prior_path = REPO / prior_name
+    if not prior_path.exists():
         return {"available": False}
-    pr1 = json.loads(pr1_path.read_text())["results"]
+    prior = json.loads(prior_path.read_text())["results"]
     out: dict = {"available": True}
     for key in ("campaign_e2e_executor_4w", "campaign_e2e_legacy_4w"):
-        if key in pr1 and key in results:
+        if key in prior and key in results:
             out[key] = {
-                "pr1_s": pr1[key],
-                "pr2_s": results[key],
-                "delta_pct": 100.0 * (results[key] - pr1[key]) / pr1[key],
+                "prior_s": prior[key],
+                "now_s": results[key],
+                "delta_pct": 100.0 * (results[key] - prior[key]) / prior[key],
             }
     return out
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=str(REPO / "BENCH_pr2.json"))
+    parser.add_argument("--output", default=str(REPO / "BENCH_pr5.json"))
     parser.add_argument(
         "--skip-kernels", action="store_true",
         help="only run the e2e campaign comparison",
@@ -163,14 +379,20 @@ def main(argv: list[str] | None = None) -> int:
     results: dict[str, float] = {}
     if not args.skip_kernels:
         results.update(run_kernel_benchmarks())
+    results.update(run_inference_benchmarks())
     results.update(run_campaign_benchmark())
+    results.update(run_ml_campaign_benchmark())
 
     report = {
-        "schema": "kernel -> median seconds (campaign entries: best of 2)",
+        "schema": (
+            "kernel -> median seconds; infer_* -> rows/s (best of 3); "
+            "campaign entries -> seconds (best of 2; ml: single run)"
+        ),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": results,
-        "vs_pr1": compare_with_pr1(results),
+        "vs_pr1": compare_with_prior(results, "BENCH_pr1.json"),
+        "vs_pr2": compare_with_prior(results, "BENCH_pr2.json"),
         "trace_summary": run_traced_summary(),
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")

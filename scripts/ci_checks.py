@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""One-shot CI gate: reprolint + shm-leak check + docstring coverage.
+"""One-shot CI gate: reprolint + shm-leak + docstrings + docs health.
 
-Runs the repository's three repo-hygiene checks and exits non-zero if
-any fails:
+Runs the repository's repo-hygiene checks and exits non-zero if any
+fails:
 
 1. **reprolint** — ``repro.analysis`` over ``src/`` against the
    checked-in baseline (``.reprolint-baseline.json``).
@@ -12,6 +12,9 @@ any fails:
    top-level function under ``src/repro`` carries a docstring (an
    AST-level complement to ``tests/test_docstrings.py``, which checks
    the *imported* surface).
+4. **docs health** — every fenced ``python`` code block in ``docs/``,
+   ``README.md`` & friends parses (``ast.parse``), and every intra-repo
+   markdown link target resolves to a real file.
 
 Usage:
 
@@ -24,6 +27,7 @@ from __future__ import annotations
 import argparse
 import ast
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -34,7 +38,7 @@ sys.path.insert(0, str(_REPO / "src"))
 from repro.analysis.cli import main as reprolint_main  # noqa: E402
 
 #: Check names accepted by ``--skip``.
-CHECK_NAMES = ("lint", "shm", "docstrings")
+CHECK_NAMES = ("lint", "shm", "docstrings", "docs")
 
 
 def check_lint() -> int:
@@ -101,6 +105,118 @@ def check_docstrings() -> int:
     return 1 if failures else 0
 
 
+#: Markdown files covered by the docs gate: everything in docs/ plus the
+#: top-level narrative documents.
+_DOC_GLOBS = ("docs/*.md", "README.md", "DESIGN.md", "EXPERIMENTS.md")
+
+#: ``[text](target)`` — target captured without surrounding whitespace.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: ``[[path]]`` wiki-style references (used by some design notes).
+_WIKILINK_RE = re.compile(r"\[\[([^\]|#]+)(?:#[^\]]*)?\]\]")
+#: Fenced code blocks: ``` or ~~~ fences with an optional info string.
+_FENCE_RE = re.compile(
+    r"^(?P<fence>```+|~~~+)[ \t]*(?P<info>[^\n]*)$"
+)
+
+
+def _doc_files() -> list[Path]:
+    """All markdown files the docs gate covers, in stable order."""
+    files: list[Path] = []
+    for pattern in _DOC_GLOBS:
+        files.extend(sorted(_REPO.glob(pattern)))
+    return [f for f in files if f.is_file()]
+
+
+def _iter_code_blocks(text: str):
+    """Yield ``(first_line_number, info_string, code)`` per fenced block."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = _FENCE_RE.match(lines[i])
+        if not match:
+            i += 1
+            continue
+        fence, info = match.group("fence"), match.group("info").strip()
+        body: list[str] = []
+        i += 1
+        start = i + 1  # 1-indexed first body line
+        while i < len(lines) and not lines[i].startswith(fence):
+            body.append(lines[i])
+            i += 1
+        i += 1  # closing fence (or EOF)
+        yield start, info.lower(), "\n".join(body)
+
+
+def _strip_code(text: str) -> str:
+    """Markdown with fenced blocks and inline code spans removed.
+
+    Link checking must not trip over ``dict[str](...)``-looking text
+    inside code, so code is blanked before the link regexes run.
+    """
+    out: list[str] = []
+    in_fence: str | None = None
+    for line in text.splitlines():
+        match = _FENCE_RE.match(line)
+        if match and in_fence is None:
+            in_fence = match.group("fence")
+            continue
+        if in_fence is not None:
+            if line.startswith(in_fence):
+                in_fence = None
+            continue
+        out.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def _check_link(doc: Path, target: str) -> str | None:
+    """Return a failure message for an unresolvable intra-repo link."""
+    if target.startswith(("http://", "https://", "mailto:")):
+        return None
+    path_part = target.split("#", 1)[0]
+    if not path_part:  # pure anchor into the same file
+        return None
+    resolved = (doc.parent / path_part).resolve()
+    if not resolved.exists():
+        rel = doc.relative_to(_REPO)
+        return f"{rel}: broken link target {target!r}"
+    return None
+
+
+def check_docs() -> int:
+    """Parse fenced python blocks and resolve intra-repo links in docs."""
+    failures: list[str] = []
+    blocks = 0
+    links = 0
+    for doc in _doc_files():
+        text = doc.read_text(encoding="utf-8")
+        rel = doc.relative_to(_REPO)
+        for line_no, info, code in _iter_code_blocks(text):
+            lang = info.split()[0] if info else ""
+            if lang not in ("python", "py"):
+                continue
+            blocks += 1
+            try:
+                ast.parse(code)
+            except SyntaxError as exc:
+                failures.append(
+                    f"{rel}:{line_no}: python block does not parse: {exc.msg}"
+                )
+        prose = _strip_code(text)
+        targets = _LINK_RE.findall(prose) + _WIKILINK_RE.findall(prose)
+        for target in targets:
+            links += 1
+            message = _check_link(doc, target)
+            if message is not None:
+                failures.append(message)
+    for line in failures:
+        print(f"docs: {line}")
+    print(
+        f"docs: {len(_doc_files())} files, {blocks} python blocks parsed, "
+        f"{links} links checked"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run every check; return the number of failing checks."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -117,6 +233,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": check_lint,
         "shm": check_shm,
         "docstrings": check_docstrings,
+        "docs": check_docs,
     }
     failed = []
     for name, fn in checks.items():

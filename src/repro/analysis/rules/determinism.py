@@ -75,6 +75,7 @@ KERNEL_PACKAGES = frozenset(
         "models",
         "quantization",
         "fpga",
+        "infer",
     }
 )
 

@@ -16,7 +16,7 @@ from repro.analysis.context import ModuleContext, _expr_token
 from repro.analysis.core import Finding, Rule, Severity, register
 
 #: Packages where the dtype rules apply.
-DTYPE_PACKAGES = frozenset({"quantization", "fpga"})
+DTYPE_PACKAGES = frozenset({"quantization", "fpga", "infer"})
 
 #: Narrow integer targets whose ``astype`` wraps on overflow.
 NARROW_INT_DTYPES = frozenset(

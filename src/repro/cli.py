@@ -20,6 +20,12 @@ and its chunk retried).  Every workload subcommand accepts
 ``--trace out.jsonl`` (record a telemetry trace, merged across worker
 processes) and ``--quiet`` (suppress stderr status lines; stdout carries
 only machine-readable results).
+
+``localize`` and ``figure`` additionally accept
+``--infer-backend {reference,planned,int8}`` to select the inference
+runtime (see docs/inference.md), and ``localize`` accepts
+``--event-batch N`` to gather ring features across N events into one
+planned forward pass per localization round.
 """
 
 from __future__ import annotations
@@ -118,6 +124,8 @@ def _cmd_localize(args: argparse.Namespace) -> int:
             fluence_mev_cm2=args.fluence,
             polar_angle_deg=args.polar,
             condition="ml",
+            infer_backend=args.infer_backend,
+            event_batch=args.event_batch,
         ),
         ml_pipeline=pipeline,
         n_workers=args.workers,
@@ -142,6 +150,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_workers=args.workers,
         cache=args.cache if args.cache else None,
+        infer_backend=args.infer_backend,
     )
     number = args.name.removeprefix("fig")
     driver = getattr(figures, f"figure{number}")
@@ -218,6 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--workers", type=int, default=1,
                    help="trial fan-out over worker processes")
+    p.add_argument("--infer-backend", dest="infer_backend",
+                   choices=("reference", "planned", "int8"),
+                   default="reference",
+                   help="inference backend: eager reference bundles, "
+                        "compiled plans (bit-identical per event), or the "
+                        "INT8 integer path (quantized pipelines only)")
+    p.add_argument("--event-batch", dest="event_batch", type=int, default=1,
+                   metavar="N",
+                   help="localize N events per lock-step batched inference "
+                        "group (1 = per-event, the bit-identical default)")
     _add_fault_flags(p)
     _add_common_flags(p)
     p.set_defaults(func=_cmd_localize)
@@ -233,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="trial fan-out over worker processes")
     _add_fault_flags(p)
+    p.add_argument("--infer-backend", dest="infer_backend",
+                   choices=("reference", "planned", "int8"),
+                   default="reference",
+                   help="inference backend for ML-condition points")
     p.add_argument("--cache", action="store_true",
                    help="cache trial sets in .campaign_cache/")
     _add_common_flags(p)

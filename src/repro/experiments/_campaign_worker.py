@@ -58,12 +58,15 @@ def trial_worker(common: tuple, seed_seq) -> float:
     """Run one localization trial.
 
     Args:
-        common: ``(geometry, response, config, ml_pipeline)``.
+        common: ``(geometry, response, config, ml_pipeline, engine)`` —
+            ``engine`` is a pre-compiled inference engine (or None for
+            the eager reference path); its plans ship pickled without
+            arenas, which are rebuilt lazily in this process.
         seed_seq: The trial's ``SeedSequence``.
     """
     from repro.experiments.trials import trial_error
 
-    geometry, response, config, ml_pipeline = common
+    geometry, response, config, ml_pipeline, engine = common
     try:
         with obs_trace.span("trials.trial"):
             return trial_error(
@@ -72,7 +75,59 @@ def trial_worker(common: tuple, seed_seq) -> float:
                 np.random.default_rng(seed_seq),
                 config,
                 ml_pipeline,
+                engine=engine,
             )
     except Exception as exc:
         _annotate(exc, f"campaign task: trial with config={config!r}")
+        raise
+
+
+def trial_block_worker(common: tuple, seed_block: tuple) -> list[float]:
+    """Run a block of localization trials with lock-step batched inference.
+
+    Simulates every trial in the block first (each from its own spawned
+    generator, in the same order as the per-trial path), then localizes
+    them together via :func:`repro.infer.localize_many`, which gathers
+    feature blocks across events into one planned forward pass per
+    localization round.
+
+    Args:
+        common: ``(geometry, response, config, ml_pipeline, engine)``.
+        seed_block: Tuple of per-trial ``SeedSequence`` objects.
+
+    Returns:
+        Angular errors in degrees, one per seed in order.
+    """
+    from repro.experiments.trials import _simulate_trial
+    from repro.infer import localize_many
+
+    geometry, response, config, ml_pipeline, engine = common
+    if ml_pipeline is None:
+        raise ValueError("ml condition requires a trained MLPipeline")
+    try:
+        with obs_trace.span("trials.block"):
+            rngs = [np.random.default_rng(s) for s in seed_block]
+            event_sets = []
+            grbs = []
+            for rng in rngs:
+                events, grb = _simulate_trial(geometry, response, rng, config)
+                event_sets.append(events)
+                grbs.append(grb)
+            outcomes = localize_many(
+                ml_pipeline,
+                event_sets,
+                rngs,
+                engine=engine,
+                halt_after=config.halt_after,
+            )
+            return [
+                outcome.error_degrees(grb.source_direction)
+                for outcome, grb in zip(outcomes, grbs)
+            ]
+    except Exception as exc:
+        _annotate(
+            exc,
+            f"campaign task: trial block of {len(seed_block)} "
+            f"with config={config!r}",
+        )
         raise

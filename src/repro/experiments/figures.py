@@ -56,6 +56,9 @@ class ExperimentScale:
         cache: Deterministic stage cache for trial sets (True uses the
             repo-local ``.campaign_cache/``; results are bit-identical
             hit or miss, so figures can be re-rendered for free).
+        infer_backend: Inference backend for ML-condition points
+            ("reference", "planned", or "int8" — see repro.infer);
+            ignored by non-ML conditions.
     """
 
     n_trials: int = 30
@@ -65,6 +68,7 @@ class ExperimentScale:
     seed: int = 7
     n_workers: int = 1
     cache: object = None
+    infer_backend: str = "reference"
 
     @staticmethod
     def from_env() -> "ExperimentScale":
@@ -106,6 +110,10 @@ def _point(
     ml_pipeline: MLPipeline | None = None,
     seed_offset: int = 0,
 ) -> ContainmentPoint:
+    if config.condition == "ml" and scale.infer_backend != "reference":
+        import dataclasses
+
+        config = dataclasses.replace(config, infer_backend=scale.infer_backend)
     sets = run_meta_trials(
         geometry,
         response,

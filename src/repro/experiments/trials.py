@@ -29,6 +29,10 @@ from repro.sources.exposure import simulate_exposure
 from repro.sources.grb import GRBSource
 
 CONDITIONS = ("baseline", "no_background", "true_deta", "ml")
+#: Inference backends accepted by :class:`TrialConfig.infer_backend`
+#: (mirrors ``repro.infer.INFER_BACKENDS`` without importing it here —
+#: the infer runtime is only loaded when an ML campaign asks for it).
+INFER_BACKENDS = ("reference", "planned", "int8")
 
 
 @dataclass(frozen=True)
@@ -55,33 +59,51 @@ class TrialConfig:
     #: Optional event-builder coincidence window (None = perfect photon
     #: separation; see repro.detector.coincidence).
     coincidence_window_s: float | None = None
+    #: Inference backend for the ML condition: "reference" (eager
+    #: bundles), "planned" (compiled plans + arenas; bit-identical to
+    #: reference per event), or "int8" (requires a quantized pipeline).
+    #: The engine is compiled once in the parent and shipped to workers
+    #: via the executor's common payload.
+    infer_backend: str = "reference"
+    #: Events localized per lock-step batched inference group
+    #: (repro.infer.localize_many).  1 = per-event inference (the
+    #: bit-identical default); >1 gathers ring blocks across events into
+    #: one planned pass per round (ulp-level deviations possible — see
+    #: docs/inference.md).
+    event_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.condition not in CONDITIONS:
             raise ValueError(f"condition must be one of {CONDITIONS}")
+        if self.infer_backend not in INFER_BACKENDS:
+            raise ValueError(
+                f"infer_backend must be one of {INFER_BACKENDS}"
+            )
+        if self.event_batch < 1:
+            raise ValueError("event_batch must be >= 1")
+        if self.condition != "ml":
+            if self.infer_backend != "reference":
+                raise ValueError(
+                    "infer_backend only applies to the 'ml' condition"
+                )
+            if self.event_batch != 1:
+                raise ValueError(
+                    "event_batch only applies to the 'ml' condition"
+                )
 
 
-def trial_error(
+def _simulate_trial(
     geometry: DetectorGeometry,
     response: DetectorResponse,
     rng: np.random.Generator,
     config: TrialConfig,
-    ml_pipeline: MLPipeline | None = None,
-) -> float:
-    """Run one trial and return the localization error in degrees.
+):
+    """Simulate + digitize one trial; returns ``(events, grb)``.
 
-    Args:
-        geometry: Detector geometry.
-        response: Detector response.
-        rng: Trial generator.
-        config: Experimental point.
-        ml_pipeline: Required when ``config.condition == "ml"``.
-
-    Returns:
-        Angular error in degrees (180 on localization failure).
-
-    Raises:
-        ValueError: If the ML condition is requested without a pipeline.
+    Factored out of :func:`trial_error` so the batched-inference path can
+    simulate several trials before localizing them as one lock-step group
+    — the simulation consumes ``rng`` in exactly the same order either
+    way.
     """
     grb = GRBSource(
         fluence_mev_cm2=config.fluence_mev_cm2,
@@ -109,11 +131,43 @@ def trial_error(
     )
     if config.epsilon_percent > 0:
         events = perturb_events(events, config.epsilon_percent, rng)
+    return events, grb
+
+
+def trial_error(
+    geometry: DetectorGeometry,
+    response: DetectorResponse,
+    rng: np.random.Generator,
+    config: TrialConfig,
+    ml_pipeline: MLPipeline | None = None,
+    engine=None,
+) -> float:
+    """Run one trial and return the localization error in degrees.
+
+    Args:
+        geometry: Detector geometry.
+        response: Detector response.
+        rng: Trial generator.
+        config: Experimental point.
+        ml_pipeline: Required when ``config.condition == "ml"``.
+        engine: Optional pre-built inference engine (see
+            ``repro.infer.build_engine``); None = the pipeline's eager
+            bundles.
+
+    Returns:
+        Angular error in degrees (180 on localization failure).
+
+    Raises:
+        ValueError: If the ML condition is requested without a pipeline.
+    """
+    events, grb = _simulate_trial(geometry, response, rng, config)
 
     if config.condition == "ml":
         if ml_pipeline is None:
             raise ValueError("ml condition requires a trained MLPipeline")
-        outcome = ml_pipeline.localize(events, rng, halt_after=config.halt_after)
+        outcome = ml_pipeline.localize(
+            events, rng, halt_after=config.halt_after, engine=engine
+        )
         return outcome.error_degrees(grb.source_direction)
 
     outcome = localize_baseline(
@@ -171,7 +225,10 @@ def run_trials(
     """
     from repro.obs import trace as obs_trace
     from repro.parallel import get_executor, resolve_cache
-    from repro.experiments._campaign_worker import trial_worker
+    from repro.experiments._campaign_worker import (
+        trial_block_worker,
+        trial_worker,
+    )
 
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
@@ -190,15 +247,36 @@ def run_trials(
             hit = stage_cache.load("trials", token)
             if hit is not None:
                 return hit
+        # The inference plan is compiled once here in the parent and
+        # rides the executor's broadcast-once common payload; workers
+        # rebuild only the (cheap) activation arenas locally.
+        engine = None
+        if config.condition == "ml" and ml_pipeline is not None:
+            if config.infer_backend != "reference":
+                from repro.infer import build_engine
+
+                engine = build_engine(ml_pipeline, config.infer_backend)
+            elif config.event_batch > 1:
+                from repro.infer import build_engine
+
+                engine = build_engine(ml_pipeline, "reference")
         seeds = np.random.SeedSequence(seed).spawn(n_trials)
         ex = executor if executor is not None else get_executor(n_workers)
-        errors = np.array(
-            ex.map(
-                trial_worker,
-                seeds,
-                common=(geometry, response, config, ml_pipeline),
+        common = (geometry, response, config, ml_pipeline, engine)
+        if config.event_batch > 1:
+            blocks = [
+                tuple(seeds[i : i + config.event_batch])
+                for i in range(0, n_trials, config.event_batch)
+            ]
+            errors = np.array(
+                [
+                    e
+                    for block in ex.map(trial_block_worker, blocks, common=common)
+                    for e in block
+                ]
             )
-        )
+        else:
+            errors = np.array(ex.map(trial_worker, seeds, common=common))
         if stage_cache is not None:
             stage_cache.store("trials", token, errors)
         return errors

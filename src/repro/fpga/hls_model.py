@@ -263,3 +263,32 @@ def synthesize_kernel(
         ff=int(round(n_weights * spec.ff_per_weight)),
         lut=int(round(n_weights * spec.lut_per_weight)),
     )
+
+
+def synthesize_from_plan(
+    plan,
+    dtype: str | None = None,
+    clock_ns: float = PAPER_CLOCK_NS,
+) -> KernelReport:
+    """Estimate the HLS kernel for a compiled inference plan.
+
+    The plan's fused layer chain *is* the dataflow stage sequence the
+    paper synthesizes — one stage per (folded) linear layer — so its
+    ``layer_widths`` feed :func:`synthesize_kernel` directly.  The plan
+    is duck-typed (``layer_widths`` + ``quantized``) so this module does
+    not import the inference runtime.
+
+    Args:
+        plan: A ``repro.infer.InferencePlan`` (or anything exposing
+            ``layer_widths`` and ``quantized``).
+        dtype: ``"int8"``/``"fp32"``; None picks ``"int8"`` for
+            quantized plans and ``"fp32"`` otherwise.
+        clock_ns: Clock period in nanoseconds.
+
+    Returns:
+        A :class:`KernelReport` for the plan's exact layer widths.
+    """
+    widths = tuple(int(w) for w in plan.layer_widths)
+    if dtype is None:
+        dtype = "int8" if plan.quantized else "fp32"
+    return synthesize_kernel(widths=widths, dtype=dtype, clock_ns=clock_ns)

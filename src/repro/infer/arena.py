@@ -1,0 +1,60 @@
+"""Pre-allocated activation arenas for plan execution.
+
+Eager ``Module.forward`` allocates a fresh output array at every layer of
+every call — for the campaign inference path (hundreds of thousands of
+small forwards) that is pure allocator churn.  An
+:class:`ActivationArena` pre-allocates one ``(micro_batch, width)``
+buffer per plan op and the plan executes into those buffers in place,
+tiling inputs larger than the micro-batch into consecutive row blocks.
+
+Sizing guidance lives in ``docs/inference.md``: the default micro-batch
+(:data:`DEFAULT_MICRO_BATCH`) is chosen so a typical per-event ring block
+(~600 rows, up to a few thousand) runs as a *single* tile — which is what
+keeps the planned float backend bit-identical to the eager forward (BLAS
+results for gemv-shaped stages are not invariant under row re-tiling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default rows per tile.  Large enough that one event's ring block (and
+#: small event batches) never re-tiles; small enough that the buffers of
+#: a paper-sized background net stay ~tens of MB.
+DEFAULT_MICRO_BATCH: int = 4096
+
+
+class ActivationArena:
+    """Reusable per-op activation buffers for one compiled plan.
+
+    Attributes:
+        micro_batch: Maximum rows evaluated per tile.
+        buffers: One ``(micro_batch, width)`` array per plan op, or None
+            for ops that manage their own storage (the integer ops, whose
+            dtype changes along the chain).
+    """
+
+    def __init__(self, plan, micro_batch: int = DEFAULT_MICRO_BATCH) -> None:
+        if micro_batch < 1:
+            raise ValueError("micro_batch must be >= 1")
+        self.micro_batch = int(micro_batch)
+        self._widths = tuple(plan.buffer_widths())
+        self._dtype = plan.dtype
+        self.buffers = tuple(
+            None
+            if width is None
+            else np.empty((self.micro_batch, width), dtype=plan.dtype)
+            for width in self._widths
+        )
+
+    def compatible_with(self, plan) -> bool:
+        """Whether this arena's buffers fit ``plan``'s op chain."""
+        return (
+            tuple(plan.buffer_widths()) == self._widths
+            and plan.dtype == self._dtype
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Total pre-allocated buffer storage in bytes."""
+        return int(sum(b.nbytes for b in self.buffers if b is not None))

@@ -1,0 +1,97 @@
+"""Campaign-level batched localization: one planned pass per round.
+
+Per-event inference evaluates each event's ring features alone — a few
+hundred rows per network call.  :func:`localize_many` instead drives many
+events' request generators in lock step: every round it gathers the
+pending feature blocks of the same kind across *all* live events,
+concatenates them into one block, evaluates the engine once, and
+scatters the row slices back to their generators.
+
+**Determinism.**  Each event keeps its own ``Generator`` and its own
+request stream, and requests within one event are answered strictly in
+order, so every event consumes exactly the RNG draws and control flow it
+would alone — batched outcomes are reproducible and independent of which
+events share a group.  Per-row network outputs under cross-event
+concatenation match per-event evaluation to the ulp but not always
+bit-for-bit (BLAS kernels are shape-dependent), which is why campaign
+batching is opt-in (``TrialConfig.event_batch > 1``) while the default
+per-event planned path stays bit-identical to eager.  See
+``docs/inference.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.infer.engine import InferRequest, build_engine, evaluate_request
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Request kinds gathered per round, in a fixed evaluation order.
+_REQUEST_KINDS = ("background", "deta")
+
+
+def localize_many(
+    pipeline,
+    event_sets,
+    rngs,
+    engine=None,
+    halt_after: int | None = None,
+) -> list:
+    """Localize many exposures with lock-step batched inference.
+
+    Args:
+        pipeline: A trained ``MLPipeline``.
+        event_sets: One digitized ``EventSet`` per exposure.
+        rngs: One ``numpy.random.Generator`` per exposure (never shared —
+            sharing would interleave draw order across events).
+        engine: Inference engine answering the gathered requests; None
+            builds the default planned engine for ``pipeline``.
+        halt_after: Anytime knob forwarded to every event's loop.
+
+    Returns:
+        One ``MLPipelineOutcome`` per exposure, in input order.
+    """
+    event_sets = list(event_sets)
+    rngs = list(rngs)
+    if len(event_sets) != len(rngs):
+        raise ValueError("need exactly one rng per event set")
+    if engine is None:
+        engine = build_engine(pipeline, "planned")
+
+    gens = [
+        pipeline.localize_requests(events, rng, halt_after=halt_after)
+        for events, rng in zip(event_sets, rngs)
+    ]
+    outcomes: list = [None] * len(gens)
+    pending: dict[int, InferRequest] = {}
+
+    def _advance(i: int, payload) -> None:
+        """Step generator ``i``; file its next request or its outcome."""
+        try:
+            request = next(gens[i]) if payload is None else gens[i].send(payload)
+        except StopIteration as stop:
+            outcomes[i] = stop.value
+        else:
+            pending[i] = request
+
+    with obs_trace.span("infer.localize_many"):
+        for i in range(len(gens)):
+            _advance(i, None)
+        while pending:
+            obs_metrics.inc("infer.gather_rounds")
+            ready, pending = pending, {}
+            for kind in _REQUEST_KINDS:
+                idxs = [i for i in sorted(ready) if ready[i].kind == kind]
+                if not idxs:
+                    continue
+                blocks = [ready[i].features for i in idxs]
+                lengths = [int(b.shape[0]) for b in blocks]
+                merged = evaluate_request(
+                    engine,
+                    InferRequest(kind, np.concatenate(blocks, axis=0)),
+                )
+                offsets = np.cumsum([0] + lengths)
+                for j, i in enumerate(idxs):
+                    _advance(i, merged[offsets[j] : offsets[j + 1]])
+    return outcomes

@@ -1,0 +1,581 @@
+"""Plan compilation: flatten a trained ``Module`` tree into flat ops.
+
+``compile_plan`` walks an eval-mode :class:`~repro.nn.layers.Sequential`
+and emits a flat tuple of execution ops:
+
+* ``Linear`` becomes a :class:`LinearOp`; an immediately following
+  ``ReLU``/``Sigmoid`` is fused into it (one buffer, no extra pass).
+* ``BatchNorm1d`` in eval mode is a fixed affine map — it becomes an
+  :class:`AffineOp` with ``inv_std`` precomputed once at compile time
+  (optionally folded into an adjacent ``LinearOp`` when
+  ``fold_batchnorm=True``; folding changes float rounding, so it is off
+  by default — see ``docs/inference.md``).
+* Train-only layers (``Dropout``) and ``Identity`` are skipped entirely:
+  they are exact no-ops in eval mode, so the plan neither stores them nor
+  pays per-call dispatch for them.
+
+``compile_int8_plan`` does the same for a
+:class:`~repro.quantization.int8.QuantizedMLP`, reusing the existing
+integer kernels (``QuantizedLinear.forward_int``) verbatim so the INT8
+plan is bit-identical to the eager quantized chain.
+
+**Parity contract.**  For a float plan executed on the same row block the
+eager model would see (no re-tiling), every op performs the exact same
+NumPy operations in the same order as the eager layer stack, so outputs
+are bit-identical — this is what the ``tests/infer`` parity suite pins.
+Tiling a block across micro-batches preserves values to the ulp but not
+bits for gemv-shaped stages (BLAS kernels differ by shape), which is why
+the default micro-batch exceeds any realistic per-event block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.infer.arena import DEFAULT_MICRO_BATCH, ActivationArena
+from repro.nn.layers import (
+    BatchNorm1d,
+    Dropout,
+    Identity,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+from repro.obs import metrics as obs_metrics
+from repro.quantization.fake_quant import UINT8_MAX, UINT8_MIN, quantize
+from repro.quantization.int8 import QuantizedLinear, QuantizedMLP
+
+#: Activation tags accepted by the fused ops.
+ACTIVATIONS = ("none", "relu", "sigmoid")
+
+
+def _apply_activation_inplace(y: np.ndarray, activation: str) -> np.ndarray:
+    """Apply a fused activation to ``y`` in place (bit-matching eager).
+
+    ``relu`` reproduces ``np.where(y > 0, y, 0.0)`` — mask-assignment so
+    NaN rows map to 0.0 exactly as the eager layer does; ``sigmoid`` is
+    the numerically stable two-branch form of ``nn.layers.Sigmoid``.
+    """
+    if activation == "relu":
+        y[~(y > 0)] = 0.0
+    elif activation == "sigmoid":
+        pos = y >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-y[pos]))
+        ex = np.exp(y[~pos])
+        y[~pos] = ex / (1.0 + ex)
+    elif activation != "none":
+        raise ValueError(f"unknown activation {activation!r}")
+    return y
+
+
+@dataclass
+class LinearOp:
+    """Fused ``y = x @ W + b`` (+ optional activation) stage.
+
+    Attributes:
+        weight: ``(in, out)`` weights, frozen at compile time.
+        bias: ``(out,)`` bias.
+        activation: ``"none"``, ``"relu"``, or ``"sigmoid"``.
+    """
+
+    weight: np.ndarray
+    bias: np.ndarray
+    activation: str = "none"
+
+    @property
+    def in_width(self) -> int:
+        """Input feature count."""
+        return int(self.weight.shape[0])
+
+    @property
+    def out_width(self) -> int:
+        """Output feature count."""
+        return int(self.weight.shape[1])
+
+    @property
+    def buffer_width(self) -> int | None:
+        """Arena buffer width for this op."""
+        return self.out_width
+
+    def apply(self, x: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """Evaluate the stage into ``out`` (allocating when None)."""
+        if out is None:
+            y = x @ self.weight + self.bias
+        else:
+            np.matmul(x, self.weight, out=out)
+            np.add(out, self.bias, out=out)
+            y = out
+        return _apply_activation_inplace(y, self.activation)
+
+
+@dataclass
+class AffineOp:
+    """Eval-mode BatchNorm as a fixed per-feature affine map.
+
+    ``y = gamma * (x - mean) * inv_std + beta`` with ``inv_std``
+    precomputed from the running variance exactly as the eager layer
+    computes it per call (``1.0 / np.sqrt(var + eps)``).
+
+    Attributes:
+        mean: Running mean.
+        inv_std: Precomputed inverse standard deviation.
+        gamma: Scale parameter.
+        beta: Shift parameter.
+        activation: Optional fused activation.
+    """
+
+    mean: np.ndarray
+    inv_std: np.ndarray
+    gamma: np.ndarray
+    beta: np.ndarray
+    activation: str = "none"
+
+    @property
+    def width(self) -> int:
+        """Feature count (input width == output width)."""
+        return int(self.mean.shape[0])
+
+    @property
+    def buffer_width(self) -> int | None:
+        """Arena buffer width for this op."""
+        return self.width
+
+    def apply(self, x: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """Evaluate the affine map into ``out`` (allocating when None)."""
+        if out is None:
+            y = (x - self.mean) * self.inv_std
+            y = self.gamma * y + self.beta
+        else:
+            np.subtract(x, self.mean, out=out)
+            np.multiply(out, self.inv_std, out=out)
+            np.multiply(out, self.gamma, out=out)
+            np.add(out, self.beta, out=out)
+            y = out
+        return _apply_activation_inplace(y, self.activation)
+
+
+@dataclass
+class ActivationOp:
+    """A standalone activation stage (one not fusable into a neighbor).
+
+    Attributes:
+        activation: ``"relu"`` or ``"sigmoid"``.
+        width: Feature count, for arena sizing.
+    """
+
+    activation: str
+    width: int
+
+    @property
+    def buffer_width(self) -> int | None:
+        """Arena buffer width for this op."""
+        return self.width
+
+    def apply(self, x: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """Evaluate the activation without mutating the caller's input."""
+        if out is None:
+            y = np.array(x, dtype=x.dtype)
+        else:
+            np.copyto(out, x)
+            y = out
+        return _apply_activation_inplace(y, self.activation)
+
+
+@dataclass
+class QuantizeOp:
+    """Input quantization stage of an INT8 plan.
+
+    Attributes:
+        scale: Input activation scale.
+        zero_point: Input activation zero point.
+        width: Input feature count.
+    """
+
+    scale: float
+    zero_point: int
+    width: int
+
+    @property
+    def buffer_width(self) -> int | None:
+        """Integer ops manage their own storage."""
+        return None
+
+    def apply(self, x: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """Float features -> uint8-domain int32 grid (same as eager)."""
+        del out
+        return quantize(
+            np.asarray(x, dtype=np.float64),
+            self.scale,
+            self.zero_point,
+            UINT8_MIN,
+            UINT8_MAX,
+        )
+
+
+@dataclass
+class Int8LinearOp:
+    """One integer linear stage, delegating to the existing INT8 kernel.
+
+    Reusing :meth:`QuantizedLinear.forward_int` verbatim is what makes
+    the INT8 plan bit-identical to the eager quantized chain.
+
+    Attributes:
+        layer: The quantized layer (int8 weights, int32 bias).
+    """
+
+    layer: QuantizedLinear
+
+    @property
+    def in_width(self) -> int:
+        """Input feature count."""
+        return int(self.layer.weight_q.shape[0])
+
+    @property
+    def out_width(self) -> int:
+        """Output feature count."""
+        return int(self.layer.weight_q.shape[1])
+
+    @property
+    def buffer_width(self) -> int | None:
+        """Integer ops manage their own storage."""
+        return None
+
+    def apply(self, x: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """Quantized activations in, quantized activations out."""
+        del out
+        return self.layer.forward_int(x)
+
+
+@dataclass
+class DequantizeOp:
+    """Final dequantization stage of an INT8 plan.
+
+    Attributes:
+        layer: The last quantized layer (supplies scale / zero point).
+    """
+
+    layer: QuantizedLinear
+
+    @property
+    def buffer_width(self) -> int | None:
+        """Integer ops manage their own storage."""
+        return None
+
+    def apply(self, x: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """Quantized activations -> float outputs."""
+        del out
+        return self.layer.dequantize_output(x)
+
+
+@dataclass
+class InferencePlan:
+    """A compiled, flat inference program.
+
+    Attributes:
+        ops: Execution stages, in order.
+        in_width: Input feature count.
+        out_width: Output feature count.
+        quantized: Whether this is an INT8 plan.
+        dtype: Float compute dtype (float plans; INT8 plans emit float64
+            dequantized outputs regardless).
+        micro_batch: Default tile size for the lazily built arena.
+    """
+
+    ops: tuple
+    in_width: int
+    out_width: int
+    quantized: bool = False
+    dtype: np.dtype = np.float64
+    micro_batch: int = DEFAULT_MICRO_BATCH
+    _arena: ActivationArena | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def buffer_widths(self) -> tuple[int | None, ...]:
+        """Per-op arena buffer widths (None = op-managed storage)."""
+        return tuple(op.buffer_width for op in self.ops)
+
+    @property
+    def layer_widths(self) -> tuple[int, ...]:
+        """Linear-stage widths ``(in, hidden..., out)`` — the FPGA view.
+
+        Derived from the plan's (fused) linear ops, so the HLS cost model
+        can consume a compiled plan instead of a live module tree.
+        """
+        widths = [self.in_width]
+        for op in self.ops:
+            if isinstance(op, (LinearOp, Int8LinearOp)):
+                widths.append(op.out_width)
+        return tuple(widths)
+
+    def arena(self) -> ActivationArena:
+        """The plan's lazily created default arena (reused across runs)."""
+        if self._arena is None or not self._arena.compatible_with(self):
+            self._arena = ActivationArena(self, micro_batch=self.micro_batch)
+        return self._arena
+
+    def run(
+        self, x: np.ndarray, arena: ActivationArena | None = None
+    ) -> np.ndarray:
+        """Evaluate the plan over a ``(n, in_width)`` row block.
+
+        Rows beyond the arena's micro-batch are tiled into consecutive
+        blocks.  Per-row outputs are independent of tiling to the ulp,
+        and bit-identical to the eager forward whenever the block fits a
+        single tile (the default for per-event blocks).
+
+        Args:
+            x: Input rows; float plans evaluate them in ``self.dtype``.
+            arena: Buffer set to execute in; None uses the plan's own.
+
+        Returns:
+            ``(n, out_width)`` outputs (owned by the caller, never a view
+            into arena storage).
+        """
+        if x.ndim != 2 or x.shape[1] != self.in_width:
+            raise ValueError(
+                f"expected (n, {self.in_width}) input, got {x.shape}"
+            )
+        if not self.quantized:
+            x = np.asarray(x, dtype=self.dtype)
+        n = int(x.shape[0])
+        out_dtype = np.float64 if self.quantized else self.dtype
+        out = np.empty((n, self.out_width), dtype=out_dtype)
+        obs_metrics.inc("infer.batches")
+        obs_metrics.inc("infer.rows", n)
+        if n == 0:
+            return out
+        if arena is None:
+            arena = self.arena()
+        elif not arena.compatible_with(self):
+            raise ValueError("arena was built for a different plan")
+        step = arena.micro_batch
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            rows = hi - lo
+            cur = x[lo:hi]
+            for op, buf in zip(self.ops, arena.buffers):
+                cur = op.apply(cur, None if buf is None else buf[:rows])
+            out[lo:hi] = cur
+        return out
+
+    def __getstate__(self) -> dict:
+        """Pickle without the arena (buffers are per-process scratch)."""
+        state = dict(self.__dict__)
+        state["_arena"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore; the arena is rebuilt lazily on first run."""
+        self.__dict__.update(state)
+
+
+def _flatten(module: Module) -> list[Module]:
+    """Depth-first leaf modules of a (possibly nested) Sequential."""
+    if isinstance(module, Sequential):
+        leaves: list[Module] = []
+        for child in module:
+            leaves.extend(_flatten(child))
+        return leaves
+    return [module]
+
+
+def _fold_affine_into_linear(
+    linear: LinearOp, affine: AffineOp, dtype: np.dtype
+) -> LinearOp:
+    """Fold a trailing eval-mode BatchNorm into the preceding linear."""
+    g = affine.gamma * affine.inv_std
+    weight = linear.weight * g[None, :]
+    bias = (linear.bias - affine.mean) * g + affine.beta
+    return LinearOp(
+        weight=np.array(weight, dtype=dtype),
+        bias=np.array(bias, dtype=dtype),
+        activation="none",
+    )
+
+
+def _fold_affine_before_linear(
+    affine: AffineOp, linear: Linear, dtype: np.dtype
+) -> LinearOp:
+    """Fold a leading eval-mode BatchNorm into the following linear."""
+    g = affine.gamma * affine.inv_std
+    w = linear.weight.value
+    weight = g[:, None] * w
+    bias = (affine.beta - affine.mean * g) @ w + linear.bias.value
+    return LinearOp(
+        weight=np.array(weight, dtype=dtype),
+        bias=np.array(bias, dtype=dtype),
+        activation="none",
+    )
+
+
+def _require_eval(model: Module, leaves: list[Module]) -> None:
+    """Reject training-mode models (mirrors ``fuse_linear_bn_relu``)."""
+    if model.training or any(leaf.training for leaf in leaves):
+        raise ValueError(
+            "compile_plan requires an eval-mode model; call model.eval() "
+            "first (training-mode BatchNorm/Dropout are data-dependent "
+            "and cannot be frozen into a plan)"
+        )
+
+
+def compile_plan(
+    model: Module,
+    fold_batchnorm: bool = False,
+    dtype: np.dtype = np.float64,
+    micro_batch: int = DEFAULT_MICRO_BATCH,
+) -> InferencePlan:
+    """Compile an eval-mode float model into an :class:`InferencePlan`.
+
+    Args:
+        model: The trained network (``Sequential`` or a single layer).
+            Must be in eval mode; parameters are copied (the plan is
+            frozen — later training does not leak into it).
+        fold_batchnorm: Fold eval-mode BatchNorm stages into an adjacent
+            ``Linear`` (either order).  Algebraically exact but changes
+            float rounding, so results differ from eager at the ulp
+            level; off by default to preserve bit-identity.
+        dtype: Compute dtype.  ``float64`` (default) matches the eager
+            framework bit-for-bit; ``float32`` halves arena storage and
+            mirrors deployment-grade precision, at ulp-level deviation.
+        micro_batch: Default arena tile rows (see ``docs/inference.md``).
+
+    Returns:
+        An :class:`InferencePlan`.
+
+    Raises:
+        ValueError: Training-mode model, unsupported layer type, or an
+            inconsistent layer chain.
+    """
+    leaves = _flatten(model)
+    _require_eval(model, leaves)
+    dtype = np.dtype(dtype)
+
+    ops: list = []
+    width: int | None = None  # current activation width, once known
+    for leaf in leaves:
+        if isinstance(leaf, (Dropout, Identity)):
+            continue  # exact no-ops in eval mode
+        if isinstance(leaf, Linear):
+            if width is not None and width != leaf.in_features:
+                raise ValueError(
+                    f"layer chain mismatch: {width} features flowing into "
+                    f"a Linear expecting {leaf.in_features}"
+                )
+            if (
+                fold_batchnorm
+                and ops
+                and isinstance(ops[-1], AffineOp)
+                and ops[-1].activation == "none"
+            ):
+                ops.append(_fold_affine_before_linear(ops.pop(), leaf, dtype))
+            else:
+                ops.append(
+                    LinearOp(
+                        weight=np.array(leaf.weight.value, dtype=dtype),
+                        bias=np.array(leaf.bias.value, dtype=dtype),
+                    )
+                )
+            width = leaf.out_features
+        elif isinstance(leaf, BatchNorm1d):
+            if width is not None and width != leaf.num_features:
+                raise ValueError(
+                    f"layer chain mismatch: {width} features flowing into "
+                    f"a BatchNorm expecting {leaf.num_features}"
+                )
+            affine = AffineOp(
+                mean=np.array(leaf.running_mean, dtype=dtype),
+                inv_std=np.array(
+                    1.0 / np.sqrt(leaf.running_var + leaf.eps), dtype=dtype
+                ),
+                gamma=np.array(leaf.gamma.value, dtype=dtype),
+                beta=np.array(leaf.beta.value, dtype=dtype),
+            )
+            if (
+                fold_batchnorm
+                and ops
+                and isinstance(ops[-1], LinearOp)
+                and ops[-1].activation == "none"
+            ):
+                ops.append(_fold_affine_into_linear(ops.pop(), affine, dtype))
+            else:
+                ops.append(affine)
+            width = leaf.num_features
+        elif isinstance(leaf, (ReLU, Sigmoid)):
+            tag = "relu" if isinstance(leaf, ReLU) else "sigmoid"
+            if ops and getattr(ops[-1], "activation", None) == "none":
+                ops[-1].activation = tag
+            else:
+                if width is None:
+                    raise ValueError(
+                        "activation before any width-defining layer"
+                    )
+                ops.append(ActivationOp(activation=tag, width=width))
+        else:
+            raise ValueError(
+                f"cannot compile layer type {type(leaf).__name__}; "
+                "supported: Linear, BatchNorm1d, ReLU, Sigmoid, Dropout, "
+                "Identity (QAT models must be converted with "
+                "quantization.qat.convert_to_int8 first)"
+            )
+    if not ops:
+        raise ValueError("model compiles to an empty plan")
+    first = ops[0]
+    in_width = first.in_width if isinstance(first, LinearOp) else first.width
+    last_width = width
+    assert last_width is not None
+    obs_metrics.inc("infer.plan_compiles")
+    return InferencePlan(
+        ops=tuple(ops),
+        in_width=int(in_width),
+        out_width=int(last_width),
+        quantized=False,
+        dtype=dtype,
+        micro_batch=micro_batch,
+    )
+
+
+def compile_int8_plan(
+    model: QuantizedMLP, micro_batch: int = DEFAULT_MICRO_BATCH
+) -> InferencePlan:
+    """Compile a :class:`QuantizedMLP` into an INT8 plan.
+
+    The plan is ``[quantize, int8-linear..., dequantize]`` with every
+    integer stage delegating to the existing
+    :meth:`QuantizedLinear.forward_int` kernel, so outputs are
+    bit-identical to ``QuantizedMLP.forward`` (integer arithmetic is
+    exactly row-independent, so this holds under any tiling).
+
+    Args:
+        model: The converted integer model.
+        micro_batch: Default arena tile rows.
+
+    Returns:
+        An :class:`InferencePlan` with ``quantized=True``.
+    """
+    if not model.layers:
+        raise ValueError("quantized model has no layers")
+    in_width = int(model.layers[0].weight_q.shape[0])
+    ops: list = [
+        QuantizeOp(
+            scale=model.input_scale,
+            zero_point=model.input_zero_point,
+            width=in_width,
+        )
+    ]
+    for layer in model.layers:
+        ops.append(Int8LinearOp(layer))
+    ops.append(DequantizeOp(model.layers[-1]))
+    obs_metrics.inc("infer.plan_compiles")
+    return InferencePlan(
+        ops=tuple(ops),
+        in_width=in_width,
+        out_width=int(model.layers[-1].weight_q.shape[1]),
+        quantized=True,
+        dtype=np.float64,
+        micro_batch=micro_batch,
+    )

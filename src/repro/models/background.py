@@ -108,9 +108,15 @@ class BackgroundNet:
         self.model.eval()
         return self.model.forward(x)[:, 0]
 
+    def proba_from_logit(self, logit: np.ndarray) -> np.ndarray:
+        """Logits -> probabilities (the single post-processing source —
+        compiled inference plans call this, so the planned path cannot
+        diverge from the eager definition)."""
+        return _sigmoid(logit)
+
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """Background probability per ring. Shape ``(m,)``."""
-        return _sigmoid(self.predict_logit(features))
+        return self.proba_from_logit(self.predict_logit(features))
 
     def is_background(
         self, features: np.ndarray, polar_deg: np.ndarray | float

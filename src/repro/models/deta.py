@@ -90,9 +90,20 @@ class DEtaNet:
         out = self.model.forward(x)[:, 0]
         return np.clip(out, LOG_DETA_MIN, LOG_DETA_MAX)
 
+    def deta_from_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Raw network outputs -> ``d eta`` (clip then exponentiate).
+
+        The single post-processing source: compiled inference plans call
+        this, so the planned path cannot diverge from the eager
+        definition.
+        """
+        return np.exp(np.clip(raw, LOG_DETA_MIN, LOG_DETA_MAX))
+
     def predict_deta(self, features: np.ndarray) -> np.ndarray:
         """Predicted ``d eta`` per ring. Shape ``(m,)``."""
-        return np.exp(self.predict_log_deta(features))
+        x = self.scaler.transform(features)
+        self.model.eval()
+        return self.deta_from_raw(self.model.forward(x)[:, 0])
 
 
 @dataclass(frozen=True)

@@ -47,6 +47,12 @@ class Int8BackgroundNet:
         x = self.scaler.transform(features)
         return self.model.predict_logit(x)
 
+    def proba_from_logit(self, logit: np.ndarray) -> np.ndarray:
+        """Logits -> probabilities (single post-processing source; the
+        INT8 path clips first because dequantized logits can reach
+        magnitudes where ``exp`` over/underflows)."""
+        return _sigmoid(np.clip(logit, -60.0, 60.0))
+
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """Background probabilities. Shape ``(m,)``.
 
@@ -54,7 +60,7 @@ class Int8BackgroundNet:
         logit; applying the (bijective) sigmoid here keeps the threshold
         table in probability units for interface parity.
         """
-        return _sigmoid(np.clip(self.predict_logit(features), -60.0, 60.0))
+        return self.proba_from_logit(self.predict_logit(features))
 
     def is_background(
         self, features: np.ndarray, polar_deg: np.ndarray | float

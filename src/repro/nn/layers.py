@@ -231,14 +231,33 @@ class Sigmoid(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout (identity in eval mode)."""
+    """Inverted dropout (identity in eval mode).
+
+    The generator is acquired *lazily*, on the first training-mode
+    forward: an eval-only Dropout (e.g. inside a deserialized inference
+    model) never mints a fallback generator, never warns about a missing
+    one, and never consumes a draw — so eval-mode outputs and ambient
+    RNG state cannot depend on whether the layer ran eagerly or was
+    elided by a compiled inference plan.
+    """
 
     def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
         if not (0.0 <= p < 1.0):
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self.rng = require_rng(rng, "nn.Dropout")
+        self._rng = rng
         self._mask: np.ndarray | None = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The dropout generator (minted on first training-mode use)."""
+        if self._rng is None:
+            self._rng = require_rng(None, "nn.Dropout")
+        return self._rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator | None) -> None:
+        self._rng = value
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:

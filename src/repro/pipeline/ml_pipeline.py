@@ -43,6 +43,7 @@ from repro.localization.pipeline import (
     localize_rings,
     prepare_rings,
 )
+from repro.infer.engine import InferRequest, evaluate_request
 from repro.models.background import BackgroundNet
 from repro.models.deta import DEtaNet
 from repro.obs import metrics as obs_metrics
@@ -136,8 +137,16 @@ class MLPipeline:
 
     def _classify_background(
         self, rings: RingSet, events: EventSet, s_hat: np.ndarray
-    ) -> np.ndarray:
-        """Background mask over ``rings`` at a given direction estimate."""
+    ):
+        """Background mask over ``rings`` at a given direction estimate.
+
+        A generator: yields one ``InferRequest`` for the ring features
+        and receives the per-ring background probabilities from whatever
+        engine is driving the loop; returns the boolean mask.  The
+        probabilities are evaluated once and reused for the ``min_rings``
+        fallback (bit-identical to thresholding and re-predicting — the
+        features are unchanged).
+        """
         polar_deg = polar_angle_of(s_hat)
         feats = extract_features(
             rings,
@@ -146,9 +155,10 @@ class MLPipeline:
             include_polar=self.background_net.include_polar,
             azimuth_deg=azimuth_angle_of(s_hat),
         )
-        mask = self.background_net.is_background(feats, polar_deg)
+        prob = yield InferRequest("background", feats)
+        polar = np.full(prob.shape[0], float(polar_deg))
+        mask = self.background_net.thresholds.classify(prob, polar)
         if (~mask).sum() < self.config.min_rings and rings.num_rings > 0:
-            prob = self.background_net.predict_proba(feats)
             order = np.argsort(prob)
             mask = np.ones(rings.num_rings, dtype=bool)
             mask[order[: min(self.config.min_rings, rings.num_rings)]] = False
@@ -161,10 +171,11 @@ class MLPipeline:
         seed_direction: np.ndarray,
         rng: np.random.Generator,
         halt_after: int | None,
-    ) -> tuple[np.ndarray, RingSet, int, bool, list[np.ndarray]]:
+    ):
         """One Fig. 6 background-rejection iteration chain from one seed.
 
-        Returns (final s_hat, survivors, iterations, converged,
+        A generator (network evaluations arrive via ``yield from``);
+        returns (final s_hat, survivors, iterations, converged,
         intermediate directions).
         """
         cfg = self.config
@@ -176,7 +187,9 @@ class MLPipeline:
         for iterations in range(1, cfg.max_iterations + 1):
             obs_metrics.inc("ml.iterations")
             with obs_trace.span("ml.iteration"):
-                bkg_mask = self._classify_background(all_rings, events, s_hat)
+                bkg_mask = yield from self._classify_background(
+                    all_rings, events, s_hat
+                )
                 survivors = all_rings.select(~bkg_mask)
                 outcome = localize_rings(
                     survivors, rng, cfg.baseline, initial=s_hat
@@ -204,14 +217,23 @@ class MLPipeline:
                     break
         return s_hat, survivors, iterations, converged, intermediates
 
-    @obs_trace.traced("ml.localize")
-    def localize(
+    def localize_requests(
         self,
         events: EventSet,
         rng: np.random.Generator,
         halt_after: int | None = None,
-    ) -> MLPipelineOutcome:
-        """Run the full Fig. 6 pipeline on one exposure's events.
+    ):
+        """The Fig. 6 loop as a request generator (advanced coroutine API).
+
+        Yields :class:`~repro.infer.engine.InferRequest` items whenever a
+        network evaluation is needed and expects the prediction array
+        back via ``send``; the final :class:`MLPipelineOutcome` is the
+        generator's return value (``StopIteration.value``).  This is the
+        seam the batched campaign front-end
+        (:func:`repro.infer.localize_many`) uses to gather feature blocks
+        across many events into one planned pass per round — all
+        localization math and RNG draws stay inside the generator, in
+        exactly the order of a solo run.
 
         Args:
             events: Digitized events.
@@ -219,9 +241,6 @@ class MLPipeline:
             halt_after: Anytime knob — stop after this many
                 background-rejection iterations (skipping the dEta stage)
                 and report the current estimate; None runs to completion.
-
-        Returns:
-            An :class:`MLPipelineOutcome`.
         """
         cfg = self.config
         all_rings = prepare_rings(events, cfg.baseline)
@@ -259,7 +278,9 @@ class MLPipeline:
         best: tuple | None = None
         best_score = np.inf
         for seed_dir in seeds:
-            result = self._iterate(all_rings, events, seed_dir, rng, halt_after)
+            result = yield from self._iterate(
+                all_rings, events, seed_dir, rng, halt_after
+            )
             score = float(
                 capped_chi_square(all_rings, result[0][None, :], cap=4.0)[0]
             )
@@ -272,7 +293,9 @@ class MLPipeline:
         removed = all_rings.num_rings - survivors.num_rings
         removed_correct = 0
         if removed > 0:
-            bkg_mask = self._classify_background(all_rings, events, s_hat)
+            bkg_mask = yield from self._classify_background(
+                all_rings, events, s_hat
+            )
             removed_correct = int(np.sum(bkg_mask & (all_rings.labels == 1)))
 
         if halt_after is not None and not converged:
@@ -296,7 +319,7 @@ class MLPipeline:
                 include_polar=self.deta_net.include_polar,
                 azimuth_deg=azimuth_angle_of(s_hat),
             )
-            predicted = self.deta_net.predict_deta(feats)
+            predicted = yield InferRequest("deta", feats)
             if cfg.deta_mode == "widen_only":
                 predicted = np.maximum(predicted, survivors.deta)
             elif cfg.deta_mode != "replace":
@@ -318,3 +341,46 @@ class MLPipeline:
             background_removed_correct=removed_correct,
             intermediate_directions=intermediates,
         )
+
+    def _evaluate(self, request, engine) -> np.ndarray:
+        """Answer one inference request (eager bundles when no engine)."""
+        if engine is not None:
+            return evaluate_request(engine, request)
+        if request.kind == "background":
+            return self.background_net.predict_proba(request.features)
+        if request.kind == "deta":
+            return self.deta_net.predict_deta(request.features)
+        raise ValueError(f"unknown request kind {request.kind!r}")
+
+    @obs_trace.traced("ml.localize")
+    def localize(
+        self,
+        events: EventSet,
+        rng: np.random.Generator,
+        halt_after: int | None = None,
+        engine=None,
+    ) -> MLPipelineOutcome:
+        """Run the full Fig. 6 pipeline on one exposure's events.
+
+        Args:
+            events: Digitized events.
+            rng: Random generator (approximation sampling).
+            halt_after: Anytime knob — stop after this many
+                background-rejection iterations (skipping the dEta stage)
+                and report the current estimate; None runs to completion.
+            engine: Inference backend answering the network requests
+                (see :func:`repro.infer.build_engine`); None evaluates
+                the bundles eagerly — the reference path.  The default
+                planned engine is bit-identical to the reference on
+                per-event blocks (pinned by ``tests/infer``).
+
+        Returns:
+            An :class:`MLPipelineOutcome`.
+        """
+        gen = self.localize_requests(events, rng, halt_after=halt_after)
+        try:
+            request = next(gen)
+            while True:
+                request = gen.send(self._evaluate(request, engine))
+        except StopIteration as stop:
+            return stop.value

@@ -1,0 +1,117 @@
+"""Activation arenas: sizing, reuse, tiling, and pickling behavior."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.infer.arena import DEFAULT_MICRO_BATCH, ActivationArena
+from repro.infer.plan import compile_plan
+from repro.nn.layers import Linear, ReLU, Sequential
+
+
+def _plan(seed=0, micro_batch=DEFAULT_MICRO_BATCH):
+    rng = np.random.default_rng(seed)
+    net = Sequential(
+        Linear(6, 16, rng), ReLU(), Linear(16, 8, rng), ReLU(),
+        Linear(8, 2, rng),
+    )
+    net.eval()
+    return compile_plan(net, micro_batch=micro_batch)
+
+
+class TestArenaAllocation:
+    def test_buffer_shapes_match_op_widths(self):
+        plan = _plan()
+        arena = ActivationArena(plan, micro_batch=32)
+        widths = plan.buffer_widths()
+        assert len(arena.buffers) == len(widths)
+        for buf, width in zip(arena.buffers, widths):
+            assert buf.shape == (32, width)
+            assert buf.dtype == plan.dtype
+
+    def test_nbytes_accounts_all_buffers(self):
+        plan = _plan()
+        arena = ActivationArena(plan, micro_batch=16)
+        expected = sum(16 * w * 8 for w in plan.buffer_widths())
+        assert arena.nbytes == expected
+
+    def test_micro_batch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ActivationArena(_plan(), micro_batch=0)
+
+    def test_plan_arena_is_reused_across_runs(self):
+        plan = _plan()
+        first = plan.arena()
+        plan.run(np.zeros((3, 6)))
+        assert plan.arena() is first
+
+    def test_compatible_with_rejects_other_plan(self):
+        plan_a, plan_b = _plan(0), _plan(1)
+        rng = np.random.default_rng(2)
+        net = Sequential(Linear(6, 4, rng))
+        net.eval()
+        other = compile_plan(net)
+        arena = ActivationArena(plan_a, micro_batch=8)
+        assert arena.compatible_with(plan_b)  # same op widths
+        assert not arena.compatible_with(other)
+        with pytest.raises(ValueError, match="different plan"):
+            other.run(np.zeros((2, 6)), arena=arena)
+
+
+class TestTiling:
+    def test_edge_batches(self):
+        plan = _plan(micro_batch=8)
+        rng = np.random.default_rng(3)
+        for n in (0, 1, 7, 8, 9, 40):
+            out = plan.run(rng.normal(size=(n, 6)))
+            assert out.shape == (n, 2)
+
+    def test_retiled_rows_match_single_tile_to_ulp(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(50, 6))
+        big = _plan(seed=5)  # one tile
+        small = _plan(seed=5, micro_batch=8)  # forces re-tiling
+        np.testing.assert_allclose(
+            small.run(x), big.run(x), rtol=1e-12, atol=1e-14
+        )
+
+    def test_retiling_is_deterministic(self):
+        plan = _plan(seed=6, micro_batch=8)
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(30, 6))
+        np.testing.assert_array_equal(plan.run(x), plan.run(x))
+
+    def test_output_not_a_view_into_arena(self):
+        plan = _plan(seed=8, micro_batch=64)
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(5, 6))
+        out = plan.run(x)
+        saved = out.copy()
+        plan.run(rng.normal(size=(5, 6)))  # would clobber a view
+        np.testing.assert_array_equal(out, saved)
+
+    def test_wrong_input_shape_rejected(self):
+        plan = _plan()
+        with pytest.raises(ValueError, match="expected"):
+            plan.run(np.zeros((4, 5)))
+        with pytest.raises(ValueError, match="expected"):
+            plan.run(np.zeros(6))
+
+
+class TestPickling:
+    def test_pickle_drops_arena_and_stays_bitwise(self):
+        plan = _plan(seed=10)
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(20, 6))
+        before = plan.run(x)
+        assert plan._arena is not None
+        blob = pickle.dumps(plan)
+        clone = pickle.loads(blob)
+        assert clone._arena is None  # buffers are per-process scratch
+        np.testing.assert_array_equal(clone.run(x), before)
+
+    def test_pickled_size_excludes_buffers(self):
+        plan = _plan(seed=12)
+        plan.arena()  # materialize ~DEFAULT_MICRO_BATCH * width buffers
+        assert len(pickle.dumps(plan)) < plan.arena().nbytes / 10

@@ -1,0 +1,196 @@
+"""Plan compilation: structure, fusion, folding, and rejection paths."""
+
+import numpy as np
+import pytest
+
+from repro.infer.plan import (
+    ActivationOp,
+    AffineOp,
+    LinearOp,
+    compile_plan,
+)
+from repro.nn.layers import (
+    BatchNorm1d,
+    Dropout,
+    Identity,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+
+
+def _eval_net(*modules):
+    net = Sequential(*modules)
+    net.eval()
+    return net
+
+
+def _warm_bn(net, rng, width):
+    """Run a training pass so BatchNorm running stats are non-trivial."""
+    net.train()
+    net.forward(rng.normal(size=(64, width)))
+    net.eval()
+    return net
+
+
+class TestCompileStructure:
+    def test_linear_relu_fuses(self):
+        rng = np.random.default_rng(0)
+        plan = compile_plan(_eval_net(Linear(4, 8, rng), ReLU()))
+        assert len(plan.ops) == 1
+        assert isinstance(plan.ops[0], LinearOp)
+        assert plan.ops[0].activation == "relu"
+        assert plan.in_width == 4 and plan.out_width == 8
+
+    def test_linear_sigmoid_fuses(self):
+        rng = np.random.default_rng(0)
+        plan = compile_plan(_eval_net(Linear(4, 1, rng), Sigmoid()))
+        assert plan.ops[0].activation == "sigmoid"
+
+    def test_batchnorm_becomes_affine(self):
+        rng = np.random.default_rng(1)
+        net = _warm_bn(
+            Sequential(BatchNorm1d(4), Linear(4, 2, rng)), rng, 4
+        )
+        plan = compile_plan(net)
+        assert isinstance(plan.ops[0], AffineOp)
+        assert isinstance(plan.ops[1], LinearOp)
+        bn = net[0]
+        np.testing.assert_array_equal(plan.ops[0].mean, bn.running_mean)
+        np.testing.assert_array_equal(
+            plan.ops[0].inv_std, 1.0 / np.sqrt(bn.running_var + bn.eps)
+        )
+
+    def test_relu_after_affine_fuses_into_affine(self):
+        rng = np.random.default_rng(2)
+        net = _warm_bn(Sequential(BatchNorm1d(3), ReLU()), rng, 3)
+        plan = compile_plan(net)
+        assert len(plan.ops) == 1
+        assert isinstance(plan.ops[0], AffineOp)
+        assert plan.ops[0].activation == "relu"
+
+    def test_unfusable_activation_standalone(self):
+        rng = np.random.default_rng(3)
+        # Two activations in a row: the second cannot fuse (slot taken).
+        plan = compile_plan(_eval_net(Linear(4, 4, rng), ReLU(), Sigmoid()))
+        assert len(plan.ops) == 2
+        assert isinstance(plan.ops[1], ActivationOp)
+        assert plan.ops[1].activation == "sigmoid"
+        assert plan.ops[1].width == 4
+
+    def test_dropout_and_identity_skipped(self):
+        rng = np.random.default_rng(4)
+        plan = compile_plan(
+            _eval_net(
+                Dropout(0.5, rng=rng),
+                Linear(4, 4, rng),
+                Identity(),
+                ReLU(),
+                Dropout(0.2, rng=rng),
+                Linear(4, 1, rng),
+            )
+        )
+        assert len(plan.ops) == 2
+        assert all(isinstance(op, LinearOp) for op in plan.ops)
+
+    def test_nested_sequential_flattens(self):
+        rng = np.random.default_rng(5)
+        inner = Sequential(Linear(4, 8, rng), ReLU())
+        plan = compile_plan(_eval_net(inner, Linear(8, 1, rng)))
+        assert len(plan.ops) == 2
+        assert plan.in_width == 4 and plan.out_width == 1
+
+    def test_layer_widths_match_paper_view(self):
+        rng = np.random.default_rng(6)
+        plan = compile_plan(
+            _eval_net(
+                Linear(13, 32, rng), ReLU(),
+                Linear(32, 16, rng), ReLU(),
+                Linear(16, 1, rng),
+            )
+        )
+        assert plan.layer_widths == (13, 32, 16, 1)
+
+    def test_parameters_copied_not_aliased(self):
+        rng = np.random.default_rng(7)
+        net = _eval_net(Linear(4, 2, rng))
+        plan = compile_plan(net)
+        x = rng.normal(size=(5, 4))
+        before = plan.run(x)
+        net[0].weight.value += 1.0  # later training must not leak in
+        np.testing.assert_array_equal(plan.run(x), before)
+
+
+class TestCompileRejections:
+    def test_training_mode_rejected(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(4, 2, rng))
+        net.train()
+        with pytest.raises(ValueError, match="eval"):
+            compile_plan(net)
+
+    def test_unknown_layer_rejected(self):
+        from repro.nn.layers import Module
+
+        class Strange(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(ValueError, match="cannot compile"):
+            compile_plan(_eval_net(Strange()))
+
+    def test_width_mismatch_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError, match="mismatch"):
+            compile_plan(_eval_net(Linear(4, 8, rng), Linear(4, 2, rng)))
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            compile_plan(_eval_net(Identity()))
+
+
+class TestBatchNormFolding:
+    def _net(self, seed, swapped):
+        rng = np.random.default_rng(seed)
+        if swapped:  # Linear -> BN -> ReLU (fusion-friendly order)
+            mods = [Linear(6, 12, rng), BatchNorm1d(12), ReLU(),
+                    Linear(12, 1, rng)]
+        else:  # BN -> Linear -> ReLU (the paper's default order)
+            mods = [BatchNorm1d(6), Linear(6, 12, rng), ReLU(),
+                    Linear(12, 1, rng)]
+        net = Sequential(*mods)
+        return _warm_bn(net, rng, 6), rng
+
+    @pytest.mark.parametrize("swapped", [False, True])
+    def test_folded_matches_unfolded_to_ulp(self, swapped):
+        net, rng = self._net(11, swapped)
+        x = rng.normal(size=(200, 6))
+        plain = compile_plan(net)
+        folded = compile_plan(net, fold_batchnorm=True)
+        assert len(folded.ops) < len(plain.ops)
+        assert not any(isinstance(op, AffineOp) for op in folded.ops)
+        np.testing.assert_allclose(
+            folded.run(x), plain.run(x), rtol=1e-10, atol=1e-12
+        )
+
+    def test_folding_preserves_layer_widths(self):
+        net, _ = self._net(12, True)
+        plain = compile_plan(net)
+        folded = compile_plan(net, fold_batchnorm=True)
+        assert folded.layer_widths == plain.layer_widths
+
+
+class TestFloat32Plans:
+    def test_float32_close_to_float64(self):
+        rng = np.random.default_rng(21)
+        net = _eval_net(
+            Linear(8, 16, rng), ReLU(), Linear(16, 1, rng)
+        )
+        x = rng.normal(size=(64, 8))
+        p64 = compile_plan(net)
+        p32 = compile_plan(net, dtype=np.float32)
+        assert p32.run(x).dtype == np.float32
+        np.testing.assert_allclose(
+            p32.run(x).astype(np.float64), p64.run(x), rtol=1e-5, atol=1e-6
+        )

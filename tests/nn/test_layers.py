@@ -161,6 +161,35 @@ class TestDropout:
         with pytest.raises(ValueError):
             Dropout(1.0)
 
+    def test_eval_only_dropout_never_warns_or_mints_rng(self):
+        """Regression: an eval-only Dropout (e.g. in a loaded inference
+        model) used to mint a fallback generator in ``__init__`` and emit
+        MissingRngWarning even though eval mode never draws from it."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning -> test failure
+            d = Dropout(0.5)
+            d.eval()
+            d.forward(np.ones((8, 3)))
+        assert d._rng is None  # still unminted: eval never touched it
+
+    def test_eval_forward_consumes_no_rng_draws(self):
+        rng = np.random.default_rng(11)
+        d = Dropout(0.5, rng=rng)
+        d.eval()
+        state_before = rng.bit_generator.state
+        d.forward(np.ones((16, 4)))
+        assert rng.bit_generator.state == state_before
+
+    def test_training_forward_mints_lazily(self):
+        d = Dropout(0.5)
+        assert d._rng is None
+        d.train()
+        with pytest.warns(Warning):
+            d.forward(np.ones((4, 4)))  # first draw mints (and warns)
+        assert d._rng is not None
+
 
 class TestSequential:
     def test_train_eval_propagates(self):
