@@ -8,11 +8,16 @@ measuring").  Each benchmark times one kernel at a realistic workload:
 * Klein--Nishina sampling;
 * digitization + ring building for one exposure;
 * background-network forward pass (FP32 and true-INT8) on 597 rings;
-* one robust refinement solve over ~500 rings.
+* one robust refinement solve over ~500 rings;
+* every entry in the ``repro.perf`` op registry (smoke: built and
+  called twice, so a registered-but-broken benchmark fails here fast),
+  with the INT8 linear kernel also timed under pytest-benchmark.
 """
 
 import numpy as np
 import pytest
+
+import repro.perf as perf
 
 from repro.detector.response import DetectorResponse
 from repro.geometry.tiles import adapt_geometry
@@ -108,6 +113,28 @@ def test_perf_background_net_fp32(benchmark, trained_models, events):
 
     probs = benchmark(net.predict_proba, feats)
     assert probs.shape[0] == rings.num_rings
+
+
+@pytest.mark.parametrize(
+    "bench", perf.registered(), ids=lambda bench: bench.name
+)
+def test_perf_registered_op_smoke(bench):
+    """Each registered op benchmark builds and runs (twice: the second
+    call exercises buffer-reuse paths)."""
+    fn, rows = bench.build()
+    assert rows > 0
+    fn()
+    assert fn() is not None
+
+
+def test_perf_int8_linear_block597(benchmark):
+    """The fixed-point INT8 linear kernel at the paper block shape."""
+    (entry,) = [
+        b for b in perf.registered() if b.name == "int8_linear_block597"
+    ]
+    fn, _rows = entry.build()
+    out = benchmark(fn)
+    assert out.shape[0] == 597
 
 
 def test_perf_refinement(benchmark, events):

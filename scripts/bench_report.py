@@ -1,17 +1,24 @@
 #!/usr/bin/env python
-"""Run the performance suite and write ``BENCH_pr5.json``.
+"""Run the performance suite and write ``BENCH_pr6.json``.
 
-Five measurement groups:
+Six measurement groups:
 
 * **Kernel micro-benchmarks** — ``benchmarks/test_perf_kernels.py`` via
   pytest-benchmark; the report records each kernel's median seconds.
+* **Op registry** — every tracked kernel in ``repro.perf`` (one entry
+  per ``repro.infer.plan`` op class, plus the gather/scatter path and
+  the retained reference INT8 kernel), reported as ``perf_<name>``
+  rows/s with per-op deltas against the prior report.
 * **Inference backends** — the paper-shaped background network
   (13-256-128-64-1) forwarded over Fig.-6-sized ring blocks
   (597 rows each) through every ``repro.infer`` backend: the eager
-  module tree, the compiled plan per block, the plan over one gathered
+  module tree, the compiled plan per block (float32 default *and*
+  the bit-parity float64 mode), the plan over one gathered
   cross-event batch, and the INT8 plan.  Each backend's output is
-  asserted against the eager reference *before* it is timed, so a
-  broken backend cannot post a flattering rows/s figure.
+  asserted against the eager reference *before* it is timed (float64
+  and INT8 bitwise — INT8 additionally against the retained reference
+  kernel chain — float32 to 1e-5), so a broken backend cannot post a
+  flattering rows/s figure.
 * **End-to-end campaign** — ``benchmarks/test_campaign_e2e.py`` timed in
   this process: the seed-style fresh-pool-per-stage path versus the
   persistent shared-memory executor, plus the resulting speedup.  The
@@ -29,7 +36,7 @@ Five measurement groups:
 
 Usage::
 
-    python scripts/bench_report.py [--output BENCH_pr5.json] [--skip-kernels]
+    python scripts/bench_report.py [--output BENCH_pr6.json] [--skip-kernels]
 """
 
 from __future__ import annotations
@@ -69,6 +76,17 @@ def run_kernel_benchmarks() -> dict[str, float]:
     }
 
 
+def run_perf_registry() -> dict[str, float]:
+    """Run the ``repro.perf`` op registry; return ``perf_<name>`` rows/s."""
+    sys.path.insert(0, str(REPO / "src"))
+    import repro.perf as perf
+
+    return {
+        f"perf_{name}": rows_per_s
+        for name, rows_per_s in perf.run_all().items()
+    }
+
+
 def run_inference_benchmarks(rounds: int = 3) -> dict[str, float]:
     """Time every inference backend on paper-shaped ring blocks.
 
@@ -76,7 +94,9 @@ def run_inference_benchmarks(rounds: int = 3) -> dict[str, float]:
     first-background-iteration ring count (``fpga.PAPER_NUM_RINGS``) —
     pushed through the paper-width background network.  Returns
     rows-per-second per backend (best of ``rounds``) plus the speedup
-    of each compiled backend over the eager module tree.
+    of each compiled backend over the eager module tree.  ``planned``
+    is the runtime-default float32 plan; ``planned_f64`` is the
+    bit-parity mode the campaign driver defaults to.
     """
     sys.path.insert(0, str(REPO / "src"))
     import numpy as np
@@ -104,8 +124,11 @@ def run_inference_benchmarks(rounds: int = 3) -> dict[str, float]:
     qat.eval()
     quantized = convert_to_int8(qat)
 
-    plan = compile_plan(net)
-    arena = plan.arena()
+    plan32 = compile_plan(net)  # runtime default dtype: float32
+    assert plan32.dtype == np.float32
+    arena32 = plan32.arena()
+    plan64 = compile_plan(net, dtype=np.float64)
+    arena64 = plan64.arena()
     int8_plan = compile_int8_plan(quantized)
     int8_arena = int8_plan.arena()
 
@@ -131,26 +154,38 @@ def run_inference_benchmarks(rounds: int = 3) -> dict[str, float]:
         total_rows = float(gathered.shape[0])
 
         # Parity before timing: a broken backend must not post a number.
+        # float64 plan: bitwise vs eager.  float32 plan: close.  INT8
+        # plan: bitwise vs the eager quantized chain AND vs the chain
+        # through the retained pre-rework reference kernels.
         eager_out = [net.forward(block) for block in blocks]
         for block, ref in zip(blocks, eager_out):
-            np.testing.assert_array_equal(plan.run(block, arena=arena), ref)
+            np.testing.assert_array_equal(
+                plan64.run(block, arena=arena64), ref
+            )
+            np.testing.assert_allclose(
+                plan32.run(block, arena=arena32), ref, rtol=1e-4, atol=1e-5
+            )
         np.testing.assert_allclose(
-            plan.run(gathered),
+            plan64.run(gathered),
             np.concatenate(eager_out, axis=0),
             rtol=1e-9,
             atol=0.0,
         )
         for block in blocks[:4]:
+            int8_out = int8_plan.run(block, arena=int8_arena)
+            np.testing.assert_array_equal(int8_out, quantized.forward(block))
             np.testing.assert_array_equal(
-                int8_plan.run(block, arena=int8_arena),
-                quantized.forward(block),
+                int8_out, quantized.forward_reference(block)
             )
 
         t_eager = best_of(lambda: [net.forward(b) for b in blocks])
         t_planned = best_of(
-            lambda: [plan.run(b, arena=arena) for b in blocks]
+            lambda: [plan32.run(b, arena=arena32) for b in blocks]
         )
-        t_gathered = best_of(lambda: plan.run(gathered))
+        t_planned64 = best_of(
+            lambda: [plan64.run(b, arena=arena64) for b in blocks]
+        )
+        t_gathered = best_of(lambda: plan32.run(gathered))
         t_int8 = best_of(
             lambda: [int8_plan.run(b, arena=int8_arena) for b in blocks]
         )
@@ -158,10 +193,13 @@ def run_inference_benchmarks(rounds: int = 3) -> dict[str, float]:
             {
                 f"infer_{tag}_eager_rows_per_s": total_rows / t_eager,
                 f"infer_{tag}_planned_rows_per_s": total_rows / t_planned,
+                f"infer_{tag}_planned_f64_rows_per_s": total_rows / t_planned64,
                 f"infer_{tag}_gathered_rows_per_s": total_rows / t_gathered,
                 f"infer_{tag}_int8_rows_per_s": total_rows / t_int8,
                 f"infer_{tag}_planned_speedup": t_eager / t_planned,
+                f"infer_{tag}_planned_f64_speedup": t_eager / t_planned64,
                 f"infer_{tag}_gathered_speedup": t_eager / t_gathered,
+                f"infer_{tag}_int8_speedup": t_eager / t_int8,
             }
         )
     return results
@@ -344,6 +382,41 @@ def run_traced_summary() -> dict:
     return summary_dict(events)
 
 
+def compare_ops_with_prior(results: dict[str, float], prior_name: str) -> dict:
+    """Per-op / per-backend deltas against a prior report, if present.
+
+    Covers every ``perf_``, ``infer_`` and ``campaign_`` key the two
+    reports share (positive ``delta_pct`` = faster for rows/s keys,
+    slower for seconds keys — the ``unit`` field disambiguates), and
+    lists keys new in this report, so a regression in any tracked
+    kernel is visible in one place.
+    """
+    prior_path = REPO / prior_name
+    if not prior_path.exists():
+        return {"available": False}
+    prior = json.loads(prior_path.read_text())["results"]
+    tracked = ("perf_", "infer_", "campaign_")
+    out: dict = {"available": True, "ops": {}, "new": []}
+    for key in sorted(results):
+        if not key.startswith(tracked):
+            continue
+        if not isinstance(results[key], (int, float)):
+            continue
+        if key not in prior:
+            out["new"].append(key)
+            continue
+        unit = "rows_per_s" if "rows_per_s" in key else (
+            "ratio" if "speedup" in key else "seconds"
+        )
+        out["ops"][key] = {
+            "prior": prior[key],
+            "now": results[key],
+            "unit": unit,
+            "delta_pct": 100.0 * (results[key] - prior[key]) / prior[key],
+        }
+    return out
+
+
 def compare_with_prior(results: dict[str, float], prior_name: str) -> dict:
     """Compare campaign wall-clock against a prior report, if present.
 
@@ -369,7 +442,7 @@ def compare_with_prior(results: dict[str, float], prior_name: str) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=str(REPO / "BENCH_pr5.json"))
+    parser.add_argument("--output", default=str(REPO / "BENCH_pr6.json"))
     parser.add_argument(
         "--skip-kernels", action="store_true",
         help="only run the e2e campaign comparison",
@@ -379,20 +452,33 @@ def main(argv: list[str] | None = None) -> int:
     results: dict[str, float] = {}
     if not args.skip_kernels:
         results.update(run_kernel_benchmarks())
+    results.update(run_perf_registry())
     results.update(run_inference_benchmarks())
     results.update(run_campaign_benchmark())
     results.update(run_ml_campaign_benchmark())
 
+    block = "infer_block597"
     report = {
         "schema": (
-            "kernel -> median seconds; infer_* -> rows/s (best of 3); "
-            "campaign entries -> seconds (best of 2; ml: single run)"
+            "kernel -> median seconds; perf_* / infer_* -> rows/s "
+            "(best of 3); campaign entries -> seconds (best of 2; "
+            "ml: single run)"
         ),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": results,
+        "targets": {
+            "int8_ge_eager": bool(
+                results[f"{block}_int8_rows_per_s"]
+                >= results[f"{block}_eager_rows_per_s"]
+            ),
+            "planned_ge_1p5x_eager": bool(
+                results[f"{block}_planned_speedup"] >= 1.5
+            ),
+        },
         "vs_pr1": compare_with_prior(results, "BENCH_pr1.json"),
         "vs_pr2": compare_with_prior(results, "BENCH_pr2.json"),
+        "vs_pr5": compare_ops_with_prior(results, "BENCH_pr5.json"),
         "trace_summary": run_traced_summary(),
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""One-shot CI gate: reprolint + shm-leak + docstrings + docs health.
+"""One-shot CI gate: reprolint + shm-leak + docstrings + docs + perf.
 
 Runs the repository's repo-hygiene checks and exits non-zero if any
 fails:
@@ -15,6 +15,10 @@ fails:
 4. **docs health** — every fenced ``python`` code block in ``docs/``,
    ``README.md`` & friends parses (``ast.parse``), and every intra-repo
    markdown link target resolves to a real file.
+5. **perf registry coverage** — every op class in ``repro.infer.plan``
+   has a registered microbenchmark in ``repro.perf`` (and every
+   registered benchmark's factory builds), so no kernel can ship
+   untracked.
 
 Usage:
 
@@ -38,7 +42,7 @@ sys.path.insert(0, str(_REPO / "src"))
 from repro.analysis.cli import main as reprolint_main  # noqa: E402
 
 #: Check names accepted by ``--skip``.
-CHECK_NAMES = ("lint", "shm", "docstrings", "docs")
+CHECK_NAMES = ("lint", "shm", "docstrings", "docs", "perf")
 
 
 def check_lint() -> int:
@@ -217,6 +221,41 @@ def check_docs() -> int:
     return 1 if failures else 0
 
 
+def check_perf() -> int:
+    """Every ``repro.infer.plan`` op class must have a benchmark.
+
+    Coverage is discovered by inspection (see
+    ``repro.perf.registry.plan_op_names``), so adding a new op class
+    without registering a microbenchmark fails CI here.  Each
+    registered benchmark's ``build`` factory is also exercised once —
+    a registered-but-broken entry must not pass.
+    """
+    import repro.perf as perf
+
+    failures: list[str] = []
+    missing = sorted(perf.missing_ops())
+    for op in missing:
+        failures.append(f"op class {op} has no registered microbenchmark")
+    for bench in perf.registered():
+        try:
+            fn, rows = bench.build()
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            failures.append(f"benchmark {bench.name!r} failed to build: {exc}")
+            continue
+        if not callable(fn) or int(rows) <= 0:
+            failures.append(
+                f"benchmark {bench.name!r} build() must return "
+                f"(callable, positive rows); got rows={rows!r}"
+            )
+    for line in failures:
+        print(f"perf: {line}")
+    print(
+        f"perf: {len(perf.registered())} benchmarks cover "
+        f"{len(perf.plan_op_names())} plan op classes"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run every check; return the number of failing checks."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -234,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         "shm": check_shm,
         "docstrings": check_docstrings,
         "docs": check_docs,
+        "perf": check_perf,
     }
     failed = []
     for name, fn in checks.items():

@@ -57,6 +57,21 @@ _LIKE_CTORS = frozenset(
     {"numpy.zeros_like", "numpy.ones_like", "numpy.empty_like", "numpy.full_like"}
 )
 
+#: Widening targets whose per-call ``astype`` allocates and copies the
+#: whole operand (the int8 slowdown BENCH_pr5 measured came from
+#: exactly this: ``.astype(np.int64)`` per forward call).
+WIDE_DTYPES = frozenset(
+    {"numpy.int64", "numpy.uint64", "numpy.float32", "numpy.float64"}
+)
+
+#: String forms of the same dtypes.
+WIDE_DTYPE_STRINGS = frozenset({"int64", "uint64", "float32", "float64"})
+
+#: Per-call kernel entry points (the hot path).  Reference
+#: implementations kept for parity (``_reference_forward_int``) are
+#: deliberately *not* matched.
+HOT_PATH_FUNCTIONS = frozenset({"forward", "forward_int", "apply"})
+
 
 @register
 class UnguardedNarrowingCastRule(Rule):
@@ -110,6 +125,59 @@ class UnguardedNarrowingCastRule(Rule):
                 f"narrowing cast to {dtype_name} without np.clip to the "
                 "target range; NumPy wraps where the FPGA saturates",
             )
+
+
+@register
+class HotPathWideningCastRule(Rule):
+    """DTY003: no per-call widening ``astype`` in kernel hot paths."""
+
+    rule_id = "DTY003"
+    title = "per-call widening cast in a kernel hot path"
+    severity = Severity.ERROR
+    rationale = (
+        "astype(int64/float64/...) inside forward/forward_int/apply "
+        "allocates and copies the operand on every call; widened views "
+        "of construction-time constants (weights, biases, requant "
+        "parameters) must be precomputed once at construction and "
+        "cached.  BENCH_pr5 measured the int8 path 8x slower than eager "
+        "float for exactly this reason."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag widening ``astype`` calls inside hot-path functions."""
+        if not ctx.in_packages(DTYPE_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name not in HOT_PATH_FUNCTIONS:
+                continue
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr == "astype"
+                ):
+                    continue
+                if not call.args:
+                    continue
+                target = call.args[0]
+                resolved = ctx.resolve(target)
+                is_wide = resolved in WIDE_DTYPES or (
+                    isinstance(target, ast.Constant)
+                    and target.value in WIDE_DTYPE_STRINGS
+                )
+                if not is_wide:
+                    continue
+                dtype_name = resolved or str(getattr(target, "value", "?"))
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"widening cast to {dtype_name} inside "
+                    f"{node.name}(); precompute the widened array at "
+                    "construction instead of per call",
+                )
 
 
 @register

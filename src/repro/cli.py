@@ -125,6 +125,7 @@ def _cmd_localize(args: argparse.Namespace) -> int:
             polar_angle_deg=args.polar,
             condition="ml",
             infer_backend=args.infer_backend,
+            infer_dtype=args.infer_dtype,
             event_batch=args.event_batch,
         ),
         ml_pipeline=pipeline,
@@ -151,6 +152,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         cache=args.cache if args.cache else None,
         infer_backend=args.infer_backend,
+        infer_dtype=args.infer_dtype,
     )
     number = args.name.removeprefix("fig")
     driver = getattr(figures, f"figure{number}")
@@ -233,6 +235,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inference backend: eager reference bundles, "
                         "compiled plans (bit-identical per event), or the "
                         "INT8 integer path (quantized pipelines only)")
+    p.add_argument("--infer-dtype", dest="infer_dtype",
+                   choices=("float32", "float64"), default="float64",
+                   help="float-plan compute dtype for non-reference "
+                        "backends: float64 keeps bit-parity with eager, "
+                        "float32 is the faster deployment dtype")
     p.add_argument("--event-batch", dest="event_batch", type=int, default=1,
                    metavar="N",
                    help="localize N events per lock-step batched inference "
@@ -256,6 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("reference", "planned", "int8"),
                    default="reference",
                    help="inference backend for ML-condition points")
+    p.add_argument("--infer-dtype", dest="infer_dtype",
+                   choices=("float32", "float64"), default="float64",
+                   help="float-plan compute dtype for non-reference "
+                        "backends")
     p.add_argument("--cache", action="store_true",
                    help="cache trial sets in .campaign_cache/")
     _add_common_flags(p)

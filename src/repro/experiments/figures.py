@@ -59,6 +59,10 @@ class ExperimentScale:
         infer_backend: Inference backend for ML-condition points
             ("reference", "planned", or "int8" — see repro.infer);
             ignored by non-ML conditions.
+        infer_dtype: Float-plan compute dtype for ML-condition points
+            when infer_backend is not "reference" ("float64" keeps
+            bit-parity with eager; "float32" is the faster deployment
+            dtype); ignored otherwise.
     """
 
     n_trials: int = 30
@@ -69,6 +73,7 @@ class ExperimentScale:
     n_workers: int = 1
     cache: object = None
     infer_backend: str = "reference"
+    infer_dtype: str = "float64"
 
     @staticmethod
     def from_env() -> "ExperimentScale":
@@ -113,7 +118,11 @@ def _point(
     if config.condition == "ml" and scale.infer_backend != "reference":
         import dataclasses
 
-        config = dataclasses.replace(config, infer_backend=scale.infer_backend)
+        config = dataclasses.replace(
+            config,
+            infer_backend=scale.infer_backend,
+            infer_dtype=scale.infer_dtype,
+        )
     sets = run_meta_trials(
         geometry,
         response,

@@ -33,6 +33,9 @@ CONDITIONS = ("baseline", "no_background", "true_deta", "ml")
 #: (mirrors ``repro.infer.INFER_BACKENDS`` without importing it here —
 #: the infer runtime is only loaded when an ML campaign asks for it).
 INFER_BACKENDS = ("reference", "planned", "int8")
+#: Plan compute dtypes accepted by :class:`TrialConfig.infer_dtype`
+#: (mirrors ``repro.infer.PLANNED_DTYPES``, same lazy-import rationale).
+INFER_DTYPES = ("float32", "float64")
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,12 @@ class TrialConfig:
     #: one planned pass per round (ulp-level deviations possible — see
     #: docs/inference.md).
     event_batch: int = 1
+    #: Compute dtype of the compiled float plans when infer_backend is
+    #: not "reference".  Campaigns default to "float64" so planned runs
+    #: stay bit-identical to the eager reference; "float32" is the
+    #: runtime-default deployment dtype (sgemm, half the arena bytes)
+    #: with ulp-level deviations.
+    infer_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.condition not in CONDITIONS:
@@ -79,12 +88,20 @@ class TrialConfig:
             raise ValueError(
                 f"infer_backend must be one of {INFER_BACKENDS}"
             )
+        if self.infer_dtype not in INFER_DTYPES:
+            raise ValueError(
+                f"infer_dtype must be one of {INFER_DTYPES}"
+            )
         if self.event_batch < 1:
             raise ValueError("event_batch must be >= 1")
         if self.condition != "ml":
             if self.infer_backend != "reference":
                 raise ValueError(
                     "infer_backend only applies to the 'ml' condition"
+                )
+            if self.infer_dtype != "float64":
+                raise ValueError(
+                    "infer_dtype only applies to the 'ml' condition"
                 )
             if self.event_batch != 1:
                 raise ValueError(
@@ -255,7 +272,11 @@ def run_trials(
             if config.infer_backend != "reference":
                 from repro.infer import build_engine
 
-                engine = build_engine(ml_pipeline, config.infer_backend)
+                engine = build_engine(
+                    ml_pipeline,
+                    config.infer_backend,
+                    dtype=config.infer_dtype,
+                )
             elif config.event_batch > 1:
                 from repro.infer import build_engine
 

@@ -5,13 +5,14 @@ Linear+activation stages, eval-mode BatchNorm as precomputed affines,
 train-only layers elided), executes it in pre-allocated activation
 arenas, and exposes pluggable engines the localization pipeline and the
 campaign runner consume.  See ``docs/inference.md`` for semantics and
-the parity guarantees, and ``BENCH_pr5.json`` for measured throughput.
+the parity guarantees, and ``BENCH_pr6.json`` for measured throughput.
 """
 
 from repro.infer.arena import DEFAULT_MICRO_BATCH, ActivationArena
-from repro.infer.batch import localize_many
+from repro.infer.batch import GatherScratch, localize_many
 from repro.infer.engine import (
     INFER_BACKENDS,
+    PLANNED_DTYPES,
     EagerEngine,
     InferRequest,
     PlannedEngine,
@@ -20,6 +21,7 @@ from repro.infer.engine import (
 )
 from repro.infer.plan import (
     ACTIVATIONS,
+    DEFAULT_PLAN_DTYPE,
     ActivationOp,
     AffineOp,
     DequantizeOp,
@@ -37,13 +39,16 @@ __all__ = [
     "ActivationOp",
     "AffineOp",
     "DEFAULT_MICRO_BATCH",
+    "DEFAULT_PLAN_DTYPE",
     "DequantizeOp",
     "EagerEngine",
+    "GatherScratch",
     "INFER_BACKENDS",
     "InferRequest",
     "InferencePlan",
     "Int8LinearOp",
     "LinearOp",
+    "PLANNED_DTYPES",
     "PlannedEngine",
     "QuantizeOp",
     "build_engine",

@@ -31,6 +31,55 @@ from repro.obs import trace as obs_trace
 _REQUEST_KINDS = ("background", "deta")
 
 
+class GatherScratch:
+    """Reusable gather buffer for one request kind.
+
+    ``localize_many`` used to ``np.concatenate`` the pending feature
+    blocks every lock-step round, allocating a fresh gather array per
+    kind per round.  A campaign of thousands of events runs thousands of
+    rounds, so that churn is pure overhead.  This scratch keeps one
+    growable ``(capacity, width)`` array per kind and copies blocks into
+    its head instead; the array only ever grows (geometrically), so a
+    steady-state campaign allocates nothing after warm-up.
+
+    The returned view is consumed synchronously — the engine's scaler
+    ``transform`` produces a fresh array before any plan touches it — so
+    handing out a view of the scratch across rounds is safe.
+    """
+
+    def __init__(self) -> None:
+        self._buf: np.ndarray | None = None
+        self.grows = 0
+
+    def gather(self, blocks: list[np.ndarray]) -> np.ndarray:
+        """Concatenate ``blocks`` row-wise into the reusable buffer.
+
+        A single block is returned as-is (no copy); multiple blocks are
+        copied into the scratch and a head view is returned.
+        """
+        if len(blocks) == 1:
+            return blocks[0]
+        rows = sum(int(b.shape[0]) for b in blocks)
+        width = int(blocks[0].shape[1])
+        dtype = blocks[0].dtype
+        buf = self._buf
+        if (
+            buf is None
+            or buf.shape[0] < rows
+            or buf.shape[1] != width
+            or buf.dtype != dtype
+        ):
+            capacity = rows if buf is None else max(rows, 2 * buf.shape[0])
+            self._buf = buf = np.empty((capacity, width), dtype=dtype)
+            self.grows += 1
+        offset = 0
+        for block in blocks:
+            n = int(block.shape[0])
+            buf[offset : offset + n] = block
+            offset += n
+        return buf[:rows]
+
+
 def localize_many(
     pipeline,
     event_sets,
@@ -75,6 +124,7 @@ def localize_many(
         else:
             pending[i] = request
 
+    scratch = {kind: GatherScratch() for kind in _REQUEST_KINDS}
     with obs_trace.span("infer.localize_many"):
         for i in range(len(gens)):
             _advance(i, None)
@@ -89,7 +139,7 @@ def localize_many(
                 lengths = [int(b.shape[0]) for b in blocks]
                 merged = evaluate_request(
                     engine,
-                    InferRequest(kind, np.concatenate(blocks, axis=0)),
+                    InferRequest(kind, scratch[kind].gather(blocks)),
                 )
                 offsets = np.cumsum([0] + lengths)
                 for j, i in enumerate(idxs):

@@ -30,6 +30,11 @@ from repro.models.quantized import Int8BackgroundNet
 #: Recognized inference backends.
 INFER_BACKENDS = ("reference", "planned", "int8")
 
+#: Compute dtypes accepted for float plans.  float32 is the runtime
+#: default (deployment-grade, sgemm-backed); float64 is the bit-parity
+#: mode the campaign driver selects by default.
+PLANNED_DTYPES = ("float32", "float64")
+
 
 @dataclass(frozen=True)
 class InferRequest:
@@ -112,7 +117,10 @@ def evaluate_request(engine, request: InferRequest) -> np.ndarray:
 
 
 def build_engine(
-    pipeline, backend: str = "planned", micro_batch: int | None = None
+    pipeline,
+    backend: str = "planned",
+    micro_batch: int | None = None,
+    dtype: str | np.dtype | None = None,
 ):
     """Build an inference engine for a trained ``MLPipeline``.
 
@@ -123,23 +131,36 @@ def build_engine(
             an ``Int8BackgroundNet``), or ``"int8"`` (same as planned but
             *requires* the INT8 bundle, failing loudly otherwise).
         micro_batch: Arena tile rows; None keeps the plan default.
+        dtype: Compute dtype for the *float* plans (the background plan
+            when not quantized, and always the dEta plan): one of
+            :data:`PLANNED_DTYPES`.  None keeps the runtime default
+            (float32); pass ``"float64"`` for bit-identity with the
+            eager bundles.  Integer plans are unaffected — the INT8
+            chain is bit-exact at any setting.
 
     Returns:
         An :class:`EagerEngine` or :class:`PlannedEngine`.
 
     Raises:
-        ValueError: Unknown backend, or ``"int8"`` requested for a
-            pipeline whose background bundle is not quantized.
+        ValueError: Unknown backend or dtype, or ``"int8"`` requested
+            for a pipeline whose background bundle is not quantized.
     """
     if backend not in INFER_BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; options: {INFER_BACKENDS}"
+        )
+    if dtype is not None and np.dtype(dtype).name not in PLANNED_DTYPES:
+        raise ValueError(
+            f"unsupported plan dtype {dtype!r}; options: {PLANNED_DTYPES}"
         )
     bg = pipeline.background_net
     deta_net = pipeline.deta_net
     if backend == "reference":
         return EagerEngine(bg, deta_net)
     kwargs = {} if micro_batch is None else {"micro_batch": micro_batch}
+    float_kwargs = dict(kwargs)
+    if dtype is not None:
+        float_kwargs["dtype"] = np.dtype(dtype)
     if isinstance(bg, Int8BackgroundNet):
         bg_plan = compile_int8_plan(bg.model, **kwargs)
     elif backend == "int8":
@@ -149,7 +170,7 @@ def build_engine(
         )
     else:
         bg.model.eval()
-        bg_plan = compile_plan(bg.model, **kwargs)
+        bg_plan = compile_plan(bg.model, **float_kwargs)
     deta_net.model.eval()
-    deta_plan = compile_plan(deta_net.model, **kwargs)
+    deta_plan = compile_plan(deta_net.model, **float_kwargs)
     return PlannedEngine(backend, bg, deta_net, bg_plan, deta_plan)

@@ -6,12 +6,44 @@ input once, then every layer computes
 ``acc = (x_q - zx) @ W_q + b_q``              (int32 accumulators)
 ``y_q = clamp(round(acc * M) + zy)``          (requantization)
 
-with ``M = s_x s_w / s_y`` the floating requantization multiplier (real
-deployments use a fixed-point M; float M is numerically identical at these
-sizes).  ReLU in the quantized domain is ``max(y_q, zy)``.  The final
-layer's output is dequantized to a float logit — the sigmoid is elided and
-the decision threshold applied to the logit, exactly as the paper does on
-the FPGA.
+with ``M = s_x s_w / s_y`` the requantization multiplier.  ReLU in the
+quantized domain is ``max(y_q, zy)``.  The final layer's output is
+dequantized to a float logit — the sigmoid is elided and the decision
+threshold applied to the logit, exactly as the paper does on the FPGA.
+
+Kernel strategy
+---------------
+
+The naive realization (kept verbatim as
+:meth:`QuantizedLinear._reference_forward_int`) widens both operands to
+int64 **per call** and multiplies them with NumPy's integer ``@`` — which
+has no BLAS backing and runs an order of magnitude slower than the float
+path it is supposed to beat.  The production kernel instead exploits two
+exactness facts, both checked at construction time:
+
+* **GEMM.**  A float matmul of integer-valued operands is *exact* (no
+  rounding anywhere, regardless of summation order or SIMD blocking) as
+  long as every partial sum stays below the mantissa capacity — ``2**24``
+  for float32, ``2**53`` for float64.  The worst-case accumulator bound
+  ``in_width * max|x - zx| * max|W|`` is computed once per layer and the
+  narrowest sufficient dtype chosen, so the int32 GEMM runs on BLAS
+  (sgemm/dgemm) over weights pre-transposed, pre-typed, and made
+  contiguous at construction — no per-call ``astype`` on the hot path.
+
+* **Requantization.**  The float multiplier decomposes exactly into a
+  fixed-point **multiplier/shift** pair ``M = m * 2**-s`` with ``m`` the
+  53-bit integer significand (``np.frexp``).  Because scaling by a power
+  of two is exact in binary floating point and commutes with round-to-
+  nearest, ``round((acc * m) * 2**-s)`` is *bitwise identical* to the
+  reference ``round(acc * M)`` for every int32 accumulator value — the
+  fused requantization pass (multiply, shift, round, zero-point add,
+  clip, ReLU) therefore reproduces the reference path bit for bit while
+  touching the accumulator matrix a constant number of times with no
+  Python-level per-element work.
+
+``tests/quantization/test_int8_fast.py`` pins both facts: bitwise parity
+of ``forward_int`` against the retained reference, and an accumulator
+sweep of the requantization semantics (round/clip/zero-point/ReLU).
 """
 
 from __future__ import annotations
@@ -33,6 +65,54 @@ from repro.quantization.fake_quant import (
 INT32_MIN = -(2 ** 31)
 INT32_MAX = 2 ** 31 - 1
 
+#: Largest integer a float32 partial sum can hold exactly.
+_F32_EXACT = 2 ** 24
+#: Largest integer a float64 partial sum can hold exactly.
+_F64_EXACT = 2 ** 53
+
+#: Construction-time cache attributes (rebuilt on unpickle, never
+#: serialized — engines broadcast to workers stay weight-sized).
+_CACHE_ATTRS = (
+    "_weight_f",
+    "_bias_f",
+    "_requant_mult",
+    "_requant_scale",
+    "_zero_f",
+    "_gemm_dtype",
+    "_exact_gemm",
+)
+
+
+def _fixed_point_requant_params(
+    multiplier: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose float multipliers into exact ``(m, s, 2**-s)`` arrays.
+
+    ``np.frexp`` writes each multiplier as ``mant * 2**e`` with
+    ``|mant|`` in ``[0.5, 1)``; scaling the mantissa by ``2**53`` yields
+    the integer significand ``m`` (a float64-held integer, the value an
+    FPGA would load into a 54-bit multiplier) and the right-shift
+    ``s = 53 - e``, with ``M = m * 2**-s`` holding *exactly* — no
+    rounding is involved in the decomposition.  Degenerate multipliers
+    whose shift would leave the normal float64 range (``|M|`` below
+    ``~2**-900``; never produced by calibration) fall back to
+    ``(M, 0, 1.0)``, which is trivially exact too.
+
+    Returns:
+        ``(m, s, 2**-s)`` float64 arrays shaped like ``multiplier``.
+    """
+    mult = np.asarray(multiplier, dtype=np.float64)
+    mant, exp = np.frexp(mult)
+    m = mant * np.float64(2.0 ** 53)
+    s = 53 - exp
+    scale = np.ldexp(np.ones_like(m), -s)
+    degenerate = s > 900
+    if np.any(degenerate):
+        m = np.where(degenerate, mult, m)
+        s = np.where(degenerate, 0, s)
+        scale = np.where(degenerate, 1.0, scale)
+    return m, s.astype(np.int64), scale
+
 
 @dataclass
 class QuantizedLinear:
@@ -49,6 +129,10 @@ class QuantizedLinear:
         relu: Apply quantized ReLU after requantization.
         out_float_scale: Scale to dequantize this layer's output (used for
             the final logit).
+
+    The constructor freezes kernel caches (typed weight copy, float
+    bias, fixed-point requant arrays); treat a constructed layer as
+    immutable — mutate fields only through ``from_float`` rebuilding.
     """
 
     weight_q: np.ndarray
@@ -59,6 +143,58 @@ class QuantizedLinear:
     out_zero_point: int
     relu: bool
     out_float_scale: float
+
+    def __post_init__(self) -> None:
+        """Precompute the hot-path caches once, at construction."""
+        self._build_caches()
+
+    def _build_caches(self) -> None:
+        """Freeze pre-typed weights and fixed-point requant parameters.
+
+        * ``_weight_f`` — the int8 weight matrix widened **once** to the
+          narrowest float dtype whose mantissa provably holds every
+          partial sum of the integer GEMM exactly, stored C-contiguous
+          so BLAS consumes it without an internal copy.
+        * ``_bias_f`` / ``_zero_f`` — float64 copies of the int32 bias
+          and output zero point (exact: both are < 2**53).
+        * ``_requant_mult`` / ``_requant_scale`` — the exact fixed-point
+          multiplier/shift decomposition of ``requant_multiplier``.
+        """
+        w = np.ascontiguousarray(self.weight_q)
+        max_w = float(np.max(np.abs(w), initial=0.0))
+        zx = float(self.in_zero_point)
+        max_xc = max(abs(UINT8_MIN - zx), abs(UINT8_MAX - zx))
+        bound = w.shape[0] * max_xc * max_w
+        self._exact_gemm = bound < _F64_EXACT
+        self._gemm_dtype = np.float32 if bound < _F32_EXACT else np.float64
+        self._weight_f = np.ascontiguousarray(w, dtype=self._gemm_dtype)
+        self._bias_f = np.asarray(self.bias_q, dtype=np.float64)
+        self._zero_f = np.float64(self.out_zero_point)
+        mult, _, scale = _fixed_point_requant_params(
+            np.asarray(self.requant_multiplier, dtype=np.float64)
+        )
+        self._requant_mult = mult
+        self._requant_scale = scale
+
+    def __getstate__(self) -> dict:
+        """Pickle without the caches (rebuilt on load; keeps engine
+        broadcasts weight-sized)."""
+        return {
+            k: v for k, v in self.__dict__.items() if k not in _CACHE_ATTRS
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore fields and rebuild the kernel caches."""
+        self.__dict__.update(state)
+        self._build_caches()
+
+    @property
+    def requant_shift(self) -> np.ndarray:
+        """Fixed-point right-shift(s) ``s`` with ``M = m * 2**-s``."""
+        _, shift, _ = _fixed_point_requant_params(
+            np.asarray(self.requant_multiplier, dtype=np.float64)
+        )
+        return shift
 
     @staticmethod
     def from_float(
@@ -124,11 +260,53 @@ class QuantizedLinear:
     def forward_int(self, x_q: np.ndarray) -> np.ndarray:
         """Integer forward: uint8-domain activations in, uint8 out.
 
+        The fast kernel: BLAS GEMM over the construction-time typed
+        weight copy, then one fused fixed-point requantization pass —
+        bitwise identical to :meth:`_reference_forward_int` for
+        activations in the uint8 grid (the only values the quantize/clip
+        chain can produce; the exactness precondition is checked at
+        construction and falls back to the reference otherwise).
+
         Args:
             x_q: ``(batch, in)`` int32-held quantized activations.
 
         Returns:
             ``(batch, out)`` int32-held quantized activations.
+        """
+        if not self._exact_gemm:
+            return self._reference_forward_int(x_q)
+        # Center in the GEMM dtype directly (exact: |x - zx| <= 255) so
+        # no intermediate integer array is materialized.
+        xc = np.subtract(x_q, self.in_zero_point, dtype=self._gemm_dtype)
+        acc = xc @ self._weight_f
+        # From here on float64, exact: |acc + b| < 2**53.  The bias add
+        # reuses the accumulator buffer when the GEMM already ran in
+        # float64.
+        if acc.dtype == np.float64:
+            y = np.add(acc, self._bias_f, out=acc)
+        else:
+            y = np.add(acc, self._bias_f, dtype=np.float64)
+        # Fixed-point requantization, fused in place: multiply by the
+        # integer significand, apply the exact power-of-two shift, round
+        # to nearest-even, shift to the output zero point, saturate, and
+        # apply quantized ReLU.
+        np.multiply(y, self._requant_mult, out=y)
+        np.multiply(y, self._requant_scale, out=y)
+        np.rint(y, out=y)
+        np.add(y, self._zero_f, out=y)
+        y = np.clip(y, UINT8_MIN, UINT8_MAX, out=y)
+        if self.relu:
+            np.maximum(y, self._zero_f, out=y)
+        return y.astype(np.int32)
+
+    def _reference_forward_int(self, x_q: np.ndarray) -> np.ndarray:
+        """The original int64 kernel, retained as the parity reference.
+
+        Widens per call and multiplies with NumPy's (BLAS-less) integer
+        ``@`` — an order of magnitude slower than :meth:`forward_int`,
+        but the simplest possible statement of the layer semantics.
+        Every change to the fast kernel must stay bitwise identical to
+        this (``tests/quantization/test_int8_fast.py``).
         """
         acc = (x_q - self.in_zero_point).astype(np.int64) @ self.weight_q.astype(
             np.int64
@@ -159,17 +337,34 @@ class QuantizedMLP:
     input_zero_point: int
     layers: list[QuantizedLinear]
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        """Float features in, float logits out (integer path inside)."""
-        x_q = quantize(
+    def _quantize_input(self, x: np.ndarray) -> np.ndarray:
+        """Float features -> uint8-domain int32 grid."""
+        return quantize(
             np.asarray(x, dtype=np.float64),
             self.input_scale,
             self.input_zero_point,
             UINT8_MIN,
             UINT8_MAX,
         )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Float features in, float logits out (integer path inside)."""
+        x_q = self._quantize_input(x)
         for layer in self.layers:
             x_q = layer.forward_int(x_q)
+        return self.layers[-1].dequantize_output(x_q)
+
+    def forward_reference(self, x: np.ndarray) -> np.ndarray:
+        """The same chain through the retained reference kernels.
+
+        Exists so campaign-scale parity assertions can compare the
+        production path against the original int64 implementation
+        end to end (quantize included) without touching private
+        methods.
+        """
+        x_q = self._quantize_input(x)
+        for layer in self.layers:
+            x_q = layer._reference_forward_int(x_q)
         return self.layers[-1].dequantize_output(x_q)
 
     def predict_logit(self, x: np.ndarray) -> np.ndarray:

@@ -1,0 +1,11 @@
+"""Bad: per-call widening cast inside a kernel hot path."""
+import numpy as np
+
+
+class Layer:
+    def __init__(self, weight):
+        self.weight = weight
+
+    def forward_int(self, x):
+        """Widens the weight matrix on every call — BENCH_pr5's 8x bug."""
+        return x.astype(np.int64) @ self.weight.astype(np.int64)

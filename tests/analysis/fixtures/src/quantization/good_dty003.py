@@ -1,0 +1,21 @@
+"""Good: widened arrays cached at construction; hot path cast-free.
+
+Narrowing casts (clipped) stay fine in a hot path, and reference
+implementations kept for parity assertions may widen per call.
+"""
+import numpy as np
+
+
+class Layer:
+    def __init__(self, weight):
+        self.weight = weight
+        self._weight_wide = weight.astype(np.int64)
+
+    def forward_int(self, x):
+        """Uses the construction-time cache; clipped narrowing is fine."""
+        acc = x @ self._weight_wide
+        return np.clip(acc, 0, 255).astype(np.int32)
+
+    def _reference_forward_int(self, x):
+        """Retained parity reference: exempt from the hot-path rule."""
+        return x.astype(np.int64) @ self.weight.astype(np.int64)

@@ -44,6 +44,7 @@ CASES = [
     ("WRK002", "bad_wrk002.py", "good_wrk002.py"),
     ("DTY001", "bad_dty001.py", "good_dty001.py"),
     ("DTY002", "bad_dty002.py", "good_dty002.py"),
+    ("DTY003", "bad_dty003.py", "good_dty003.py"),
 ]
 
 

@@ -15,6 +15,19 @@ class TestTrialConfig:
         cfg = TrialConfig()
         assert cfg.condition == "baseline"
         assert cfg.epsilon_percent == 0.0
+        assert cfg.infer_dtype == "float64"
+
+    def test_invalid_infer_dtype(self):
+        with pytest.raises(ValueError):
+            TrialConfig(condition="ml", infer_dtype="float16")
+
+    def test_infer_dtype_requires_ml_condition(self):
+        with pytest.raises(ValueError):
+            TrialConfig(condition="baseline", infer_dtype="float32")
+
+    def test_float32_runtime_dtype_accepted(self):
+        cfg = TrialConfig(condition="ml", infer_dtype="float32")
+        assert cfg.infer_dtype == "float32"
 
 
 class TestTrialError:

@@ -33,7 +33,8 @@ class TestArenaAllocation:
     def test_nbytes_accounts_all_buffers(self):
         plan = _plan()
         arena = ActivationArena(plan, micro_batch=16)
-        expected = sum(16 * w * 8 for w in plan.buffer_widths())
+        itemsize = np.dtype(plan.dtype).itemsize
+        expected = sum(16 * w * itemsize for w in plan.buffer_widths())
         assert arena.nbytes == expected
 
     def test_micro_batch_must_be_positive(self):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.infer import build_engine, localize_many
+from repro.infer import GatherScratch, build_engine, localize_many
 
 
 def _simulated(geometry, response, seed, n):
@@ -27,7 +27,7 @@ class TestLocalizeMany:
         self, geometry, response, tiny_models
     ):
         seeds, event_sets, grbs = _simulated(geometry, response, 17, 3)
-        engine = build_engine(tiny_models, "planned")
+        engine = build_engine(tiny_models, "planned", dtype="float64")
 
         # Per-event references (fresh rngs advanced past the simulation
         # draws, reproduced by re-simulating from the same seeds).
@@ -89,6 +89,56 @@ class TestLocalizeMany:
     def test_rng_count_mismatch_rejected(self, tiny_models):
         with pytest.raises(ValueError, match="one rng per"):
             localize_many(tiny_models, [], [np.random.default_rng(0)])
+
+
+class TestGatherScratch:
+    def test_matches_concatenate(self):
+        rng = np.random.default_rng(0)
+        scratch = GatherScratch()
+        blocks = [rng.normal(size=(n, 5)) for n in (7, 1, 12)]
+        np.testing.assert_array_equal(
+            scratch.gather(blocks), np.concatenate(blocks, axis=0)
+        )
+
+    def test_single_block_returned_without_copy(self):
+        scratch = GatherScratch()
+        block = np.ones((4, 3))
+        assert scratch.gather([block]) is block
+        assert scratch.grows == 0
+
+    def test_buffer_reused_across_rounds(self):
+        rng = np.random.default_rng(1)
+        scratch = GatherScratch()
+        big = [rng.normal(size=(50, 4)), rng.normal(size=(30, 4))]
+        first = scratch.gather(big)
+        assert scratch.grows == 1
+        # Subsequent smaller rounds reuse the same backing buffer.
+        for n in (10, 25, 40):
+            blocks = [rng.normal(size=(n, 4)), rng.normal(size=(n, 4))]
+            out = scratch.gather(blocks)
+            np.testing.assert_array_equal(
+                out, np.concatenate(blocks, axis=0)
+            )
+            assert out.base is first.base
+        assert scratch.grows == 1
+
+    def test_growth_is_geometric(self):
+        scratch = GatherScratch()
+        scratch.gather([np.zeros((10, 2)), np.zeros((10, 2))])
+        scratch.gather([np.zeros((15, 2)), np.zeros((10, 2))])
+        # Doubling (20 -> 40) covers the next few growth steps at once.
+        assert scratch._buf.shape[0] == 40
+        scratch.gather([np.zeros((20, 2)), np.zeros((18, 2))])
+        assert scratch.grows == 2
+
+    def test_dtype_or_width_change_reallocates(self):
+        scratch = GatherScratch()
+        scratch.gather([np.zeros((3, 2)), np.zeros((3, 2))])
+        out = scratch.gather(
+            [np.zeros((2, 5), np.float32), np.zeros((2, 5), np.float32)]
+        )
+        assert out.dtype == np.float32 and out.shape == (4, 5)
+        assert scratch.grows == 2
 
 
 class TestBatchedCampaign:

@@ -1,9 +1,11 @@
 """Parity suite: eager vs planned vs INT8, per the plan's contract.
 
-The float planned backend must be *bit-identical* to the eager module
+The *float64* planned backend must be bit-identical to the eager module
 stack whenever a block runs as a single tile (the default for per-event
-blocks); the INT8 plan must match ``QuantizedMLP.forward`` exactly under
-any tiling (integer arithmetic is row-independent).
+blocks) — the runtime default dtype is float32, so bit-parity tests
+request float64 explicitly; the INT8 plan must match
+``QuantizedMLP.forward`` exactly under any tiling (integer arithmetic
+is row-independent).
 """
 
 import numpy as np
@@ -57,7 +59,7 @@ class TestEagerPlannedBitParity:
     def test_bitwise_on_event_sized_blocks(self, nets, name):
         net = nets[name]
         rng = np.random.default_rng(7)
-        plan = compile_plan(net)
+        plan = compile_plan(net, dtype=np.float64)
         for n in (597, 1, 3):  # paper's first-iteration block, then edges
             x = rng.normal(size=(n, 13))
             np.testing.assert_array_equal(plan.run(x), net.forward(x))
@@ -76,14 +78,14 @@ class TestEagerPlannedBitParity:
         net.eval()
         x = rng.normal(size=(100, 6))
         np.testing.assert_array_equal(
-            compile_plan(net).run(x), net.forward(x)
+            compile_plan(net, dtype=np.float64).run(x), net.forward(x)
         )
 
     def test_retiled_block_matches_to_ulp(self, nets):
         net = nets["background"]
         rng = np.random.default_rng(9)
         x = rng.normal(size=(100, 13))
-        plan = compile_plan(net, micro_batch=16)  # forces re-tiling
+        plan = compile_plan(net, micro_batch=16, dtype=np.float64)
         np.testing.assert_allclose(
             plan.run(x), net.forward(x), rtol=1e-12, atol=1e-14
         )
@@ -141,7 +143,7 @@ class TestEngines:
             include_polar=pipeline.background_net.include_polar,
         )
         eager = build_engine(pipeline, "reference")
-        planned = build_engine(pipeline, "planned")
+        planned = build_engine(pipeline, "planned", dtype="float64")
         assert isinstance(eager, EagerEngine)
         for kind in ("background", "deta"):
             request = InferRequest(kind, feats)
@@ -199,7 +201,7 @@ class TestEndToEndCampaignParity:
         np.testing.assert_array_equal(planned, ref)
 
     def test_explicit_engine_in_localize(self, tiny_models, events):
-        engine = build_engine(tiny_models, "planned")
+        engine = build_engine(tiny_models, "planned", dtype="float64")
         ref = tiny_models.localize(events, np.random.default_rng(5))
         out = tiny_models.localize(events, np.random.default_rng(5),
                                    engine=engine)

@@ -53,7 +53,7 @@ class TestCompileStructure:
         net = _warm_bn(
             Sequential(BatchNorm1d(4), Linear(4, 2, rng)), rng, 4
         )
-        plan = compile_plan(net)
+        plan = compile_plan(net, dtype=np.float64)
         assert isinstance(plan.ops[0], AffineOp)
         assert isinstance(plan.ops[1], LinearOp)
         bn = net[0]
@@ -166,8 +166,8 @@ class TestBatchNormFolding:
     def test_folded_matches_unfolded_to_ulp(self, swapped):
         net, rng = self._net(11, swapped)
         x = rng.normal(size=(200, 6))
-        plain = compile_plan(net)
-        folded = compile_plan(net, fold_batchnorm=True)
+        plain = compile_plan(net, dtype=np.float64)
+        folded = compile_plan(net, fold_batchnorm=True, dtype=np.float64)
         assert len(folded.ops) < len(plain.ops)
         assert not any(isinstance(op, AffineOp) for op in folded.ops)
         np.testing.assert_allclose(
@@ -182,15 +182,67 @@ class TestBatchNormFolding:
 
 
 class TestFloat32Plans:
+    def test_float32_is_default_plan_dtype(self):
+        from repro.infer import DEFAULT_PLAN_DTYPE
+
+        rng = np.random.default_rng(20)
+        net = _eval_net(Linear(4, 8, rng), ReLU())
+        assert DEFAULT_PLAN_DTYPE == np.float32
+        plan = compile_plan(net)
+        assert plan.dtype == np.float32
+        assert plan.run(rng.normal(size=(5, 4))).dtype == np.float32
+
     def test_float32_close_to_float64(self):
         rng = np.random.default_rng(21)
         net = _eval_net(
             Linear(8, 16, rng), ReLU(), Linear(16, 1, rng)
         )
         x = rng.normal(size=(64, 8))
-        p64 = compile_plan(net)
+        p64 = compile_plan(net, dtype=np.float64)
         p32 = compile_plan(net, dtype=np.float32)
         assert p32.run(x).dtype == np.float32
         np.testing.assert_allclose(
             p32.run(x).astype(np.float64), p64.run(x), rtol=1e-5, atol=1e-6
+        )
+
+
+class TestFusedActivationKernels:
+    """The fast fused activations are bitwise-equal to the eager layers,
+    including the NaN and signed-zero edge cases the fast formulations
+    could plausibly get wrong (``fmax`` NaN preference; ``exp(-|y|)``
+    branch merge)."""
+
+    def _edge_array(self, dtype):
+        rng = np.random.default_rng(22)
+        y = (rng.normal(size=(97, 33)) * 30.0).astype(dtype)
+        y.flat[::11] = np.nan
+        y.flat[::13] = -0.0
+        y.flat[::17] = 0.0
+        return y
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_relu_bitwise_matches_eager_where_form(self, dtype):
+        from repro.infer.plan import _apply_activation_inplace
+
+        y = self._edge_array(dtype)
+        eager = ReLU().forward(y).astype(dtype)
+        fused = _apply_activation_inplace(y.copy(), "relu")
+        itype = np.uint32 if dtype == np.float32 else np.uint64
+        np.testing.assert_array_equal(
+            eager.view(itype), fused.view(itype)
+        )
+        assert not np.isnan(fused).any()  # NaN rows map to 0.0
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_sigmoid_matches_eager_two_branch_form(self, dtype):
+        from repro.infer.plan import _apply_activation_inplace
+
+        y = self._edge_array(dtype)
+        eager = Sigmoid().forward(y).astype(dtype)
+        fused = _apply_activation_inplace(y.copy(), "sigmoid")
+        nan = np.isnan(y)
+        np.testing.assert_array_equal(np.isnan(fused), nan)
+        itype = np.uint32 if dtype == np.float32 else np.uint64
+        np.testing.assert_array_equal(
+            eager[~nan].view(itype), fused[~nan].view(itype)
         )

@@ -1,0 +1,234 @@
+"""The fast INT8 kernel is bitwise-identical to the retained reference.
+
+Two layers of evidence:
+
+* **Kernel parity** — ``forward_int`` against ``_reference_forward_int``
+  over random layers (per-tensor and per-channel, with and without
+  ReLU, degenerate shapes, full uint8 input grid), plus chain-level
+  parity through ``QuantizedMLP.forward_reference``.
+* **Fixed-point requantization semantics** — an exhaustive int32
+  accumulator sweep proving ``round((acc * m) * 2**-s)`` reproduces the
+  float-multiplier reference ``round(acc * M)`` bit for bit, including
+  round-to-nearest-even ties, clipping, zero-point shift, and the
+  quantized ReLU.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.quantization.fake_quant import (
+    UINT8_MAX,
+    UINT8_MIN,
+    quantize,
+    quantize_affine_params,
+)
+from repro.quantization.int8 import (
+    QuantizedLinear,
+    QuantizedMLP,
+    _fixed_point_requant_params,
+)
+
+
+def _layer(seed, n_in=13, n_out=32, per_channel=True, relu=True,
+           in_zp=128, out_zp=128):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(n_in, n_out)) * rng.uniform(0.01, 3.0, size=n_out)
+    if per_channel:
+        w_scale = np.maximum(np.abs(w).max(axis=0), 1e-12) / 127.0
+    else:
+        w_scale = float(np.abs(w).max() / 127.0)
+    return QuantizedLinear.from_float(
+        weight=w,
+        bias=rng.normal(size=n_out),
+        weight_scale=w_scale,
+        in_scale=0.04,
+        in_zero_point=in_zp,
+        out_scale=0.07,
+        out_zero_point=out_zp,
+        relu=relu,
+    )
+
+
+def _inputs(seed, rows, n_in):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(rows, n_in)) * 2.0
+    return quantize(x, 0.04, 128, UINT8_MIN, UINT8_MAX)
+
+
+class TestKernelBitParity:
+    @pytest.mark.parametrize("per_channel", [False, True])
+    @pytest.mark.parametrize("relu", [False, True])
+    def test_forward_int_matches_reference(self, per_channel, relu):
+        layer = _layer(1, per_channel=per_channel, relu=relu)
+        x_q = _inputs(2, 597, 13)
+        np.testing.assert_array_equal(
+            layer.forward_int(x_q), layer._reference_forward_int(x_q)
+        )
+
+    def test_full_uint8_grid(self):
+        """Every representable input value, against every weight column."""
+        layer = _layer(3, n_in=1, n_out=16)
+        x_q = np.arange(UINT8_MIN, UINT8_MAX + 1, dtype=np.int32)[:, None]
+        np.testing.assert_array_equal(
+            layer.forward_int(x_q), layer._reference_forward_int(x_q)
+        )
+
+    @pytest.mark.parametrize("rows", [0, 1])
+    def test_edge_batches(self, rows):
+        layer = _layer(4)
+        x_q = _inputs(5, rows, 13)
+        np.testing.assert_array_equal(
+            layer.forward_int(x_q), layer._reference_forward_int(x_q)
+        )
+
+    def test_nonuniform_zero_points(self):
+        layer = _layer(6, in_zp=3, out_zp=250, relu=True)
+        x_q = _inputs(7, 256, 13)
+        np.testing.assert_array_equal(
+            layer.forward_int(x_q), layer._reference_forward_int(x_q)
+        )
+
+    def test_per_channel_vs_per_tensor_shapes(self):
+        """Both multiplier shapes flow through the same fused pass."""
+        for per_channel in (False, True):
+            layer = _layer(8, per_channel=per_channel)
+            expect_dim = 1 if per_channel else 0
+            assert np.ndim(layer.requant_multiplier) == expect_dim
+            assert layer._requant_mult.ndim == expect_dim
+            x_q = _inputs(9, 64, 13)
+            np.testing.assert_array_equal(
+                layer.forward_int(x_q), layer._reference_forward_int(x_q)
+            )
+
+    def test_mlp_chain_matches_reference_chain(self):
+        rng = np.random.default_rng(10)
+        layers = [
+            _layer(11, n_in=13, n_out=32),
+            _layer(12, n_in=32, n_out=16),
+            _layer(13, n_in=16, n_out=1, relu=False),
+        ]
+        in_scale, in_zp = quantize_affine_params(-3.0, 3.0)
+        mlp = QuantizedMLP(
+            input_scale=in_scale, input_zero_point=in_zp, layers=layers
+        )
+        x = rng.normal(size=(597, 13))
+        np.testing.assert_array_equal(
+            mlp.forward(x), mlp.forward_reference(x)
+        )
+
+
+class TestConstructionCaches:
+    def test_weight_cache_typed_and_contiguous(self):
+        layer = _layer(14)
+        assert layer._weight_f.dtype == layer._gemm_dtype
+        assert layer._weight_f.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(layer._weight_f, layer.weight_q)
+
+    def test_narrow_layer_uses_float32_gemm(self):
+        # bound = 1 * 255 * |w|max <= 255*127 < 2**24: sgemm territory.
+        layer = _layer(15, n_in=1)
+        assert layer._exact_gemm
+        assert layer._gemm_dtype == np.float32
+
+    def test_wide_bound_promotes_to_float64(self):
+        # 2000 * 128 * ~127 ~= 32M > 2**24: the float32 mantissa can no
+        # longer hold every partial sum, so dgemm must be chosen (still
+        # exact: far below 2**53).
+        layer = _layer(16, n_in=2000, n_out=4)
+        assert layer._gemm_dtype == np.float64
+        assert layer._exact_gemm
+
+    def test_pickle_roundtrip_rebuilds_caches_and_stays_bitwise(self):
+        layer = _layer(17)
+        blob = pickle.dumps(layer)
+        clone = pickle.loads(blob)
+        assert clone._weight_f.dtype == layer._weight_f.dtype
+        x_q = _inputs(18, 128, 13)
+        np.testing.assert_array_equal(
+            clone.forward_int(x_q), layer.forward_int(x_q)
+        )
+
+    def test_pickle_payload_excludes_caches(self):
+        layer = _layer(19)
+        state = layer.__getstate__()
+        assert "_weight_f" not in state
+        assert "_requant_mult" not in state
+
+
+class TestFixedPointRequant:
+    """Exhaustive accumulator sweeps of the requantization semantics."""
+
+    #: Every int32 accumulator magnitude the 8-bit path can reach is
+    #: covered by sweeping dense low ranges plus log-spaced extremes.
+    def _accumulators(self):
+        dense = np.arange(-70000, 70000, dtype=np.int64)
+        big = np.unique(
+            np.round(
+                np.geomspace(70000, 2**31 - 1, 4000)
+            ).astype(np.int64)
+        )
+        return np.concatenate([dense, big, -big, [2**31 - 1, -(2**31)]])
+
+    @pytest.mark.parametrize(
+        "multiplier",
+        [3.0517578125e-05, 7.218954822e-04, 0.0312498871, 0.4999999999, 1.0],
+    )
+    def test_decomposition_matches_float_reference_bitwise(self, multiplier):
+        acc = self._accumulators()
+        m, s, scale = _fixed_point_requant_params(np.float64(multiplier))
+        assert float(m) == float(m).__trunc__()  # integer significand
+        np.testing.assert_array_equal(scale, np.ldexp(1.0, -int(s)))
+        fixed = np.rint((acc * m) * scale)
+        ref = np.round(acc * np.float64(multiplier))
+        np.testing.assert_array_equal(fixed, ref)
+
+    def test_round_half_to_even_ties(self):
+        """M = 0.5 makes every odd accumulator a .5 tie: banker's
+        rounding must match np.round exactly."""
+        acc = np.arange(-1001, 1001, dtype=np.int64)
+        m, _, scale = _fixed_point_requant_params(np.float64(0.5))
+        np.testing.assert_array_equal(
+            np.rint((acc * m) * scale), np.round(acc * 0.5)
+        )
+
+    def test_degenerate_multiplier_falls_back(self):
+        m, s, scale = _fixed_point_requant_params(np.float64(1e-300))
+        assert int(s) == 0 and float(scale) == 1.0
+        assert float(m) == 1e-300
+
+    @pytest.mark.parametrize("relu", [False, True])
+    @pytest.mark.parametrize("out_zp", [0, 128, 255])
+    def test_clip_zero_point_relu_semantics(self, relu, out_zp):
+        """One-feature layer driven so accumulators sweep a wide range:
+        the fused pass must reproduce clamp(round(acc*M)+zy) and the
+        quantized ReLU exactly."""
+        layer = QuantizedLinear(
+            weight_q=np.array([[1]], dtype=np.int8),
+            bias_q=np.array([0], dtype=np.int32),
+            in_zero_point=0,
+            requant_multiplier=1.7,  # pushes past both clip edges
+            out_zero_point=out_zp,
+            relu=relu,
+            out_float_scale=0.1,
+        )
+        x_q = np.arange(UINT8_MIN, UINT8_MAX + 1, dtype=np.int32)[:, None]
+        out = layer.forward_int(x_q)
+        ref = layer._reference_forward_int(x_q)
+        np.testing.assert_array_equal(out, ref)
+        assert out.min() >= (out_zp if relu else UINT8_MIN)
+        assert out.max() <= UINT8_MAX
+
+    def test_inexact_gemm_bound_falls_back_to_reference(self):
+        """A layer violating the float64 exactness bound must route
+        every call to the reference kernel (synthetic: real calibrated
+        layers never get within orders of magnitude of 2**53)."""
+        layer = _layer(20)
+        assert layer._exact_gemm
+        layer._exact_gemm = False  # as _build_caches would set it when
+        # in_width * max|x-zx| * max|W| >= 2**53
+        x_q = _inputs(21, 32, 13)
+        np.testing.assert_array_equal(
+            layer.forward_int(x_q), layer._reference_forward_int(x_q)
+        )
