@@ -19,6 +19,17 @@ fails:
    has a registered microbenchmark in ``repro.perf`` (and every
    registered benchmark's factory builds), so no kernel can ship
    untracked.
+6. **obs overhead** — the telemetry layer's *disabled* path must cost
+   under 2% of a micro end-to-end campaign.  Deterministic by
+   construction: instrumentation call sites are *counted* in one traced
+   run, the per-call disabled cost is measured in a tight loop, and the
+   product is compared against the untraced wall-clock — no noisy
+   A/B timing of two full runs.
+7. **SLO report gate** — the newest checked-in ``BENCH_pr*.json`` must
+   carry a passing ``slo`` section, and no tracked throughput /
+   wall-clock key may have regressed beyond tolerance versus the
+   previous report.  Reads committed files only, so the gate itself is
+   deterministic at CI time.
 
 Usage:
 
@@ -42,7 +53,7 @@ sys.path.insert(0, str(_REPO / "src"))
 from repro.analysis.cli import main as reprolint_main  # noqa: E402
 
 #: Check names accepted by ``--skip``.
-CHECK_NAMES = ("lint", "shm", "docstrings", "docs", "perf")
+CHECK_NAMES = ("lint", "shm", "docstrings", "docs", "perf", "obs", "slo")
 
 
 def check_lint() -> int:
@@ -256,6 +267,203 @@ def check_perf() -> int:
     return 1 if failures else 0
 
 
+#: Disabled-path telemetry budget as a fraction of micro-e2e wall-clock.
+_OBS_OVERHEAD_BUDGET = 0.02
+
+#: Calibration loop length for the per-call disabled cost measurement.
+_OBS_CALIBRATION_CALLS = 100_000
+
+
+def _obs_workload():
+    """One tiny serial campaign exercising the instrumented hot path."""
+    from repro.detector.response import DetectorResponse
+    from repro.experiments.trials import TrialConfig, run_trials
+    from repro.geometry.tiles import adapt_geometry
+
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+
+    def run():
+        return run_trials(
+            geometry,
+            response,
+            seed=99,
+            n_trials=2,
+            config=TrialConfig(fluence_mev_cm2=0.3, polar_angle_deg=10.0),
+            n_workers=1,
+        )
+
+    return run
+
+
+def check_obs_overhead() -> int:
+    """Bound the telemetry layer's disabled-path cost on a micro e2e run.
+
+    Naive A/B wall-clock comparison of a traced vs untraced run is too
+    noisy to gate on, so the budget is computed from three deterministic
+    ingredients: ``T`` — the untraced workload wall-clock (best of 3);
+    ``N`` — the exact number of instrumentation calls the workload makes
+    (span events counted from one traced run, metric calls counted by
+    shimming the registry); and ``c`` — the measured per-call cost of
+    the *disabled* ``span()`` / ``inc()`` fast path.  The gate asserts
+    ``N * c < 2% of T``: even if every one of those call sites ran its
+    disabled branch, the campaign would not notice.
+    """
+    import time
+
+    import repro.obs as obs
+    from repro.obs.metrics import REGISTRY
+
+    run = _obs_workload()
+    run()  # warm imports and caches outside the timed region
+
+    obs.disable()
+    times = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - t0)
+    t_base = min(times)
+
+    # Count instrumentation call sites exercised by one traced run.
+    metric_calls = 0
+    real = {
+        name: getattr(REGISTRY, name)
+        for name in ("inc", "set_gauge", "observe")
+    }
+
+    def _counting(fn):
+        def inner(*args, **kwargs):
+            nonlocal metric_calls
+            metric_calls += 1
+            return fn(*args, **kwargs)
+        return inner
+
+    obs.enable()
+    try:
+        for name, fn in real.items():
+            setattr(REGISTRY, name, _counting(fn))
+        run()
+        n_spans = sum(1 for ev in obs.events() if ev["type"] == "span")
+    finally:
+        for name in real:
+            delattr(REGISTRY, name)  # restore class-level methods
+        obs.disable()
+    n_calls = n_spans + metric_calls
+
+    # Per-call disabled cost, measured on the real fast path.
+    t0 = time.perf_counter()
+    for _ in range(_OBS_CALIBRATION_CALLS):
+        with obs.span("ci.calibrate"):
+            pass
+        obs.inc("ci.calibrate")
+    per_call_s = (time.perf_counter() - t0) / (2 * _OBS_CALIBRATION_CALLS)
+
+    overhead = n_calls * per_call_s / t_base
+    print(
+        f"obs: {n_calls} instrumentation calls ({n_spans} spans, "
+        f"{metric_calls} metric updates) x {per_call_s * 1e9:.0f} ns "
+        f"disabled cost = {100.0 * overhead:.3f}% of {t_base:.3f}s "
+        f"micro e2e (budget {100.0 * _OBS_OVERHEAD_BUDGET:.0f}%)"
+    )
+    if overhead >= _OBS_OVERHEAD_BUDGET:
+        print("obs: disabled-path telemetry overhead exceeds budget")
+        return 1
+    return 0
+
+
+#: Benchmark-report key prefixes tracked by the regression gate.
+_SLO_TRACKED = ("perf_", "infer_", "campaign_")
+
+#: Allowed regression between consecutive reports (generous: shared CI
+#: machines jitter; the SLO floors catch sustained decay).
+_SLO_TOLERANCE = 0.5
+
+
+def _bench_reports() -> list[Path]:
+    """Checked-in ``BENCH_pr*.json`` files, oldest first."""
+    paths = []
+    for path in _REPO.glob("BENCH_pr*.json"):
+        match = re.fullmatch(r"BENCH_pr(\d+)\.json", path.name)
+        if match:
+            paths.append((int(match.group(1)), path))
+    return [p for _, p in sorted(paths)]
+
+
+def check_slo() -> int:
+    """Gate on the newest benchmark report's SLO section and deltas.
+
+    Two requirements: the newest ``BENCH_pr*.json`` must embed an
+    ``slo`` evaluation that passed when the report was generated, and no
+    tracked ``perf_`` / ``infer_`` / ``campaign_`` key shared with the
+    previous report may have regressed beyond ``_SLO_TOLERANCE`` (lower
+    rows/s or speedup, higher seconds).  Both read committed artifacts,
+    so a regression has to survive a human writing it into the repo.
+    """
+    import json
+
+    reports = _bench_reports()
+    if not reports:
+        print("slo: no BENCH_pr*.json report found")
+        return 1
+    newest = reports[-1]
+    data = json.loads(newest.read_text(encoding="utf-8"))
+    failures: list[str] = []
+
+    slo = data.get("slo")
+    if slo is None:
+        failures.append(f"{newest.name} has no 'slo' section")
+    elif not slo.get("passed", False):
+        for chk in slo.get("checks", []):
+            if not chk.get("passed", True):
+                failures.append(
+                    f"{newest.name} SLO breach: {chk['kind']} "
+                    f"{chk['name']} {chk['metric']} = {chk['value']} "
+                    f"(limit {chk['limit']})"
+                )
+
+    n_compared = 0
+    if len(reports) >= 2:
+        prior_path = reports[-2]
+        prior = json.loads(prior_path.read_text(encoding="utf-8"))["results"]
+        results = data["results"]
+        for key in sorted(results):
+            if not key.startswith(_SLO_TRACKED):
+                continue
+            now, then = results.get(key), prior.get(key)
+            if not all(isinstance(v, (int, float)) for v in (now, then)):
+                continue
+            if then <= 0:
+                continue
+            n_compared += 1
+            # perf_ registry keys are rows/s despite the bare names.
+            higher_is_better = (
+                key.startswith("perf_")
+                or "rows_per_s" in key
+                or "speedup" in key
+            )
+            ratio = now / then
+            if higher_is_better and ratio < 1.0 - _SLO_TOLERANCE:
+                failures.append(
+                    f"{key}: {now:.4g} is {100 * (1 - ratio):.0f}% below "
+                    f"{prior_path.name} ({then:.4g})"
+                )
+            elif not higher_is_better and ratio > 1.0 + _SLO_TOLERANCE:
+                failures.append(
+                    f"{key}: {now:.4g}s is {100 * (ratio - 1):.0f}% above "
+                    f"{prior_path.name} ({then:.4g}s)"
+                )
+
+    for line in failures:
+        print(f"slo: {line}")
+    n_checks = len((slo or {}).get("checks", []))
+    print(
+        f"slo: {newest.name}: {n_checks} SLO checks, "
+        f"{n_compared} keys compared against the prior report"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run every check; return the number of failing checks."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -274,6 +482,8 @@ def main(argv: list[str] | None = None) -> int:
         "docstrings": check_docstrings,
         "docs": check_docs,
         "perf": check_perf,
+        "obs": check_obs_overhead,
+        "slo": check_slo,
     }
     failed = []
     for name, fn in checks.items():

@@ -8,12 +8,14 @@ Importing this package registers every rule with
 * ``NUM`` — numerical safety (:mod:`repro.analysis.rules.numerics`)
 * ``WRK`` — worker safety (:mod:`repro.analysis.rules.worker_safety`)
 * ``DTY`` — dtype discipline (:mod:`repro.analysis.rules.dtypes`)
+* ``OBS`` — observability discipline (:mod:`repro.analysis.rules.observability`)
 """
 
 from repro.analysis.rules import (  # noqa: F401
     determinism,
     dtypes,
     numerics,
+    observability,
     rng_threading,
     worker_safety,
 )
@@ -22,6 +24,7 @@ __all__ = [
     "determinism",
     "dtypes",
     "numerics",
+    "observability",
     "rng_threading",
     "worker_safety",
 ]

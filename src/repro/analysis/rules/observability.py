@@ -1,0 +1,125 @@
+"""Observability-discipline rules (``OBS``) for kernel hot paths.
+
+Telemetry is designed to cost one attribute check when disabled — but
+one check *per row* is still O(rows) overhead smuggled into a kernel,
+and when tracing is on, a span or metric call per row floods the event
+buffer and the worker snapshot protocol.  Instrumentation in the
+quantized/inference/FPGA packages belongs at stage granularity: one span
+around the loop, one histogram observation per block.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding, Rule, Severity, register
+
+#: Kernel packages where per-row instrumentation is banned.
+KERNEL_PACKAGES = frozenset({"quantization", "infer", "fpga"})
+
+#: Dotted names of span-opening and metric-recording entry points.
+OBS_CALLS = frozenset(
+    {
+        "repro.obs.span",
+        "repro.obs.timed_span",
+        "repro.obs.traced",
+        "repro.obs.inc",
+        "repro.obs.observe",
+        "repro.obs.set_gauge",
+        "repro.obs.trace.span",
+        "repro.obs.trace.timed_span",
+        "repro.obs.trace.traced",
+        "repro.obs.metrics.inc",
+        "repro.obs.metrics.observe",
+        "repro.obs.metrics.set_gauge",
+    }
+)
+
+#: Dotted names whose truthiness gates telemetry (an ``if`` on one of
+#: these makes a per-row call a *reviewed* trade-off, not an accident).
+ENABLED_GATES = frozenset(
+    {
+        "repro.obs.is_enabled",
+        "repro.obs.trace.is_enabled",
+        "repro.obs.trace.STATE.enabled",
+    }
+)
+
+
+@register
+class PerRowInstrumentationRule(Rule):
+    """OBS001: no ungated telemetry calls inside kernel per-row loops."""
+
+    rule_id = "OBS001"
+    title = "ungated telemetry call inside a kernel loop"
+    severity = Severity.ERROR
+    rationale = (
+        "obs.span()/inc()/observe() cost one attribute check when "
+        "telemetry is off — but inside a per-row loop of a kernel "
+        "package that check (and, when tracing, an event dict per row) "
+        "multiplies by len(rows).  Instrument at stage granularity: one "
+        "span around the loop, one histogram observation per block.  If "
+        "per-row telemetry is genuinely wanted, gate the loop body on "
+        "obs.is_enabled() so the disabled path pays a single check."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag OBS calls lexically inside for/while loops, unless the
+        call sits under an ``if obs.is_enabled():``-style gate between
+        the loop and the call."""
+        if not ctx.in_packages(KERNEL_PACKAGES):
+            return
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            for call in ast.walk(loop):
+                if not isinstance(call, ast.Call):
+                    continue
+                resolved = ctx.resolve(call.func)
+                if resolved not in OBS_CALLS:
+                    continue
+                if self._innermost_loop(ctx, call) is not loop:
+                    continue  # reported once, against the nearest loop
+                if self._gated(ctx, call, loop):
+                    continue
+                short = resolved.rsplit(".", 1)[1]
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"obs.{short}() inside a loop in a kernel package; "
+                    "hoist to stage granularity or gate the block on "
+                    "obs.is_enabled()",
+                )
+
+    @staticmethod
+    def _innermost_loop(ctx: ModuleContext, node: ast.AST) -> ast.AST | None:
+        """The nearest enclosing loop of ``node`` (None outside loops)."""
+        current = ctx.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.For, ast.While, ast.AsyncFor)):
+                return current
+            current = ctx.parent(current)
+        return None
+
+    def _gated(self, ctx: ModuleContext, call: ast.Call, loop: ast.AST) -> bool:
+        """Whether an enabled-gate ``if`` sits between ``loop`` and ``call``."""
+        current = ctx.parent(call)
+        while current is not None and current is not loop:
+            if isinstance(current, ast.If) and self._is_enabled_test(
+                ctx, current.test
+            ):
+                return True
+            current = ctx.parent(current)
+        return False
+
+    @staticmethod
+    def _is_enabled_test(ctx: ModuleContext, test: ast.AST) -> bool:
+        """Whether an ``if`` test checks the telemetry enable flag."""
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Call) and ctx.resolve(sub.func) in ENABLED_GATES:
+                return True
+            if ctx.resolve(sub) in ENABLED_GATES:
+                return True
+        return False

@@ -9,7 +9,10 @@ Five subcommands cover the common workflows without writing any Python:
   ML-pipeline trials at a chosen experimental point.
 * ``python -m repro.cli figure`` — reproduce one paper figure.
 * ``python -m repro.cli trace-summary`` — render the per-stage table of a
-  trace captured with ``--trace``.
+  trace captured with ``--trace`` (``--json`` for the machine form).
+* ``python -m repro.cli profile-summary`` — render the sampling-profiler
+  tables of a trace captured with ``--trace --profile`` (``--folded``
+  writes flamegraph input).
 
 Campaign subcommands (``train``, ``localize``, ``figure``) accept
 ``--workers N`` to fan Monte-Carlo exposures/trials out over the
@@ -19,7 +22,11 @@ persistent campaign executor, plus the crash-recovery knobs
 and its chunk retried).  Every workload subcommand accepts
 ``--trace out.jsonl`` (record a telemetry trace, merged across worker
 processes) and ``--quiet`` (suppress stderr status lines; stdout carries
-only machine-readable results).
+only machine-readable results).  On top of a trace, ``--profile``
+samples every process's stacks (``--profile-hz`` sets the rate) and
+``--resources`` records RSS/CPU/GC/shm gauges; independently of
+tracing, ``--metrics-out live.jsonl`` streams cumulative registry
+snapshots every ``--metrics-interval`` seconds while the command runs.
 
 ``localize`` and ``figure`` additionally accept
 ``--infer-backend {reference,planned,int8}`` to select the inference
@@ -164,9 +171,30 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.summary import summary_dict
+    from repro.obs.trace import load_jsonl
+
+    if args.json:
+        log.result(json.dumps(summary_dict(load_jsonl(args.trace_file)),
+                              indent=2))
+        return 0
     from repro.obs.summary import render_file
 
     log.result(render_file(args.trace_file))
+    return 0
+
+
+def _cmd_profile_summary(args: argparse.Namespace) -> int:
+    from repro.obs import profile
+    from repro.obs.trace import load_jsonl
+
+    events = load_jsonl(args.trace_file)
+    log.result(profile.render_table(events, top=args.top))
+    if args.folded:
+        n = profile.write_folded(events, args.folded)
+        log.status(f"profile: {n} folded stacks written to {args.folded}")
     return 0
 
 
@@ -175,6 +203,22 @@ def _add_common_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trace", metavar="OUT.JSONL", default=None,
                    help="record a telemetry trace (spans + metrics, merged "
                         "across workers) to this JSONL file")
+    p.add_argument("--profile", action="store_true",
+                   help="sample python stacks in every process while the "
+                        "command runs (requires --trace; render with "
+                        "`repro profile-summary`)")
+    p.add_argument("--profile-hz", type=float, default=None, metavar="HZ",
+                   help="profiler sampling rate (default 100; implies "
+                        "--profile)")
+    p.add_argument("--resources", action="store_true",
+                   help="record RSS/CPU/GC/shm gauges in every process "
+                        "(requires --trace)")
+    p.add_argument("--metrics-out", metavar="LIVE.JSONL", default=None,
+                   help="stream cumulative metric snapshots to this JSONL "
+                        "file while the command runs")
+    p.add_argument("--metrics-interval", type=float, default=1.0,
+                   metavar="SEC",
+                   help="seconds between --metrics-out flushes (default 1)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress stderr status output")
 
@@ -277,23 +321,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the per-stage table of a --trace JSONL file",
     )
     p.add_argument("trace_file", help="trace file written by --trace")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as JSON (stages, coverage, "
+                        "counters, gauges, histograms) instead of a table")
     p.add_argument("--quiet", action="store_true",
                    help="suppress stderr status output")
     p.set_defaults(func=_cmd_trace_summary)
+
+    p = sub.add_parser(
+        "profile-summary",
+        help="render the sampling-profiler tables of a --trace --profile "
+             "JSONL file",
+    )
+    p.add_argument("trace_file", help="trace file written by --trace "
+                                      "--profile")
+    p.add_argument("--top", type=int, default=15, metavar="N",
+                   help="functions shown in the flat self-time table "
+                        "(default 15)")
+    p.add_argument("--folded", metavar="OUT.TXT", default=None,
+                   help="also write merged folded stacks ('stack count' "
+                        "lines) for flamegraph/speedscope tooling")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress stderr status output")
+    p.set_defaults(func=_cmd_profile_summary)
     return parser
+
+
+def _run_with_telemetry(args: argparse.Namespace) -> int:
+    """Run one workload command under the requested telemetry stack.
+
+    ``--trace`` enables the span tracer and metrics registry around the
+    command (root span ``cli.<command>``) and writes the merged JSONL
+    trace afterwards; ``--profile`` / ``--resources`` additionally run
+    the sampling profiler and resource monitor (mirrored into workers);
+    ``--metrics-out`` streams registry snapshots while the command runs.
+    """
+    import repro.obs as obs
+
+    trace_path = args.trace
+    profile_hz = getattr(args, "profile_hz", None)
+    want_profile = bool(getattr(args, "profile", False) or profile_hz)
+    want_resources = bool(getattr(args, "resources", False))
+    metrics_out = getattr(args, "metrics_out", None)
+
+    obs.enable()
+    stream = None
+    try:
+        if want_profile:
+            obs.profile.start(hz=profile_hz or obs.profile.DEFAULT_HZ)
+        if want_resources:
+            obs.resources.start()
+        if metrics_out is not None:
+            stream = obs.export.MetricsStream(
+                metrics_out, interval_s=args.metrics_interval
+            )
+            stream.start()
+        with obs.span(f"cli.{args.command}"):
+            rc = args.func(args)
+        obs.profile.PROFILER.stop()
+        obs.resources.MONITOR.stop()
+        if trace_path is not None:
+            extra = obs.metric_events() + obs.profile.profile_events()
+            n = obs.flush_jsonl(trace_path, extra_events=extra)
+            log.status(f"trace: {n} events written to {trace_path} "
+                       f"(render with `repro trace-summary {trace_path}`)")
+    finally:
+        if stream is not None:
+            stream.stop()
+            log.status(f"metrics: {stream.lines_written} snapshots "
+                       f"streamed to {metrics_out}")
+        obs.disable()
+    return rc
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point.
 
-    Handles the cross-cutting telemetry flags: ``--trace`` enables the
-    span tracer and metrics registry around the command (root span
-    ``cli.<command>``) and writes the merged JSONL trace afterwards;
-    ``--quiet`` silences stderr status lines.
+    Handles the cross-cutting flags: the telemetry family (``--trace``,
+    ``--profile``, ``--resources``, ``--metrics-out`` — see
+    :func:`_run_with_telemetry`), the executor fault knobs, and
+    ``--quiet`` (silences stderr status lines).
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     log.set_quiet(getattr(args, "quiet", False))
+    if (getattr(args, "profile", False) or getattr(args, "profile_hz", None)
+            or getattr(args, "resources", False)) \
+            and getattr(args, "trace", None) is None:
+        parser.error("--profile/--resources require --trace (their output "
+                     "rides the trace file)")
     if getattr(args, "max_retries", None) is not None \
             or getattr(args, "task_timeout", None) is not None:
         from repro.parallel import executor as campaign_executor
@@ -304,23 +420,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.task_timeout is not None:
             kwargs["task_timeout"] = args.task_timeout
         campaign_executor.configure(**kwargs)
-    trace_path = getattr(args, "trace", None)
     try:
-        if trace_path is None:
+        if getattr(args, "trace", None) is None \
+                and getattr(args, "metrics_out", None) is None:
             return args.func(args)
-
-        import repro.obs as obs
-
-        obs.enable()
-        try:
-            with obs.span(f"cli.{args.command}"):
-                rc = args.func(args)
-            n = obs.flush_jsonl(trace_path, extra_events=obs.metric_events())
-            log.status(f"trace: {n} events written to {trace_path} "
-                       f"(render with `repro trace-summary {trace_path}`)")
-        finally:
-            obs.disable()
-        return rc
+        return _run_with_telemetry(args)
     except BrokenPipeError:
         # The stdout consumer went away (`repro trace-summary ... | head`).
         # Point stdout at devnull so interpreter shutdown doesn't complain,

@@ -125,11 +125,12 @@ def localize_many(
             pending[i] = request
 
     scratch = {kind: GatherScratch() for kind in _REQUEST_KINDS}
+    rounds = 0
     with obs_trace.span("infer.localize_many"):
         for i in range(len(gens)):
             _advance(i, None)
         while pending:
-            obs_metrics.inc("infer.gather_rounds")
+            rounds += 1
             ready, pending = pending, {}
             for kind in _REQUEST_KINDS:
                 idxs = [i for i in sorted(ready) if ready[i].kind == kind]
@@ -144,4 +145,5 @@ def localize_many(
                 offsets = np.cumsum([0] + lengths)
                 for j, i in enumerate(idxs):
                     _advance(i, merged[offsets[j] : offsets[j + 1]])
+        obs_metrics.inc("infer.gather_rounds", rounds)
     return outcomes

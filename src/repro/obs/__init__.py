@@ -8,6 +8,13 @@ is that substrate:
 
 * :mod:`repro.obs.trace` — hierarchical span tracer with a JSONL sink.
 * :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms.
+* :mod:`repro.obs.profile` — span-aware sampling profiler (folded
+  stacks + per-stage self/total time; ``repro profile-summary``).
+* :mod:`repro.obs.resources` — periodic RSS / CPU / GC / shm gauges.
+* :mod:`repro.obs.export` — Prometheus text exposition + the
+  ``--metrics-out`` JSONL metrics stream.
+* :mod:`repro.obs.slo` — declarative latency/throughput SLOs evaluated
+  from traces, histograms, and ``repro.perf`` results.
 * :mod:`repro.obs.aggregate` — worker snapshots piggy-backed on executor
   results and merged parent-side into one coherent campaign trace.
 * :mod:`repro.obs.summary` — the ``repro trace-summary`` per-stage rollup.
@@ -19,8 +26,13 @@ stage-cache keys, or cached payloads, so traced and untraced runs are
 bit-identical.  Enable with :func:`enable` (the CLI's ``--trace`` flag).
 """
 
-from repro.obs import log
-from repro.obs.aggregate import merge_snapshot, snapshot_and_reset
+from repro.obs import export, log, profile, resources, slo
+from repro.obs.aggregate import (
+    apply_worker_flags,
+    merge_snapshot,
+    snapshot_and_reset,
+    worker_flags,
+)
 from repro.obs.metrics import (
     REGISTRY,
     Histogram,
@@ -46,15 +58,25 @@ from repro.obs.trace import enable as _trace_enable
 
 
 def enable() -> None:
-    """Turn telemetry on process-wide (tracer + metrics, fresh buffers)."""
+    """Turn telemetry on process-wide (tracer + metrics, fresh buffers).
+
+    The profiler and resource monitor are *not* started here — they are
+    opt-in via :func:`profile.start` / :func:`resources.start` (the
+    CLI's ``--profile`` / ``--resources`` flags) — but their buffers are
+    cleared so a new enabled session starts from zero.
+    """
     REGISTRY.reset()
+    profile.PROFILER.buffer.reset()
     _trace_enable()
 
 
 def disable() -> None:
-    """Turn telemetry off and drop all buffered events and metrics."""
+    """Turn telemetry off: stop samplers, drop all buffers and metrics."""
+    profile.PROFILER.stop()
+    resources.MONITOR.stop()
     _trace_disable()
     REGISTRY.reset()
+    profile.PROFILER.buffer.reset()
 
 
 __all__ = [
@@ -62,9 +84,11 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "Span",
+    "apply_worker_flags",
     "disable",
     "enable",
     "events",
+    "export",
     "flush_jsonl",
     "inc",
     "is_enabled",
@@ -73,12 +97,16 @@ __all__ = [
     "merge_snapshot",
     "metric_events",
     "observe",
+    "profile",
     "render_table",
+    "resources",
     "set_gauge",
+    "slo",
     "snapshot_and_reset",
     "span",
     "summarize",
     "summary_dict",
     "timed_span",
     "traced",
+    "worker_flags",
 ]

@@ -1,0 +1,178 @@
+"""Streaming metric exporters: Prometheus text exposition + JSONL stream.
+
+Post-hoc traces explain a run after it ends; a *service* (the planned
+``repro.serve`` front-end, or any long campaign someone is watching)
+needs to be observable while it runs.  Two exporters, both reading the
+live :data:`repro.obs.metrics.REGISTRY` without disturbing it:
+
+* :func:`render_prometheus` — the registry rendered in the Prometheus
+  text exposition format (``# TYPE`` headers, cumulative ``_bucket``
+  series with ``le`` labels, ``_sum``/``_count``).  A scrape endpoint
+  can serve this string verbatim; metric names are sanitized
+  (``cache.hit`` → ``cache_hit``).
+* :class:`MetricsStream` — a background thread appending one JSON object
+  per interval to a file (the CLI's ``--metrics-out PATH
+  --metrics-interval S``).  Each line is a *cumulative* snapshot
+  (counters/gauges/histograms as of that instant) stamped with wall and
+  monotonic time, so ``tail -f`` shows a run in flight and the deltas
+  between lines give rates.
+
+Both exporters are read-only over the registry: exporting never resets
+counters and never perturbs the traced run (snapshots use the same lock
+as recording, held briefly).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+
+from repro.obs.metrics import REGISTRY
+
+#: Default seconds between JSONL stream flushes.
+DEFAULT_STREAM_INTERVAL_S = 1.0
+
+_NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A registry name rendered as a legal Prometheus metric name."""
+    sanitized = _NAME_SANITIZE_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def render_prometheus(snapshot: dict | None = None) -> str:
+    """Render a registry snapshot in Prometheus text-exposition format.
+
+    Args:
+        snapshot: A :meth:`MetricsRegistry.dump` dict; the live registry
+            is dumped when None.
+
+    Returns:
+        The exposition text, terminated by a newline (empty registry
+        renders to an empty string).
+    """
+    snap = REGISTRY.dump() if snapshot is None else snapshot
+    lines: list[str] = []
+    for name in sorted(snap.get("counters", ())):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snap['counters'][name]}")
+    for name in sorted(snap.get("gauges", ())):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snap['gauges'][name])}")
+    for name in sorted(snap.get("histograms", ())):
+        hist = snap["histograms"][name]
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {_format_value(hist['total'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _format_value(value: float) -> str:
+    """Float rendered without a trailing ``.0`` for integral values."""
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+class MetricsStream:
+    """Periodic-flush JSONL metrics stream (``--metrics-out``).
+
+    Appends one JSON line per interval to ``path``; each line is a
+    cumulative registry snapshot::
+
+        {"t_wall": 1722.1, "t_mono_s": 3.0, "seq": 3,
+         "counters": {...}, "gauges": {...}, "histograms": {...}}
+
+    :meth:`stop` writes one final line so the file always ends with the
+    run's closing state, then closes the file.  The writer is a daemon
+    thread; a crashed run leaves a valid (line-truncated at worst) file.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 interval_s: float = DEFAULT_STREAM_INTERVAL_S):
+        self.path = os.fspath(path)
+        self.interval_s = max(0.01, float(interval_s))
+        self.lines_written = 0
+        self._file = None
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._lock = threading.Lock()
+        self._t0 = 0.0
+
+    @property
+    def running(self) -> bool:
+        """True while the flush thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Open the output file and start periodic flushing."""
+        if self.running:
+            return
+        self._file = open(self.path, "w")
+        self._t0 = time.monotonic()
+        self._stop_event = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-metrics-stream", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop flushing, write one final snapshot line, close the file."""
+        thread = self._thread
+        if thread is not None:
+            self._stop_event.set()
+            thread.join(timeout=2.0)
+            self._thread = None
+        if self._file is not None:
+            self.flush_once()
+            with self._lock:
+                self._file.close()
+                self._file = None
+
+    def flush_once(self) -> None:
+        """Write one snapshot line now (no-op when not started)."""
+        with self._lock:
+            if self._file is None:
+                return
+            snap = REGISTRY.dump()
+            line = {
+                "t_wall": time.time(),
+                "t_mono_s": round(time.monotonic() - self._t0, 6),
+                "seq": self.lines_written,
+                "counters": snap["counters"],
+                "gauges": snap["gauges"],
+                "histograms": snap["histograms"],
+            }
+            self._file.write(json.dumps(line) + "\n")
+            self._file.flush()
+            self.lines_written += 1
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval_s):
+            self.flush_once()
+
+
+def load_stream(path: str | os.PathLike) -> list[dict]:
+    """Read a metrics-stream JSONL file back into a list of snapshots."""
+    out: list[dict] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -13,11 +13,15 @@ The registry serializes to plain dicts (:func:`dump`) that ride the same
 JSONL sink as span events and merge across processes
 (:func:`repro.obs.aggregate.merge_snapshot`): counters add, histograms add
 bucket-wise (buckets are fixed so merging is exact), gauges keep the last
-writer's value.
+writer's value — except *peak-style* gauges (final name segment contains
+``peak``, e.g. ``res.rss_peak_mb``), which merge with **max** so a
+multi-worker merge reports the campaign-wide peak instead of whichever
+worker reported last.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 
 from repro.obs.trace import STATE
@@ -27,6 +31,16 @@ from repro.obs.trace import STATE
 #: NN inference up to multi-second campaign stages).
 DEFAULT_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
                       200.0, 500.0, 1000.0, 2000.0, 5000.0)
+
+
+def is_peak_gauge(name: str) -> bool:
+    """Whether a gauge merges with max across processes.
+
+    Peak-style gauges carry ``peak`` in their final dotted segment
+    (``res.rss_peak_mb``): they record a per-process high-water mark, so
+    the only lossless cross-process combination is the maximum.
+    """
+    return "peak" in name.rsplit(".", 1)[-1]
 
 
 class Histogram:
@@ -60,6 +74,29 @@ class Histogram:
         self.counts[i] += 1
         self.total += value
         self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile from bucket counts.
+
+        Returns the inclusive upper edge of the bucket containing the
+        nearest-rank sample — the standard conservative estimate for
+        fixed-bucket histograms (Prometheus-style, without
+        interpolation).  An empty histogram returns 0.0; a quantile that
+        lands in the overflow bucket returns ``inf`` (the histogram
+        cannot bound it, which an SLO check should treat as a breach).
+
+        Args:
+            q: Quantile in [0, 1], e.g. ``0.95``.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= rank:
+                return self.buckets[i] if i < len(self.buckets) else math.inf
+        return math.inf
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram with identical buckets into this one."""
@@ -133,7 +170,10 @@ class MetricsRegistry:
             for name, v in snap.get("counters", {}).items():
                 self.counters[name] = self.counters.get(name, 0) + v
             for name, v in snap.get("gauges", {}).items():
-                self.gauges[name] = v
+                if is_peak_gauge(name) and name in self.gauges:
+                    self.gauges[name] = max(self.gauges[name], v)
+                else:
+                    self.gauges[name] = v
             for name, d in snap.get("histograms", {}).items():
                 incoming = Histogram.from_dict(d)
                 mine = self.histograms.get(name)

@@ -149,7 +149,9 @@ def render_table(events: list[dict]) -> str:
 
 
 def summary_dict(events: list[dict]) -> dict:
-    """JSON-safe form of the per-stage summary (for bench reports)."""
+    """JSON-safe form of the per-stage summary (for bench reports and
+    ``repro trace-summary --json``): stages, coverage, and every metric
+    family the trace carries."""
     return {
         "stages": {
             st.name: {
@@ -159,6 +161,7 @@ def summary_dict(events: list[dict]) -> dict:
                 "p95_ms": round(st.p95_ms, 4),
                 "pct_of_parent": round(st.pct_of_parent, 2),
                 "parent": st.parent,
+                "errors": st.errors,
             }
             for st in summarize(events)
         },
@@ -166,6 +169,19 @@ def summary_dict(events: list[dict]) -> dict:
         "counters": {
             ev["name"]: ev["value"]
             for ev in events if ev.get("type") == "counter"
+        },
+        "gauges": {
+            ev["name"]: ev["value"]
+            for ev in events if ev.get("type") == "gauge"
+        },
+        "histograms": {
+            ev["name"]: {
+                "count": ev["count"],
+                "total": round(ev["total"], 3),
+                "buckets": ev["buckets"],
+                "counts": ev["counts"],
+            }
+            for ev in events if ev.get("type") == "histogram"
         },
     }
 

@@ -40,22 +40,32 @@ class TraceState:
     Attributes:
         enabled: Master switch; every recording call checks it first.
         events: Completed-span (and metric) event dicts, in finish order.
+        stacks: Thread ident -> that thread's live span stack (entries are
+            ``(span_id, name)`` tuples).  The sampling profiler
+            (:mod:`repro.obs.profile`) reads these from its own thread to
+            attribute stack samples to open spans; under the GIL a
+            ``tuple(stack)`` snapshot is safe against concurrent
+            append/del from the owning thread.
     """
 
     def __init__(self) -> None:
         self.enabled = False
         self.events: list[dict] = []
+        self.stacks: dict[int, list] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
         self._counter = 0
 
     # -- span bookkeeping ---------------------------------------------------
 
-    def _stack(self) -> list[str]:
+    def _stack(self) -> list[tuple[str, str]]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = []
             self._local.stack = stack
+        # Re-register every call: cheap (one dict store), and self-healing
+        # after reset() or a profiler attaching mid-run.
+        self.stacks[threading.get_ident()] = stack
         return stack
 
     def next_span_id(self) -> str:
@@ -107,9 +117,9 @@ class Span:
     def __enter__(self) -> "Span":
         if STATE.enabled:
             stack = STATE._stack()
-            self.parent_id = stack[-1] if stack else None
+            self.parent_id = stack[-1][0] if stack else None
             self.span_id = STATE.next_span_id()
-            stack.append(self.span_id)
+            stack.append((self.span_id, self.name))
         self._t0 = time.perf_counter()
         return self
 
@@ -119,8 +129,10 @@ class Span:
             stack = STATE._stack()
             # Exception safety: pop back to (and including) our own frame
             # even if an inner span leaked without closing.
-            if self.span_id in stack:
-                del stack[stack.index(self.span_id):]
+            for i, (span_id, _name) in enumerate(stack):
+                if span_id == self.span_id:
+                    del stack[i:]
+                    break
             STATE.record({
                 "type": "span",
                 "name": self.name,

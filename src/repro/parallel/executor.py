@@ -144,16 +144,13 @@ def _worker_main(worker_id: int, inbox, results) -> None:
         if kind == "common":
             common = pickle.loads(msg[1])
             continue
-        _, epoch, chunk_id, fn, packed_args, trace_on = msg
-        # Telemetry follows the parent's --trace flag per chunk: enable the
-        # worker-local buffers on the first traced chunk, drop them if the
-        # parent stops tracing.  Spans/metrics recorded while running the
-        # chunk are snapshotted and piggy-backed on the result message.
-        if trace_on and not obs_trace.STATE.enabled:
-            obs_trace.enable()
-        elif not trace_on and obs_trace.STATE.enabled:
-            obs_trace.disable()
-            obs_metrics.REGISTRY.reset()
+        _, epoch, chunk_id, fn, packed_args, obs_flags = msg
+        # Telemetry mirrors the parent's live configuration per chunk
+        # (tracer + optional profiler / resource monitor, see
+        # repro.obs.aggregate.worker_flags).  Spans, metrics, and profile
+        # samples recorded while running the chunk are snapshotted and
+        # piggy-backed on the result message.
+        obs_aggregate.apply_worker_flags(obs_flags)
         try:
             with obs_trace.span("executor.chunk") as chunk_span:
                 args = shm_transport.unpack(packed_args)
@@ -346,7 +343,8 @@ class CampaignExecutor:
         map_span,
     ) -> list:
         """Parallel body of :meth:`map` (telemetry merged under ``map_span``)."""
-        trace_on = obs_trace.STATE.enabled
+        obs_flags = obs_aggregate.worker_flags()
+        trace_on = obs_flags is not None
         self._epoch += 1
         epoch = self._epoch
         self._broadcast_common(common)
@@ -375,7 +373,7 @@ class CampaignExecutor:
                 dispatch_time[cid] = time.perf_counter()
             in_flight[wid] = cid
             started[wid] = time.monotonic()
-            self._inboxes[wid].put(("chunk", epoch, cid, fn, packed, trace_on))
+            self._inboxes[wid].put(("chunk", epoch, cid, fn, packed, obs_flags))
 
         def dispatch_next(wid: int) -> None:
             nonlocal next_chunk

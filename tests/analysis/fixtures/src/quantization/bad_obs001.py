@@ -1,0 +1,22 @@
+"""Bad: ungated telemetry calls inside per-row kernel loops."""
+from repro import obs
+from repro.obs import metrics
+
+
+def quantize_rows(rows):
+    """Opens a span and bumps a counter per row — O(rows) overhead."""
+    out = []
+    for row in rows:
+        with obs.span("quantize.row"):
+            out.append(row * 2)
+        metrics.inc("quantize.rows")
+    return out
+
+
+def requant_blocks(blocks):
+    """Per-iteration histogram observation in a while loop."""
+    i = 0
+    while i < len(blocks):
+        obs.observe("requant.block_ms", 1.0)
+        i += 1
+    return i

@@ -1,0 +1,22 @@
+"""Good: stage-granular spans, and per-row telemetry behind the gate."""
+from repro import obs
+
+
+def quantize_rows(rows):
+    """One span around the loop, one counter bump for the block."""
+    out = []
+    with obs.span("quantize.rows"):
+        for row in rows:
+            out.append(row * 2)
+    obs.inc("quantize.rows", len(rows))
+    return out
+
+
+def requant_blocks(blocks):
+    """Per-row telemetry is fine when gated on the enable flag."""
+    i = 0
+    while i < len(blocks):
+        if obs.is_enabled():
+            obs.observe("requant.block_ms", 1.0)
+        i += 1
+    return i

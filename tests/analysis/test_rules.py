@@ -45,6 +45,7 @@ CASES = [
     ("DTY001", "bad_dty001.py", "good_dty001.py"),
     ("DTY002", "bad_dty002.py", "good_dty002.py"),
     ("DTY003", "bad_dty003.py", "good_dty003.py"),
+    ("OBS001", "bad_obs001.py", "good_obs001.py"),
 ]
 
 
@@ -77,6 +78,15 @@ def test_wrk001_ignores_immutable_state(result):
 
 def test_det003_allowed_outside_kernel_packages(result):
     assert "DET003" not in rules_in(result, "uses_clock.py")
+
+
+def test_obs001_fires_once_per_call_site(result):
+    hits = [
+        f
+        for f in result.findings
+        if f.rule_id == "OBS001" and Path(f.path).name == "bad_obs001.py"
+    ]
+    assert len(hits) == 3, "expected span + inc in the for loop, observe in the while"
 
 
 def test_rng002_flags_both_fallback_forms(result):

@@ -117,6 +117,71 @@ class TestBitIdentity:
         assert t0 == t1
 
 
+def _gauge_task(x):
+    """Worker task recording a peak-style and a plain gauge."""
+    obs.set_gauge("task.value_peak", float(x))
+    obs.set_gauge("task.value", float(x))
+    return x
+
+
+class TestMultiWorkerGaugeMerge:
+    def test_peak_gauge_takes_campaign_max_across_workers(self):
+        # Regression: peak gauges used to merge last-writer-wins, so the
+        # merged value depended on chunk arrival order.  With max-merge
+        # the campaign-wide peak is deterministic regardless of timing.
+        from repro.parallel.executor import CampaignExecutor
+
+        obs.enable()
+        ex = CampaignExecutor(n_workers=4)
+        try:
+            values = list(range(1, 33))
+            assert ex.map(_gauge_task, values) == values
+        finally:
+            ex.close()
+        gauges = REGISTRY.dump()["gauges"]
+        assert gauges["task.value_peak"] == 32.0
+        # The plain gauge keeps last-writer-wins: some worker's value.
+        assert gauges["task.value"] in [float(v) for v in values]
+
+
+class TestWorkerFlags:
+    def test_flags_none_while_disabled(self):
+        assert obs.worker_flags() is None
+
+    def test_flags_mirror_live_subsystems(self):
+        obs.enable()
+        assert obs.worker_flags() == {
+            "trace": True, "profile_hz": None, "resources_s": None,
+        }
+        obs.profile.start(hz=50)
+        obs.resources.start(interval_s=0.5)
+        try:
+            flags = obs.worker_flags()
+            assert flags["profile_hz"] == 50.0
+            assert flags["resources_s"] == 0.5
+        finally:
+            obs.profile.stop()
+            obs.resources.stop()
+
+    def test_apply_flags_starts_and_stops_subsystems(self):
+        obs.apply_worker_flags(
+            {"trace": True, "profile_hz": 50.0, "resources_s": 0.5}
+        )
+        try:
+            assert obs.is_enabled()
+            assert obs.profile.is_running()
+            assert obs.resources.MONITOR.running
+        finally:
+            obs.apply_worker_flags(None)
+        assert not obs.is_enabled()
+        assert not obs.profile.is_running()
+        assert not obs.resources.MONITOR.running
+
+    def test_apply_none_when_disabled_is_noop(self):
+        obs.apply_worker_flags(None)
+        assert not obs.is_enabled()
+
+
 class TestCacheCounters:
     def test_hit_miss_corrupt_counters(self, tmp_path):
         from repro.parallel import StageCache

@@ -1,0 +1,99 @@
+"""Exporters: Prometheus text exposition and the JSONL metrics stream."""
+
+import time
+
+import repro.obs as obs
+from repro.obs.export import (
+    MetricsStream,
+    load_stream,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("cache.hit") == "cache_hit"
+        assert sanitize_metric_name("a-b/c") == "a_b_c"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus({"counters": {}, "gauges": {},
+                                  "histograms": {}}) == ""
+
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus({
+            "counters": {"cache.hit": 3},
+            "gauges": {"res.rss_mb": 12.5},
+            "histograms": {},
+        })
+        assert "# TYPE cache_hit counter" in text
+        assert "cache_hit 3" in text
+        assert "# TYPE res_rss_mb gauge" in text
+        assert "res_rss_mb 12.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus({
+            "counters": {}, "gauges": {},
+            "histograms": {
+                "lat.ms": {"buckets": [1.0, 10.0], "counts": [2, 1, 1],
+                           "total": 25.0, "count": 4},
+            },
+        })
+        assert '# TYPE lat_ms histogram' in text
+        assert 'lat_ms_bucket{le="1"} 2' in text
+        assert 'lat_ms_bucket{le="10"} 3' in text       # cumulative
+        assert 'lat_ms_bucket{le="+Inf"} 4' in text
+        assert "lat_ms_sum 25" in text
+        assert "lat_ms_count 4" in text
+
+    def test_defaults_to_live_registry(self):
+        obs.enable()
+        obs.inc("exports.test_counter", 7)
+        assert "exports_test_counter 7" in render_prometheus()
+
+
+class TestMetricsStream:
+    def test_stream_writes_snapshots_and_final_flush(self, tmp_path):
+        obs.enable()
+        path = tmp_path / "live.jsonl"
+        stream = MetricsStream(path, interval_s=0.02)
+        stream.start()
+        obs.inc("stream.count")
+        time.sleep(0.08)
+        obs.inc("stream.count")
+        stream.stop()
+        lines = load_stream(path)
+        assert len(lines) >= 2
+        assert lines[-1]["counters"]["stream.count"] == 2
+        # Snapshots are cumulative and sequence-stamped.
+        assert [ln["seq"] for ln in lines] == list(range(len(lines)))
+        assert all(ln["t_mono_s"] >= 0 for ln in lines)
+
+    def test_stop_always_writes_closing_state(self, tmp_path):
+        obs.enable()
+        path = tmp_path / "live.jsonl"
+        stream = MetricsStream(path, interval_s=60.0)  # no tick fires
+        stream.start()
+        obs.set_gauge("stream.g", 4.0)
+        stream.stop()
+        lines = load_stream(path)
+        assert len(lines) == 1
+        assert lines[0]["gauges"]["stream.g"] == 4.0
+
+    def test_flush_once_before_start_is_noop(self, tmp_path):
+        stream = MetricsStream(tmp_path / "x.jsonl")
+        stream.flush_once()
+        assert stream.lines_written == 0
+
+    def test_stop_twice_is_safe(self, tmp_path):
+        stream = MetricsStream(tmp_path / "x.jsonl", interval_s=60.0)
+        stream.start()
+        stream.stop()
+        stream.stop()
+        assert not stream.running

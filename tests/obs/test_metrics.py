@@ -1,9 +1,11 @@
 """Metrics registry: counters, gauges, histogram bucket edges, merging."""
 
+import math
+
 import pytest
 
 import repro.obs as obs
-from repro.obs.metrics import REGISTRY, Histogram
+from repro.obs.metrics import REGISTRY, Histogram, is_peak_gauge
 
 
 class TestGuard:
@@ -58,6 +60,43 @@ class TestHistogramBuckets:
         assert h2.total == h.total
         assert h2.count == h.count
 
+    def test_round_trip_preserves_boundary_counts(self):
+        # Samples exactly on bucket bounds must survive a JSONL round
+        # trip in the same buckets (the merge protocol depends on it).
+        import json
+
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (1.0, 1.0, 10.0, 100.0, 100.5):
+            h.observe(v)
+        restored = Histogram.from_dict(json.loads(json.dumps(h.to_dict())))
+        assert restored.counts == [2, 1, 1, 1]
+        assert restored.counts == h.counts
+        assert restored.percentile(0.5) == h.percentile(0.5)
+
+
+class TestHistogramPercentile:
+    def test_empty_histogram_returns_zero(self):
+        assert Histogram(buckets=(1.0, 10.0)).percentile(0.95) == 0.0
+
+    def test_returns_bucket_upper_edge(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (0.5,) * 90 + (50.0,) * 10:
+            h.observe(v)
+        assert h.percentile(0.5) == 1.0
+        assert h.percentile(0.95) == 100.0
+
+    def test_overflow_bucket_returns_inf(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(99.0)
+        assert h.percentile(0.95) == math.inf
+
+    def test_extreme_quantiles_clamp_to_valid_ranks(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.percentile(0.0) == 1.0   # rank floors at 1
+        assert h.percentile(1.0) == 10.0  # rank caps at count
+
 
 class TestMerge:
     def test_histogram_merge_adds_bucketwise(self):
@@ -95,3 +134,30 @@ class TestMerge:
         assert out["counters"] == {"n": 5, "other": 1}  # counters add
         assert out["gauges"] == {"g": 9.0}              # last writer wins
         assert out["histograms"]["h"]["count"] == 2     # histograms add
+
+
+class TestPeakGaugeMerge:
+    def test_is_peak_gauge_matches_final_segment_only(self):
+        assert is_peak_gauge("res.rss_peak_mb")
+        assert is_peak_gauge("rss_peak")
+        assert not is_peak_gauge("res.rss_mb")
+        assert not is_peak_gauge("peak.rss_mb")
+
+    def test_peak_gauge_merges_with_max(self):
+        obs.enable()
+        obs.set_gauge("res.rss_peak_mb", 120.0)
+        REGISTRY.merge({"gauges": {"res.rss_peak_mb": 80.0}})   # lower: kept
+        assert REGISTRY.dump()["gauges"]["res.rss_peak_mb"] == 120.0
+        REGISTRY.merge({"gauges": {"res.rss_peak_mb": 300.0}})  # higher: wins
+        assert REGISTRY.dump()["gauges"]["res.rss_peak_mb"] == 300.0
+
+    def test_peak_gauge_unknown_locally_takes_incoming(self):
+        obs.enable()
+        REGISTRY.merge({"gauges": {"res.rss_peak_mb": 55.0}})
+        assert REGISTRY.dump()["gauges"]["res.rss_peak_mb"] == 55.0
+
+    def test_plain_gauge_still_last_writer_wins(self):
+        obs.enable()
+        obs.set_gauge("res.rss_mb", 120.0)
+        REGISTRY.merge({"gauges": {"res.rss_mb": 80.0}})
+        assert REGISTRY.dump()["gauges"]["res.rss_mb"] == 80.0

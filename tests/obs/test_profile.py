@@ -1,0 +1,189 @@
+"""Sampling profiler: buffer algebra, span attribution, live sampling.
+
+The live-sampling tests run the profiler against a thread that burns CPU
+inside a known span, so they assert structure (samples exist, the span
+is attributed, gating works) rather than exact counts — wall-clock
+sampling is inherently noisy.
+"""
+
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import profile
+from repro.obs.profile import (
+    NO_SPAN,
+    ProfileBuffer,
+    SamplingProfiler,
+    function_stats,
+    merged_profile,
+    render_table,
+    write_folded,
+)
+
+
+def _burn(seconds: float) -> None:
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < seconds:
+        sum(i * i for i in range(1000))
+
+
+class TestProfileBuffer:
+    def test_add_attributes_self_to_leaf_and_total_to_all(self):
+        buf = ProfileBuffer()
+        buf.add("a:f;b:g", ("outer", "inner"), 10.0)
+        snap = buf.to_dict()
+        assert snap["samples"] == 1
+        assert snap["folded"] == {"a:f;b:g": 1}
+        assert snap["span_self_ms"] == {"inner": 10.0}
+        assert snap["span_total_ms"] == {"outer": 10.0, "inner": 10.0}
+
+    def test_add_without_spans_charges_no_span(self):
+        buf = ProfileBuffer()
+        buf.add("a:f", (), 5.0)
+        snap = buf.to_dict()
+        assert snap["span_self_ms"] == {NO_SPAN: 5.0}
+        assert snap["span_total_ms"] == {NO_SPAN: 5.0}
+
+    def test_recursive_span_counted_once_in_total(self):
+        buf = ProfileBuffer()
+        buf.add("a:f", ("loop", "loop"), 4.0)
+        assert buf.to_dict()["span_total_ms"] == {"loop": 4.0}
+
+    def test_merge_adds_counts_times_and_pids(self):
+        a, b = ProfileBuffer(), ProfileBuffer()
+        a.add("x:f", ("s",), 1.0)
+        b.add("x:f", ("s",), 2.0)
+        b.add("y:g", ("t",), 3.0)
+        b.add_duration(0.5)
+        snap_b = b.to_dict()
+        snap_b["pids"] = [999]
+        a.merge(snap_b)
+        out = a.to_dict()
+        assert out["samples"] == 3
+        assert out["folded"] == {"x:f": 2, "y:g": 1}
+        assert out["span_self_ms"]["s"] == pytest.approx(3.0)
+        assert out["duration_s"] == pytest.approx(0.5)
+        assert 999 in out["pids"]
+
+    def test_drain_returns_none_when_empty_and_clears(self):
+        buf = ProfileBuffer()
+        assert buf.drain() is None
+        buf.add("x:f", (), 1.0)
+        snap = buf.drain()
+        assert snap["samples"] == 1
+        assert buf.drain() is None
+
+
+class TestFunctionStats:
+    def test_self_is_leaf_total_is_membership(self):
+        folded = {"a:f;b:g": 3, "a:f": 2, "a:f;c:h;b:g": 1}
+        rows = {name: (s, t) for name, s, t in function_stats(folded)}
+        assert rows["b:g"] == (4, 4)
+        assert rows["a:f"] == (2, 6)
+        assert rows["c:h"] == (0, 1)
+
+    def test_sorted_by_self_descending(self):
+        folded = {"a:f;b:g": 5, "c:h": 1}
+        names = [name for name, _s, _t in function_stats(folded)]
+        assert names[0] == "b:g"
+
+
+class TestLiveSampling:
+    def test_samples_attributed_to_open_span(self):
+        obs.enable()
+        profiler = SamplingProfiler()
+        profiler.start(hz=500)
+        try:
+            with obs.span("proftest.busy"):
+                _burn(0.15)
+        finally:
+            profiler.stop()
+        snap = profiler.buffer.to_dict()
+        assert snap["samples"] > 0
+        assert "proftest.busy" in snap["span_self_ms"]
+        assert snap["folded"]
+
+    def test_span_gating_skips_spanless_threads(self):
+        obs.enable()
+        profiler = SamplingProfiler()
+        profiler.start(hz=500, require_span=True)
+        try:
+            _burn(0.1)  # busy, but no span open on this thread
+        finally:
+            profiler.stop()
+        assert profiler.buffer.to_dict()["samples"] == 0
+
+    def test_require_span_false_records_no_span_samples(self):
+        obs.enable()
+        profiler = SamplingProfiler()
+        profiler.start(hz=500, require_span=False)
+        try:
+            _burn(0.15)
+        finally:
+            profiler.stop()
+        snap = profiler.buffer.to_dict()
+        assert snap["samples"] > 0
+        assert NO_SPAN in snap["span_self_ms"]
+
+    def test_start_twice_is_noop_and_stop_idempotent(self):
+        profiler = SamplingProfiler()
+        profiler.start(hz=100)
+        profiler.start(hz=9999)
+        assert profiler.hz == 100
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+
+class TestEventsAndRendering:
+    def _events_with_profile(self):
+        return [
+            {"type": "span", "name": "s", "span_id": "1-1",
+             "parent_id": None, "dur_ms": 5.0, "pid": 1, "tid": 1,
+             "status": "ok"},
+            {"type": "profile", "samples": 2, "duration_s": 0.02,
+             "pids": [1], "folded": {"m:f;m:g": 2},
+             "span_self_ms": {"s": 20.0}, "span_total_ms": {"s": 20.0}},
+            {"type": "profile", "samples": 1, "duration_s": 0.01,
+             "pids": [2], "folded": {"m:f": 1},
+             "span_self_ms": {"s": 10.0}, "span_total_ms": {"s": 10.0}},
+        ]
+
+    def test_merged_profile_combines_events(self):
+        snap = merged_profile(self._events_with_profile())
+        assert snap["samples"] == 3
+        assert snap["pids"] == [1, 2]
+        assert snap["folded"] == {"m:f;m:g": 2, "m:f": 1}
+        assert snap["span_self_ms"]["s"] == pytest.approx(30.0)
+
+    def test_merged_profile_none_without_profile_events(self):
+        assert merged_profile([{"type": "span", "name": "s"}]) is None
+
+    def test_render_table_mentions_spans_and_functions(self):
+        text = render_table(self._events_with_profile(), top=5)
+        assert "3 samples" in text
+        assert "s" in text
+        assert "m:g" in text
+
+    def test_render_table_without_profile(self):
+        assert "no profile events" in render_table([])
+
+    def test_write_folded_emits_stack_count_lines(self, tmp_path):
+        path = tmp_path / "folded.txt"
+        n = write_folded(self._events_with_profile(), path)
+        assert n == 2
+        lines = path.read_text().splitlines()
+        assert "m:f;m:g 2" in lines
+        assert "m:f 1" in lines
+
+    def test_profile_events_round_trip_jsonl(self, tmp_path):
+        obs.enable()
+        profile.PROFILER.buffer.add("m:f", ("s",), 7.0)
+        path = tmp_path / "trace.jsonl"
+        obs.flush_jsonl(path, extra_events=profile.profile_events())
+        events = obs.load_jsonl(path)
+        snap = merged_profile(events)
+        assert snap["samples"] == 1
+        assert snap["span_self_ms"] == {"s": 7.0}

@@ -99,3 +99,79 @@ class TestTrace:
         out = capsys.readouterr().out
         assert "cli.simulate" in out
         assert "% parent" in out
+
+    def test_trace_summary_json(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "t.jsonl"
+        main(["simulate", "--seed", "3", "--quiet", "--trace", str(trace_file)])
+        capsys.readouterr()
+        rc = main(["trace-summary", str(trace_file), "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert "cli.simulate" in summary["stages"]
+        assert set(summary) >= {"stages", "coverage", "counters",
+                                "gauges", "histograms"}
+
+
+class TestProfileAndMetrics:
+    def test_profile_rides_the_trace_file(self, tmp_path, capsys):
+        import repro.obs as obs
+
+        trace_file = tmp_path / "t.jsonl"
+        rc = main(["simulate", "--seed", "3", "--quiet",
+                   "--trace", str(trace_file), "--profile",
+                   "--profile-hz", "300", "--resources"])
+        assert rc == 0
+        assert not obs.profile.is_running()
+        assert not obs.resources.is_running()
+        events = obs.load_jsonl(trace_file)
+        profiles = [ev for ev in events if ev["type"] == "profile"]
+        assert len(profiles) == 1
+        assert profiles[0]["samples"] > 0
+        gauges = {ev["name"] for ev in events if ev["type"] == "gauge"}
+        assert "res.rss_peak_mb" in gauges
+
+    def test_profile_summary_renders_and_writes_folded(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        folded = tmp_path / "folded.txt"
+        main(["simulate", "--seed", "3", "--quiet",
+              "--trace", str(trace_file), "--profile-hz", "300"])
+        capsys.readouterr()
+        rc = main(["profile-summary", str(trace_file), "--top", "5",
+                   "--folded", str(folded)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "samples over" in out
+        assert folded.exists()
+        line = folded.read_text().splitlines()[0]
+        stack, count = line.rsplit(" ", 1)
+        assert ";" in stack and int(count) > 0
+
+    def test_profile_summary_without_profile_events(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        main(["simulate", "--seed", "3", "--quiet", "--trace", str(trace_file)])
+        capsys.readouterr()
+        rc = main(["profile-summary", str(trace_file)])
+        assert rc == 0
+        assert "no profile events" in capsys.readouterr().out
+
+    def test_profile_requires_trace(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["simulate", "--profile"])
+        assert "require --trace" in capsys.readouterr().err
+
+    def test_metrics_out_streams_without_trace(self, tmp_path, capsys):
+        import repro.obs as obs
+
+        live = tmp_path / "live.jsonl"
+        rc = main(["simulate", "--seed", "3", "--quiet",
+                   "--metrics-out", str(live),
+                   "--metrics-interval", "0.05"])
+        assert rc == 0
+        assert not obs.is_enabled()
+        lines = obs.export.load_stream(live)
+        assert lines
+        assert lines[-1]["counters"]["transport.photons"] > 0
