@@ -41,9 +41,17 @@ Seven measurement groups:
   op-registry throughputs — the same section ``scripts/ci_checks.py``
   gates on.
 
+A separate mode measures the serving layer: ``--serve`` sweeps the
+closed-loop load generator (:mod:`repro.serve.load`) over
+``SERVE_CLIENT_COUNTS`` concurrent clients — after asserting the served
+outcomes are bitwise identical to offline ``localize_many`` — and
+writes the throughput/latency table plus the default serve-SLO
+evaluation to ``BENCH_serve.json`` (gated by ``scripts/ci_checks.py``).
+
 Usage::
 
     python scripts/bench_report.py [--output BENCH_pr7.json] [--skip-kernels]
+    python scripts/bench_report.py --serve   # writes BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -214,32 +222,15 @@ def run_inference_benchmarks(rounds: int = 3) -> dict[str, float]:
     return results
 
 
-def run_ml_campaign_benchmark(
-    n_trials: int = 12, n_workers: int = 4
-) -> dict[str, float]:
-    """Time the ML-condition campaign per inference backend.
-
-    Trains the small test-sized networks once, then runs the same
-    ``run_trials`` point with ``infer_backend`` reference / planned /
-    planned + ``event_batch=4``, asserting the reference and planned
-    error arrays are identical (and the batched run close) before
-    reporting wall-clocks.
-    """
-    sys.path.insert(0, str(REPO / "src"))
-    import dataclasses
-
+def _small_pipeline(geometry, response):
+    """Train the small test-sized networks (same recipe as the test suite)."""
     import numpy as np
-    from repro.detector.response import DetectorResponse
     from repro.experiments.datasets import generate_training_rings
-    from repro.experiments.trials import TrialConfig, run_trials
-    from repro.geometry.tiles import adapt_geometry
     from repro.models.background import BackgroundTrainConfig, train_background_net
     from repro.models.deta import DEtaTrainConfig, train_deta_net
     from repro.pipeline.ml_pipeline import MLPipeline
     from repro.sources.grb import LABEL_BACKGROUND
 
-    geometry = adapt_geometry()
-    response = DetectorResponse(geometry)
     data = generate_training_rings(
         geometry,
         response,
@@ -264,7 +255,31 @@ def run_ml_campaign_benchmark(
         rng,
         config=DEtaTrainConfig(hidden_widths=(8, 8), max_epochs=25, patience=8),
     )
-    pipeline = MLPipeline(background_net=bnet, deta_net=dnet)
+    return MLPipeline(background_net=bnet, deta_net=dnet)
+
+
+def run_ml_campaign_benchmark(
+    n_trials: int = 12, n_workers: int = 4
+) -> dict[str, float]:
+    """Time the ML-condition campaign per inference backend.
+
+    Trains the small test-sized networks once, then runs the same
+    ``run_trials`` point with ``infer_backend`` reference / planned /
+    planned + ``event_batch=4``, asserting the reference and planned
+    error arrays are identical (and the batched run close) before
+    reporting wall-clocks.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    import dataclasses
+
+    import numpy as np
+    from repro.detector.response import DetectorResponse
+    from repro.experiments.trials import TrialConfig, run_trials
+    from repro.geometry.tiles import adapt_geometry
+
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    pipeline = _small_pipeline(geometry, response)
 
     base = TrialConfig(
         fluence_mev_cm2=1.0, polar_angle_deg=30.0, condition="ml"
@@ -447,13 +462,115 @@ def run_instrumented_telemetry(perf_raw: dict[str, float]) -> dict:
             }
         )
 
+    # The campaign run produces no serve-layer load reports; the serve
+    # section of the default spec is evaluated by `--serve` against its
+    # own measured sweep and embedded in BENCH_serve.json instead.
+    spec = slo.default_spec()
+    spec.pop("serve", None)
     slo_report = slo.evaluate(
-        slo.default_spec(), events=events, metrics=metrics, perf=perf_raw
+        spec, events=events, metrics=metrics, perf=perf_raw
     )
     print(slo.render_report(slo_report))
     return {
         "trace_summary": summary_dict(events),
         "profile": profile_section,
+        "slo": slo_report,
+    }
+
+
+#: Client counts swept by the serve benchmark (>= 3 for the report table).
+SERVE_CLIENT_COUNTS = (1, 4, 8, 16)
+
+#: The sweep point the checked-in serve SLO floor is evaluated against
+#: (the default spec's ``serve.load`` rules).
+SERVE_SLO_CLIENTS = 8
+
+
+def run_serve_benchmark(requests_per_client: int = 4,
+                        pool_size: int = 8) -> dict:
+    """Sweep the serving layer over client counts; return the full report.
+
+    Trains the small test-sized networks, pre-simulates an event pool,
+    asserts the served outcomes are bitwise identical to the offline
+    ``localize_many`` path on the same inputs, then runs one closed-loop
+    load measurement per entry in ``SERVE_CLIENT_COUNTS``.  The returned
+    dict is the ``BENCH_serve.json`` body: the per-count ``runs`` table,
+    the parity record, and the default spec's ``serve`` section
+    evaluated against the ``SERVE_SLO_CLIENTS``-client run.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    import numpy as np
+    from repro.detector.response import DetectorResponse
+    from repro.geometry.tiles import adapt_geometry
+    from repro.infer import build_engine, localize_many
+    from repro.obs import slo
+    from repro.serve import run_load, serve_events, synthetic_event_pool
+
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    pipeline = _small_pipeline(geometry, response)
+    engine = build_engine(pipeline, "planned", dtype="float64")
+    pool = synthetic_event_pool(
+        pool_size, 1105, geometry=geometry, response=response
+    )
+
+    # Parity before timing: the served path must be the offline batched
+    # path bit for bit, or its throughput numbers are meaningless.
+    parity_sets = pool[:4]
+    seeds = np.random.SeedSequence(1106).spawn(len(parity_sets))
+    ref = localize_many(
+        pipeline, parity_sets,
+        [np.random.default_rng(s) for s in seeds], engine=engine,
+    )
+    served = serve_events(
+        pipeline, parity_sets,
+        [np.random.default_rng(s) for s in seeds], engine=engine,
+    )
+    for s, r in zip(served, ref):
+        np.testing.assert_array_equal(s.direction, r.direction)
+        assert s.iterations == r.iterations
+
+    runs: dict[str, dict] = {}
+    for n_clients in SERVE_CLIENT_COUNTS:
+        report = run_load(
+            pipeline,
+            pool,
+            seed=1105 + n_clients,
+            n_clients=n_clients,
+            requests_per_client=requests_per_client,
+            engine=engine,
+        )
+        runs[f"c{n_clients}"] = report.to_dict()
+        print(
+            f"serve c{n_clients}: {report.req_per_s:.1f} req/s, "
+            f"p50/p99 {report.p50_ms:.1f}/{report.p99_ms:.1f} ms, "
+            f"{report.rounds} rounds"
+        )
+
+    spec = {"serve": slo.default_spec()["serve"]}
+    slo_report = slo.evaluate(
+        spec, serve={"load": runs[f"c{SERVE_SLO_CLIENTS}"]}
+    )
+    print(slo.render_report(slo_report))
+    return {
+        "schema": (
+            "runs.cN -> one closed-loop LoadReport at N concurrent "
+            "clients (latencies ms, req_per_s sustained); slo -> the "
+            f"default serve spec vs the c{SERVE_SLO_CLIENTS} run"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "pool_size": pool_size,
+            "requests_per_client": requests_per_client,
+            "client_counts": list(SERVE_CLIENT_COUNTS),
+            "slo_run": f"c{SERVE_SLO_CLIENTS}",
+        },
+        "parity": {
+            "matches_localize_many_bitwise": True,
+            "n_events": len(parity_sets),
+        },
+        "runs": runs,
         "slo": slo_report,
     }
 
@@ -522,13 +639,26 @@ def compare_with_prior(results: dict[str, float], prior_name: str) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=str(REPO / "BENCH_pr7.json"))
+    parser.add_argument("--output", default=None)
     parser.add_argument(
         "--skip-kernels", action="store_true",
         help="only run the e2e campaign comparison",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="run only the serving-layer load sweep and write "
+             "BENCH_serve.json",
+    )
     args = parser.parse_args(argv)
 
+    if args.serve:
+        report = run_serve_benchmark()
+        output = args.output or str(REPO / "BENCH_serve.json")
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"serve report written to {output}")
+        return 0 if report["slo"]["passed"] else 1
+
+    args.output = args.output or str(REPO / "BENCH_pr7.json")
     results: dict[str, float] = {}
     if not args.skip_kernels:
         results.update(run_kernel_benchmarks())

@@ -390,14 +390,71 @@ def _bench_reports() -> list[Path]:
     return [p for _, p in sorted(paths)]
 
 
+def _check_serve_report(failures: list[str]) -> int:
+    """Validate the committed serving-layer report ``BENCH_serve.json``.
+
+    Requirements: the report exists (``bench_report.py --serve`` writes
+    it), embeds a *passing* ``slo`` section containing serve-kind checks
+    (the default spec's latency ceilings and request-rate floor), sweeps
+    at least three client counts with sane throughput/latency fields,
+    and records the bitwise-parity assertion against ``localize_many``.
+    Returns the number of serve checks seen.
+    """
+    import json
+
+    path = _REPO / "BENCH_serve.json"
+    if not path.exists():
+        failures.append("BENCH_serve.json missing (run bench_report --serve)")
+        return 0
+    data = json.loads(path.read_text(encoding="utf-8"))
+
+    slo = data.get("slo")
+    serve_checks = [
+        c for c in (slo or {}).get("checks", []) if c.get("kind") == "serve"
+    ]
+    if slo is None:
+        failures.append("BENCH_serve.json has no 'slo' section")
+    elif not serve_checks:
+        failures.append("BENCH_serve.json slo section has no serve checks")
+    elif not slo.get("passed", False):
+        for chk in slo["checks"]:
+            if not chk.get("passed", True):
+                failures.append(
+                    f"BENCH_serve.json SLO breach: {chk['name']} "
+                    f"{chk['metric']} = {chk['value']} "
+                    f"(limit {chk['limit']})"
+                )
+
+    runs = data.get("runs", {})
+    if len(runs) < 3:
+        failures.append(
+            f"BENCH_serve.json sweeps {len(runs)} client count(s); need >= 3"
+        )
+    for name, report in sorted(runs.items()):
+        if not isinstance(report.get("req_per_s"), (int, float)) \
+                or report["req_per_s"] <= 0:
+            failures.append(f"BENCH_serve.json run {name}: bad req_per_s")
+        if not isinstance(report.get("p99_ms"), (int, float)) \
+                or report["p99_ms"] <= 0:
+            failures.append(f"BENCH_serve.json run {name}: bad p99_ms")
+
+    if not data.get("parity", {}).get("matches_localize_many_bitwise"):
+        failures.append(
+            "BENCH_serve.json does not record localize_many bit-parity"
+        )
+    return len(serve_checks)
+
+
 def check_slo() -> int:
     """Gate on the newest benchmark report's SLO section and deltas.
 
-    Two requirements: the newest ``BENCH_pr*.json`` must embed an
-    ``slo`` evaluation that passed when the report was generated, and no
+    Three requirements: the newest ``BENCH_pr*.json`` must embed an
+    ``slo`` evaluation that passed when the report was generated; no
     tracked ``perf_`` / ``infer_`` / ``campaign_`` key shared with the
     previous report may have regressed beyond ``_SLO_TOLERANCE`` (lower
-    rows/s or speedup, higher seconds).  Both read committed artifacts,
+    rows/s or speedup, higher seconds); and the serving-layer report
+    ``BENCH_serve.json`` must carry its own passing serve-SLO section
+    (see :func:`_check_serve_report`).  All read committed artifacts,
     so a regression has to survive a human writing it into the repo.
     """
     import json
@@ -454,12 +511,15 @@ def check_slo() -> int:
                     f"{prior_path.name} ({then:.4g}s)"
                 )
 
+    n_serve = _check_serve_report(failures)
+
     for line in failures:
         print(f"slo: {line}")
     n_checks = len((slo or {}).get("checks", []))
     print(
         f"slo: {newest.name}: {n_checks} SLO checks, "
-        f"{n_compared} keys compared against the prior report"
+        f"{n_compared} keys compared against the prior report, "
+        f"{n_serve} serve checks in BENCH_serve.json"
     )
     return 1 if failures else 0
 

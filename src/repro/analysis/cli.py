@@ -14,7 +14,11 @@ from typing import Sequence
 from repro.analysis.baseline import Baseline, apply_baseline
 from repro.analysis.core import all_rules
 from repro.analysis.report import render_json, render_text
-from repro.analysis.runner import DEFAULT_WORKER_ENTRY, analyze_paths
+from repro.analysis.runner import (
+    DEFAULT_SERVICE_ENTRY,
+    DEFAULT_WORKER_ENTRY,
+    analyze_paths,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--service-entry",
+        default=DEFAULT_SERVICE_ENTRY,
+        help=(
+            "long-lived service entry whose import closure joins the "
+            f"WRK001 graph (default: {DEFAULT_SERVICE_ENTRY}; "
+            "pass '' to disable)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -109,6 +122,7 @@ def _run(argv: Sequence[str] | None) -> int:
         select=_split_ids(args.select),
         disable=_split_ids(args.disable),
         worker_entry=args.worker_entry,
+        service_entry=args.service_entry or None,
     )
 
     if args.write_baseline:

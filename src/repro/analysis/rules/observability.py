@@ -16,8 +16,10 @@ from typing import Iterator
 from repro.analysis.context import ModuleContext
 from repro.analysis.core import Finding, Rule, Severity, register
 
-#: Kernel packages where per-row instrumentation is banned.
-KERNEL_PACKAGES = frozenset({"quantization", "infer", "fpga"})
+#: Kernel packages where per-row instrumentation is banned.  ``serve``
+#: qualifies: its flush loop touches every pending request per round, so
+#: an ungated per-request obs call there is per-row overhead in disguise.
+KERNEL_PACKAGES = frozenset({"quantization", "infer", "fpga", "serve"})
 
 #: Dotted names of span-opening and metric-recording entry points.
 OBS_CALLS = frozenset(

@@ -20,6 +20,14 @@ from repro.analysis.core import Finding, all_rules
 #: Module whose (transitive) imports define the worker call graph.
 DEFAULT_WORKER_ENTRY = "repro.experiments._campaign_worker"
 
+#: Long-lived service entry module: the serve scheduler loop holds jobs
+#: across many clients, so the same no-mutable-module-state discipline
+#: the campaign worker needs applies to everything it imports.
+DEFAULT_SERVICE_ENTRY = "repro.serve.server"
+
+#: Entry modules whose transitive imports are checked by WRK001.
+DEFAULT_ENTRIES = (DEFAULT_WORKER_ENTRY, DEFAULT_SERVICE_ENTRY)
+
 
 @dataclass
 class Project:
@@ -27,23 +35,22 @@ class Project:
 
     Attributes:
         modules: Module name -> context for every analyzed file.
-        worker_entry: Dotted name of the campaign-worker entry module.
-        worker_reachable: Modules transitively imported from the entry
-            (including the entry itself); empty when the entry is not
-            among the analyzed files.
+        worker_entries: Dotted names of the entry modules anchoring the
+            worker/service call graph (campaign worker + serve server by
+            default).
+        worker_reachable: Modules transitively imported from any entry
+            (including the entries themselves); entries not among the
+            analyzed files contribute nothing.
     """
 
     modules: dict[str, ModuleContext] = field(default_factory=dict)
-    worker_entry: str = DEFAULT_WORKER_ENTRY
+    worker_entries: tuple[str, ...] = DEFAULT_ENTRIES
     worker_reachable: frozenset[str] = frozenset()
 
     def compute_reachability(self) -> None:
-        """Breadth-first closure of imports starting at ``worker_entry``."""
-        if self.worker_entry not in self.modules:
-            self.worker_reachable = frozenset()
-            return
+        """Breadth-first import closure from every present entry module."""
         seen: set[str] = set()
-        frontier = [self.worker_entry]
+        frontier = [e for e in self.worker_entries if e in self.modules]
         while frontier:
             name = frontier.pop()
             if name in seen:
@@ -138,6 +145,7 @@ def analyze_paths(
     select: Iterable[str] | None = None,
     disable: Iterable[str] | None = None,
     worker_entry: str = DEFAULT_WORKER_ENTRY,
+    service_entry: str | None = DEFAULT_SERVICE_ENTRY,
 ) -> AnalysisResult:
     """Run every registered rule over the python files under ``paths``.
 
@@ -147,6 +155,8 @@ def analyze_paths(
         disable: Rule ids excluded from the run.
         worker_entry: Module anchoring the worker-reachability graph
             (rule WRK001).
+        service_entry: Additional long-lived-service entry module whose
+            import closure joins the same graph; None disables it.
 
     Returns:
         An :class:`AnalysisResult` with active and suppressed findings.
@@ -159,8 +169,11 @@ def analyze_paths(
         dropped = set(disable)
         rules = [r for r in rules if r.rule_id not in dropped]
 
+    entries = (worker_entry,) if service_entry is None else (
+        worker_entry, service_entry
+    )
     result = AnalysisResult()
-    project = Project(worker_entry=worker_entry)
+    project = Project(worker_entries=entries)
     cwd = Path.cwd()
     for path, root in discover_files(paths):
         try:

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows without writing any Python:
+The subcommands cover the common workflows without writing any Python:
 
 * ``python -m repro.cli simulate`` — one burst, baseline localization.
 * ``python -m repro.cli train`` — run the training campaign, train both
@@ -8,6 +8,10 @@ Five subcommands cover the common workflows without writing any Python:
 * ``python -m repro.cli localize`` — load a trained pipeline and run
   ML-pipeline trials at a chosen experimental point.
 * ``python -m repro.cli figure`` — reproduce one paper figure.
+* ``python -m repro.cli serve`` — stream simulated event-set chunks
+  through the micro-batching localization server (docs/serving.md).
+* ``python -m repro.cli serve-load`` — closed-loop load generator:
+  sustained req/s and latency percentiles at N concurrent clients.
 * ``python -m repro.cli trace-summary`` — render the per-stage table of a
   trace captured with ``--trace`` (``--json`` for the machine form).
 * ``python -m repro.cli profile-summary`` — render the sampling-profiler
@@ -170,6 +174,105 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_parts(args: argparse.Namespace):
+    from repro.infer import build_engine
+    from repro.io.datasets import load_pipeline
+    from repro.serve import BatchPolicy, ServeConfig
+
+    pipeline = load_pipeline(args.pipeline)
+    engine = build_engine(pipeline, "planned", dtype=args.infer_dtype)
+    config = ServeConfig(
+        queue_limit=args.queue_limit,
+        policy=BatchPolicy(
+            max_rows=args.max_rows,
+            max_requests=args.max_requests,
+            deadline_s=args.deadline_ms / 1e3,
+        ),
+    )
+    return pipeline, engine, config
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import LocalizationServer, synthetic_event_pool
+
+    pipeline, engine, config = _build_serve_parts(args)
+    log.status(f"simulating {args.chunks} chunks x {args.chunk_size} "
+               f"event sets (seed {args.seed})")
+    pool = synthetic_event_pool(
+        args.chunks * args.chunk_size, args.seed,
+        fluence=args.fluence, polar_deg=args.polar,
+    )
+    rng_seqs = np.random.SeedSequence(args.seed + 1).spawn(len(pool))
+    chunks = [
+        [(pool[c * args.chunk_size + i],
+          np.random.default_rng(rng_seqs[c * args.chunk_size + i]))
+         for i in range(args.chunk_size)]
+        for c in range(args.chunks)
+    ]
+    log.status(f"serving (deadline {args.deadline_ms} ms, "
+               f"max {args.max_requests} requests/batch, "
+               f"queue limit {config.queue_limit})")
+
+    async def _stream():
+        server = LocalizationServer(pipeline, engine=engine, config=config)
+        async with server:
+            n = 0
+            async for results in server.localize_stream(
+                chunks, halt_after=args.halt_after
+            ):
+                n += 1
+                log.result(f"chunk {n}: {len(results)} localizations")
+        return server.stats()
+
+    stats = asyncio.run(_stream())
+    rounds = stats["rounds"]
+    mean_rows = stats["rows_flushed"] / rounds if rounds else 0.0
+    reasons = ", ".join(
+        f"{k}={v}" for k, v in sorted(stats["flush_reasons"].items())
+    ) or "none"
+    log.result(f"served {stats['admission']['accepted']} requests in "
+               f"{rounds} fused rounds "
+               f"(mean {mean_rows:.1f} rows/round; flushes: {reasons})")
+    return 0
+
+
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import run_load, synthetic_event_pool
+
+    pipeline, engine, config = _build_serve_parts(args)
+    log.status(f"simulating event pool ({args.pool} sets, seed {args.seed})")
+    pool = synthetic_event_pool(
+        args.pool, args.seed, fluence=args.fluence, polar_deg=args.polar
+    )
+    log.status(f"load: {args.clients} clients x {args.requests} requests "
+               f"(deadline {args.deadline_ms} ms)")
+    report = run_load(
+        pipeline,
+        pool,
+        seed=args.seed + 1,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        engine=engine,
+        config=config,
+        halt_after=args.halt_after,
+    )
+    if args.json:
+        log.result(json.dumps(report.to_dict(), indent=2))
+        return 0
+    log.result(f"{report.completed} requests in {report.wall_s:.2f} s: "
+               f"{report.req_per_s:.1f} req/s")
+    log.result(f"  latency p50/p95/p99/max: {report.p50_ms:.1f} / "
+               f"{report.p95_ms:.1f} / {report.p99_ms:.1f} / "
+               f"{report.max_ms:.1f} ms")
+    log.result(f"  batching: {report.rounds} rounds, "
+               f"mean {report.mean_batch_rows:.1f} rows/round")
+    return 0
+
+
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     import json
 
@@ -221,6 +324,41 @@ def _add_common_flags(p: argparse.ArgumentParser) -> None:
                    help="seconds between --metrics-out flushes (default 1)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress stderr status output")
+
+
+def _add_serve_flags(p: argparse.ArgumentParser) -> None:
+    """Pipeline/batching knobs shared by ``serve`` and ``serve-load``."""
+    p.add_argument("--pipeline", default="pipeline.pkl",
+                   help="trained pipeline file")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--fluence", type=float, default=0.6,
+                   help="simulated burst fluence, MeV/cm^2")
+    p.add_argument("--polar", type=float, default=30.0,
+                   help="simulated source polar angle, degrees")
+    p.add_argument("--deadline-ms", dest="deadline_ms", type=float,
+                   default=2.0, metavar="MS",
+                   help="micro-batch coalescing deadline: the oldest "
+                        "pending request waits at most this long before "
+                        "a flush (default 2 ms)")
+    p.add_argument("--max-requests", dest="max_requests", type=int,
+                   default=64, metavar="N",
+                   help="flush as soon as N requests are pending "
+                        "(default 64)")
+    p.add_argument("--max-rows", dest="max_rows", type=int, default=65536,
+                   metavar="N",
+                   help="flush as soon as N feature rows are pending "
+                        "(default 65536)")
+    p.add_argument("--queue-limit", dest="queue_limit", type=int,
+                   default=256, metavar="N",
+                   help="admission limit on in-flight requests "
+                        "(default 256)")
+    p.add_argument("--halt-after", dest="halt_after", type=int, default=None,
+                   metavar="N",
+                   help="anytime knob: stop each localization after N "
+                        "refinement iterations")
+    p.add_argument("--infer-dtype", dest="infer_dtype",
+                   choices=("float32", "float64"), default="float64",
+                   help="planned-engine compute dtype")
 
 
 def _add_fault_flags(p: argparse.ArgumentParser) -> None:
@@ -315,6 +453,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache trial sets in .campaign_cache/")
     _add_common_flags(p)
     p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser(
+        "serve",
+        help="stream simulated event chunks through the batching server",
+    )
+    p.add_argument("--chunks", type=int, default=4,
+                   help="stream chunks to serve (default 4)")
+    p.add_argument("--chunk-size", dest="chunk_size", type=int, default=4,
+                   help="concurrent event sets per chunk (default 4)")
+    _add_serve_flags(p)
+    _add_common_flags(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "serve-load",
+        help="closed-loop load benchmark against the batching server",
+    )
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent closed-loop clients (default 8)")
+    p.add_argument("--requests", type=int, default=4,
+                   help="sequential requests per client (default 4)")
+    p.add_argument("--pool", type=int, default=8, metavar="N",
+                   help="pre-simulated event sets cycled through "
+                        "round-robin (default 8)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full LoadReport as JSON")
+    _add_serve_flags(p)
+    _add_common_flags(p)
+    p.set_defaults(func=_cmd_serve_load)
 
     p = sub.add_parser(
         "trace-summary",

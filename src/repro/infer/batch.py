@@ -56,11 +56,18 @@ class GatherScratch:
 
         A single block is returned as-is (no copy); multiple blocks are
         copied into the scratch and a head view is returned.
+
+        Raises:
+            ValueError: Empty ``blocks``, a non-2D block, or blocks with
+                mismatched widths or dtypes (a silent mismatch would
+                scatter garbage rows back to the wrong events).
         """
+        if not blocks:
+            raise ValueError("gather() needs at least one feature block")
+        width = _checked_width(blocks)
         if len(blocks) == 1:
             return blocks[0]
         rows = sum(int(b.shape[0]) for b in blocks)
-        width = int(blocks[0].shape[1])
         dtype = blocks[0].dtype
         buf = self._buf
         if (
@@ -78,6 +85,28 @@ class GatherScratch:
             buf[offset : offset + n] = block
             offset += n
         return buf[:rows]
+
+
+def _checked_width(blocks: list[np.ndarray]) -> int:
+    """Common feature width of ``blocks`` (all 2D, one width, one dtype)."""
+    first = blocks[0]
+    if first.ndim != 2:
+        raise ValueError(f"feature blocks must be 2D, got ndim={first.ndim}")
+    width = int(first.shape[1])
+    for block in blocks[1:]:
+        if block.ndim != 2:
+            raise ValueError(
+                f"feature blocks must be 2D, got ndim={block.ndim}"
+            )
+        if int(block.shape[1]) != width:
+            raise ValueError(
+                f"mixed feature widths in gather: {width} vs {block.shape[1]}"
+            )
+        if block.dtype != first.dtype:
+            raise ValueError(
+                f"mixed dtypes in gather: {first.dtype} vs {block.dtype}"
+            )
+    return width
 
 
 def localize_many(

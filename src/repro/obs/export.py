@@ -39,11 +39,41 @@ _NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 def sanitize_metric_name(name: str) -> str:
-    """A registry name rendered as a legal Prometheus metric name."""
+    """A registry name rendered as a legal Prometheus metric name.
+
+    Sanitization is lossy (``cache.hit`` and ``cache/hit`` both map to
+    ``cache_hit``), so :func:`render_prometheus` deduplicates the final
+    names via :func:`unique_metric_names` — use that when rendering more
+    than one name.
+    """
     sanitized = _NAME_SANITIZE_RE.sub("_", name)
     if sanitized and sanitized[0].isdigit():
         sanitized = "_" + sanitized
     return sanitized
+
+
+def unique_metric_names(keys: list[tuple[str, str]]) -> dict[tuple[str, str], str]:
+    """Collision-free sanitized names for ``(section, name)`` keys.
+
+    Distinct registry names can sanitize to the same Prometheus name
+    (``cache.hit`` vs ``cache/hit`` -> ``cache_hit``), which would emit
+    duplicate ``# TYPE`` headers and duplicate series.  Keys are
+    processed in the given order; the first taker keeps the base name
+    and later colliders get a deterministic ``_2``, ``_3``, ... suffix
+    (re-suffixed until unique), so renders are stable across runs.
+    """
+    taken: set[str] = set()
+    out: dict[tuple[str, str], str] = {}
+    for key in keys:
+        metric = sanitize_metric_name(key[1])
+        if metric in taken:
+            serial = 2
+            while f"{metric}_{serial}" in taken:
+                serial += 1
+            metric = f"{metric}_{serial}"
+        taken.add(metric)
+        out[key] = metric
+    return out
 
 
 def render_prometheus(snapshot: dict | None = None) -> str:
@@ -58,18 +88,24 @@ def render_prometheus(snapshot: dict | None = None) -> str:
         renders to an empty string).
     """
     snap = REGISTRY.dump() if snapshot is None else snapshot
+    keys = [
+        (section, name)
+        for section in ("counters", "gauges", "histograms")
+        for name in sorted(snap.get(section, ()))
+    ]
+    names = unique_metric_names(keys)
     lines: list[str] = []
     for name in sorted(snap.get("counters", ())):
-        metric = sanitize_metric_name(name)
+        metric = names[("counters", name)]
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {snap['counters'][name]}")
     for name in sorted(snap.get("gauges", ())):
-        metric = sanitize_metric_name(name)
+        metric = names[("gauges", name)]
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_format_value(snap['gauges'][name])}")
     for name in sorted(snap.get("histograms", ())):
         hist = snap["histograms"][name]
-        metric = sanitize_metric_name(name)
+        metric = names[("histograms", name)]
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for bound, count in zip(hist["buckets"], hist["counts"]):
@@ -120,10 +156,16 @@ class MetricsStream:
         return self._thread is not None and self._thread.is_alive()
 
     def start(self) -> None:
-        """Open the output file and start periodic flushing."""
+        """Open the output file and start periodic flushing.
+
+        Starting truncates the file and resets the line sequence, so a
+        reused stream object begins a fresh ``seq: 0, 1, ...`` run
+        instead of continuing the previous run's stale sequence.
+        """
         if self.running:
             return
         self._file = open(self.path, "w")
+        self.lines_written = 0
         self._t0 = time.monotonic()
         self._stop_event = threading.Event()
         self._thread = threading.Thread(
@@ -168,11 +210,24 @@ class MetricsStream:
 
 
 def load_stream(path: str | os.PathLike) -> list[dict]:
-    """Read a metrics-stream JSONL file back into a list of snapshots."""
+    """Read a metrics-stream JSONL file back into a list of snapshots.
+
+    A crashed writer can leave a partially written *final* line (the
+    class docstring's "line-truncated at worst" case); that trailing
+    fragment is skipped.  A malformed line anywhere else is still an
+    error — interior corruption is not a crash artifact.
+    """
     out: list[dict] = []
     with open(path) as f:
-        for line in f:
-            line = line.strip()
-            if line:
-                out.append(json.loads(line))
+        lines = f.readlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # truncated trailing line from an interrupted writer
+            raise
     return out

@@ -5,7 +5,8 @@ three optional rule families::
 
     {"stages":     {"executor.chunk": {"p95_ms": 500.0, "p99_ms": 900.0}},
      "histograms": {"executor.worker_busy_ms": {"p95_ms": 800.0}},
-     "ops":        {"int8_linear_block597": {"min_rows_per_s": 2.0e6}}}
+     "ops":        {"int8_linear_block597": {"min_rows_per_s": 2.0e6}},
+     "serve":      {"load": {"p99_ms": 2000.0, "min_req_per_s": 10.0}}}
 
 * ``stages`` — per-span-name latency ceilings, checked against the exact
   per-span ``dur_ms`` values in a trace event stream (nearest-rank
@@ -15,6 +16,10 @@ three optional rule families::
   upper-bound estimate, so a pass here is conservative).
 * ``ops`` — throughput floors checked against a ``name -> rows/s`` dict
   from :func:`repro.perf.registry.run_all`.
+* ``serve`` — per-load-run latency ceilings (``pNN_ms``) and sustained
+  request-rate floors (``min_req_per_s``) checked against named
+  :class:`repro.serve.load.LoadReport` dicts (``p50_ms``/``p95_ms``/
+  ``p99_ms``/``req_per_s`` keys).
 
 :func:`evaluate` returns a report dict with one entry per check
 (``value``, ``limit``, ``margin``, ``passed``) plus an overall verdict;
@@ -54,6 +59,14 @@ def default_spec() -> dict:
             "int8_linear_block597": {"min_rows_per_s": 1.0e5},
             "linear_f32_block597": {"min_rows_per_s": 1.0e5},
         },
+        "serve": {
+            "load": {
+                "p50_ms": 500.0,
+                "p95_ms": 750.0,
+                "p99_ms": 1000.0,
+                "min_req_per_s": 15.0,
+            },
+        },
     }
 
 
@@ -62,7 +75,7 @@ def load_spec(path: str | os.PathLike) -> dict:
     with open(path) as f:
         spec = json.load(f)
     for key in spec:
-        if key not in ("stages", "histograms", "ops"):
+        if key not in ("stages", "histograms", "ops", "serve"):
             raise ValueError(f"unknown SLO spec section {key!r}")
     return spec
 
@@ -98,7 +111,8 @@ def _percentile_rules(rules: dict) -> list[tuple[str, float, float]]:
 def evaluate(spec: dict,
              events: list[dict] | None = None,
              metrics: dict | None = None,
-             perf: dict[str, float] | None = None) -> dict:
+             perf: dict[str, float] | None = None,
+             serve: dict[str, dict] | None = None) -> dict:
     """Check every rule in ``spec`` against the supplied measurements.
 
     Args:
@@ -107,6 +121,8 @@ def evaluate(spec: dict,
         metrics: :meth:`MetricsRegistry.dump` snapshot for ``histograms``
             rules.
         perf: ``name -> rows/s`` for ``ops`` rules.
+        serve: ``name -> load-report dict`` for ``serve`` rules (the
+            :meth:`repro.serve.load.LoadReport.to_dict` shape).
 
     Returns:
         ``{"passed": bool, "checks": [...], "n_failed": int}`` where each
@@ -139,6 +155,25 @@ def evaluate(spec: dict,
             checks.append({"kind": "op", "name": name, "metric": metric,
                            "limit": limit, "value": value,
                            "margin": _round(margin), "passed": ok})
+    for name, rules in spec.get("serve", {}).items():
+        report = (serve or {}).get(name)
+        for metric, limit in rules.items():
+            limit = float(limit)
+            if metric == "min_req_per_s":
+                value = None if report is None else report.get("req_per_s")
+                ok = value is not None and value >= limit
+                margin = (value / limit - 1.0) if value is not None else None
+                checks.append({"kind": "serve", "name": name,
+                               "metric": metric, "limit": limit,
+                               "value": _round(value),
+                               "margin": _round(margin), "passed": ok})
+            elif metric.startswith("p") and metric.endswith("_ms"):
+                value = None if report is None else report.get(metric)
+                checks.append(
+                    _latency_check("serve", name, metric, limit, value)
+                )
+            else:
+                raise ValueError(f"unknown serve rule {metric!r}")
     n_failed = sum(1 for c in checks if not c["passed"])
     return {"passed": n_failed == 0, "n_failed": n_failed, "checks": checks}
 

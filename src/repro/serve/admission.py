@@ -1,0 +1,101 @@
+"""Admission control for the localization service: bounded in-flight work.
+
+A long-lived server must not accept unbounded work: every admitted
+localization holds a generator, pending feature blocks, and a slot in
+the micro-batch scheduler until it completes.  :class:`AdmissionController`
+caps the number of in-flight requests and offers the two standard
+responses to a full queue:
+
+* **Shed** (:meth:`try_acquire`) — refuse immediately with
+  :class:`ServerOverloaded`, the HTTP-429 analogue.  The caller is told
+  "come back later" while admitted work keeps its latency SLO.
+* **Backpressure** (:meth:`acquire`) — cooperatively wait for a slot.
+  This is the right mode for trusted in-process clients such as
+  ``localize_stream``, where slowing the producer beats dropping work.
+
+The controller is single-event-loop state: all mutation happens on the
+server's asyncio loop, so plain attributes suffice and the only
+synchronization is the capacity event used to park waiting acquirers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs import metrics as obs_metrics
+
+
+class AdmissionError(RuntimeError):
+    """Base class for requests refused at the admission boundary."""
+
+
+class ServerOverloaded(AdmissionError):
+    """Queue full: the request was shed (HTTP-429 analogue)."""
+
+
+class ServerClosed(AdmissionError):
+    """The server is draining or stopped and accepts no new work."""
+
+
+class AdmissionController:
+    """Bounded counter of in-flight requests with shed and wait paths.
+
+    Attributes:
+        limit: Maximum concurrently admitted requests.
+        in_flight: Currently admitted, not yet released.
+        accepted: Total admitted over the controller's lifetime.
+        rejected: Total shed with :class:`ServerOverloaded`.
+        peak_in_flight: High-water mark of ``in_flight``.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if int(limit) < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit!r}")
+        self.limit = int(limit)
+        self.in_flight = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.peak_in_flight = 0
+        self._capacity = asyncio.Event()
+        self._capacity.set()
+
+    def try_acquire(self) -> None:
+        """Admit one request or shed it with :class:`ServerOverloaded`."""
+        if self.in_flight >= self.limit:
+            self.rejected += 1
+            obs_metrics.inc("serve.rejected")
+            raise ServerOverloaded(
+                f"server at capacity ({self.in_flight}/{self.limit} in flight)"
+            )
+        self._take()
+
+    async def acquire(self) -> None:
+        """Admit one request, waiting for capacity (backpressure path)."""
+        while self.in_flight >= self.limit:
+            self._capacity.clear()
+            await self._capacity.wait()
+        self._take()
+
+    def release(self) -> None:
+        """Return one admitted request's slot and wake any waiter."""
+        if self.in_flight <= 0:
+            raise RuntimeError("release() without a matching acquire")
+        self.in_flight -= 1
+        self._capacity.set()
+
+    def _take(self) -> None:
+        self.in_flight += 1
+        self.accepted += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+        obs_metrics.inc("serve.accepted")
+
+    def stats(self) -> dict:
+        """Counter snapshot: limit/in_flight/accepted/rejected/peak."""
+        return {
+            "limit": self.limit,
+            "in_flight": self.in_flight,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "peak_in_flight": self.peak_in_flight,
+        }

@@ -1,0 +1,11 @@
+"""Bad: ungated per-request telemetry in a serve flush loop."""
+from repro import obs
+
+
+def flush_round(jobs):
+    """Observes a latency per job — O(jobs) overhead per round."""
+    done = []
+    for job in jobs:
+        done.append(job)
+        obs.observe("serve.request_ms", 1.0)
+    return done

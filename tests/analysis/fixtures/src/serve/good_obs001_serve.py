@@ -1,0 +1,13 @@
+"""Good: gated per-request telemetry, stage-granular counters."""
+from repro import obs
+
+
+def flush_round(jobs):
+    """Per-request latency only when telemetry is on; one bump per round."""
+    done = []
+    for job in jobs:
+        done.append(job)
+        if obs.is_enabled():
+            obs.observe("serve.request_ms", 1.0)
+    obs.inc("serve.rounds")
+    return done

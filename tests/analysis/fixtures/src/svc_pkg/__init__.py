@@ -1,0 +1,1 @@
+"""Mini service package for multi-entry WRK001 reachability tests."""

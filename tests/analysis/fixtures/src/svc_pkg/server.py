@@ -1,0 +1,7 @@
+"""Service entry module: imports the state module below."""
+from svc_pkg import svc_state
+
+
+def handle(request):
+    """Serve one request (reads package state)."""
+    return svc_state.lookup(request)

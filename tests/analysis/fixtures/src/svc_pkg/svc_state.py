@@ -1,0 +1,10 @@
+"""Bad: mutable module state on the service path."""
+
+SESSIONS = {}
+
+
+def lookup(key):
+    """Read-through session table (mutates module state!)."""
+    if key not in SESSIONS:
+        SESSIONS[key] = object()
+    return SESSIONS[key]

@@ -46,6 +46,7 @@ CASES = [
     ("DTY002", "bad_dty002.py", "good_dty002.py"),
     ("DTY003", "bad_dty003.py", "good_dty003.py"),
     ("OBS001", "bad_obs001.py", "good_obs001.py"),
+    ("OBS001", "bad_obs001_serve.py", "good_obs001_serve.py"),
 ]
 
 
@@ -69,6 +70,32 @@ def test_wrk001_fires_on_worker_reachable_state(result):
     assert "wrk_pkg" in paths, "mutable state on the worker path missed"
     assert "offpath" not in paths, "unreachable module wrongly flagged"
     assert all("CACHE" in f.message for f in hits)
+
+
+def test_wrk001_covers_service_entry_closure():
+    """The serve entry's import closure joins the WRK001 graph."""
+    result = analyze_paths(
+        [FIXTURES],
+        worker_entry="wrk_pkg._campaign_worker",
+        service_entry="svc_pkg.server",
+    )
+    hits = {
+        Path(f.path).name
+        for f in result.findings
+        if f.rule_id == "WRK001"
+    }
+    assert "svc_state.py" in hits, "service-reachable state missed"
+    assert "state.py" in hits, "worker entry dropped from the union"
+
+
+def test_wrk001_service_entry_absent_is_inert(result):
+    """The default service entry is not in the fixtures: no svc findings."""
+    hits = {
+        Path(f.path).name
+        for f in result.findings
+        if f.rule_id == "WRK001"
+    }
+    assert "svc_state.py" not in hits
 
 
 def test_wrk001_ignores_immutable_state(result):

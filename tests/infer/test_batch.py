@@ -140,6 +140,28 @@ class TestGatherScratch:
         assert out.dtype == np.float32 and out.shape == (4, 5)
         assert scratch.grows == 2
 
+    def test_empty_input_raises_clear_error(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GatherScratch().gather([])
+
+    def test_mixed_widths_rejected(self):
+        scratch = GatherScratch()
+        with pytest.raises(ValueError, match="mixed feature widths"):
+            scratch.gather([np.zeros((2, 3)), np.zeros((2, 4))])
+
+    def test_mixed_dtypes_rejected(self):
+        scratch = GatherScratch()
+        with pytest.raises(ValueError, match="mixed dtypes"):
+            scratch.gather(
+                [np.zeros((2, 3)), np.zeros((2, 3), np.float32)]
+            )
+
+    def test_non_2d_blocks_rejected_even_single(self):
+        with pytest.raises(ValueError, match="2D"):
+            GatherScratch().gather([np.zeros(4)])
+        with pytest.raises(ValueError, match="2D"):
+            GatherScratch().gather([np.zeros((2, 3)), np.zeros((2, 3, 1))])
+
 
 class TestBatchedCampaign:
     def test_event_batch_matches_reference_campaign(

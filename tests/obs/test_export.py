@@ -1,6 +1,9 @@
 """Exporters: Prometheus text exposition and the JSONL metrics stream."""
 
+import json
 import time
+
+import pytest
 
 import repro.obs as obs
 from repro.obs.export import (
@@ -8,6 +11,7 @@ from repro.obs.export import (
     load_stream,
     render_prometheus,
     sanitize_metric_name,
+    unique_metric_names,
 )
 
 
@@ -18,6 +22,20 @@ class TestSanitize:
 
     def test_leading_digit_prefixed(self):
         assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_colliding_names_get_deterministic_suffixes(self):
+        keys = [("counters", "cache.hit"), ("counters", "cache/hit"),
+                ("counters", "cache_hit_2")]
+        names = unique_metric_names(keys)
+        assert names[("counters", "cache.hit")] == "cache_hit"
+        assert names[("counters", "cache/hit")] == "cache_hit_2"
+        # The suffixed name itself re-collides and is re-suffixed.
+        assert names[("counters", "cache_hit_2")] == "cache_hit_2_2"
+        assert len(set(names.values())) == 3
+
+    def test_same_name_in_different_sections_stays_unique(self):
+        names = unique_metric_names([("counters", "x"), ("gauges", "x")])
+        assert sorted(names.values()) == ["x", "x_2"]
 
 
 class TestRenderPrometheus:
@@ -56,6 +74,17 @@ class TestRenderPrometheus:
         obs.enable()
         obs.inc("exports.test_counter", 7)
         assert "exports_test_counter 7" in render_prometheus()
+
+    def test_colliding_registry_names_render_distinct_series(self):
+        text = render_prometheus({
+            "counters": {"cache.hit": 3, "cache/hit": 5},
+            "gauges": {}, "histograms": {},
+        })
+        # One series each, no duplicate TYPE header or sample name.
+        assert text.count("# TYPE cache_hit counter") == 1
+        assert text.count("# TYPE cache_hit_2 counter") == 1
+        assert "cache_hit 3" in text
+        assert "cache_hit_2 5" in text
 
 
 class TestMetricsStream:
@@ -97,3 +126,45 @@ class TestMetricsStream:
         stream.stop()
         stream.stop()
         assert not stream.running
+
+    def test_restart_resets_sequence(self, tmp_path):
+        obs.enable()
+        stream = MetricsStream(tmp_path / "x.jsonl", interval_s=60.0)
+        stream.start()
+        stream.flush_once()
+        stream.stop()
+        assert stream.lines_written == 2
+        # A reused stream starts a fresh run: seq restarts at 0, the
+        # file is truncated, and the final stop line is seq 0.
+        stream.start()
+        stream.stop()
+        lines = load_stream(tmp_path / "x.jsonl")
+        assert [ln["seq"] for ln in lines] == [0]
+
+
+class TestLoadStream:
+    def _write(self, path, lines, tail=""):
+        payload = "".join(json.dumps(ln) + "\n" for ln in lines) + tail
+        path.write_text(payload)
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        self._write(path, [{"seq": 0}, {"seq": 1}],
+                    tail='{"seq": 2, "counters": {"a"')
+        assert [ln["seq"] for ln in load_stream(path)] == [0, 1]
+
+    def test_truncated_line_without_newline_midkey(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        self._write(path, [{"seq": 0}], tail="{")
+        assert [ln["seq"] for ln in load_stream(path)] == [0]
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"seq": 0}\nnot json at all\n{"seq": 2}\n')
+        with pytest.raises(json.JSONDecodeError):
+            load_stream(path)
+
+    def test_clean_file_roundtrips(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        self._write(path, [{"seq": 0}, {"seq": 1}])
+        assert load_stream(path) == [{"seq": 0}, {"seq": 1}]

@@ -115,6 +115,59 @@ class TestOpsRules:
             evaluate({"ops": {"k": {"max_rows_per_s": 1.0}}}, perf={})
 
 
+class TestServeRules:
+    def _load_report(self, **overrides):
+        report = {"p50_ms": 20.0, "p95_ms": 60.0, "p99_ms": 90.0,
+                  "req_per_s": 40.0}
+        report.update(overrides)
+        return report
+
+    def test_latency_ceilings_and_rate_floor_pass(self):
+        spec = {"serve": {"load": {"p50_ms": 50.0, "p99_ms": 100.0,
+                                   "min_req_per_s": 10.0}}}
+        report = evaluate(spec, serve={"load": self._load_report()})
+        assert report["passed"]
+        kinds = {c["metric"]: c for c in report["checks"]}
+        assert kinds["p50_ms"]["value"] == 20.0
+        assert kinds["min_req_per_s"]["margin"] == pytest.approx(3.0)
+        assert all(c["kind"] == "serve" for c in report["checks"])
+
+    def test_latency_breach_fails(self):
+        spec = {"serve": {"load": {"p99_ms": 50.0}}}
+        report = evaluate(spec, serve={"load": self._load_report()})
+        assert not report["passed"]
+        assert report["checks"][0]["margin"] == pytest.approx(-0.8)
+
+    def test_rate_floor_breach_fails(self):
+        spec = {"serve": {"load": {"min_req_per_s": 100.0}}}
+        report = evaluate(
+            spec, serve={"load": self._load_report(req_per_s=25.0)}
+        )
+        assert not report["passed"]
+        assert report["checks"][0]["margin"] == pytest.approx(-0.75)
+
+    def test_missing_load_run_fails_with_none(self):
+        spec = {"serve": {"load": {"p99_ms": 50.0,
+                                   "min_req_per_s": 1.0}}}
+        report = evaluate(spec, serve={})
+        assert not report["passed"]
+        assert all(c["value"] is None for c in report["checks"])
+
+    def test_unknown_serve_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown serve rule"):
+            evaluate({"serve": {"load": {"mean_ms": 1.0}}}, serve={})
+
+    def test_multiple_named_runs(self):
+        spec = {"serve": {"c1": {"p99_ms": 100.0},
+                          "c8": {"p99_ms": 400.0}}}
+        report = evaluate(spec, serve={
+            "c1": self._load_report(p99_ms=90.0),
+            "c8": self._load_report(p99_ms=350.0),
+        })
+        assert report["passed"]
+        assert {c["name"] for c in report["checks"]} == {"c1", "c8"}
+
+
 class TestSpecIO:
     def test_load_spec_round_trip(self, tmp_path):
         path = tmp_path / "slo.json"
@@ -132,6 +185,11 @@ class TestSpecIO:
         assert "executor.chunk" in spec["stages"]
         assert "executor.worker_busy_ms" in spec["histograms"]
         assert spec["ops"]
+
+    def test_default_spec_covers_serve(self):
+        rules = default_spec()["serve"]["load"]
+        assert rules["min_req_per_s"] > 0
+        assert rules["p99_ms"] > rules["p50_ms"]
 
 
 class TestRenderReport:

@@ -1,0 +1,95 @@
+"""Admission control: shed vs backpressure, stats, lifecycle errors."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import AdmissionController, ServerOverloaded
+
+
+class TestValidation:
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="limit"):
+            AdmissionController(0)
+
+    def test_release_without_acquire(self):
+        ctrl = AdmissionController(1)
+        with pytest.raises(RuntimeError, match="release"):
+            ctrl.release()
+
+
+class TestShedPath:
+    def test_admits_until_full_then_sheds(self):
+        ctrl = AdmissionController(2)
+        ctrl.try_acquire()
+        ctrl.try_acquire()
+        with pytest.raises(ServerOverloaded, match="2/2 in flight"):
+            ctrl.try_acquire()
+        assert ctrl.stats() == {
+            "limit": 2,
+            "in_flight": 2,
+            "accepted": 2,
+            "rejected": 1,
+            "peak_in_flight": 2,
+        }
+
+    def test_release_reopens_admission(self):
+        ctrl = AdmissionController(1)
+        ctrl.try_acquire()
+        ctrl.release()
+        ctrl.try_acquire()  # no raise
+        assert ctrl.accepted == 2
+        assert ctrl.rejected == 0
+
+    def test_peak_tracks_high_water_mark(self):
+        ctrl = AdmissionController(3)
+        ctrl.try_acquire()
+        ctrl.try_acquire()
+        ctrl.release()
+        ctrl.try_acquire()
+        assert ctrl.peak_in_flight == 2
+
+
+class TestBackpressurePath:
+    def test_acquire_waits_for_capacity(self):
+        order = []
+
+        async def scenario():
+            ctrl = AdmissionController(1)
+            await ctrl.acquire()
+
+            async def waiter():
+                order.append("wait-start")
+                await ctrl.acquire()
+                order.append("admitted")
+
+            task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0)
+            assert order == ["wait-start"]  # parked, not admitted
+            order.append("releasing")
+            ctrl.release()
+            await task
+            assert ctrl.in_flight == 1
+
+        asyncio.run(scenario())
+        assert order == ["wait-start", "releasing", "admitted"]
+
+    def test_waiters_admitted_as_slots_free(self):
+        async def scenario():
+            ctrl = AdmissionController(2)
+            await ctrl.acquire()
+            await ctrl.acquire()
+            tasks = [
+                asyncio.ensure_future(ctrl.acquire()) for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            assert all(not t.done() for t in tasks)
+            for _ in range(3):
+                ctrl.release()
+                await asyncio.sleep(0)
+                await asyncio.sleep(0)
+            await asyncio.gather(*tasks)
+            assert ctrl.in_flight == 2 + 3 - 3
+            assert ctrl.accepted == 5
+
+        asyncio.run(scenario())

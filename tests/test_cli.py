@@ -23,6 +23,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.chunks == 4
+        assert args.chunk_size == 4
+        assert args.deadline_ms == 2.0
+        assert args.max_requests == 64
+        assert args.queue_limit == 256
+
+    def test_serve_load_defaults(self):
+        args = build_parser().parse_args(
+            ["serve-load", "--clients", "3", "--deadline-ms", "0.5"]
+        )
+        assert args.clients == 3
+        assert args.requests == 4
+        assert args.deadline_ms == 0.5
+        assert not args.json
+
 
 class TestCommands:
     def test_simulate_runs(self, capsys):
@@ -61,6 +78,53 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "68% containment" in out
+
+    def test_serve_streams_chunks(self, tmp_path, tiny_models, capsys):
+        from repro.io.datasets import save_pipeline
+
+        path = tmp_path / "p.pkl"
+        save_pipeline(tiny_models, path)
+        rc = main(
+            [
+                "serve",
+                "--pipeline", str(path),
+                "--chunks", "2",
+                "--chunk-size", "2",
+                "--halt-after", "1",
+                "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chunk 1: 2 localizations" in out
+        assert "chunk 2: 2 localizations" in out
+        assert "served 4 requests" in out
+
+    def test_serve_load_reports_json(self, tmp_path, tiny_models, capsys):
+        import json
+
+        from repro.io.datasets import save_pipeline
+
+        path = tmp_path / "p.pkl"
+        save_pipeline(tiny_models, path)
+        rc = main(
+            [
+                "serve-load",
+                "--pipeline", str(path),
+                "--clients", "2",
+                "--requests", "2",
+                "--pool", "2",
+                "--halt-after", "1",
+                "--seed", "3",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["completed"] == 4
+        assert report["n_clients"] == 2
+        assert report["req_per_s"] > 0
+        assert report["p99_ms"] >= report["p50_ms"]
 
 
 class TestTrace:
