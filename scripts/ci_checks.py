@@ -4,28 +4,38 @@
 Runs the repository's repo-hygiene checks and exits non-zero if any
 fails:
 
-1. **reprolint** — ``repro.analysis`` over ``src/`` against the
+1. **reprolint (changed files)** — fast pre-gate: ``repro.analysis
+   --changed`` reports only findings in files changed since the merge
+   base with ``main``, so the common failure mode (a finding in the
+   code you just touched) surfaces in seconds.  Outside a git checkout
+   this falls back to the full run and the full gate below still
+   covers everything.
+2. **reprolint** — ``repro.analysis`` over ``src/`` against the
    checked-in baseline (``.reprolint-baseline.json``).
-2. **shm leak check** — ``scripts/check_shm.py``: no orphaned
+3. **rule/docs agreement** — the registered rule ids and the catalogue
+   table in ``docs/static_analysis.md`` must match exactly in both
+   directions: a rule without a documented row fails, and a documented
+   row without a registered rule fails.
+4. **shm leak check** — ``scripts/check_shm.py``: no orphaned
    ``repro-shm-*`` segments left in ``/dev/shm``.
-3. **docstring coverage** — every public module, top-level class and
+5. **docstring coverage** — every public module, top-level class and
    top-level function under ``src/repro`` carries a docstring (an
    AST-level complement to ``tests/test_docstrings.py``, which checks
    the *imported* surface).
-4. **docs health** — every fenced ``python`` code block in ``docs/``,
+6. **docs health** — every fenced ``python`` code block in ``docs/``,
    ``README.md`` & friends parses (``ast.parse``), and every intra-repo
    markdown link target resolves to a real file.
-5. **perf registry coverage** — every op class in ``repro.infer.plan``
+7. **perf registry coverage** — every op class in ``repro.infer.plan``
    has a registered microbenchmark in ``repro.perf`` (and every
    registered benchmark's factory builds), so no kernel can ship
    untracked.
-6. **obs overhead** — the telemetry layer's *disabled* path must cost
+8. **obs overhead** — the telemetry layer's *disabled* path must cost
    under 2% of a micro end-to-end campaign.  Deterministic by
    construction: instrumentation call sites are *counted* in one traced
    run, the per-call disabled cost is measured in a tight loop, and the
    product is compared against the untraced wall-clock — no noisy
    A/B timing of two full runs.
-7. **SLO report gate** — the newest checked-in ``BENCH_pr*.json`` must
+9. **SLO report gate** — the newest checked-in ``BENCH_pr*.json`` must
    carry a passing ``slo`` section, and no tracked throughput /
    wall-clock key may have regressed beyond tolerance versus the
    previous report.  Reads committed files only, so the gate itself is
@@ -53,7 +63,36 @@ sys.path.insert(0, str(_REPO / "src"))
 from repro.analysis.cli import main as reprolint_main  # noqa: E402
 
 #: Check names accepted by ``--skip``.
-CHECK_NAMES = ("lint", "shm", "docstrings", "docs", "perf", "obs", "slo")
+CHECK_NAMES = (
+    "lint-changed",
+    "lint",
+    "rules",
+    "shm",
+    "docstrings",
+    "docs",
+    "perf",
+    "obs",
+    "slo",
+)
+
+
+def check_lint_changed() -> int:
+    """Fast pre-gate: reprolint findings in files changed since main.
+
+    ``--changed`` still analyzes the whole project (the concurrency
+    rules need the whole-program call graph) but reports only findings
+    in files the current branch touched, so the feedback names exactly
+    the code under review.  Redundant with the full ``lint`` gate by
+    construction — it exists to fail *first* with a focused report.
+    """
+    return reprolint_main(
+        [
+            str(_REPO / "src"),
+            "--changed",
+            "--baseline",
+            str(_REPO / ".reprolint-baseline.json"),
+        ]
+    )
 
 
 def check_lint() -> int:
@@ -65,6 +104,45 @@ def check_lint() -> int:
             str(_REPO / ".reprolint-baseline.json"),
         ]
     )
+
+
+#: A catalogue table row: ``| DET001 | error | ... |``.
+_CATALOGUE_ROW_RE = re.compile(r"^\|\s*([A-Z]{3}\d{3})\s*\|", re.MULTILINE)
+
+
+def check_rules_docs() -> int:
+    """Registered rules and the docs catalogue must agree exactly.
+
+    Parses the ``docs/static_analysis.md`` rule-catalogue table and
+    compares the set of documented ids against
+    ``repro.analysis.core.rule_ids()`` in both directions, so a new
+    rule cannot land without a catalogue row and a deleted rule cannot
+    leave a ghost row behind.
+    """
+    from repro.analysis.core import rule_ids
+
+    doc = _REPO / "docs" / "static_analysis.md"
+    documented = set(_CATALOGUE_ROW_RE.findall(
+        doc.read_text(encoding="utf-8")
+    ))
+    registered = set(rule_ids())
+    failures = []
+    for rid in sorted(registered - documented):
+        failures.append(
+            f"rule {rid} is registered but has no catalogue row in "
+            f"{doc.relative_to(_REPO)}"
+        )
+    for rid in sorted(documented - registered):
+        failures.append(
+            f"catalogue row {rid} in {doc.relative_to(_REPO)} matches "
+            "no registered rule"
+        )
+    for line in failures:
+        print(f"rules: {line}")
+    print(
+        f"rules: {len(registered)} registered, {len(documented)} documented"
+    )
+    return 1 if failures else 0
 
 
 def check_shm() -> int:
@@ -537,7 +615,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     checks = {
+        "lint-changed": check_lint_changed,
         "lint": check_lint,
+        "rules": check_rules_docs,
         "shm": check_shm,
         "docstrings": check_docstrings,
         "docs": check_docs,

@@ -1,0 +1,936 @@
+"""Project-wide call graph: functions, edges, coloring, entry points.
+
+The per-module rules in :mod:`repro.analysis.rules` see one file at a
+time; the concurrency rules (``ASY``/``THR``) need to reason about the
+*whole program* — "is this blocking call reachable from a coroutine?"
+is a property of the call graph, not of any single module.  This module
+builds that graph once per analysis run (``CallGraph.build(project)``)
+and hangs it off :class:`repro.analysis.runner.Project`.
+
+What the graph knows:
+
+* **Functions** — every ``def``/``async def`` in every analyzed module,
+  keyed by dotted qualname (``repro.serve.server.LocalizationServer
+  .submit``), with async/sync *coloring* and generator detection
+  (calling a generator function does not execute its body, so generator
+  callees never propagate blocking behavior).
+* **Call edges** — alias- and attribute-aware resolution of each call
+  site: imports (``from x import f as g``), module-level functions,
+  ``self.method()`` (including methods inherited from project-internal
+  bases), ``self.attr.method()`` through instance-attribute types
+  inferred from ``self.attr = ClassName(...)`` assignments, local
+  variables typed by construction (``s = Scheduler(); s.flush()``), and
+  module-level singletons (``PROFILER.buffer.merge(...)``).  Unresolved
+  externals keep their dotted name (``time.sleep``) for the blocking
+  tables.
+* **Entry points** — where concurrency starts: ``threading.Thread(
+  target=...)`` construction sites (with ``daemon`` flag and the
+  attribute the thread object is bound to), ``asyncio.create_task`` /
+  ``ensure_future`` / ``loop.create_task`` spawns whose argument
+  resolves to a project coroutine, and the campaign-worker entry
+  modules shared with WRK001 (``Project.worker_entries`` — one source
+  of truth, so ``--entry-points`` extends both analyses together).
+* **Synchronization tables** — instance attributes / module globals
+  assigned from ``threading.Lock/RLock/Condition/Semaphore`` (lock
+  tokens), ``threading.Event`` (stop-event tokens), which attributes
+  are ``.join()``-ed, and the nested ``with``-acquisition edges the
+  lock-ordering rule consumes.
+
+Traversal is **bounded** (:data:`DEFAULT_MAX_DEPTH` call hops) so a
+pathological or cyclic graph cannot hang the linter; cycles are handled
+by the visited set.  ``reachable`` answers forward reachability,
+``origins`` answers "which concurrent roots can run this function" by a
+reverse walk: every thread entry whose target reaches the function
+contributes its own label, and any plain root caller (public API with
+no in-repo caller that is not itself a thread/task target) contributes
+the single merged ``main`` label.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.context import ModuleContext, _expr_token
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.analysis.runner import Project
+
+#: Maximum call-graph hops followed by ``reachable``/``origins``; bounds
+#: work on adversarial graphs without truncating any realistic chain.
+DEFAULT_MAX_DEPTH = 16
+
+#: Constructors whose result is a mutual-exclusion primitive (the lock
+#: tokens the THR/ASY rules reason about).  asyncio.Lock is deliberately
+#: absent: awaiting under an *asyncio* lock is fine.
+LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+#: Constructors of stop-signal primitives (THR003's shutdown evidence).
+EVENT_FACTORIES = frozenset({"threading.Event"})
+
+#: Thread-spawning constructors; ``target=`` names the entry function.
+THREAD_FACTORIES = frozenset({"threading.Thread", "threading.Timer"})
+
+#: Module-level coroutine spawn calls: the first Call argument that
+#: resolves to a project ``async def`` becomes a task entry point.
+TASK_SPAWN_CALLS = frozenset(
+    {
+        "asyncio.create_task",
+        "asyncio.ensure_future",
+        "asyncio.gather",
+        "asyncio.run",
+        "asyncio.run_coroutine_threadsafe",
+        "asyncio.wait_for",
+    }
+)
+
+#: Method names that spawn coroutines off objects the resolver cannot
+#: type (``asyncio.get_running_loop().create_task(...)``).
+TASK_SPAWN_ATTRS = frozenset(
+    {"create_task", "ensure_future", "run_coroutine_threadsafe"}
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call expression inside a function body.
+
+    Attributes:
+        raw: Dotted source text of the callee (``self.scheduler.flush``),
+            None when the callee is not a name/attribute chain.
+        targets: Project-internal function qualnames this call may reach
+            (empty when unresolved or external).
+        external: Absolute dotted name of an external callee
+            (``time.sleep``), None for project-internal/unresolved.
+        lineno: 1-based source line of the call.
+        col: 0-based column of the call.
+        awaited: True when the call is the direct operand of ``await``.
+        node: The underlying ``ast.Call`` (identity only; excluded from
+            equality so sites stay value-comparable).
+    """
+
+    raw: str | None
+    targets: tuple[str, ...]
+    external: str | None
+    lineno: int
+    col: int
+    awaited: bool
+    node: ast.Call = field(compare=False, repr=False, default=None)
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function/method and its resolved call sites.
+
+    Attributes:
+        qualname: Project-wide dotted name (``mod.Class.method``).
+        module: Dotted module name the function is defined in.
+        local_name: Dotted path within the module (``Class.method``).
+        node: The ``ast.FunctionDef`` / ``ast.AsyncFunctionDef``.
+        is_async: ``async def`` coloring.
+        is_generator: Body contains ``yield``/``yield from`` (its own
+            body, not nested defs) — calling it defers execution.
+        class_name: Qualname of the enclosing class, None for plain
+            functions.
+        calls: Resolved :class:`CallSite` list, source order.
+        checks_stop_event: Body waits on / checks a ``threading.Event``
+            attribute (a visible shutdown path for THR003).
+    """
+
+    qualname: str
+    module: str
+    local_name: str
+    node: ast.AST
+    is_async: bool
+    is_generator: bool
+    class_name: str | None
+    calls: list[CallSite] = field(default_factory=list)
+    checks_stop_event: bool = False
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """One place where concurrent execution starts.
+
+    Attributes:
+        kind: ``thread`` (``threading.Thread(target=...)``), ``task``
+            (asyncio spawn of a project coroutine), ``worker`` (function
+            of a campaign-worker entry module, shared with WRK001), or
+            ``custom`` (declared via ``--entry-points``).
+        target: Qualname of the entry function.
+        module: Module containing the spawn site (the entry module
+            itself for ``worker``/``custom`` kinds).
+        line: Spawn-site line (0 for worker/custom kinds).
+        daemon: ``daemon=True`` was passed to the Thread constructor.
+        bound_to: Instance attribute the thread object was assigned to
+            (``_thread`` for ``self._thread = Thread(...)``), None when
+            not bound to an attribute.
+        owner: Class qualname enclosing the spawn site (the class whose
+            ``joined_attrs`` entry proves a join path), None outside a
+            class.
+        spawn_scope: Module-local qualname of the spawning function, or
+            ``<module>`` for module-level spawns.
+    """
+
+    kind: str
+    target: str
+    module: str
+    line: int = 0
+    daemon: bool = False
+    bound_to: str | None = None
+    owner: str | None = None
+    spawn_scope: str = "<module>"
+
+
+class CallGraph:
+    """Whole-program call graph over one analysis run's modules.
+
+    Built once by :meth:`build`; rules read it through
+    ``ctx.project.callgraph``.  All containers are plain dicts/sets
+    keyed by dotted qualnames, so the graph dumps to JSON directly
+    (``--callgraph-dump``).
+    """
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        #: ``mod.Class`` -> {"methods": {name: qualname}, "bases": [...]}.
+        self.classes: dict[str, dict] = {}
+        #: ``(mod.Class, attr)`` -> class qualname of the instance held.
+        self.attr_types: dict[tuple[str, str], str] = {}
+        #: ``mod.NAME`` -> class qualname of a module-level singleton.
+        self.global_types: dict[str, str] = {}
+        #: ``(owner, name)`` lock tokens; owner is a class qualname or a
+        #: module name for module-level locks.
+        self.lock_attrs: set[tuple[str, str]] = set()
+        #: ``(owner, name)`` threading.Event tokens.
+        self.event_attrs: set[tuple[str, str]] = set()
+        #: ``(mod.Class, attr)`` thread attributes ``.join()``-ed somewhere.
+        self.joined_attrs: set[tuple[str, str]] = set()
+        self.entry_points: list[EntryPoint] = []
+        #: Nested lock acquisitions: (outer, inner) -> [(module, line,
+        #: col, scope)] sites where ``inner`` is taken under ``outer``.
+        self.lock_edges: dict[tuple[str, str], list[tuple]] = {}
+        self.edges: dict[str, set[str]] = {}
+        self.callers: dict[str, set[str]] = {}
+        self._reachable_cache: dict[str, frozenset[str]] = {}
+        self._origins_cache: dict[str, frozenset[str]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        project: "Project",
+        extra_entry_points: tuple[str, ...] = (),
+    ) -> "CallGraph":
+        """Index every module, resolve calls, register entry points.
+
+        Args:
+            project: The analysis run's module table; ``worker_entries``
+                seeds the worker-kind entry points (the same tuple
+                WRK001's import closure is anchored on).
+            extra_entry_points: Function qualnames declared as extra
+                concurrent roots (CLI ``--entry-points``); unknown names
+                are ignored (module names among them are handled by the
+                runner, which folds them into ``worker_entries``).
+        """
+        graph = cls()
+        contexts = [project.modules[m] for m in sorted(project.modules)]
+        for ctx in contexts:
+            graph._index_module(ctx)
+        for ctx in contexts:
+            graph._resolve_module(ctx)
+        for entry_module in project.worker_entries:
+            graph._register_worker_module(entry_module)
+        for qualname in extra_entry_points:
+            if qualname in graph.functions:
+                graph._add_entry(
+                    EntryPoint(
+                        kind="custom",
+                        target=qualname,
+                        module=graph.functions[qualname].module,
+                    )
+                )
+        graph._finalize()
+        return graph
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        """First pass: functions, classes, attribute/global types."""
+        module = ctx.module_name
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                qual = f"{module}.{ctx.qualname(node)}"
+                methods = {
+                    child.name: f"{qual}.{child.name}"
+                    for child in node.body
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                }
+                bases = []
+                for base in node.bases:
+                    resolved = ctx.resolve(base)
+                    if resolved is None:
+                        token = _expr_token(base)
+                        if token is not None:
+                            resolved = f"{module}.{token}"
+                    if resolved is not None:
+                        bases.append(resolved)
+                self.classes[qual] = {"methods": methods, "bases": bases}
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = ctx.qualname(node)
+                info = FunctionInfo(
+                    qualname=f"{module}.{local}",
+                    module=module,
+                    local_name=local,
+                    node=node,
+                    is_async=isinstance(node, ast.AsyncFunctionDef),
+                    is_generator=_is_generator(node),
+                    class_name=self._enclosing_class(ctx, node),
+                )
+                self.functions[info.qualname] = info
+        # Attribute/global types and synchronization tables need the
+        # class index, but only within this module, which is complete.
+        self._collect_types(ctx)
+
+    def _enclosing_class(self, ctx: ModuleContext, node: ast.AST) -> str | None:
+        current = ctx.parent(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return f"{ctx.module_name}.{ctx.qualname(current)}"
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None  # method of nothing: nested in a function
+            current = ctx.parent(current)
+        return None
+
+    def _collect_types(self, ctx: ModuleContext) -> None:
+        """Instance-attribute and module-global construction types."""
+        module = ctx.module_name
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            constructed = self._constructed_type(ctx, value)
+            if constructed is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                token = _expr_token(target)
+                if token is None:
+                    continue
+                parts = token.split(".")
+                scope = ctx.enclosing_scope(node)
+                if parts[0] == "self" and len(parts) == 2:
+                    owner = self._enclosing_class(ctx, scope)
+                    if owner is None:
+                        continue
+                    self._record_type(owner, parts[1], constructed)
+                elif len(parts) == 1 and scope is ctx.tree:
+                    self._record_type(module, parts[0], constructed)
+                    if constructed in self.classes or "." in constructed:
+                        self.global_types[f"{module}.{parts[0]}"] = constructed
+
+    def _record_type(self, owner: str, name: str, constructed: str) -> None:
+        if constructed in LOCK_FACTORIES:
+            self.lock_attrs.add((owner, name))
+        elif constructed in EVENT_FACTORIES:
+            self.event_attrs.add((owner, name))
+        else:
+            self.attr_types[(owner, name)] = constructed
+
+    def _constructed_type(self, ctx: ModuleContext, call: ast.Call) -> str | None:
+        """Dotted type a constructor call produces, if recognizable."""
+        resolved = ctx.resolve(call.func)
+        if resolved is not None:
+            return resolved
+        token = _expr_token(call.func)
+        if token is None:
+            return None
+        candidate = f"{ctx.module_name}.{token}"
+        if candidate in self.classes:
+            return candidate
+        return None
+
+    # -- second pass: call resolution ---------------------------------
+
+    def _resolve_module(self, ctx: ModuleContext) -> None:
+        for info in self.functions.values():
+            if info.module != ctx.module_name:
+                continue
+            local_types = self._local_var_types(ctx, info)
+            for call in self._own_calls(ctx, info.node):
+                site = self._resolve_call(ctx, info, call, local_types)
+                info.calls.append(site)
+                self._scan_special(ctx, info, call, site, local_types)
+        # Module-level spawns (`threading.Thread(...)` / `asyncio.run`
+        # in an `if __name__` block) are entry points too.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and ctx.enclosing_scope(node) is ctx.tree:
+                site = self._resolve_call(ctx, None, node, {})
+                self._scan_special(ctx, None, node, site, {})
+        for info in self.functions.values():
+            if info.module != ctx.module_name:
+                continue
+            local_types = self._local_var_types(ctx, info)
+            self._scan_sync_markers(ctx, info, local_types)
+            self._scan_lock_nesting(ctx, info)
+
+    def _own_calls(self, ctx: ModuleContext, fn: ast.AST) -> Iterator[ast.Call]:
+        """Call nodes whose nearest enclosing def is ``fn`` itself."""
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and ctx.enclosing_scope(node) is fn:
+                yield node
+
+    def _local_var_types(
+        self, ctx: ModuleContext, info: FunctionInfo
+    ) -> dict[str, str]:
+        """``name -> constructed type`` for this function's locals."""
+        out: dict[str, str] = {}
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if ctx.enclosing_scope(node) is not info.node:
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            constructed = self._constructed_type(ctx, node.value)
+            if constructed is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = constructed
+        return out
+
+    def _resolve_call(
+        self,
+        ctx: ModuleContext,
+        info: FunctionInfo | None,
+        call: ast.Call,
+        local_types: dict[str, str],
+    ) -> CallSite:
+        token = _expr_token(call.func)
+        awaited = isinstance(ctx.parent(call), ast.Await)
+        targets: list[str] = []
+        external: str | None = None
+        if token is not None:
+            targets, external = self._resolve_token(
+                ctx, info, token, local_types
+            )
+        return CallSite(
+            raw=token,
+            targets=tuple(targets),
+            external=external,
+            lineno=call.lineno,
+            col=call.col_offset,
+            awaited=awaited,
+            node=call,
+        )
+
+    def resolve_token(
+        self,
+        ctx: ModuleContext,
+        info: FunctionInfo | None,
+        token: str,
+        local_types: dict[str, str] | None = None,
+    ) -> tuple[list[str], str | None]:
+        """Public wrapper: resolve a dotted token as the rules need it.
+
+        Returns:
+            ``(project_targets, external_dotted)`` exactly as call
+            resolution does; useful for non-call references such as
+            ``Thread(target=self._run)``.
+        """
+        return self._resolve_token(ctx, info, token, local_types or {})
+
+    def _resolve_token(
+        self,
+        ctx: ModuleContext,
+        info: FunctionInfo | None,
+        token: str,
+        local_types: dict[str, str],
+    ) -> tuple[list[str], str | None]:
+        module = ctx.module_name
+        parts = token.split(".")
+
+        # self.method() / self.attr.method() chains.
+        if parts[0] == "self" and info is not None and info.class_name:
+            resolved = self._walk_chain(info.class_name, parts[1:])
+            return (([resolved], None) if resolved else ([], None))
+
+        # Imports: `from m import f` / `import m` attribute chains.
+        dotted = self._dotted_through_aliases(ctx, token)
+        if dotted is not None:
+            if dotted in self.functions:
+                return [dotted], None
+            if dotted in self.classes:
+                init = self._lookup_method(dotted, "__init__")
+                return ([init] if init else []), None
+            owner = self.global_types.get(dotted)
+            if owner is None and "." in dotted:
+                # PROFILER.buffer.merge: peel trailing attrs down to a
+                # known module-level singleton, then walk its types.
+                head, *rest = self._split_known_global(dotted)
+                if head is not None:
+                    resolved = self._walk_chain(self.global_types[head], rest)
+                    return (([resolved], None) if resolved else ([], None))
+            return [], dotted
+
+        # Bare local name: sibling nested def, module function/class.
+        if len(parts) == 1:
+            name = parts[0]
+            if info is not None:
+                nested = f"{info.qualname}.{name}"
+                if nested in self.functions:
+                    return [nested], None
+            if info is not None and info.class_name:
+                sibling = self._lookup_method(info.class_name, name)
+                # Bare-name method calls are not `self.`-qualified in
+                # python; do NOT resolve those — fall through.
+                del sibling
+            module_level = f"{module}.{name}"
+            if module_level in self.functions:
+                return [module_level], None
+            if module_level in self.classes:
+                init = self._lookup_method(module_level, "__init__")
+                return ([init] if init else []), None
+            return [], None
+
+        # Locally constructed instance: `s = Scheduler(); s.flush()`,
+        # or a module-level singleton referenced without an import.
+        head_type = local_types.get(parts[0]) or self.global_types.get(
+            f"{module}.{parts[0]}"
+        )
+        if head_type is not None:
+            if head_type in self.classes:
+                resolved = self._walk_chain(head_type, parts[1:])
+                return (([resolved], None) if resolved else ([], None))
+            # External construction: report `Type.method` as external so
+            # blocking tables can match e.g. ThreadPoolExecutor.map.
+            return [], f"{head_type}.{'.'.join(parts[1:])}"
+        return [], None
+
+    def _dotted_through_aliases(
+        self, ctx: ModuleContext, token: str
+    ) -> str | None:
+        """Absolute dotted name of a token via the module's imports."""
+        parts = token.split(".")
+        # ctx.resolve works on AST nodes; re-implement on the token so
+        # callers holding only a string (thread targets) can resolve.
+        aliases = ctx._aliases
+        base = aliases.get(parts[0])
+        if base is None:
+            return None
+        return ".".join([base] + parts[1:])
+
+    def _split_known_global(self, dotted: str):
+        """Longest known ``global_types`` prefix of a dotted name."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            head = ".".join(parts[:cut])
+            if head in self.global_types:
+                return [head] + parts[cut:]
+        return [None]
+
+    def _walk_chain(self, owner: str, parts: list[str]) -> str | None:
+        """Resolve ``attr...attr.method`` against a class qualname."""
+        current = owner
+        for attr in parts[:-1]:
+            nxt = self.attr_types.get((current, attr))
+            if nxt is None or nxt not in self.classes:
+                return None
+            current = nxt
+        return self._lookup_method(current, parts[-1]) if parts else None
+
+    def _lookup_method(
+        self, class_qual: str, name: str, _seen: frozenset[str] = frozenset()
+    ) -> str | None:
+        """Method qualname in a class or its project-internal bases."""
+        if class_qual in _seen:
+            return None
+        entry = self.classes.get(class_qual)
+        if entry is None:
+            return None
+        if name in entry["methods"]:
+            return entry["methods"][name]
+        seen = _seen | {class_qual}
+        for base in entry["bases"]:
+            found = self._lookup_method(base, name, seen)
+            if found is not None:
+                return found
+        return None
+
+    # -- entry points and synchronization markers ---------------------
+
+    def _scan_special(
+        self,
+        ctx: ModuleContext,
+        info: FunctionInfo | None,
+        call: ast.Call,
+        site: CallSite,
+        local_types: dict[str, str],
+    ) -> None:
+        """Entry-point spawns hiding inside an ordinary call node."""
+        if site.external in THREAD_FACTORIES:
+            self._register_thread(ctx, info, call, local_types)
+            return
+        is_task_spawn = site.external in TASK_SPAWN_CALLS or (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in TASK_SPAWN_ATTRS
+        )
+        if is_task_spawn:
+            for arg in call.args:
+                for sub in ast.walk(arg):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    inner = self._resolve_call(ctx, info, sub, local_types)
+                    for target in inner.targets:
+                        fn = self.functions.get(target)
+                        if fn is not None and fn.is_async:
+                            self._add_entry(
+                                EntryPoint(
+                                    kind="task",
+                                    target=target,
+                                    module=ctx.module_name,
+                                    line=sub.lineno,
+                                )
+                            )
+
+    def _register_thread(
+        self,
+        ctx: ModuleContext,
+        info: FunctionInfo | None,
+        call: ast.Call,
+        local_types: dict[str, str],
+    ) -> None:
+        target_expr = None
+        daemon = False
+        for kw in call.keywords:
+            if kw.arg == "target":
+                target_expr = kw.value
+            elif kw.arg == "daemon" and isinstance(kw.value, ast.Constant):
+                daemon = bool(kw.value.value)
+        if target_expr is None and call.args:
+            # Thread(group, target) positional form; target is arg 1.
+            if len(call.args) >= 2:
+                target_expr = call.args[1]
+        if target_expr is None:
+            return
+        token = _expr_token(target_expr)
+        if token is None:
+            return
+        targets, _external = self._resolve_token(ctx, info, token, local_types)
+        bound_to = None
+        parent = ctx.parent(call)
+        if isinstance(parent, ast.Assign):
+            for tgt in parent.targets:
+                tgt_token = _expr_token(tgt)
+                if tgt_token and tgt_token.startswith("self."):
+                    bound_to = tgt_token.split(".", 1)[1]
+        for target in targets:
+            self._add_entry(
+                EntryPoint(
+                    kind="thread",
+                    target=target,
+                    module=ctx.module_name,
+                    line=call.lineno,
+                    daemon=daemon,
+                    bound_to=bound_to,
+                    owner=info.class_name if info is not None else None,
+                    spawn_scope=(
+                        info.local_name if info is not None else "<module>"
+                    ),
+                )
+            )
+
+    def _scan_sync_markers(
+        self,
+        ctx: ModuleContext,
+        info: FunctionInfo,
+        local_types: dict[str, str],
+    ) -> None:
+        """Stop-event checks and ``.join()`` calls on thread attributes."""
+        alias_of_attr: dict[str, str] = {}
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, (ast.Attribute, ast.Name)
+            ):
+                value_token = _expr_token(node.value)
+                if value_token and value_token.startswith("self."):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            alias_of_attr[tgt.id] = value_token.split(".", 1)[1]
+            if not isinstance(node, ast.Call):
+                continue
+            token = _expr_token(node.func)
+            if token is None:
+                continue
+            parts = token.split(".")
+            owner = info.class_name
+            if (
+                owner is not None
+                and parts[0] == "self"
+                and len(parts) == 3
+                and parts[2] in ("wait", "is_set")
+                and (owner, parts[1]) in self.event_attrs
+            ):
+                info.checks_stop_event = True
+            if parts[-1] == "join" and owner is not None:
+                if parts[0] == "self" and len(parts) == 3:
+                    self.joined_attrs.add((owner, parts[1]))
+                elif len(parts) == 2 and parts[0] in alias_of_attr:
+                    self.joined_attrs.add((owner, alias_of_attr[parts[0]]))
+
+    def _scan_lock_nesting(self, ctx: ModuleContext, info: FunctionInfo) -> None:
+        """Record inner-lock acquisitions made while an outer is held."""
+        def walk(node: ast.AST, held: tuple[str, ...]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    acquired = [
+                        tok
+                        for item in child.items
+                        if (tok := self.lock_token(ctx, info, item.context_expr))
+                    ]
+                    for outer in held:
+                        for inner in acquired:
+                            if inner == outer:
+                                continue
+                            self.lock_edges.setdefault(
+                                (outer, inner), []
+                            ).append(
+                                (
+                                    ctx.module_name,
+                                    child.lineno,
+                                    child.col_offset,
+                                    info.qualname,
+                                )
+                            )
+                    walk(child, held + tuple(acquired))
+                else:
+                    walk(child, held)
+
+        walk(info.node, ())
+
+    def lock_token(
+        self, ctx: ModuleContext, info: FunctionInfo | None, expr: ast.AST
+    ) -> str | None:
+        """Canonical ``owner.name`` label when ``expr`` is a known lock.
+
+        Handles ``self._lock`` (instance attribute), bare module-level
+        lock names, and ``obj._lock`` through typed locals/globals;
+        returns None for anything not in the lock table (including
+        ``asyncio.Lock``, which is not a *threading* lock).
+        """
+        token = _expr_token(expr)
+        if token is None:
+            return None
+        parts = token.split(".")
+        if parts[0] == "self" and info is not None and info.class_name:
+            if len(parts) == 2 and (info.class_name, parts[1]) in self.lock_attrs:
+                return f"{info.class_name}.{parts[1]}"
+            return None
+        if len(parts) == 1:
+            if (ctx.module_name, parts[0]) in self.lock_attrs:
+                return f"{ctx.module_name}.{parts[0]}"
+            return None
+        owner = self.global_types.get(f"{ctx.module_name}.{parts[0]}")
+        if owner is not None and len(parts) == 2 and (
+            owner, parts[1]
+        ) in self.lock_attrs:
+            return f"{owner}.{parts[1]}"
+        return None
+
+    def held_locks(
+        self, ctx: ModuleContext, info: FunctionInfo, node: ast.AST
+    ) -> frozenset[str]:
+        """Lock tokens lexically held at ``node`` within its function."""
+        held: set[str] = set()
+        current = ctx.parent(node)
+        while current is not None and current is not info.node:
+            if isinstance(current, (ast.With, ast.AsyncWith)):
+                for item in current.items:
+                    token = self.lock_token(ctx, info, item.context_expr)
+                    if token is not None:
+                        held.add(token)
+            current = ctx.parent(current)
+        return frozenset(held)
+
+    def _register_worker_module(self, entry_module: str) -> None:
+        """Module-level functions of a worker entry module are entries."""
+        for qualname, info in self.functions.items():
+            if info.module != entry_module or info.class_name is not None:
+                continue
+            if "." in info.local_name:  # nested function, not an entry
+                continue
+            self._add_entry(
+                EntryPoint(kind="worker", target=qualname, module=entry_module)
+            )
+
+    def _add_entry(self, entry: EntryPoint) -> None:
+        if entry not in self.entry_points:
+            self.entry_points.append(entry)
+
+    def _finalize(self) -> None:
+        """Freeze adjacency from the resolved call sites."""
+        for qualname, info in self.functions.items():
+            out = self.edges.setdefault(qualname, set())
+            for site in info.calls:
+                for target in site.targets:
+                    if target in self.functions:
+                        out.add(target)
+                        self.callers.setdefault(target, set()).add(qualname)
+
+    # -- queries -------------------------------------------------------
+
+    def reachable(
+        self, start: str, max_depth: int = DEFAULT_MAX_DEPTH
+    ) -> frozenset[str]:
+        """Functions reachable from ``start`` within ``max_depth`` hops.
+
+        Includes ``start`` itself; cycles terminate via the visited set
+        and the hop bound caps worst-case work.
+        """
+        if max_depth == DEFAULT_MAX_DEPTH:
+            cached = self._reachable_cache.get(start)
+            if cached is not None:
+                return cached
+        seen = {start}
+        frontier = {start}
+        for _ in range(max_depth):
+            nxt: set[str] = set()
+            for name in frontier:
+                nxt |= self.edges.get(name, set())
+            nxt -= seen
+            if not nxt:
+                break
+            seen |= nxt
+            frontier = nxt
+        result = frozenset(seen)
+        if max_depth == DEFAULT_MAX_DEPTH:
+            self._reachable_cache[start] = result
+        return result
+
+    def origins(self, qualname: str) -> frozenset[str]:
+        """Concurrent roots that can execute ``qualname``.
+
+        Labels: ``thread:<entry-target>`` / ``custom:<entry-target>``
+        per spawning entry whose target reaches the function, and the
+        single merged ``main`` label when any plain root caller (no
+        in-repo callers, not itself a thread/task target) reaches it —
+        asyncio task origins fold into ``main`` because tasks share the
+        loop thread.
+        """
+        cached = self._origins_cache.get(qualname)
+        if cached is not None:
+            return cached
+        entry_kinds: dict[str, set[str]] = {}
+        for entry in self.entry_points:
+            entry_kinds.setdefault(entry.target, set()).add(entry.kind)
+        labels: set[str] = set()
+        seen = {qualname}
+        frontier = {qualname}
+        for _ in range(DEFAULT_MAX_DEPTH):
+            for name in frontier:
+                kinds = entry_kinds.get(name, set())
+                if "thread" in kinds:
+                    labels.add(f"thread:{name}")
+                if "custom" in kinds:
+                    labels.add(f"custom:{name}")
+                if "task" in kinds or "worker" in kinds:
+                    labels.add("main")
+                if not self.callers.get(name) and not kinds:
+                    labels.add("main")
+            nxt: set[str] = set()
+            for name in frontier:
+                nxt |= self.callers.get(name, set())
+            nxt -= seen
+            if not nxt:
+                break
+            seen |= nxt
+            frontier = nxt
+        result = frozenset(labels)
+        self._origins_cache[qualname] = result
+        return result
+
+    def async_functions(self, module: str) -> list[FunctionInfo]:
+        """The ``async def`` functions defined in ``module``, by line."""
+        out = [
+            info
+            for info in self.functions.values()
+            if info.module == module and info.is_async
+        ]
+        return sorted(out, key=lambda info: info.node.lineno)
+
+    def thread_entries(self, module: str | None = None) -> list[EntryPoint]:
+        """Thread-kind entry points (optionally only those spawned in
+        ``module``), in registration order."""
+        return [
+            e
+            for e in self.entry_points
+            if e.kind == "thread" and (module is None or e.module == module)
+        ]
+
+    def dump(self) -> dict:
+        """JSON-ready snapshot for ``--callgraph-dump``."""
+        return {
+            "schema_version": 1,
+            "functions": {
+                qualname: {
+                    "module": info.module,
+                    "async": info.is_async,
+                    "generator": info.is_generator,
+                    "class": info.class_name,
+                    "calls": sorted(
+                        {t for s in info.calls for t in s.targets}
+                    ),
+                    "externals": sorted(
+                        {s.external for s in info.calls if s.external}
+                    ),
+                }
+                for qualname, info in sorted(self.functions.items())
+            },
+            "entry_points": [
+                {
+                    "kind": e.kind,
+                    "target": e.target,
+                    "module": e.module,
+                    "line": e.line,
+                    "daemon": e.daemon,
+                    "bound_to": e.bound_to,
+                }
+                for e in self.entry_points
+            ],
+            "locks": sorted(f"{owner}.{name}" for owner, name in self.lock_attrs),
+            "lock_edges": sorted(
+                f"{outer} -> {inner}" for outer, inner in self.lock_edges
+            ),
+        }
+
+
+def _is_generator(fn: ast.AST) -> bool:
+    """Whether the function's own body yields (nested defs excluded)."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False

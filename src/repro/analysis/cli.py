@@ -11,6 +11,8 @@ import os
 import sys
 from typing import Sequence
 
+import json
+
 from repro.analysis.baseline import Baseline, apply_baseline
 from repro.analysis.core import all_rules
 from repro.analysis.report import render_json, render_text
@@ -18,6 +20,8 @@ from repro.analysis.runner import (
     DEFAULT_SERVICE_ENTRY,
     DEFAULT_WORKER_ENTRY,
     analyze_paths,
+    changed_py_files,
+    filter_to_changed,
 )
 
 
@@ -77,6 +81,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--entry-points",
+        metavar="NAMES",
+        help=(
+            "comma-separated extra concurrent roots for the call "
+            "graph: module names join the worker-entry registry "
+            "(WRK001 closure + worker entry points together); function "
+            "qualnames become custom entries for the THR origins "
+            "analysis"
+        ),
+    )
+    parser.add_argument(
+        "--callgraph-dump",
+        metavar="FILE",
+        help="write the resolved call graph as JSON to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "incremental mode: report findings only for files differing "
+            "from `git merge-base HEAD main` (plus untracked files); "
+            "the whole project is still analyzed so cross-module rules "
+            "stay sound.  Falls back to a full run outside git"
+        ),
+    )
+    parser.add_argument(
+        "--changed-base",
+        default="main",
+        metavar="REF",
+        help="base ref for --changed (default: main)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -117,13 +153,41 @@ def _run(argv: Sequence[str] | None) -> int:
     if args.write_baseline and not args.baseline:
         parser.error("--write-baseline requires --baseline FILE")
 
+    changed = None
+    if args.changed:
+        changed = changed_py_files(args.changed_base)
+        if changed is not None and not changed:
+            print(
+                "reprolint: no python files changed since the merge "
+                f"base with {args.changed_base!r}; nothing to report"
+            )
+            return 0
+        if changed is None:
+            print(
+                "reprolint: --changed requested but no git merge base "
+                "found; running a full lint",
+                file=sys.stderr,
+            )
+
     result = analyze_paths(
         args.paths,
         select=_split_ids(args.select),
         disable=_split_ids(args.disable),
         worker_entry=args.worker_entry,
         service_entry=args.service_entry or None,
+        entry_points=_split_ids(args.entry_points) or (),
     )
+
+    if args.callgraph_dump and result.project and result.project.callgraph:
+        payload = json.dumps(result.project.callgraph.dump(), indent=2)
+        if args.callgraph_dump == "-":
+            print(payload)
+        else:
+            with open(args.callgraph_dump, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+
+    if changed is not None:
+        result = filter_to_changed(result, changed)
 
     if args.write_baseline:
         Baseline.from_findings(result.findings).save(args.baseline)
@@ -135,6 +199,10 @@ def _run(argv: Sequence[str] | None) -> int:
 
     baseline = Baseline.load(args.baseline) if args.baseline else Baseline()
     new, grandfathered, stale = apply_baseline(result.findings, baseline)
+    if changed is not None:
+        # A partial view cannot judge baseline staleness: entries for
+        # unchanged files legitimately match nothing in this run.
+        stale = []
 
     renderer = render_json if args.format == "json" else render_text
     renderer(result, new, grandfathered, stale, sys.stdout)

@@ -64,13 +64,24 @@ class Finding:
         """
         return f"{self.rule_id}|{self.path}|{self.scope}|{self.message}"
 
+    @property
+    def rule_family(self) -> str:
+        """Alphabetic family prefix of the rule id (``THR001`` → ``THR``)."""
+        return self.rule_id.rstrip("0123456789")
+
     def to_dict(self) -> dict:
-        """Plain-dict form for the JSON reporter."""
+        """Plain-dict form for the JSON reporter.
+
+        Part of the lint JSON contract (docs/static_analysis.md);
+        baseline fingerprints are computed from :meth:`fingerprint`,
+        not from this dict, so adding keys here is non-breaking.
+        """
         return {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule_id,
+            "rule_family": self.rule_family,
             "severity": self.severity,
             "message": self.message,
             "scope": self.scope,

@@ -50,6 +50,13 @@ def render_text(
     print("reprolint: " + ", ".join(bits), file=stream)
 
 
+#: Version of the JSON report layout.  This payload is a documented
+#: machine-readable contract (docs/static_analysis.md): bump only on
+#: breaking changes (renamed/removed keys or changed value types);
+#: purely additive keys keep the version.
+SCHEMA_VERSION = 1
+
+
 def render_json(
     result: AnalysisResult,
     new: list[Finding],
@@ -59,6 +66,7 @@ def render_json(
 ) -> None:
     """Machine-readable report mirroring :func:`render_text`."""
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "files_scanned": result.files_scanned,
         "findings": [f.to_dict() for f in new],
         "baselined": [f.to_dict() for f in grandfathered],

@@ -3,28 +3,34 @@
 Importing this package registers every rule with
 :mod:`repro.analysis.core`.  Rule families:
 
+* ``ASY`` — async-blocking discipline (:mod:`repro.analysis.rules.async_blocking`)
 * ``DET`` — determinism (:mod:`repro.analysis.rules.determinism`)
 * ``RNG`` — rng threading (:mod:`repro.analysis.rules.rng_threading`)
 * ``NUM`` — numerical safety (:mod:`repro.analysis.rules.numerics`)
+* ``THR`` — thread safety (:mod:`repro.analysis.rules.thread_safety`)
 * ``WRK`` — worker safety (:mod:`repro.analysis.rules.worker_safety`)
 * ``DTY`` — dtype discipline (:mod:`repro.analysis.rules.dtypes`)
 * ``OBS`` — observability discipline (:mod:`repro.analysis.rules.observability`)
 """
 
 from repro.analysis.rules import (  # noqa: F401
+    async_blocking,
     determinism,
     dtypes,
     numerics,
     observability,
     rng_threading,
+    thread_safety,
     worker_safety,
 )
 
 __all__ = [
+    "async_blocking",
     "determinism",
     "dtypes",
     "numerics",
     "observability",
     "rng_threading",
+    "thread_safety",
     "worker_safety",
 ]

@@ -1,0 +1,297 @@
+"""Async-blocking rules (``ASY``): coroutines must never block the loop.
+
+The serve layer runs every client request through one asyncio event
+loop; a single blocking call anywhere in a coroutine's *transitive* sync
+call chain stalls every in-flight request (and the micro-batch
+scheduler's deadline math with it).  These rules consume the project
+call graph (:mod:`repro.analysis.callgraph`) instead of looking at one
+function at a time:
+
+* **ASY001** — a blocking call (``time.sleep``, sync file/socket I/O,
+  ``subprocess``, the campaign executor's ``map``) is reachable from an
+  ``async def`` through project-internal sync calls, with no
+  ``await``/``run_in_executor`` boundary in between.  Passing a blocking
+  function *as an argument* (``loop.run_in_executor(None, fn)``) creates
+  no call edge, so the sanctioned escape hatches are invisible to the
+  rule by construction.
+* **ASY002** — ``await`` while holding a ``threading.Lock``-family lock:
+  the coroutine parks with the lock held and any *thread* contending for
+  it (profiler tick, metrics flush) blocks for the await's full
+  duration.  ``asyncio`` locks are not in the lock table and never fire.
+* **ASY003** — a call to a project coroutine function used as a bare
+  expression statement: the coroutine object is created and dropped, the
+  body never runs.  Spawns (``create_task(coro())``) and assignments
+  keep the value and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph, CallSite, DEFAULT_MAX_DEPTH
+from repro.analysis.context import ModuleContext
+from repro.analysis.core import Finding, Rule, Severity, register
+
+#: External dotted calls that block the calling thread.
+BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "select.select",
+        "urllib.request.urlopen",
+        "queue.Queue.get",
+        "queue.Queue.put",
+        "pathlib.Path.open",
+        "pathlib.Path.read_text",
+        "pathlib.Path.read_bytes",
+        "pathlib.Path.write_text",
+        "pathlib.Path.write_bytes",
+        "concurrent.futures.ThreadPoolExecutor.map",
+        "concurrent.futures.ProcessPoolExecutor.map",
+    }
+)
+
+#: Prefixes of external call families that block wholesale.
+BLOCKING_PREFIXES = ("subprocess.", "requests.")
+
+#: Builtins that block (unresolved bare names, so matched on the raw
+#: token rather than an absolute dotted name).
+BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+#: Project-internal functions that are blocking *by contract* — the
+#: call graph stops here instead of descending into their bodies.
+BLOCKING_PROJECT = frozenset(
+    {
+        "repro.parallel.executor.CampaignExecutor.map",
+    }
+)
+
+
+def blocking_label(site: CallSite) -> str | None:
+    """Blocking-table label for a call site, None when not blocking."""
+    if site.external is not None:
+        if site.external in BLOCKING_EXACT:
+            return site.external
+        if site.external.startswith(BLOCKING_PREFIXES):
+            return site.external
+    for target in site.targets:
+        if target in BLOCKING_PROJECT:
+            return target.rsplit(".", 2)[-2] + "." + target.rsplit(".", 1)[-1]
+    if (
+        site.raw in BLOCKING_BUILTINS
+        and not site.targets
+        and site.external is None
+    ):
+        return site.raw
+    return None
+
+
+def _graph(ctx: ModuleContext) -> CallGraph | None:
+    project = ctx.project
+    return getattr(project, "callgraph", None) if project is not None else None
+
+
+@register
+class BlockingCallInCoroutineRule(Rule):
+    """ASY001: blocking call transitively reachable from ``async def``."""
+
+    rule_id = "ASY001"
+    title = "blocking call reachable from a coroutine"
+    severity = Severity.ERROR
+    rationale = (
+        "One blocking call in a coroutine's sync call chain freezes the "
+        "whole event loop: every in-flight request, the micro-batch "
+        "scheduler's deadlines, and the drain path all stall behind it.  "
+        "Blocking work belongs behind `await loop.run_in_executor(...)` "
+        "/ `asyncio.to_thread`, or use `await asyncio.sleep` for pacing."
+    )
+
+    def __init__(self) -> None:
+        self._path_memo: dict[int, dict[str, tuple[str, ...] | None]] = {}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag the first blocking reason at each offending call site."""
+        graph = _graph(ctx)
+        if graph is None:
+            return
+        memo = self._path_memo.setdefault(id(graph), {})
+        for info in graph.async_functions(ctx.module_name):
+            for site in info.calls:
+                if site.awaited:
+                    continue
+                chain = self._site_chain(graph, site, memo)
+                if chain is None:
+                    continue
+                route = " -> ".join((info.local_name,) + chain)
+                yield Finding(
+                    path=ctx.display_path,
+                    line=site.lineno,
+                    col=site.col,
+                    rule_id=self.rule_id,
+                    severity=self.severity.value,
+                    message=(
+                        f"coroutine `{info.local_name}` reaches blocking "
+                        f"call `{chain[-1]}` via {route}; move it behind "
+                        "run_in_executor/to_thread (or asyncio.sleep)"
+                    ),
+                    scope=info.local_name,
+                )
+
+    def _site_chain(
+        self,
+        graph: CallGraph,
+        site: CallSite,
+        memo: dict[str, tuple[str, ...] | None],
+    ) -> tuple[str, ...] | None:
+        """Blocking chain reached from one call site, shortest label path."""
+        direct = blocking_label(site)
+        if direct is not None:
+            return (direct,)
+        for target in site.targets:
+            fn = graph.functions.get(target)
+            if fn is None or fn.is_async or fn.is_generator:
+                # Calling an async/generator function only *creates* the
+                # coroutine/generator; its body does not run here.
+                continue
+            sub = self._blocking_path(graph, target, memo, frozenset())
+            if sub is not None:
+                return sub
+        return None
+
+    def _blocking_path(
+        self,
+        graph: CallGraph,
+        qualname: str,
+        memo: dict[str, tuple[str, ...] | None],
+        seen: frozenset[str],
+    ) -> tuple[str, ...] | None:
+        """DFS for a blocking call under ``qualname``, bounded and memoized."""
+        if qualname in memo:
+            return memo[qualname]
+        if qualname in seen or len(seen) >= DEFAULT_MAX_DEPTH:
+            return None  # cycle/depth cut; memo only stores settled answers
+        info = graph.functions[qualname]
+        short = info.local_name.rsplit(".", 1)[-1]
+        seen = seen | {qualname}
+        for site in info.calls:
+            label = blocking_label(site)
+            if label is not None:
+                memo[qualname] = (short, label)
+                return memo[qualname]
+        for site in info.calls:
+            for target in site.targets:
+                fn = graph.functions.get(target)
+                if fn is None or fn.is_async or fn.is_generator:
+                    continue
+                sub = self._blocking_path(graph, target, memo, seen)
+                if sub is not None:
+                    memo[qualname] = (short,) + sub
+                    return memo[qualname]
+        memo[qualname] = None
+        return None
+
+
+@register
+class AwaitUnderThreadLockRule(Rule):
+    """ASY002: ``await`` while holding a ``threading`` lock."""
+
+    rule_id = "ASY002"
+    title = "await while holding a threading lock"
+    severity = Severity.ERROR
+    rationale = (
+        "An await suspends the coroutine for an unbounded time with the "
+        "lock still held, so the profiler/exporter threads contending "
+        "for it block until the awaited I/O completes — the lock's "
+        "critical section silently inflates from microseconds to a full "
+        "request latency.  Hold threading locks only across straight-"
+        "line code, or switch the shared state to an asyncio.Lock."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag awaits lexically inside ``with <threading lock>`` blocks."""
+        graph = _graph(ctx)
+        if graph is None:
+            return
+        for info in graph.async_functions(ctx.module_name):
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Await):
+                    continue
+                if ctx.enclosing_scope(node) is not info.node:
+                    continue
+                held = graph.held_locks(ctx, info, node)
+                if not held:
+                    continue
+                locks = ", ".join(f"`{name}`" for name in sorted(held))
+                yield Finding(
+                    path=ctx.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    severity=self.severity.value,
+                    message=(
+                        f"await inside `with` block holding threading "
+                        f"lock {locks}; release before awaiting or use "
+                        "asyncio.Lock"
+                    ),
+                    scope=info.local_name,
+                )
+
+
+@register
+class CoroutineNeverAwaitedRule(Rule):
+    """ASY003: project coroutine called and discarded without ``await``."""
+
+    rule_id = "ASY003"
+    title = "coroutine call never awaited"
+    severity = Severity.ERROR
+    rationale = (
+        "Calling an `async def` returns a coroutine object without "
+        "running its body; as a bare statement the object is dropped on "
+        "the floor and the intended work (a submit, a drain, a metric "
+        "flush) silently never happens.  Await it, or hand it to "
+        "asyncio.create_task/gather if fire-and-forget is intended."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag bare-statement calls that resolve to project coroutines."""
+        graph = _graph(ctx)
+        if graph is None:
+            return
+        for info in graph.functions.values():
+            if info.module != ctx.module_name:
+                continue
+            for site in info.calls:
+                if site.awaited or site.node is None:
+                    continue
+                parent = ctx.parent(site.node)
+                if not isinstance(parent, ast.Expr):
+                    continue
+                async_targets = [
+                    t
+                    for t in site.targets
+                    if (fn := graph.functions.get(t)) is not None
+                    and fn.is_async
+                ]
+                if not async_targets:
+                    continue
+                name = async_targets[0].rsplit(".", 1)[-1]
+                yield Finding(
+                    path=ctx.display_path,
+                    line=site.lineno,
+                    col=site.col,
+                    rule_id=self.rule_id,
+                    severity=self.severity.value,
+                    message=(
+                        f"result of coroutine `{name}` is discarded — the "
+                        "body never runs; await it or wrap it in "
+                        "asyncio.create_task"
+                    ),
+                    scope=info.local_name,
+                )

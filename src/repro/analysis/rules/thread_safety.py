@@ -1,0 +1,282 @@
+"""Thread-safety rules (``THR``): shared state, lock order, shutdown.
+
+The telemetry layer runs three long-lived daemon threads next to the
+asyncio serve loop; these rules use the call graph's entry-point
+registry and origins analysis to reason about what actually runs
+concurrently, instead of pattern-matching on ``threading`` imports:
+
+* **THR001** — an instance attribute is mutated from two or more
+  concurrent origins (a spawned thread's closure vs. the main/loop
+  thread, or two different threads) with no *common* lock held across
+  all mutating sites.  ``__init__`` is exempt: construction happens
+  before any thread the object spawns exists (happens-before via
+  ``Thread.start``).
+* **THR002** — two locks are acquired in nested ``with`` blocks in both
+  orders somewhere in the project (a lock-order cycle); whichever
+  thread interleaving hits both sides deadlocks.  Flagged at every
+  acquisition site on the cycle.
+* **THR003** — a ``daemon=True`` thread whose target's reachable
+  closure neither checks a ``threading.Event`` stop flag nor is ever
+  ``.join()``-ed via the attribute it was bound to.  Daemon threads die
+  mid-statement at interpreter exit; without a cooperative stop path
+  there is no way to flush or hand off their state first (the metrics
+  stream would truncate its last JSONL line).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo
+from repro.analysis.context import ModuleContext, _expr_token
+from repro.analysis.core import Finding, Rule, Severity, register
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Methods whose bodies run before any thread the object starts exists.
+CONSTRUCTION_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _graph(ctx: ModuleContext) -> CallGraph | None:
+    project = ctx.project
+    return getattr(project, "callgraph", None) if project is not None else None
+
+
+def _mutated_attrs(
+    ctx: ModuleContext, info: FunctionInfo
+) -> Iterator[tuple[str, ast.AST]]:
+    """``(attr, node)`` for every ``self.<attr>`` mutation in a method.
+
+    Covers plain/augmented/subscript assignment (``self.x = ...``,
+    ``self.x += 1``, ``self.x[k] = v``) and in-place mutator calls
+    (``self.x.append(...)``).
+    """
+    for node in ast.walk(info.node):
+        if ctx.enclosing_scope(node) is not info.node:
+            continue
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                token = _expr_token(target)
+                if token is None:
+                    continue
+                parts = token.split(".")
+                if parts[0] == "self" and len(parts) == 2:
+                    yield parts[1], node
+        elif isinstance(node, ast.Call):
+            token = _expr_token(node.func)
+            if token is None:
+                continue
+            parts = token.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] == "self"
+                and parts[2] in MUTATOR_METHODS
+            ):
+                yield parts[1], node
+
+
+@register
+class UnlockedSharedMutationRule(Rule):
+    """THR001: attribute mutated from ≥2 origins with no common lock."""
+
+    rule_id = "THR001"
+    title = "shared attribute mutated without a common lock"
+    severity = Severity.ERROR
+    rationale = (
+        "When a sampler thread and the main thread both mutate the same "
+        "attribute, unlocked interleavings lose updates and tear "
+        "multi-field invariants (a counter reset racing an increment, a "
+        "file handle swapped mid-write).  Every mutating site must hold "
+        "one common lock — partial locking on only one side protects "
+        "nothing."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Group mutation sites per (class, attr); flag lock-free races."""
+        graph = _graph(ctx)
+        if graph is None:
+            return
+        sites: dict[tuple[str, str], list[tuple]] = {}
+        for info in graph.functions.values():
+            if info.module != ctx.module_name or info.class_name is None:
+                continue
+            method = info.local_name.rsplit(".", 1)[-1]
+            if method in CONSTRUCTION_METHODS:
+                continue
+            origins = graph.origins(info.qualname)
+            for attr, node in _mutated_attrs(ctx, info):
+                held = graph.held_locks(ctx, info, node)
+                sites.setdefault((info.class_name, attr), []).append(
+                    (node, info, origins, held)
+                )
+        for (class_name, attr), group in sorted(
+            sites.items(), key=lambda item: item[0]
+        ):
+            all_origins = frozenset().union(*(g[2] for g in group))
+            if len(all_origins) < 2:
+                continue
+            common = group[0][3]
+            for entry in group[1:]:
+                common &= entry[3]
+            if common:
+                continue
+            group.sort(key=lambda entry: entry[0].lineno)
+            node, info, _origins, held = next(
+                (g for g in group if not g[3]), group[0]
+            )
+            class_short = class_name.rsplit(".", 1)[-1]
+            origin_list = ", ".join(sorted(all_origins))
+            yield Finding(
+                path=ctx.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                severity=self.severity.value,
+                message=(
+                    f"`self.{attr}` of {class_short} is mutated from "
+                    f"multiple concurrent contexts ({origin_list}) with "
+                    "no common lock across the mutating sites"
+                ),
+                scope=info.local_name,
+            )
+
+
+@register
+class LockOrderCycleRule(Rule):
+    """THR002: locks acquired in conflicting nested orders."""
+
+    rule_id = "THR002"
+    title = "lock-ordering cycle"
+    severity = Severity.ERROR
+    rationale = (
+        "If one code path takes lock A then B while another takes B "
+        "then A, two threads hitting both paths simultaneously each "
+        "hold the lock the other needs — a classic deadlock that only "
+        "manifests under production interleavings.  Acquire locks in "
+        "one global order, or collapse them into a single lock."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag this module's acquisition sites on any lock-order cycle."""
+        graph = _graph(ctx)
+        if graph is None:
+            return
+        adjacency: dict[str, set[str]] = {}
+        for outer, inner in graph.lock_edges:
+            adjacency.setdefault(outer, set()).add(inner)
+        seen_lines: set[int] = set()
+        for (outer, inner), occurrences in sorted(graph.lock_edges.items()):
+            if not self._reaches(adjacency, inner, outer):
+                continue
+            for module, line, col, scope in occurrences:
+                if module != ctx.module_name or line in seen_lines:
+                    continue
+                seen_lines.add(line)
+                local_scope = (
+                    scope[len(module) + 1 :]
+                    if scope.startswith(module + ".")
+                    else scope
+                )
+                yield Finding(
+                    path=ctx.display_path,
+                    line=line,
+                    col=col,
+                    rule_id=self.rule_id,
+                    severity=self.severity.value,
+                    message=(
+                        f"lock `{inner}` acquired while holding "
+                        f"`{outer}`, but the reverse order also occurs — "
+                        "lock-order cycle can deadlock"
+                    ),
+                    scope=local_scope,
+                )
+
+    @staticmethod
+    def _reaches(
+        adjacency: dict[str, set[str]], start: str, goal: str
+    ) -> bool:
+        """True when ``goal`` is reachable from ``start`` over lock edges."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            if current == goal:
+                return True
+            for nxt in adjacency.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+
+@register
+class DaemonWithoutStopPathRule(Rule):
+    """THR003: daemon thread with no reachable stop/join path."""
+
+    rule_id = "THR003"
+    title = "daemon thread without stop/join path"
+    severity = Severity.WARNING
+    rationale = (
+        "A daemon thread is killed mid-statement when the interpreter "
+        "exits: buffered telemetry is lost, files truncate mid-record, "
+        "and shm segments leak.  Give the target loop a threading.Event "
+        "it checks (`while not stop.is_set()` / `stop.wait(dt)`), or "
+        "keep a handle and `.join()` it on shutdown."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag daemon spawns lacking both stop-event and join evidence."""
+        graph = _graph(ctx)
+        if graph is None:
+            return
+        for entry in graph.thread_entries(ctx.module_name):
+            if not entry.daemon:
+                continue
+            checks_stop = any(
+                fn.checks_stop_event
+                for q in graph.reachable(entry.target)
+                if (fn := graph.functions.get(q)) is not None
+            )
+            joined = (
+                entry.owner is not None
+                and entry.bound_to is not None
+                and (entry.owner, entry.bound_to) in graph.joined_attrs
+            )
+            if checks_stop or joined:
+                continue
+            target_short = entry.target.rsplit(".", 1)[-1]
+            yield Finding(
+                path=ctx.display_path,
+                line=entry.line,
+                col=0,
+                rule_id=self.rule_id,
+                severity=self.severity.value,
+                message=(
+                    f"daemon thread target `{target_short}` has no "
+                    "reachable stop-event check and is never joined; it "
+                    "will be killed mid-iteration at interpreter exit"
+                ),
+                scope=entry.spawn_scope,
+            )

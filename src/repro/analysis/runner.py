@@ -10,10 +10,12 @@ every registered rule, and applies inline suppressions.
 from __future__ import annotations
 
 import ast
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.context import ModuleContext
 from repro.analysis.core import Finding, all_rules
 
@@ -41,11 +43,18 @@ class Project:
         worker_reachable: Modules transitively imported from any entry
             (including the entries themselves); entries not among the
             analyzed files contribute nothing.
+        callgraph: Whole-program call graph built once per run; the
+            concurrency rules (``ASY``/``THR``) read entry points,
+            reachability, and lock tables from it.  Its worker-kind
+            entry points come from the same ``worker_entries`` tuple
+            WRK001's import closure is anchored on — one registry, two
+            consumers.
     """
 
     modules: dict[str, ModuleContext] = field(default_factory=dict)
     worker_entries: tuple[str, ...] = DEFAULT_ENTRIES
     worker_reachable: frozenset[str] = frozenset()
+    callgraph: CallGraph | None = None
 
     def compute_reachability(self) -> None:
         """Breadth-first import closure from every present entry module."""
@@ -88,12 +97,16 @@ class AnalysisResult:
         suppressed: Findings silenced by inline directives.
         files_scanned: Number of files analyzed.
         errors: Per-file read/parse failures as ``(path, message)``.
+        project: The run's project state (modules, reachability, call
+            graph) for callers that need more than the findings —
+            ``--callgraph-dump`` and the call-graph tests.
     """
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
     errors: list[tuple[str, str]] = field(default_factory=list)
+    project: Project | None = None
 
 
 def discover_files(paths: Sequence[str | Path]) -> list[tuple[Path, Path]]:
@@ -146,6 +159,7 @@ def analyze_paths(
     disable: Iterable[str] | None = None,
     worker_entry: str = DEFAULT_WORKER_ENTRY,
     service_entry: str | None = DEFAULT_SERVICE_ENTRY,
+    entry_points: Sequence[str] = (),
 ) -> AnalysisResult:
     """Run every registered rule over the python files under ``paths``.
 
@@ -157,6 +171,12 @@ def analyze_paths(
             (rule WRK001).
         service_entry: Additional long-lived-service entry module whose
             import closure joins the same graph; None disables it.
+        entry_points: Extra concurrent roots for the call graph.  A
+            dotted name matching an analyzed *module* joins
+            ``worker_entries`` (extending both WRK001's import closure
+            and the worker entry registry together); a dotted *function*
+            qualname becomes a custom entry the THR origins analysis
+            counts as its own concurrent context.
 
     Returns:
         An :class:`AnalysisResult` with active and suppressed findings.
@@ -174,6 +194,7 @@ def analyze_paths(
     )
     result = AnalysisResult()
     project = Project(worker_entries=entries)
+    result.project = project
     cwd = Path.cwd()
     for path, root in discover_files(paths):
         try:
@@ -192,7 +213,18 @@ def analyze_paths(
             result.errors.append((str(path), str(exc)))
             continue
         project.modules[ctx.module_name] = ctx
+    module_entries = tuple(e for e in entry_points if e in project.modules)
+    if module_entries:
+        project.worker_entries = tuple(
+            dict.fromkeys(project.worker_entries + module_entries)
+        )
     project.compute_reachability()
+    function_entries = tuple(
+        e for e in entry_points if e not in project.modules
+    )
+    project.callgraph = CallGraph.build(
+        project, extra_entry_points=function_entries
+    )
     result.files_scanned = len(project.modules)
 
     for name in sorted(project.modules):
@@ -206,3 +238,78 @@ def analyze_paths(
     result.findings.sort()
     result.suppressed.sort()
     return result
+
+
+def _git(args: Sequence[str]) -> str | None:
+    """stdout of a git command, or None when git/refs are unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def changed_py_files(base: str = "main") -> set[Path] | None:
+    """Python files differing from ``git merge-base HEAD <base>``.
+
+    Returns resolved paths of tracked files changed since the merge
+    base plus untracked ``.py`` files, or None when the working
+    directory is not a git checkout or the base ref does not exist —
+    callers fall back to a full run.  Incremental lint still analyzes
+    the *whole* project (the call graph is a whole-program artifact);
+    only the reported findings are filtered to these files.
+    """
+    top = _git(["rev-parse", "--show-toplevel"])
+    if top is None:
+        return None
+    root = Path(top.strip())
+    merge_base = None
+    for ref in (base, f"origin/{base}"):
+        out = _git(["merge-base", "HEAD", ref])
+        if out is not None:
+            merge_base = out.strip()
+            break
+    if merge_base is None:
+        return None
+    changed: set[Path] = set()
+    diff = _git(["diff", "--name-only", merge_base, "--", "*.py"])
+    untracked = _git(
+        ["ls-files", "--others", "--exclude-standard", "--", "*.py"]
+    )
+    for listing in (diff, untracked):
+        if listing is None:
+            continue
+        for line in listing.splitlines():
+            line = line.strip()
+            if line:
+                changed.add((root / line).resolve())
+    return changed
+
+
+def filter_to_changed(
+    result: AnalysisResult, changed: set[Path]
+) -> AnalysisResult:
+    """Project an analysis result onto a changed-file set.
+
+    Keeps only findings (active and suppressed) whose path resolves
+    into ``changed``; counts and errors are preserved so the report
+    still states how many files the whole-program analysis covered.
+    """
+    def keep(finding: Finding) -> bool:
+        return Path(finding.path).resolve() in changed
+
+    return AnalysisResult(
+        findings=[f for f in result.findings if keep(f)],
+        suppressed=[f for f in result.suppressed if keep(f)],
+        files_scanned=result.files_scanned,
+        errors=result.errors,
+        project=result.project,
+    )

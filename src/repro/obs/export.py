@@ -164,9 +164,14 @@ class MetricsStream:
         """
         if self.running:
             return
-        self._file = open(self.path, "w")
-        self.lines_written = 0
-        self._t0 = time.monotonic()
+        # A previous flush thread that outlived stop()'s bounded join
+        # may still be inside flush_once; swap the file and reset the
+        # sequence under the same lock it writes with, so the restart
+        # can never interleave with a straggler's write.
+        with self._lock:
+            self._file = open(self.path, "w")
+            self.lines_written = 0
+            self._t0 = time.monotonic()
         self._stop_event = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="repro-obs-metrics-stream", daemon=True

@@ -151,8 +151,11 @@ def render_table(events: list[dict]) -> str:
 def summary_dict(events: list[dict]) -> dict:
     """JSON-safe form of the per-stage summary (for bench reports and
     ``repro trace-summary --json``): stages, coverage, and every metric
-    family the trace carries."""
+    family the trace carries.  The layout is a documented contract
+    (docs/observability.md); ``schema_version`` bumps only on breaking
+    changes, additive keys keep it."""
     return {
+        "schema_version": 1,
         "stages": {
             st.name: {
                 "count": st.count,

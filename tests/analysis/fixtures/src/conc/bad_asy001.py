@@ -1,0 +1,15 @@
+"""ASY001 bad: blocking calls reachable from coroutines."""
+import time
+
+
+def _pace():
+    time.sleep(0.1)
+
+
+async def handler():
+    _pace()
+
+
+async def snapshot(path):
+    with open(path) as f:
+        return f.read()

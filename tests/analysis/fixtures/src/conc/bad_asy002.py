@@ -1,0 +1,18 @@
+"""ASY002 bad: await while holding a threading lock."""
+import asyncio
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = None
+
+    async def refresh(self):
+        with self._lock:
+            self.value = await _fetch()
+
+
+async def _fetch():
+    await asyncio.sleep(0)
+    return 1

@@ -1,0 +1,9 @@
+"""ASY003 bad: coroutine called as a bare statement, never awaited."""
+
+
+async def flush():
+    pass
+
+
+def shutdown():
+    flush()

@@ -1,0 +1,25 @@
+"""THR001 bad: sampler thread and main thread race on a counter."""
+import threading
+
+
+class Monitor:
+    def __init__(self):
+        self.samples = 0
+        self._stop_event = threading.Event()
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def stop(self):
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+
+    def reset(self):
+        self.samples = 0
+
+    def _run(self):
+        while not self._stop_event.wait(0.05):
+            self.samples += 1

@@ -1,0 +1,17 @@
+"""THR002 bad: two locks acquired in both orders — deadlock cycle."""
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def transfer():
+    with LOCK_A:
+        with LOCK_B:
+            pass
+
+
+def audit():
+    with LOCK_B:
+        with LOCK_A:
+            pass

@@ -1,0 +1,19 @@
+"""THR003 bad: daemon thread with no stop event and no join path."""
+import threading
+
+
+class Pump:
+    def __init__(self):
+        self.interval = 0.05
+
+    def start(self):
+        thread = threading.Thread(target=self._run, daemon=True)
+        thread.start()
+
+    def _run(self):
+        while True:
+            _tick(self.interval)
+
+
+def _tick(interval):
+    return interval

@@ -1,0 +1,16 @@
+"""ASY001 good: blocking work stays behind executor/asyncio boundaries."""
+import asyncio
+import time
+
+
+def _pace():
+    time.sleep(0.1)
+
+
+async def handler():
+    await asyncio.sleep(0.1)
+
+
+async def offloaded():
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, _pace)

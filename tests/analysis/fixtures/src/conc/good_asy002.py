@@ -1,0 +1,23 @@
+"""ASY002 good: asyncio lock for loop-side state; await outside the lock."""
+import asyncio
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._alock = asyncio.Lock()
+        self._tlock = threading.Lock()
+        self.value = None
+
+    async def refresh(self):
+        async with self._alock:
+            self.value = await _fetch()
+
+    def snapshot(self):
+        with self._tlock:
+            return self.value
+
+
+async def _fetch():
+    await asyncio.sleep(0)
+    return 1

@@ -1,0 +1,18 @@
+"""ASY003 good: coroutines awaited, scheduled, or kept."""
+import asyncio
+
+
+async def flush():
+    pass
+
+
+async def shutdown():
+    await flush()
+
+
+def schedule(loop):
+    loop.create_task(flush())
+
+
+async def gathered():
+    await asyncio.gather(flush(), flush())

@@ -1,0 +1,28 @@
+"""THR001 good: every mutating site holds the same lock."""
+import threading
+
+
+class Monitor:
+    def __init__(self):
+        self.samples = 0
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def stop(self):
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+
+    def reset(self):
+        with self._lock:
+            self.samples = 0
+
+    def _run(self):
+        while not self._stop_event.wait(0.05):
+            with self._lock:
+                self.samples += 1

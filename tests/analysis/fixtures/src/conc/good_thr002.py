@@ -1,0 +1,17 @@
+"""THR002 good: both paths acquire the locks in one global order."""
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def transfer():
+    with LOCK_A:
+        with LOCK_B:
+            pass
+
+
+def audit():
+    with LOCK_A:
+        with LOCK_B:
+            pass

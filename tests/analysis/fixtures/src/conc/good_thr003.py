@@ -1,0 +1,23 @@
+"""THR003 good: daemon loop waits on a stop event and is joined."""
+import threading
+
+
+class Pump:
+    def __init__(self):
+        self.interval = 0.05
+        self._stop_event = threading.Event()
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def stop(self):
+        self._stop_event.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=1.0)
+
+    def _run(self):
+        while not self._stop_event.wait(self.interval):
+            pass

@@ -1,0 +1,4 @@
+"""Mini async+threaded package exercising cross-module call-graph
+reachability: the coroutine in ``app`` reaches a blocking call two hops
+away in ``work``, and the thread in ``workers`` races the main thread on
+a partially locked counter."""

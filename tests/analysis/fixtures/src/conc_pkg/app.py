@@ -1,0 +1,18 @@
+"""Async front-end whose coroutine crosses a module boundary into
+blocking work (ASY001 must walk app.handle -> work.prepare ->
+work._settle -> time.sleep)."""
+import asyncio
+
+from conc_pkg import work
+
+
+class Frontend:
+    async def handle(self, payload):
+        return work.prepare(payload)
+
+    async def run(self):
+        while True:
+            await asyncio.sleep(0.01)
+
+    def start(self, loop):
+        loop.create_task(self.run())

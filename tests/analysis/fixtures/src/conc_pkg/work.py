@@ -1,0 +1,11 @@
+"""Sync helpers; the blocking call sits one hop below the public API."""
+import time
+
+
+def prepare(payload):
+    return _settle(payload)
+
+
+def _settle(payload):
+    time.sleep(0.01)
+    return payload

@@ -1,0 +1,30 @@
+"""Thread-side of the package: a drain thread with a stop event and a
+join path (THR003-clean) that still races the main thread on a counter
+locked on only one side (THR001)."""
+import threading
+
+
+class SharedState:
+    def __init__(self):
+        self.processed = 0
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+        self._thread.start()
+
+    def stop(self):
+        self._stop_event.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=1.0)
+
+    def note(self):
+        self.processed += 1
+
+    def _drain(self):
+        while not self._stop_event.wait(0.01):
+            with self._lock:
+                self.processed += 1

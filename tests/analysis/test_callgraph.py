@@ -1,0 +1,378 @@
+"""Unit tests for the project call graph (`repro.analysis.callgraph`).
+
+Covers the resolution features the concurrency rules lean on — aliased
+imports, `self` method dispatch, attribute-type chains, async coloring,
+generator detection, bounded cycle handling — plus the entry-point
+registry and its union with WRK001's worker-entry modules (one shared
+tuple, not two lists to keep in sync).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "src"
+
+
+def graph_for(tmp_path, sources: dict[str, str], **kwargs):
+    """Write a throwaway package and return (result, callgraph)."""
+    root = tmp_path / "src"
+    for relpath, body in sources.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(body))
+    result = analyze_paths([root], **kwargs)
+    assert result.project is not None and result.project.callgraph is not None
+    return result, result.project.callgraph
+
+
+class TestResolution:
+    def test_aliased_import_resolves_to_project_function(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/main.py": (
+                    "from pkg import util as u\n"
+                    "def go():\n"
+                    "    return u.helper()\n"
+                ),
+            },
+        )
+        assert graph.edges["pkg.main.go"] == {"pkg.util.helper"}
+
+    def test_from_import_function_alias(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/main.py": (
+                    "from pkg.util import helper as h\n"
+                    "def go():\n"
+                    "    return h()\n"
+                ),
+            },
+        )
+        assert graph.edges["pkg.main.go"] == {"pkg.util.helper"}
+
+    def test_self_method_call_resolves_through_class(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": """
+                class Engine:
+                    def outer(self):
+                        return self.inner()
+
+                    def inner(self):
+                        return 1
+                """,
+            },
+        )
+        assert graph.edges["mod.Engine.outer"] == {"mod.Engine.inner"}
+
+    def test_self_method_through_project_base_class(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": """
+                class Base:
+                    def shared(self):
+                        return 1
+
+                class Child(Base):
+                    def use(self):
+                        return self.shared()
+                """,
+            },
+        )
+        assert graph.edges["mod.Child.use"] == {"mod.Base.shared"}
+
+    def test_attribute_type_chain(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": """
+                class Buffer:
+                    def push(self):
+                        return 1
+
+                class Owner:
+                    def __init__(self):
+                        self.buffer = Buffer()
+
+                    def feed(self):
+                        self.buffer.push()
+                """,
+            },
+        )
+        assert graph.edges["mod.Owner.feed"] == {"mod.Buffer.push"}
+
+    def test_module_global_singleton_chain(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/buf.py": """
+                class Buffer:
+                    def push(self):
+                        return 1
+
+                BUFFER = Buffer()
+                """,
+                "pkg/use.py": (
+                    "from pkg.buf import BUFFER\n"
+                    "def feed():\n"
+                    "    BUFFER.push()\n"
+                ),
+            },
+        )
+        assert graph.edges["pkg.use.feed"] == {"pkg.buf.Buffer.push"}
+
+    def test_async_coloring_and_generator_detection(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": """
+                async def coro():
+                    pass
+
+                def gen():
+                    yield 1
+
+                def plain():
+                    pass
+                """,
+            },
+        )
+        assert graph.functions["mod.coro"].is_async
+        assert graph.functions["mod.gen"].is_generator
+        assert not graph.functions["mod.plain"].is_async
+        assert not graph.functions["mod.plain"].is_generator
+
+    def test_cycle_terminates_and_stays_reachable(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": """
+                def ping():
+                    return pong()
+
+                def pong():
+                    return ping()
+                """,
+            },
+        )
+        reach = graph.reachable("mod.ping")
+        assert reach == {"mod.ping", "mod.pong"}
+
+    def test_asy001_traverses_a_cycle_without_hanging(self, tmp_path):
+        result, _ = graph_for(
+            tmp_path,
+            {
+                "mod.py": """
+                import time
+
+                def ping(n):
+                    return pong(n)
+
+                def pong(n):
+                    if n:
+                        return ping(n - 1)
+                    time.sleep(0.1)
+
+                async def handler():
+                    ping(3)
+                """,
+            },
+        )
+        hits = [f for f in result.findings if f.rule_id == "ASY001"]
+        assert len(hits) == 1
+        assert hits[0].scope == "handler"
+
+
+class TestEntryPoints:
+    def test_thread_entry_records_daemon_and_binding(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": """
+                import threading
+
+                class Svc:
+                    def start(self):
+                        self._thread = threading.Thread(
+                            target=self._run, daemon=True
+                        )
+
+                    def stop(self):
+                        self._thread.join()
+
+                    def _run(self):
+                        pass
+                """,
+            },
+        )
+        entries = graph.thread_entries("mod")
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.target == "mod.Svc._run"
+        assert entry.daemon
+        assert entry.bound_to == "_thread"
+        assert entry.owner == "mod.Svc"
+        assert ("mod.Svc", "_thread") in graph.joined_attrs
+
+    def test_task_spawn_registers_async_entry(self, tmp_path):
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": """
+                import asyncio
+
+                async def worker_loop():
+                    pass
+
+                def boot(loop):
+                    loop.create_task(worker_loop())
+                """,
+            },
+        )
+        kinds = {(e.kind, e.target) for e in graph.entry_points}
+        assert ("task", "mod.worker_loop") in kinds
+
+    def test_worker_entries_shared_with_wrk001_registry(self):
+        """One tuple drives both WRK001's closure and the call graph."""
+        result = analyze_paths(
+            [FIXTURES], worker_entry="wrk_pkg._campaign_worker"
+        )
+        graph = result.project.callgraph
+        worker_targets = {
+            e.target for e in graph.entry_points if e.kind == "worker"
+        }
+        assert "wrk_pkg._campaign_worker.run_task" in worker_targets
+        # The serve-entry default is absent from the fixture tree, so it
+        # contributes no worker entries.
+        assert not any(t.startswith("svc_pkg") for t in worker_targets)
+
+    def test_entry_points_module_extends_both_analyses(self):
+        """--entry-points with a module moves WRK001 and the registry
+        together (the union is shared, not duplicated)."""
+        result = analyze_paths(
+            [FIXTURES],
+            worker_entry="wrk_pkg._campaign_worker",
+            entry_points=["svc_pkg.server"],
+        )
+        # WRK001 side: the module's import closure is now checked.
+        wrk_files = {
+            Path(f.path).name
+            for f in result.findings
+            if f.rule_id == "WRK001"
+        }
+        assert "svc_state.py" in wrk_files
+        # Call-graph side: its module-level functions are worker entries.
+        worker_targets = {
+            e.target
+            for e in result.project.callgraph.entry_points
+            if e.kind == "worker"
+        }
+        assert "svc_pkg.server.handle" in worker_targets
+
+    def test_entry_points_function_becomes_custom_origin(self, tmp_path):
+        """A function qualname entry adds a concurrent origin THR001
+        counts: a mutation shared with main then races."""
+        sources = {
+            "mod.py": """
+            class Tally:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+
+                def reset(self):
+                    self.count = 0
+
+            TALLY = Tally()
+
+            def cron_tick():
+                TALLY.bump()
+            """,
+        }
+        result, graph = graph_for(tmp_path, sources)
+        assert not [f for f in result.findings if f.rule_id == "THR001"]
+        result, graph = graph_for(
+            tmp_path, sources, entry_points=["mod.cron_tick"]
+        )
+        assert ("custom", "mod.cron_tick") in {
+            (e.kind, e.target) for e in graph.entry_points
+        }
+        hits = [f for f in result.findings if f.rule_id == "THR001"]
+        assert len(hits) == 1 and "self.count" in hits[0].message
+
+
+class TestDump:
+    def test_dump_is_json_ready_and_versioned(self, tmp_path):
+        import json
+
+        _, graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": """
+                import threading
+
+                def spin():
+                    pass
+
+                threading.Thread(target=spin, daemon=True)
+                """,
+            },
+        )
+        payload = json.loads(json.dumps(graph.dump()))
+        assert payload["schema_version"] == 1
+        assert "mod.spin" in payload["functions"]
+        assert payload["entry_points"][0]["target"] == "mod.spin"
+        assert payload["entry_points"][0]["kind"] == "thread"
+
+
+class TestServeInjection:
+    def test_injected_blocking_call_in_submit_is_caught(self, tmp_path):
+        """A time.sleep smuggled into the real serve submit coroutine is
+        caught by ASY001 — the acceptance scenario for the rule."""
+        server_src = (
+            Path(__file__).resolve().parents[2]
+            / "src" / "repro" / "serve" / "server.py"
+        ).read_text()
+        anchor = "        self._check_open()\n        if wait:"
+        assert anchor in server_src, "submit() anchor moved; update test"
+        injected = server_src.replace(
+            anchor,
+            "        import time\n"
+            "        time.sleep(0.001)\n" + anchor,
+        )
+        bad = tmp_path / "server_injected.py"
+        bad.write_text(injected)
+        result = analyze_paths([bad])
+        hits = [
+            f
+            for f in result.findings
+            if f.rule_id == "ASY001" and f.scope == "LocalizationServer.submit"
+        ]
+        assert len(hits) == 1
+        assert "time.sleep" in hits[0].message
+
+    def test_unmodified_server_is_asy_clean(self, tmp_path):
+        server = (
+            Path(__file__).resolve().parents[2]
+            / "src" / "repro" / "serve" / "server.py"
+        )
+        result = analyze_paths([server])
+        assert not [
+            f for f in result.findings if f.rule_id.startswith("ASY")
+        ]

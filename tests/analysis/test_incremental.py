@@ -1,0 +1,177 @@
+"""Incremental (`--changed`) mode and the machine-readable JSON contract."""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.cli import main as lint_main
+from repro.analysis.report import SCHEMA_VERSION, render_json
+from repro.analysis.runner import (
+    AnalysisResult,
+    changed_py_files,
+    filter_to_changed,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "src"
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(repo),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path, monkeypatch):
+    """A tiny repo: main has a clean file, HEAD adds a dirty one."""
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    _git(repo, "init", "-b", "main")
+    clean = repo / "clean_mod.py"
+    clean.write_text("def ok():\n    return 1\n")
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-m", "seed")
+    _git(repo, "checkout", "-b", "feature")
+    dirty = repo / "dirty_mod.py"
+    dirty.write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+            """
+        )
+    )
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-m", "add dirty module")
+    monkeypatch.chdir(repo)
+    return repo
+
+
+class TestChangedFileDiscovery:
+    def test_changed_files_since_merge_base(self, git_repo):
+        changed = changed_py_files("main")
+        assert changed == {(git_repo / "dirty_mod.py").resolve()}
+
+    def test_untracked_files_are_included(self, git_repo):
+        extra = git_repo / "wip_mod.py"
+        extra.write_text("def wip():\n    return 2\n")
+        changed = changed_py_files("main")
+        assert extra.resolve() in changed
+
+    def test_outside_git_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert changed_py_files("main") is None
+
+    def test_missing_base_ref_returns_none(self, git_repo):
+        assert changed_py_files("no-such-branch") is None
+
+
+class TestFilterToChanged:
+    def test_projects_findings_onto_changed_set(self, git_repo):
+        result = analyze_paths([git_repo])
+        assert any(f.rule_id == "ASY001" for f in result.findings)
+        filtered = filter_to_changed(
+            result, {(git_repo / "clean_mod.py").resolve()}
+        )
+        assert filtered.findings == []
+        # Whole-program stats survive the projection.
+        assert filtered.files_scanned == result.files_scanned
+        assert filtered.project is result.project
+
+
+class TestChangedCli:
+    def test_changed_reports_only_changed_files(self, git_repo, capsys):
+        rc = lint_main([str(git_repo), "--changed"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "dirty_mod.py" in out
+        assert "clean_mod.py" not in out
+
+    def test_changed_exits_clean_when_nothing_changed(
+        self, git_repo, capsys
+    ):
+        _git(git_repo, "checkout", "main")
+        rc = lint_main([str(git_repo), "--changed"])
+        assert rc == 0
+        assert "nothing to report" in capsys.readouterr().out
+
+    def test_changed_falls_back_to_full_run_outside_git(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        mod = tmp_path / "standalone.py"
+        mod.write_text("def fine():\n    return 3\n")
+        rc = lint_main([str(mod), "--changed"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "running a full lint" in captured.err
+        assert "1 file(s) scanned" in captured.out
+
+
+class TestJsonContract:
+    def _payload(self, paths, **kwargs):
+        result = analyze_paths(paths, **kwargs)
+        stream = io.StringIO()
+        render_json(result, result.findings, [], [], stream)
+        return json.loads(stream.getvalue())
+
+    def test_schema_version_present(self, tmp_path):
+        mod = tmp_path / "empty_mod.py"
+        mod.write_text("x = 1\n")
+        payload = self._payload([mod])
+        assert payload["schema_version"] == SCHEMA_VERSION == 1
+
+    def test_findings_carry_rule_family(self):
+        payload = self._payload(
+            [FIXTURES], worker_entry="wrk_pkg._campaign_worker"
+        )
+        families = {f["rule_family"] for f in payload["findings"]}
+        assert {"ASY", "THR", "DET", "WRK"} <= families
+        for finding in payload["findings"]:
+            assert finding["rule"].startswith(finding["rule_family"])
+            assert finding["rule_family"].isalpha()
+
+    def test_contract_keys_are_stable(self, tmp_path):
+        mod = tmp_path / "contract_mod.py"
+        mod.write_text("import time\nasync def f():\n    time.sleep(1)\n")
+        payload = self._payload([mod])
+        assert set(payload) == {
+            "schema_version",
+            "files_scanned",
+            "findings",
+            "baselined",
+            "suppressed",
+            "stale_baseline",
+            "parse_errors",
+        }
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "path",
+            "line",
+            "col",
+            "rule",
+            "rule_family",
+            "severity",
+            "message",
+            "scope",
+        }

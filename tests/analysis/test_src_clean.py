@@ -41,6 +41,31 @@ def test_checked_in_baseline_is_empty():
 
 
 @pytest.mark.lint
+def test_rule_registry_matches_docs_catalogue():
+    """Every registered rule has a catalogue row and vice versa.
+
+    Same assertion as the ``rules`` check in ``scripts/ci_checks.py``
+    (which owns the regex); run here too so a plain ``pytest`` catches
+    a rule/docs drift without the CI script."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "ci_checks", REPO / "scripts" / "ci_checks.py"
+    )
+    ci_checks = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(ci_checks)
+
+    from repro.analysis.core import rule_ids
+
+    doc = (REPO / "docs" / "static_analysis.md").read_text(encoding="utf-8")
+    documented = set(ci_checks._CATALOGUE_ROW_RE.findall(doc))
+    registered = set(rule_ids())
+    assert registered - documented == set(), "rules missing a catalogue row"
+    assert documented - registered == set(), "catalogue rows with no rule"
+    assert ci_checks.check_rules_docs() == 0
+
+
+@pytest.mark.lint
 def test_every_inline_suppression_carries_a_justification():
     result = analyze_paths([REPO / "src"])
     bare = []

@@ -141,6 +141,35 @@ class TestMetricsStream:
         lines = load_stream(tmp_path / "x.jsonl")
         assert [ln["seq"] for ln in lines] == [0]
 
+    def test_restart_synchronizes_with_straggler_flush(self, tmp_path):
+        """Regression (reprolint THR001): start() swaps the file and
+        resets the sequence under the flush lock, so a flush thread that
+        outlived stop()'s bounded join can never interleave with the
+        restart's reset.  The test poses as that straggler by holding
+        the lock mid-flush: start() must block until it is released."""
+        import threading
+
+        obs.enable()
+        stream = MetricsStream(tmp_path / "x.jsonl", interval_s=60.0)
+        stream.start()
+        stream.stop()
+        restarted = threading.Event()
+
+        def restart():
+            stream.start()
+            restarted.set()
+
+        with stream._lock:  # straggler inside flush_once
+            t = threading.Thread(target=restart)
+            t.start()
+            assert not restarted.wait(0.15), (
+                "start() reset state without taking the flush lock"
+            )
+        t.join(timeout=2.0)
+        assert restarted.is_set()
+        stream.stop()
+        assert [ln["seq"] for ln in load_stream(tmp_path / "x.jsonl")] == [0]
+
 
 class TestLoadStream:
     def _write(self, path, lines, tail=""):
