@@ -48,10 +48,22 @@ outcomes are bitwise identical to offline ``localize_many`` — and
 writes the throughput/latency table plus the default serve-SLO
 evaluation to ``BENCH_serve.json`` (gated by ``scripts/ci_checks.py``).
 
+Another mode measures the sky-map layer: ``--skymap`` times the flat
+dense scan (:func:`repro.localization.skymap.compute_skymap`) against
+the coarse-to-fine hierarchical search
+(:func:`repro.localization.hierarchy.hierarchical_skymap`) on the same
+ring block at ``SKYMAP_RESOLUTIONS``, recording wall-clocks, cell
+counts and best-fit/area agreement; fits the likelihood temperature on
+one seeded calibration campaign and quotes 90% containment on a
+held-out seed; and writes the sweep + calibration + op-registry
+throughputs (with the ops-SLO floors and ``vs_pr7`` deltas) to
+``BENCH_pr10.json`` (gated by ``scripts/ci_checks.py`` ``skymap``).
+
 Usage::
 
     python scripts/bench_report.py [--output BENCH_pr7.json] [--skip-kernels]
     python scripts/bench_report.py --serve   # writes BENCH_serve.json
+    python scripts/bench_report.py --skymap  # writes BENCH_pr10.json
 """
 
 from __future__ import annotations
@@ -575,6 +587,179 @@ def run_serve_benchmark(requests_per_client: int = 4,
     }
 
 
+#: Target resolutions swept by the flat-vs-hierarchical comparison
+#: (degrees; >= 3 entries for the report table and CI gate).
+SKYMAP_RESOLUTIONS = (1.0, 0.5, 0.25)
+
+#: Rings in the sweep workload.  Smaller than the paper's 597-ring
+#: first-iteration block so the dense 0.25-degree scan (rings x ~360k
+#: pixels) stays within a few hundred MB; both paths see the same set,
+#: so the speedup ratio is unaffected.
+SKYMAP_RING_COUNT = 128
+
+
+def run_skymap_benchmark(
+    fit_trials: int = 40,
+    heldout_trials: int = 100,
+    n_workers: int = 4,
+) -> dict:
+    """Benchmark the hierarchical sky search and calibrate its regions.
+
+    Two measurement groups, returned as the ``BENCH_pr10.json`` body:
+
+    * **Flat-vs-hierarchical sweep** — the same synthetic paper-shaped
+      ring block localized by the dense scan and by the coarse-to-fine
+      search at each entry of ``SKYMAP_RESOLUTIONS`` (both at unit
+      temperature, so the posteriors are directly comparable),
+      recording wall-clocks, the speedup, cells evaluated vs flat
+      pixels, best-fit separation, and the 90%-region areas.
+    * **Containment calibration** — :func:`fit_temperature` on one
+      seeded campaign picks the likelihood temperature, then a
+      held-out-seed campaign at that temperature quotes the unbiased
+      68%/90% containment fractions the CI gate checks against its
+      calibration window.
+
+    The op-registry throughputs ride along (``perf_`` keys) so the
+    report embeds a passing ops-SLO section and per-op ``vs_pr7``
+    deltas like the main report.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from dataclasses import replace
+
+    import numpy as np
+    from repro.detector.response import DetectorResponse
+    from repro.experiments.calibration import fit_temperature, run_calibration
+    from repro.geometry.tiles import adapt_geometry
+    from repro.localization.hierarchy import SkymapConfig, hierarchical_skymap
+    from repro.localization.skymap import SkyGrid, compute_skymap
+    from repro.obs import slo
+    from repro.perf.ops import _ring_block
+
+    rings = _ring_block(SKYMAP_RING_COUNT)
+
+    def best_of(fn, rounds: int = 2):
+        times, out = [], None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            out = fn()
+            times.append(time.perf_counter() - t0)
+        return min(times), out
+
+    sweep: dict[str, dict] = {}
+    for res in SKYMAP_RESOLUTIONS:
+        grid = SkyGrid.build(res, 95.0)
+        t_flat, flat = best_of(lambda: compute_skymap(rings, grid))
+        cfg = SkymapConfig(resolution_deg=res, temperature=1.0)
+        t_hier, hier = best_of(lambda: hierarchical_skymap(rings, cfg))
+        cos_sep = float(
+            np.clip(
+                flat.best_direction() @ hier.sky.best_direction(), -1.0, 1.0
+            )
+        )
+        sweep[f"res{res}"] = {
+            "resolution_deg": res,
+            "flat_pixels": int(grid.num_pixels),
+            "cells_evaluated": int(hier.cells_evaluated),
+            "levels": int(hier.levels),
+            "flat_s": round(t_flat, 4),
+            "hier_s": round(t_hier, 4),
+            "speedup": round(t_flat / t_hier, 1),
+            "best_fit_separation_deg": round(
+                float(np.degrees(np.arccos(cos_sep))), 3
+            ),
+            "flat_area90_deg2": round(flat.credible_region_area_deg2(0.9), 2),
+            "hier_area90_deg2": round(
+                hier.sky.credible_region_area_deg2(0.9), 2
+            ),
+        }
+        row = sweep[f"res{res}"]
+        print(
+            f"skymap res={res}: flat {t_flat:.3f}s over "
+            f"{row['flat_pixels']} px, hier {t_hier:.3f}s over "
+            f"{row['cells_evaluated']} cells -> {row['speedup']}x, "
+            f"sep {row['best_fit_separation_deg']} deg"
+        )
+
+    geometry = adapt_geometry()
+    response = DetectorResponse(geometry)
+    base = SkymapConfig(resolution_deg=0.25)
+    fitted_t, fit_report = fit_temperature(
+        geometry,
+        response,
+        seed=77,
+        n_trials=fit_trials,
+        skymap=base,
+        n_workers=n_workers,
+    )
+    print(
+        f"skymap calibration: fitted T={fitted_t} "
+        f"(fit fraction90={fit_report.fraction(0.9):.3f})"
+    )
+    heldout = run_calibration(
+        geometry,
+        response,
+        seed=123,
+        n_trials=heldout_trials,
+        skymap=replace(base, temperature=fitted_t),
+        n_workers=n_workers,
+    )
+    heldout_summary = heldout.summary()
+    print(
+        f"skymap calibration: held-out fraction90="
+        f"{heldout_summary['fraction90']:.3f} over "
+        f"{heldout_summary['n_trials']} trials"
+    )
+
+    perf_raw = run_perf_registry()
+    spec = {"ops": slo.default_spec()["ops"]}
+    slo_report = slo.evaluate(spec, perf=perf_raw)
+    print(slo.render_report(slo_report))
+
+    results: dict = {f"perf_{name}": rows for name, rows in perf_raw.items()}
+    results["skymap_sweep"] = sweep
+    results["calibration"] = {
+        "condition": "true_deta",
+        "resolution_deg": base.resolution_deg,
+        "fit_seed": 77,
+        "fit_trials": fit_trials,
+        "fitted_temperature": fitted_t,
+        "fit_fraction90": fit_report.fraction(0.9),
+        "heldout_seed": 123,
+        "heldout_trials": heldout_trials,
+        "heldout_fraction68": heldout_summary["fraction68"],
+        "heldout_fraction90": heldout_summary["fraction90"],
+        "heldout_median_area90_deg2": heldout_summary["median_area90_deg2"],
+        "heldout_median_error_deg": heldout_summary["median_error_deg"],
+    }
+    target_row = sweep[f"res{0.5}"]
+    return {
+        "schema": (
+            "results.skymap_sweep.resR -> flat vs hierarchical at "
+            "R-degree target resolution (seconds best of 2, same ring "
+            "block, unit temperature); results.calibration -> "
+            "temperature fit + held-out containment; perf_* -> rows/s"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "n_rings": SKYMAP_RING_COUNT,
+            "resolutions_deg": list(SKYMAP_RESOLUTIONS),
+            "fit_trials": fit_trials,
+            "heldout_trials": heldout_trials,
+        },
+        "results": results,
+        "targets": {
+            "hier_ge_5x_at_0p5deg": bool(target_row["speedup"] >= 5.0),
+            "calibration_in_window": bool(
+                0.85 <= heldout_summary["fraction90"] <= 0.95
+            ),
+            "slo_passed": bool(slo_report["passed"]),
+        },
+        "vs_pr7": compare_ops_with_prior(results, "BENCH_pr7.json"),
+        "slo": slo_report,
+    }
+
+
 def compare_ops_with_prior(results: dict[str, float], prior_name: str) -> dict:
     """Per-op / per-backend deltas against a prior report, if present.
 
@@ -649,7 +834,19 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the serving-layer load sweep and write "
              "BENCH_serve.json",
     )
+    parser.add_argument(
+        "--skymap", action="store_true",
+        help="run only the hierarchical-skymap sweep + containment "
+             "calibration and write BENCH_pr10.json",
+    )
     args = parser.parse_args(argv)
+
+    if args.skymap:
+        report = run_skymap_benchmark()
+        output = args.output or str(REPO / "BENCH_pr10.json")
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"skymap report written to {output}")
+        return 0 if all(report["targets"].values()) else 1
 
     if args.serve:
         report = run_serve_benchmark()

@@ -40,6 +40,10 @@ fails:
    wall-clock key may have regressed beyond tolerance versus the
    previous report.  Reads committed files only, so the gate itself is
    deterministic at CI time.
+10. **skymap report gate** — the committed ``BENCH_pr10.json`` must
+    record hierarchical >= flat accuracy parity across >= 3
+    resolutions, the 5x speedup target at the 0.5-degree point, and a
+    held-out campaign 90% containment fraction inside [0.85, 0.95].
 
 Usage:
 
@@ -73,6 +77,7 @@ CHECK_NAMES = (
     "perf",
     "obs",
     "slo",
+    "skymap",
 )
 
 
@@ -340,7 +345,72 @@ def check_perf() -> int:
         print(f"perf: {line}")
     print(
         f"perf: {len(perf.registered())} benchmarks cover "
-        f"{len(perf.plan_op_names())} plan op classes"
+        f"{len(perf.required_ops())} required ops "
+        f"({len(perf.plan_op_names())} plan op classes + extras)"
+    )
+    return 1 if failures else 0
+
+
+#: Acceptance window for the campaign 90% containment fraction recorded
+#: in BENCH_pr10.json (a calibrated region should cover ~90% of truths).
+_SKYMAP_CALIBRATION_WINDOW = (0.85, 0.95)
+
+
+def check_skymap() -> int:
+    """Validate the committed hierarchical-skymap report ``BENCH_pr10.json``.
+
+    Requirements: the report exists (``bench_report.py --skymap`` writes
+    it); the flat-vs-hierarchical sweep covers at least three
+    resolutions, each recording a speedup and best-fit agreement within
+    one fine pixel (hierarchical >= flat accuracy parity); the target
+    resolution is reached at >= 5x the dense-scan wall-clock; and the
+    held-out containment-calibration fraction at 90% lies inside
+    ``_SKYMAP_CALIBRATION_WINDOW``.  Reads the committed file only, so
+    the gate is deterministic at CI time.
+    """
+    import json
+
+    failures: list[str] = []
+    path = _REPO / "BENCH_pr10.json"
+    if not path.exists():
+        print("skymap: BENCH_pr10.json missing (run bench_report --skymap)")
+        return 1
+    data = json.loads(path.read_text(encoding="utf-8"))
+    sweep = data.get("results", {}).get("skymap_sweep", {})
+    if len(sweep) < 3:
+        failures.append(
+            f"skymap_sweep records {len(sweep)} resolution(s); need >= 3"
+        )
+    for name, row in sorted(sweep.items()):
+        speedup = row.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 1.0:
+            failures.append(f"{name}: hierarchical speedup {speedup!r} <= 1")
+        sep = row.get("best_fit_separation_deg")
+        res = row.get("resolution_deg", 0.0)
+        # One-pixel agreement: adjacent best-fit pixels can sit a full
+        # pixel diagonal (sqrt(2) x resolution) apart.
+        if not isinstance(sep, (int, float)) or sep > res * 1.4143:
+            failures.append(
+                f"{name}: best-fit separation {sep!r} deg exceeds one "
+                f"{res} deg pixel diagonal (accuracy parity broken)"
+            )
+    target = sweep.get("res0.5", {})
+    if target and target.get("speedup", 0.0) < 5.0:
+        failures.append(
+            f"res0.5: speedup {target['speedup']:.1f}x is below the 5x target"
+        )
+    calib = data.get("results", {}).get("calibration", {})
+    frac = calib.get("heldout_fraction90")
+    lo, hi = _SKYMAP_CALIBRATION_WINDOW
+    if not isinstance(frac, (int, float)) or not (lo <= frac <= hi):
+        failures.append(
+            f"held-out 90% containment {frac!r} outside [{lo}, {hi}]"
+        )
+    for line in failures:
+        print(f"skymap: {line}")
+    print(
+        f"skymap: {len(sweep)} resolutions swept, "
+        f"held-out 90% containment = {frac}"
     )
     return 1 if failures else 0
 
@@ -624,6 +694,7 @@ def main(argv: list[str] | None = None) -> int:
         "perf": check_perf,
         "obs": check_obs_overhead,
         "slo": check_slo,
+        "skymap": check_skymap,
     }
     failed = []
     for name, fn in checks.items():

@@ -37,6 +37,15 @@ snapshots every ``--metrics-interval`` seconds while the command runs.
 runtime (see docs/inference.md), and ``localize`` accepts
 ``--event-batch N`` to gather ring features across N events into one
 planned forward pass per localization round.
+
+``simulate`` and ``localize`` accept the sky-map family
+(docs/localization.md): ``--skymap`` attaches the hierarchical
+coarse-to-fine posterior map, ``--skymap-resolution DEG`` sets its
+target pixel scale and ``--skymap-temperature T`` the likelihood
+temperature (fit via ``scripts/bench_report.py --skymap``).  On
+``simulate`` the credible-region areas are printed for the one burst;
+on ``localize`` the trial campaign becomes a containment-calibration
+campaign reporting observed 68%/90% coverage and median region areas.
 """
 
 from __future__ import annotations
@@ -47,6 +56,22 @@ import sys
 import numpy as np
 
 from repro.obs import log
+
+
+def _skymap_config(args: argparse.Namespace):
+    """Build a ``SkymapConfig`` from the ``--skymap`` flag family.
+
+    Returns ``None`` when ``--skymap`` was not passed, which keeps the
+    localization paths on their map-free default.
+    """
+    if not getattr(args, "skymap", False):
+        return None
+    from repro.localization.hierarchy import SkymapConfig
+
+    return SkymapConfig(
+        resolution_deg=args.skymap_resolution,
+        temperature=args.skymap_temperature,
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -71,13 +96,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     events = response.digitize(
         exposure.transport, exposure.batch, rng, min_hits=2
     )
-    outcome = localize_baseline(events, rng)
+    outcome = localize_baseline(events, rng, skymap=_skymap_config(args))
     log.result(
         f"photons={exposure.batch.num_photons} events={events.num_events} "
         f"rings={outcome.rings.num_rings}"
     )
     log.result(f"localization error: "
                f"{outcome.error_degrees(grb.source_direction):.2f} deg")
+    if outcome.sky is not None:
+        sky = outcome.sky
+        log.result(
+            f"credible regions: 68% = "
+            f"{sky.credible_region_area_deg2(0.68):.2f} deg^2, 90% = "
+            f"{sky.credible_region_area_deg2(0.90):.2f} deg^2 "
+            f"(truth inside 90%: {sky.contains(grb.source_direction, 0.9)})"
+        )
     return 0
 
 
@@ -124,6 +157,39 @@ def _cmd_localize(args: argparse.Namespace) -> int:
     pipeline = load_pipeline(args.pipeline)
     geometry = adapt_geometry()
     response = DetectorResponse(geometry)
+    config = TrialConfig(
+        fluence_mev_cm2=args.fluence,
+        polar_angle_deg=args.polar,
+        condition="ml",
+        infer_backend=args.infer_backend,
+        infer_dtype=args.infer_dtype,
+        event_batch=args.event_batch,
+    )
+    if args.skymap:
+        from repro.experiments.calibration import run_calibration
+
+        log.status(f"running {args.trials} ML calibration trials "
+                   f"({args.workers} workers, seed {args.seed})")
+        report = run_calibration(
+            geometry,
+            response,
+            seed=args.seed,
+            n_trials=args.trials,
+            config=config,
+            skymap=_skymap_config(args),
+            ml_pipeline=pipeline,
+            n_workers=args.workers,
+        )
+        s = report.summary()
+        log.result(f"{args.trials} trials at {args.fluence} MeV/cm^2, "
+                   f"polar {args.polar} deg "
+                   f"(T={args.skymap_temperature}):")
+        log.result(f"  median error: {s['median_error_deg']:.2f} deg")
+        log.result(f"  68% region: observed coverage {s['fraction68']:.2f}, "
+                   f"median area {s['median_area68_deg2']:.2f} deg^2")
+        log.result(f"  90% region: observed coverage {s['fraction90']:.2f}, "
+                   f"median area {s['median_area90_deg2']:.2f} deg^2")
+        return 0
     log.status(f"running {args.trials} ML trials "
                f"({args.workers} workers, seed {args.seed})")
     errors = run_trials(
@@ -131,14 +197,7 @@ def _cmd_localize(args: argparse.Namespace) -> int:
         response,
         seed=args.seed,
         n_trials=args.trials,
-        config=TrialConfig(
-            fluence_mev_cm2=args.fluence,
-            polar_angle_deg=args.polar,
-            condition="ml",
-            infer_backend=args.infer_backend,
-            infer_dtype=args.infer_dtype,
-            event_batch=args.event_batch,
-        ),
+        config=config,
         ml_pipeline=pipeline,
         n_workers=args.workers,
     )
@@ -361,6 +420,23 @@ def _add_serve_flags(p: argparse.ArgumentParser) -> None:
                    help="planned-engine compute dtype")
 
 
+def _add_skymap_flags(p: argparse.ArgumentParser) -> None:
+    """Hierarchical sky-map knobs shared by ``simulate`` and ``localize``."""
+    p.add_argument("--skymap", action="store_true",
+                   help="attach the hierarchical coarse-to-fine posterior "
+                        "sky map with 68%%/90%% credible regions "
+                        "(docs/localization.md)")
+    p.add_argument("--skymap-resolution", dest="skymap_resolution",
+                   type=float, default=0.5, metavar="DEG",
+                   help="target pixel scale of the refined map "
+                        "(default 0.5 deg)")
+    p.add_argument("--skymap-temperature", dest="skymap_temperature",
+                   type=float, default=1.0, metavar="T",
+                   help="likelihood temperature; >1 widens the regions "
+                        "toward honest coverage (fit one with "
+                        "`scripts/bench_report.py --skymap`; default 1.0)")
+
+
 def _add_fault_flags(p: argparse.ArgumentParser) -> None:
     """Crash-recovery knobs for subcommands that fan out over workers."""
     p.add_argument("--max-retries", type=int, default=None, metavar="N",
@@ -388,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--azimuth", type=float, default=0.0,
                    help="source azimuth, degrees")
     p.add_argument("--seed", type=int, default=0)
+    _add_skymap_flags(p)
     _add_common_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
@@ -426,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="localize N events per lock-step batched inference "
                         "group (1 = per-event, the bit-identical default)")
+    _add_skymap_flags(p)
     _add_fault_flags(p)
     _add_common_flags(p)
     p.set_defaults(func=_cmd_localize)

@@ -1,6 +1,12 @@
 """Experiment harness: training campaigns, trials, containment statistics,
 and per-figure/table reproduction drivers."""
 
+from repro.experiments.calibration import (
+    CalibrationReport,
+    calibration_trial,
+    fit_temperature,
+    run_calibration,
+)
 from repro.experiments.containment import containment, containment_with_errorbars
 from repro.experiments.datasets import TrainingData, generate_training_rings
 from repro.experiments.report import ExperimentRecord
@@ -13,6 +19,10 @@ from repro.experiments.trials import (
 )
 
 __all__ = [
+    "CalibrationReport",
+    "calibration_trial",
+    "fit_temperature",
+    "run_calibration",
     "containment",
     "containment_with_errorbars",
     "TrainingData",

@@ -82,6 +82,36 @@ def trial_worker(common: tuple, seed_seq) -> float:
         raise
 
 
+def calibration_worker(common: tuple, seed_seq) -> np.ndarray:
+    """Run one containment-calibration trial.
+
+    Args:
+        common: ``(geometry, response, config, skymap, ml_pipeline,
+            engine)`` — see :func:`repro.experiments.calibration.run_calibration`.
+        seed_seq: The trial's ``SeedSequence``.
+
+    Returns:
+        One ``(5,)`` row in ``calibration.TRIAL_FIELDS`` order.
+    """
+    from repro.experiments.calibration import calibration_trial
+
+    geometry, response, config, skymap, ml_pipeline, engine = common
+    try:
+        with obs_trace.span("calibration.trial"):
+            return calibration_trial(
+                geometry,
+                response,
+                np.random.default_rng(seed_seq),
+                config,
+                skymap,
+                ml_pipeline,
+                engine=engine,
+            )
+    except Exception as exc:
+        _annotate(exc, f"campaign task: calibration trial with config={config!r}")
+        raise
+
+
 def trial_block_worker(common: tuple, seed_block: tuple) -> list[float]:
     """Run a block of localization trials with lock-step batched inference.
 

@@ -12,6 +12,13 @@ from repro.localization.likelihood import (
     ring_chi_square,
 )
 from repro.localization.approximation import approximate_source
+from repro.localization.hierarchy import (
+    CellSet,
+    HierarchicalResult,
+    SkymapConfig,
+    coarse_cells,
+    hierarchical_skymap,
+)
 from repro.localization.refinement import RefinementConfig, refine_source
 from repro.localization.pipeline import (
     BaselineConfig,
@@ -37,6 +44,11 @@ __all__ = [
     "SkyMap",
     "compute_skymap",
     "render_ascii",
+    "SkymapConfig",
+    "CellSet",
+    "HierarchicalResult",
+    "coarse_cells",
+    "hierarchical_skymap",
     "predicted_error_deg",
     "error_ellipse_deg",
 ]

@@ -20,8 +20,10 @@ from repro.detector.response import EventSet
 from repro.localization.approximation import approximate_source
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.localization.hierarchy import SkymapConfig, hierarchical_skymap
 from repro.localization.likelihood import capped_chi_square
 from repro.localization.refinement import RefinementConfig, refine_source
+from repro.localization.skymap import SkyMap
 from repro.reconstruction.error_propagation import DETA_FLOOR
 from repro.reconstruction.filters import FilterConfig, quality_filter
 from repro.reconstruction.rings import RingSet, build_rings
@@ -60,6 +62,9 @@ class LocalizationOutcome:
         used: Mask over ``rings`` of those in the final solve.
         iterations: Refinement iterations executed.
         converged: Refinement convergence flag.
+        sky: Optional posterior sky map with credible regions (present
+            when the caller requested one via a
+            :class:`~repro.localization.hierarchy.SkymapConfig`).
     """
 
     direction: np.ndarray | None
@@ -67,6 +72,7 @@ class LocalizationOutcome:
     used: np.ndarray
     iterations: int
     converged: bool
+    sky: SkyMap | None = None
 
     def error_degrees(self, true_direction: np.ndarray) -> float:
         """Angular error versus the true source direction, degrees.
@@ -87,6 +93,7 @@ def localize_rings(
     config: BaselineConfig | None = None,
     initial: np.ndarray | None = None,
     reseed: bool = False,
+    skymap: SkymapConfig | None = None,
 ) -> LocalizationOutcome:
     """Approximate + refine over a prepared ring set.
 
@@ -100,6 +107,9 @@ def localize_rings(
             refine from both the fresh seeds and ``initial`` — used by the
             ML iteration so a cleaned ring set can pull the estimate out
             of a wrong basin instead of only polishing it.
+        skymap: When set, also run the hierarchical sky search over
+            ``rings`` and attach the posterior map (with 68/90% credible
+            regions) to the outcome's ``sky`` field.
 
     Returns:
         A :class:`LocalizationOutcome`.
@@ -152,12 +162,16 @@ def localize_rings(
             best_score = float(score)
             best = result
     assert best is not None
+    sky = None
+    if skymap is not None:
+        sky = hierarchical_skymap(rings, skymap).sky
     return LocalizationOutcome(
         direction=best.direction,
         rings=rings,
         used=best.used,
         iterations=best.iterations,
         converged=best.converged,
+        sky=sky,
     )
 
 
@@ -201,6 +215,7 @@ def localize_baseline(
     config: BaselineConfig | None = None,
     drop_background: bool = False,
     true_deta: bool = False,
+    skymap: SkymapConfig | None = None,
 ) -> LocalizationOutcome:
     """Run the full baseline pipeline on digitized events.
 
@@ -210,6 +225,8 @@ def localize_baseline(
         config: Pipeline parameters.
         drop_background: Oracle — remove true background rings (Fig. 4).
         true_deta: Oracle — use true ``eta`` errors as ``d eta`` (Fig. 4).
+        skymap: When set, attach a hierarchical posterior sky map to the
+            outcome (see :func:`localize_rings`).
 
     Returns:
         A :class:`LocalizationOutcome`.
@@ -218,4 +235,4 @@ def localize_baseline(
     rings = prepare_rings(
         events, cfg, drop_background=drop_background, true_deta=true_deta
     )
-    return localize_rings(rings, rng, cfg)
+    return localize_rings(rings, rng, cfg, skymap=skymap)

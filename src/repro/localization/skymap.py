@@ -27,10 +27,17 @@ class SkyGrid:
     Attributes:
         directions: ``(n, 3)`` unit pixel centers.
         pixel_area_sr: ``(n,)`` solid angle per pixel, steradians.
+        bounds: Optional ``(n, 4)`` exact pixel bounds
+            ``[theta_lo, theta_hi, phi_lo, phi_hi]`` (radians).  The
+            hierarchical search provides them so point-in-pixel
+            membership is exact even on its mixed-resolution grids,
+            where nearest-center assignment is ambiguous (e.g. a zenith
+            source sits on the shared corner of every polar-cap cell).
     """
 
     directions: np.ndarray
     pixel_area_sr: np.ndarray
+    bounds: np.ndarray | None = None
 
     @property
     def num_pixels(self) -> int:
@@ -100,6 +107,22 @@ class SkyMap:
         """Pixel center with the highest posterior."""
         return self.grid.directions[int(np.argmax(self.probability))]
 
+    def _credible_count(self, order: np.ndarray, level: float) -> int:
+        """Pixels (posterior-descending) forming the ``level`` region.
+
+        The region is the smallest prefix of ``order`` whose cumulative
+        mass reaches ``level``.  "Reaches" is evaluated with a relative
+        tolerance: ``cumsum`` can round one ulp *below* the exact
+        boundary (e.g. eight 0.1-mass pixels summing to
+        ``0.7999999999999999 < 0.8``), and without the tolerance an
+        exactly-satisfied level would over-count by one pixel.
+        """
+        if not (0.0 < level <= 1.0):
+            raise ValueError("level must be in (0, 1]")
+        cum = np.cumsum(self.probability[order])
+        k = int(np.searchsorted(cum, level * (1.0 - 1e-12))) + 1
+        return min(k, int(cum.size))
+
     def credible_region_area_deg2(self, level: float = 0.68) -> float:
         """Area of the smallest region containing ``level`` posterior mass.
 
@@ -109,13 +132,50 @@ class SkyMap:
         Returns:
             Region area in square degrees.
         """
-        if not (0.0 < level <= 1.0):
-            raise ValueError("level must be in (0, 1]")
         order = np.argsort(self.probability)[::-1]
-        cum = np.cumsum(self.probability[order])
-        k = int(np.searchsorted(cum, level)) + 1
+        k = self._credible_count(order, level)
         area_sr = float(self.pixel_areas_sorted(order)[:k].sum())
         return area_sr * (180.0 / np.pi) ** 2
+
+    def contains(self, direction: np.ndarray, level: float = 0.9) -> bool:
+        """Whether a direction falls inside the ``level`` credible region.
+
+        The test is at pixel granularity: a pixel *containing*
+        ``direction`` must belong to the smallest set of
+        posterior-descending pixels holding ``level`` mass — the same
+        region :meth:`credible_region_area_deg2` measures, so area and
+        containment statistics always describe the same region.
+        Containment is exact (point-in-bounds) when the grid carries
+        pixel ``bounds``; otherwise the nearest pixel center stands in.
+        A direction on a shared pixel boundary belongs to every
+        adjacent pixel, and counts as contained if any of them is in
+        the region.
+
+        Args:
+            direction: ``(3,)`` unit vector (e.g. the true origin).
+            level: Credible level in (0, 1].
+
+        Returns:
+            True when a pixel containing ``direction`` is in the region.
+        """
+        direction = np.asarray(direction, dtype=np.float64)
+        order = np.argsort(self.probability)[::-1]
+        k = self._credible_count(order, level)
+        in_region = np.zeros(self.grid.num_pixels, dtype=bool)
+        in_region[order[:k]] = True
+        if self.grid.bounds is None:
+            nearest = int(np.argmax(self.grid.directions @ direction))
+            return bool(in_region[nearest])
+        theta = float(np.arccos(np.clip(direction[2], -1.0, 1.0)))
+        phi = float(np.mod(np.arctan2(direction[1], direction[0]), 2.0 * np.pi))
+        b = self.grid.bounds
+        inside = (
+            (b[:, 0] <= theta)
+            & (theta <= b[:, 1])
+            & (b[:, 2] <= phi)
+            & (phi <= b[:, 3])
+        )
+        return bool(np.any(inside & in_region))
 
     def pixel_areas_sorted(self, order: np.ndarray) -> np.ndarray:
         """Pixel areas reordered by ``order`` (posterior-descending)."""

@@ -18,6 +18,7 @@ from repro.perf.registry import (
     plan_op_names,
     register,
     registered,
+    required_ops,
     run_all,
     run_benchmark,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "plan_op_names",
     "register",
     "registered",
+    "required_ops",
     "run_all",
     "run_benchmark",
 ]

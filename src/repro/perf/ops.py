@@ -152,6 +152,67 @@ def _bench_dequantize():
     return (lambda: op.apply(y_q, None)), BLOCK_ROWS
 
 
+def _ring_block(n: int = BLOCK_ROWS):
+    """Synthetic paper-shaped ring set (``n`` rings around one source).
+
+    Built directly as arrays (no detector simulation) so the skymap
+    kernels time pure likelihood evaluation at the paper's ring count.
+    """
+    from repro.reconstruction.rings import RingSet
+
+    rng = _rng(23)
+    source = np.array([0.35, -0.12, 0.93])
+    source /= np.linalg.norm(source)
+    axes = rng.normal(size=(n, 3))
+    axes /= np.linalg.norm(axes, axis=1, keepdims=True)
+    deta = np.full(n, 0.03)
+    eta = axes @ source + rng.normal(size=n) * deta
+    return RingSet(
+        axis=axes,
+        eta=eta,
+        deta=deta,
+        event_index=np.arange(n),
+        first_hit=np.zeros(n, dtype=np.int64),
+        second_hit=np.ones(n, dtype=np.int64),
+        ordering_score=np.full(n, np.nan),
+        labels=np.zeros(n, dtype=np.int64),
+        ordering_correct=np.ones(n, dtype=bool),
+        source_direction=source,
+    )
+
+
+@register("skymap_evaluate_coarse8deg", op="skymap.evaluate_cells")
+def _bench_skymap_evaluate():
+    # Level-0 of the hierarchical sky search: 597 rings against every
+    # coarse cell of the 8-degree hemisphere pixelization.  rows = cells
+    # evaluated per call.
+    from repro.localization.hierarchy import coarse_cells, evaluate_cells
+
+    rings = _ring_block()
+    cells = coarse_cells(8.0, 95.0)
+    return (lambda: evaluate_cells(rings, cells, 25.0)), cells.num_cells
+
+
+@register("skymap_refine_level16", op="skymap.refine_level")
+def _bench_skymap_refine():
+    # One refine step at the default frontier: select top-16 + margin,
+    # split into children, evaluate, merge.  rows = starting cells.
+    from repro.localization.hierarchy import (
+        SkymapConfig,
+        coarse_cells,
+        evaluate_cells,
+        refine_level,
+    )
+
+    cfg = SkymapConfig()
+    rings = _ring_block()
+    cells = coarse_cells(cfg.coarse_resolution_deg, cfg.max_polar_deg)
+    log_like, log_post = evaluate_cells(rings, cells, cfg.cap)
+    return (
+        lambda: refine_level(rings, cells, log_like, log_post, cfg)
+    ), cells.num_cells
+
+
 @register("gather_scatter_block40x16", op="GatherScratch")
 def _bench_gather_scatter():
     # localize_many's lock-step round: gather 16 events' small blocks

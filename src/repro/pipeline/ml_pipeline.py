@@ -37,12 +37,14 @@ import numpy as np
 
 from repro.detector.response import EventSet
 from repro.localization.approximation import approximate_source
+from repro.localization.hierarchy import SkymapConfig, hierarchical_skymap
 from repro.localization.likelihood import capped_chi_square
 from repro.localization.pipeline import (
     BaselineConfig,
     localize_rings,
     prepare_rings,
 )
+from repro.localization.skymap import SkyMap
 from repro.infer.engine import InferRequest, evaluate_request
 from repro.models.background import BackgroundNet
 from repro.models.deta import DEtaNet
@@ -87,6 +89,13 @@ class MLPipelineConfig:
     #: takes max(network, propagated) — conservative, protecting bright
     #: bursts where propagation is already adequate.
     deta_mode: str = "replace"
+    #: Optional hierarchical sky-map stage: when set, every outcome
+    #: carries a posterior :class:`~repro.localization.skymap.SkyMap`
+    #: (68/90% credible regions) computed over the final surviving rings
+    #: — pure NumPy, no extra network requests, so the InferRequest
+    #: stream (and its bit-parity guarantees) is unchanged.  None
+    #: (the default) skips the stage.
+    skymap: SkymapConfig | None = None
 
 
 @dataclass
@@ -103,6 +112,8 @@ class MLPipelineOutcome:
             truly background (diagnostics).
         intermediate_directions: ``s_hat`` after each iteration (for the
             anytime-trade-off study).
+        sky: Posterior sky map over the final ring set, when the
+            pipeline config enables the skymap stage (None otherwise).
     """
 
     direction: np.ndarray | None
@@ -112,6 +123,7 @@ class MLPipelineOutcome:
     rings_kept: int
     background_removed_correct: int
     intermediate_directions: list[np.ndarray]
+    sky: SkyMap | None = None
 
     def error_degrees(self, true_direction: np.ndarray) -> float:
         """Angular error versus truth (180 for failed localizations)."""
@@ -163,6 +175,17 @@ class MLPipeline:
             mask = np.ones(rings.num_rings, dtype=bool)
             mask[order[: min(self.config.min_rings, rings.num_rings)]] = False
         return mask
+
+    def _skymap(self, rings: RingSet) -> SkyMap | None:
+        """Posterior map over the final ring set (None when disabled).
+
+        Runs after the networks have cleaned the rings, so the map's
+        credible regions reflect the ML-corrected ``d eta`` widths —
+        this is what makes them calibratable (see docs/localization.md).
+        """
+        if self.config.skymap is None or rings.num_rings == 0:
+            return None
+        return hierarchical_skymap(rings, self.config.skymap).sky
 
     def _iterate(
         self,
@@ -307,6 +330,7 @@ class MLPipeline:
                 rings_kept=survivors.num_rings,
                 background_removed_correct=removed_correct,
                 intermediate_directions=intermediates,
+                sky=self._skymap(survivors),
             )
 
         # dEta stage: overwrite survivors' ring widths, re-localize from
@@ -340,6 +364,7 @@ class MLPipeline:
             rings_kept=survivors.num_rings,
             background_removed_correct=removed_correct,
             intermediate_directions=intermediates,
+            sky=self._skymap(survivors),
         )
 
     def _evaluate(self, request, engine) -> np.ndarray:

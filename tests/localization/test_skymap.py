@@ -83,6 +83,27 @@ class TestComputeSkymap:
         with pytest.raises(ValueError):
             sky.credible_region_area_deg2(0.0)
 
+    def test_exact_boundary_not_overcounted(self):
+        # Ten pixels of exactly 0.1 mass each: a 0.8-credible region is
+        # exactly eight pixels.  Floating-point cumsum used to land one
+        # ulp short of 0.8 and pull in a ninth pixel.
+        from repro.localization.skymap import SkyMap
+
+        n = 10
+        theta = np.linspace(0.1, 1.0, n)
+        directions = np.stack(
+            [np.sin(theta), np.zeros(n), np.cos(theta)], axis=1
+        )
+        area = np.full(n, 1e-3)
+        grid = SkyGrid(directions=directions, pixel_area_sr=area)
+        sky = SkyMap(
+            grid=grid,
+            log_likelihood=np.zeros(n),
+            probability=np.full(n, 0.1),
+        )
+        expected = 8 * 1e-3 * np.degrees(1.0) ** 2
+        assert sky.credible_region_area_deg2(0.8) == pytest.approx(expected)
+
     def test_on_simulated_rings(self, rings, exposure):
         """A real exposure's sky map peaks near the true burst."""
         sky = compute_skymap(rings, SkyGrid.build(resolution_deg=2.0))

@@ -104,3 +104,24 @@ class TestAccuracyTarget:
         out = pipeline.localize(events, np.random.default_rng(13))
         assert out.converged
         assert out.iterations <= 2
+
+
+class TestSkymapThreading:
+    def test_skymap_attached_when_configured(self, events, tiny_models, exposure):
+        from repro.localization.hierarchy import SkymapConfig
+
+        pipeline = MLPipeline(
+            background_net=tiny_models.background_net,
+            deta_net=tiny_models.deta_net,
+            config=MLPipelineConfig(
+                skymap=SkymapConfig(resolution_deg=1.0)
+            ),
+        )
+        out = pipeline.localize(events, np.random.default_rng(14))
+        assert out.sky is not None
+        assert out.sky.probability.sum() == pytest.approx(1.0)
+        assert out.sky.probability_within(exposure.source_direction, 30.0) > 0.5
+
+    def test_no_skymap_by_default(self, events, tiny_models):
+        out = tiny_models.localize(events, np.random.default_rng(15))
+        assert out.sky is None

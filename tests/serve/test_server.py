@@ -299,3 +299,27 @@ class TestServeEventsValidation:
 
     def test_empty_input_returns_empty(self, tiny_models, engine):
         assert serve_events(tiny_models, [], [], engine=engine) == []
+
+
+class TestSkymapField:
+    def test_served_outcome_carries_skymap(
+        self, geometry, response, tiny_models, served_inputs
+    ):
+        from dataclasses import replace
+
+        from repro.localization.hierarchy import SkymapConfig
+        from repro.pipeline.ml_pipeline import MLPipeline
+
+        pipeline = MLPipeline(
+            background_net=tiny_models.background_net,
+            deta_net=tiny_models.deta_net,
+            config=replace(
+                tiny_models.config, skymap=SkymapConfig(resolution_deg=1.0)
+            ),
+        )
+        seeds, event_sets = served_inputs
+        rngs = _replayed_rngs(geometry, response, seeds[:1])
+        (outcome,) = serve_events(pipeline, event_sets[:1], rngs)
+        assert outcome.sky is not None
+        assert outcome.sky.probability.sum() == pytest.approx(1.0)
+        assert outcome.sky.credible_region_area_deg2(0.9) > 0.0
